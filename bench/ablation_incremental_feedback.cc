@@ -1,0 +1,153 @@
+// Ablation: flush-on-inactivity vs multi-versioned sessions (§3).
+//
+// The paper's TS closes sessions only after the inactivity timeout, which
+// "imposes a fixed latency penalty on all session reconstructions"; the
+// sketched alternative propagates changes downstream immediately at the cost
+// of requiring incremental downstream consumers. This bench quantifies the
+// trade-off on the same trace: per-record feedback delay (event epoch ->
+// epoch at which the record is visible downstream) and operator state size.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/analytics/collectors.h"
+#include "src/core/incremental_sessionize.h"
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  using namespace ts::bench;
+  const double rate = FlagDouble(argc, argv, "--rate", 15'000);
+  const int64_t seconds = FlagInt(argc, argv, "--seconds", 10);
+  const Epoch inactivity = static_cast<Epoch>(FlagInt(argc, argv, "--inactivity", 5));
+
+  GeneratorConfig gen;
+  gen.seed = 42;
+  gen.duration_ns = seconds * kNanosPerSecond;
+  gen.target_records_per_sec = rate;
+
+  std::printf("=== Ablation: batch sessionization vs multi-versioned updates ===\n");
+  std::printf("Trace: %llds at %.0f records/s; inactivity %llu epochs\n\n",
+              static_cast<long long>(seconds), rate,
+              static_cast<unsigned long long>(inactivity));
+
+  // Pre-bucket the trace once; both pipelines consume identical input.
+  std::map<Epoch, std::vector<LogRecord>> by_epoch;
+  {
+    TraceGenerator g(gen);
+    Epoch e;
+    std::vector<LogRecord> batch;
+    while (g.NextEpoch(&e, &batch)) {
+      auto& bucket = by_epoch[e];
+      for (auto& r : batch) {
+        bucket.push_back(std::move(r));
+      }
+    }
+  }
+
+  auto drive = [&](Scope& scope, InputSession<LogRecord> input) {
+    auto in = std::make_shared<InputSession<LogRecord>>(input);
+    if (scope.worker_index() == 0) {
+      auto it = std::make_shared<std::map<Epoch, std::vector<LogRecord>>::const_iterator>(
+          by_epoch.begin());
+      scope.AddDriver([in, it, &by_epoch]() mutable -> DriverStatus {
+        if (*it == by_epoch.end()) {
+          in->Close();
+          return DriverStatus::kFinished;
+        }
+        if ((*it)->first > in->current_epoch()) {
+          in->AdvanceTo((*it)->first);
+        }
+        in->GiveBatch((*it)->second);
+        ++*it;
+        return DriverStatus::kWorked;
+      });
+    } else {
+      scope.AddDriver([in]() -> DriverStatus {
+        in->Close();
+        return DriverStatus::kFinished;
+      });
+    }
+  };
+
+  // --- Batch (flush-on-inactivity) ---------------------------------------
+  SampleSet batch_delay;
+  size_t batch_state = 0;
+  {
+    auto delays = std::make_shared<ConcurrentSamples>();
+    auto peak = std::make_shared<std::atomic<size_t>>(0);
+    Computation::Options copts;
+    copts.workers = 2;
+    Computation::Run(copts, [&](Scope& scope) {
+      auto [input, stream] = scope.NewInput<LogRecord>("logs");
+      SessionizeOptions sess;
+      sess.inactivity_epochs = inactivity;
+      auto [sessions, metrics] = Sessionize(scope, stream, sess);
+      scope.Sink<Session>(sessions, "measure",
+                          [delays](Epoch, std::vector<Session>& data) {
+                            for (const auto& s : data) {
+                              for (const auto& r : s.records) {
+                                const Epoch re = static_cast<Epoch>(
+                                    r.time / kNanosPerSecond);
+                                delays->Add(static_cast<double>(s.closed_at - re));
+                              }
+                            }
+                          });
+      scope.AddStepCallback([metrics = metrics, peak] {
+        size_t prev = peak->load();
+        while (prev < metrics->peak_state_bytes &&
+               !peak->compare_exchange_weak(prev, metrics->peak_state_bytes)) {
+        }
+      });
+      drive(scope, input);
+    });
+    batch_delay = std::move(delays->samples());
+    batch_state = peak->load();
+  }
+
+  // --- Incremental (multi-versioned) --------------------------------------
+  SampleSet incr_delay;
+  uint64_t incr_updates = 0;
+  {
+    auto delays = std::make_shared<ConcurrentSamples>();
+    auto updates_count = std::make_shared<std::atomic<uint64_t>>(0);
+    Computation::Options copts;
+    copts.workers = 2;
+    Computation::Run(copts, [&](Scope& scope) {
+      auto [input, stream] = scope.NewInput<LogRecord>("logs");
+      SessionizeOptions sess;
+      sess.inactivity_epochs = inactivity;
+      auto [updates, metrics] = SessionizeIncremental(scope, stream, sess);
+      scope.Sink<SessionUpdate>(
+          updates, "measure", [delays, updates_count](Epoch, std::vector<SessionUpdate>& data) {
+            for (const auto& u : data) {
+              updates_count->fetch_add(1, std::memory_order_relaxed);
+              for (const auto& r : u.new_records) {
+                const Epoch re = static_cast<Epoch>(r.time / kNanosPerSecond);
+                delays->Add(static_cast<double>(u.epoch - re));
+              }
+            }
+          });
+      drive(scope, input);
+    });
+    incr_delay = std::move(delays->samples());
+    incr_updates = updates_count->load();
+  }
+
+  std::printf("%-28s %14s %14s\n", "", "batch", "incremental");
+  std::printf("%-28s %14.2f %14.2f\n", "mean feedback delay (epochs)",
+              batch_delay.Mean(), incr_delay.Mean());
+  std::printf("%-28s %14.2f %14.2f\n", "p95 feedback delay (epochs)",
+              batch_delay.empty() ? 0 : batch_delay.Quantile(0.95),
+              incr_delay.empty() ? 0 : incr_delay.Quantile(0.95));
+  std::printf("%-28s %14s %14s\n", "records buffered in operator",
+              FormatBytes(static_cast<double>(batch_state)).c_str(), "metadata only");
+  std::printf("%-28s %14s %14llu\n", "update stream volume", "1/session",
+              static_cast<unsigned long long>(incr_updates));
+  std::printf(
+      "\nThe inactivity timeout is a floor under batch feedback delay (every\n"
+      "record waits at least the timeout); multi-versioned output reaches\n"
+      "subscribers within its own epoch, at the cost of incremental downstream\n"
+      "consumers and %llu partial updates instead of one session each.\n",
+      static_cast<unsigned long long>(incr_updates));
+  return 0;
+}

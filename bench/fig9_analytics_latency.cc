@@ -1,0 +1,69 @@
+// Figure 9: "Measured latency per epoch (1 sec) of log data to conduct two
+// different analytic tasks on the output of sessionization, including the
+// latency of sessionization. The top-10 trace tree signatures and pairs of
+// communicating services are updated in real time (<1 sec)."
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  using namespace ts::bench;
+  const double rate = FlagDouble(argc, argv, "--rate", 30'000);
+  const int64_t seconds = FlagInt(argc, argv, "--seconds", 15);
+  const int64_t workers = FlagInt(argc, argv, "--workers", 2);
+
+  std::printf("=== Figure 9: per-epoch latency of composed analytics ===\n");
+  std::printf("Trace: %llds at %.0f records/s, %lld workers; tasks include "
+              "sessionization latency\n\n",
+              static_cast<long long>(seconds), rate,
+              static_cast<long long>(workers));
+
+  struct Task {
+    const char* label;
+    AnalyticsSelection analytics;
+  };
+  const Task tasks[] = {
+      {"sessionize only", {}},
+      {"trace trees", {.trace_trees = true}},
+      {"tree clustering", {.trace_trees = true, .signature_topk = true}},
+      {"comm patterns", {.trace_trees = true, .pair_topk = true}},
+      {"both tasks", {.trace_trees = true, .signature_topk = true, .pair_topk = true}},
+  };
+
+  PrintBoxHeader("task (critical ms)");
+  struct Row {
+    const char* label;
+    double cpu_per_epoch_ms;
+    uint64_t trees;
+  };
+  std::vector<Row> rows;
+  for (const auto& task : tasks) {
+    PipelineOptions options;
+    options.workers = static_cast<size_t>(workers);
+    options.gen.seed = 42;
+    options.gen.duration_ns = seconds * kNanosPerSecond;
+    options.gen.target_records_per_sec = rate;
+    options.analytics = task.analytics;
+    auto result = RunPipeline(options);
+    SampleSet critical = result.CriticalPathMs();
+    PrintBoxRow(task.label, critical);
+    rows.push_back(Row{task.label,
+                       static_cast<double>(result.run.TotalWorkerCpuNanos()) /
+                           1e6 / static_cast<double>(result.epochs.size()),
+                       result.trees});
+  }
+
+  // Per-epoch attribution is noisy on a timeshared core; total CPU per epoch
+  // is the stable measure of what each analytic adds.
+  std::printf("\n%-22s %22s %12s\n", "task", "total CPU / epoch (ms)", "trees");
+  for (const auto& r : rows) {
+    std::printf("%-22s %22.1f %12llu\n", r.label, r.cpu_per_epoch_ms,
+                static_cast<unsigned long long>(r.trees));
+  }
+  std::printf(
+      "\nPaper shape: both analytics complete each epoch in under a second\n"
+      "(top-10 signatures and service pairs update in real time), adding a\n"
+      "modest increment over plain sessionization.\n");
+  return 0;
+}

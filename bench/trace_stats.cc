@@ -1,0 +1,98 @@
+// §5.1 text statistics: out-of-order arrival-delay percentiles as observed at
+// TS's ingest (the paper: median 0.69 ms; p90 4.5 ms; p99 17 ms; p99.9
+// 32.5 ms; p99.99 1.2 s; max 485 s), plus the session-activity distributions
+// that motivate the inactivity-timeout choice.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/replay/replayer.h"
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  using namespace ts::bench;
+  const double rate = FlagDouble(argc, argv, "--rate", 20'000);
+  const int64_t seconds = FlagInt(argc, argv, "--seconds", 15);
+
+  GeneratorConfig gen;
+  gen.seed = 42;
+  gen.duration_ns = seconds * kNanosPerSecond;
+  gen.target_records_per_sec = rate;
+  gen.collect_distributions = true;
+
+  ReplayerConfig replay;
+  replay.num_servers = 42;
+  replay.num_processes = 1263;
+  replay.num_workers = 1;
+  replay.as_text = false;
+  replay.straggler_prob = 3e-5;  // Rare multi-second stragglers (max 485s in paper).
+  Replayer replayer(replay, gen);
+
+  // Drain the arrival stream, measuring out-of-orderness the way the paper
+  // does: the timestamp difference between consecutive records that arrive
+  // out of (event-time) order.
+  SampleSet ooo_diff_ms;
+  EventTime prev_event = -1;
+  std::vector<Arrival> arrivals;
+  uint64_t total = 0;
+  uint64_t out_of_order = 0;
+  for (Epoch e = 0;; ++e) {
+    if (replayer.ArrivalsFor(0, e, &arrivals) == Replayer::Fetch::kEndOfStream) {
+      break;
+    }
+    for (const auto& a : arrivals) {
+      ++total;
+      if (prev_event >= 0 && a.record.time < prev_event) {
+        ++out_of_order;
+        ooo_diff_ms.Add(static_cast<double>(prev_event - a.record.time) / 1e6);
+      }
+      prev_event = a.record.time;
+    }
+  }
+
+  std::printf("=== Trace statistics (§5.1 text) ===\n\n");
+  std::printf("--- Out-of-order record timestamp differences ---\n");
+  std::printf("%llu records, %.2f%% out of order\n",
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(out_of_order) /
+                  static_cast<double>(std::max<uint64_t>(1, total)));
+  if (!ooo_diff_ms.empty()) {
+    std::printf("  median: %8.2f ms   (paper:  0.69 ms)\n", ooo_diff_ms.Median());
+    std::printf("  p90:    %8.2f ms   (paper:  4.5 ms)\n", ooo_diff_ms.Quantile(0.9));
+    std::printf("  p99:    %8.2f ms   (paper:   17 ms)\n", ooo_diff_ms.Quantile(0.99));
+    std::printf("  p99.9:  %8.2f ms   (paper: 32.5 ms)\n", ooo_diff_ms.Quantile(0.999));
+    std::printf("  p99.99: %8.2f ms   (paper: 1.2 s)\n", ooo_diff_ms.Quantile(0.9999));
+    std::printf("  max:    %8.2f ms   (paper: 485 s)\n", ooo_diff_ms.Max());
+  }
+
+  // Session-activity distributions from the generator's sampled stats.
+  // (Regenerate with the same seed to read them back.)
+  TraceGenerator direct(gen);
+  Epoch epoch;
+  std::vector<LogRecord> batch;
+  while (direct.NextEpoch(&epoch, &batch)) {
+  }
+  auto& stats = const_cast<GeneratorStats&>(direct.stats());
+  std::printf("\n--- Root-span lifetime (drives memory requirements) ---\n");
+  if (!stats.root_span_durations_ms.empty()) {
+    std::printf("  p50: %.1f ms   p95: %.1f ms (paper: 95%% < 2 s)   p99.76+: up "
+                "to minutes\n",
+                stats.root_span_durations_ms.Median(),
+                stats.root_span_durations_ms.Quantile(0.95));
+  }
+  std::printf("\n--- Max inter-message gap per root span (drives the "
+              "inactivity timeout) ---\n");
+  if (!stats.max_gap_per_root_ms.empty()) {
+    std::printf("  p50: %.2f ms   p99.5: %.2f ms (paper: 12.3 ms)   max: %.0f ms\n",
+                stats.max_gap_per_root_ms.Median(),
+                stats.max_gap_per_root_ms.Quantile(0.995),
+                stats.max_gap_per_root_ms.Max());
+  }
+  std::printf("\n--- Arrival delay at TS ingest (replayer pipeline) ---\n");
+  auto& delays = const_cast<SampleSet&>(replayer.stats().arrival_delays_ms);
+  if (!delays.empty()) {
+    std::printf("  p50: %.1f ms   p99: %.1f ms   max: %.0f ms  (flush batching + "
+                "jitter + stragglers)\n",
+                delays.Median(), delays.Quantile(0.99), delays.Max());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "src/analytics/critical_path.h"
+
+#include <algorithm>
+
+namespace ts {
+namespace {
+
+// Effective interval of a node: observed times, or the hull of its children
+// for inferred nodes.
+struct Interval {
+  EventTime start = 0;
+  EventTime end = 0;
+  bool valid = false;
+};
+
+Interval EffectiveInterval(const TraceTree& tree, int node,
+                           std::vector<Interval>& memo) {
+  Interval& m = memo[static_cast<size_t>(node)];
+  if (m.valid) {
+    return m;
+  }
+  const TraceNode& n = tree.nodes()[static_cast<size_t>(node)];
+  Interval result;
+  if (!n.inferred) {
+    result = {n.start, n.end, true};
+  }
+  for (int c : n.children) {
+    const Interval child = EffectiveInterval(tree, c, memo);
+    if (!child.valid) {
+      continue;
+    }
+    if (!result.valid) {
+      result = child;
+    } else {
+      result.start = std::min(result.start, child.start);
+      result.end = std::max(result.end, child.end);
+    }
+  }
+  m = result;
+  m.valid = true;
+  return m;
+}
+
+}  // namespace
+
+CriticalPath ComputeCriticalPath(const TraceTree& tree) {
+  CriticalPath path;
+  std::vector<Interval> memo(tree.nodes().size());
+  const Interval root = EffectiveInterval(tree, 0, memo);
+  path.total_ns = root.end - root.start;
+
+  int cur = 0;
+  for (;;) {
+    const TraceNode& n = tree.nodes()[static_cast<size_t>(cur)];
+    // Blocking child: latest effective end time.
+    int blocker = -1;
+    EventTime blocker_end = 0;
+    for (int c : n.children) {
+      const Interval ci = memo[static_cast<size_t>(c)];
+      if (ci.end > blocker_end || blocker == -1) {
+        blocker = c;
+        blocker_end = ci.end;
+      }
+    }
+    const Interval cur_interval = memo[static_cast<size_t>(cur)];
+    CriticalPathStep step;
+    step.node = cur;
+    step.service = n.service;
+    if (blocker == -1) {
+      // Leaf of the path: charged its whole interval.
+      step.exclusive_ns = cur_interval.end - cur_interval.start;
+      path.steps.push_back(step);
+      break;
+    }
+    const Interval bi = memo[static_cast<size_t>(blocker)];
+    // Head (before the blocking child starts) + tail (after it ends), clamped
+    // so skewed children never produce negative charges.
+    const EventTime head = std::max<EventTime>(0, bi.start - cur_interval.start);
+    const EventTime tail = std::max<EventTime>(0, cur_interval.end - bi.end);
+    step.exclusive_ns = head + tail;
+    path.steps.push_back(step);
+    cur = blocker;
+  }
+  return path;
+}
+
+}  // namespace ts

@@ -1,0 +1,53 @@
+// Critical-path analysis over trace trees (§5.2 lists it among the analyses
+// composable on sessionization output, citing The Mystery Machine).
+//
+// For each tree, the critical path is the chain of spans that determines the
+// request's end-to-end latency: starting from the root, at each node the child
+// with the latest end time dominates. Each span on the path is charged its
+// *exclusive* time — the portion of its interval not covered by the next
+// blocking child — so the steps' exclusive times telescope to the root span's
+// duration.
+#ifndef SRC_ANALYTICS_CRITICAL_PATH_H_
+#define SRC_ANALYTICS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/trace_tree.h"
+
+namespace ts {
+
+struct CriticalPathStep {
+  int node = -1;  // Index into tree.nodes().
+  uint32_t service = kUnknownService;
+  EventTime exclusive_ns = 0;  // Time on the path attributed to this span.
+};
+
+struct CriticalPath {
+  std::vector<CriticalPathStep> steps;  // Root first.
+  EventTime total_ns = 0;               // Root span duration.
+
+  // Fraction of the end-to-end time attributed to `service` on this path.
+  double ServiceShare(uint32_t service) const {
+    if (total_ns <= 0) {
+      return 0;
+    }
+    EventTime sum = 0;
+    for (const auto& s : steps) {
+      if (s.service == service) {
+        sum += s.exclusive_ns;
+      }
+    }
+    return static_cast<double>(sum) / static_cast<double>(total_ns);
+  }
+};
+
+// Computes the critical path of `tree` from observed span intervals. Inferred
+// nodes (no observed records) can appear on the path with zero exclusive time;
+// out-of-containment children (clock skew) contribute clamped, never negative,
+// exclusive times.
+CriticalPath ComputeCriticalPath(const TraceTree& tree);
+
+}  // namespace ts
+
+#endif  // SRC_ANALYTICS_CRITICAL_PATH_H_

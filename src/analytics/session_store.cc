@@ -1,0 +1,123 @@
+#include "src/analytics/session_store.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ts {
+
+void SessionStore::Insert(Session session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.bytes = session.MemoryFootprint();
+  entry.min_time = session.MinTime();
+  entry.max_time = session.MaxTime();
+  entry.seq = next_seq_++;
+  entry.session = std::move(session);
+
+  entries_.push_back(std::move(entry));
+  auto it = std::prev(entries_.end());
+  by_id_[{it->session.id, it->session.fragment_index}] = it;
+  std::set<uint32_t> services;
+  for (const auto& r : it->session.records) {
+    services.insert(r.service);
+  }
+  for (uint32_t s : services) {
+    by_service_[s].push_back(it);
+  }
+  by_time_.emplace(it->min_time, it);
+
+  stats_.bytes += it->bytes;
+  ++stats_.sessions;
+  ++stats_.inserted;
+  EvictIfNeeded();
+}
+
+void SessionStore::Unindex(EntryList::iterator it) {
+  by_id_.erase({it->session.id, it->session.fragment_index});
+  // Service index entries are cleaned lazily at query time (they hold list
+  // iterators which become invalid); mark via the seq set below.
+  auto range = by_time_.equal_range(it->min_time);
+  for (auto t = range.first; t != range.second; ++t) {
+    if (t->second == it) {
+      by_time_.erase(t);
+      break;
+    }
+  }
+}
+
+void SessionStore::EvictIfNeeded() {
+  while (stats_.bytes > options_.max_bytes && entries_.size() > 1) {
+    auto oldest = entries_.begin();
+    stats_.bytes -= oldest->bytes;
+    --stats_.sessions;
+    ++stats_.evicted;
+    Unindex(oldest);
+    // Purge dangling service-index references to this entry.
+    for (auto& [service, list] : by_service_) {
+      list.erase(std::remove(list.begin(), list.end(), oldest), list.end());
+    }
+    entries_.erase(oldest);
+  }
+}
+
+std::optional<Session> SessionStore::GetById(const std::string& id,
+                                             uint32_t fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find({id, fragment});
+  if (it == by_id_.end()) {
+    return std::nullopt;
+  }
+  return it->second->session;
+}
+
+std::vector<Session> SessionStore::GetAllFragments(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Session> out;
+  // by_id_ is ordered: fragments of one id are contiguous and ascending.
+  for (auto it = by_id_.lower_bound({id, 0});
+       it != by_id_.end() && it->first.first == id; ++it) {
+    out.push_back(it->second->session);
+  }
+  return out;
+}
+
+std::vector<Session> SessionStore::QueryByService(uint32_t service,
+                                                  size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Session> out;
+  auto it = by_service_.find(service);
+  if (it == by_service_.end()) {
+    return out;
+  }
+  // Newest first.
+  for (auto entry = it->second.rbegin(); entry != it->second.rend(); ++entry) {
+    out.push_back((*entry)->session);
+    if (out.size() == limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Session> SessionStore::QueryByTimeRange(EventTime lo, EventTime hi,
+                                                    size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Session> out;
+  // Entries starting before `hi`; intersect if their max_time >= lo.
+  for (auto it = by_time_.begin(); it != by_time_.end() && it->first < hi; ++it) {
+    if (it->second->max_time >= lo) {
+      out.push_back(it->second->session);
+      if (out.size() == limit) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SessionStore::Stats SessionStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ts

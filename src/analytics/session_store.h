@@ -1,0 +1,102 @@
+// Bounded in-memory store of recently reconstructed sessions — the substrate
+// behind the architecture's "UI: Query interface, Live visualization" box
+// (Figure 2). Sessionization output streams in; operators and dashboards query
+// by session ID, by service, or by time range; memory is bounded by evicting
+// the oldest-closed sessions first.
+//
+// Thread-safe: sinks on worker threads insert concurrently with queries.
+#ifndef SRC_ANALYTICS_SESSION_STORE_H_
+#define SRC_ANALYTICS_SESSION_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/timely/scope.h"
+
+namespace ts {
+
+class SessionStore {
+ public:
+  struct Options {
+    size_t max_bytes = 256ull << 20;  // Eviction threshold.
+  };
+
+  struct Stats {
+    size_t sessions = 0;
+    size_t bytes = 0;
+    uint64_t inserted = 0;
+    uint64_t evicted = 0;
+  };
+
+  SessionStore() : SessionStore(Options()) {}
+  explicit SessionStore(const Options& options) : options_(options) {}
+
+  // Inserts a reconstructed session (typically from a dataflow sink). A later
+  // fragment of the same ID is stored as its own entry.
+  void Insert(Session session);
+
+  // Exact lookup by (session id, fragment index).
+  std::optional<Session> GetById(const std::string& id, uint32_t fragment = 0) const;
+
+  // All stored fragments of a session id, oldest first.
+  std::vector<Session> GetAllFragments(const std::string& id) const;
+
+  // Most recently closed sessions that invoked `service`, up to `limit`.
+  std::vector<Session> QueryByService(uint32_t service, size_t limit) const;
+
+  // Sessions whose event-time extent intersects [lo, hi), up to `limit`,
+  // ordered by start time.
+  std::vector<Session> QueryByTimeRange(EventTime lo, EventTime hi,
+                                        size_t limit) const;
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Session session;
+    size_t bytes = 0;
+    EventTime min_time = 0;
+    EventTime max_time = 0;
+    uint64_t seq = 0;  // Insertion order.
+  };
+  using EntryList = std::list<Entry>;
+
+  void EvictIfNeeded();  // Caller holds mu_.
+  void Unindex(EntryList::iterator it);
+
+  Options options_;
+  mutable std::mutex mu_;
+  EntryList entries_;  // Insertion (close) order: front = oldest.
+  // (id, fragment) -> entry.
+  std::map<std::pair<std::string, uint32_t>, EntryList::iterator> by_id_;
+  // service -> entries that touched it (insertion order preserved via list
+  // iterators; vector per service with lazy cleanup on eviction).
+  std::unordered_map<uint32_t, std::vector<EntryList::iterator>> by_service_;
+  // start time -> entry.
+  std::multimap<EventTime, EntryList::iterator> by_time_;
+  Stats stats_;
+  uint64_t next_seq_ = 0;
+};
+
+// Attaches a sink that feeds every session of `stream` into `store`.
+inline void StoreSessions(Scope& scope, const Stream<Session>& stream,
+                          std::shared_ptr<SessionStore> store) {
+  scope.Sink<Session>(stream, "session_store",
+                      [store](Epoch, std::vector<Session>& data) {
+                        for (auto& s : data) {
+                          store->Insert(std::move(s));
+                        }
+                      });
+}
+
+}  // namespace ts
+
+#endif  // SRC_ANALYTICS_SESSION_STORE_H_

@@ -1,0 +1,119 @@
+#include "src/baseline/engine.h"
+
+#include <chrono>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+SubtaskPool::SubtaskPool(size_t parallelism, size_t queue_capacity,
+                         OperatorFactory factory) {
+  TS_CHECK(parallelism >= 1);
+  subtasks_.resize(parallelism);
+  for (size_t i = 0; i < parallelism; ++i) {
+    subtasks_[i].queue = std::make_unique<FixedQueue<StreamElement>>(queue_capacity);
+    subtasks_[i].op = factory(i);
+  }
+}
+
+SubtaskPool::~SubtaskPool() {
+  if (started_ && !joined_) {
+    FinishAndJoin();
+  }
+}
+
+void SubtaskPool::Start() {
+  TS_CHECK(!started_);
+  started_ = true;
+  for (size_t i = 0; i < subtasks_.size(); ++i) {
+    subtasks_[i].thread = std::thread([this, i] { RunSubtask(i); });
+  }
+}
+
+void SubtaskPool::RunSubtask(size_t index) {
+  Subtask& task = subtasks_[index];
+  for (;;) {
+    auto element = task.queue->Pop();
+    if (!element.has_value() || element->kind == StreamElement::Kind::kEnd) {
+      task.op->Finish();
+      return;
+    }
+    switch (element->kind) {
+      case StreamElement::Kind::kRecord:
+        if (element->row == nullptr && deserializer_ &&
+            !element->serialized.empty()) {
+          element->row = deserializer_(element->serialized);
+        }
+        task.op->ProcessElement(element->key, element->timestamp,
+                                std::move(element->row));
+        break;
+      case StreamElement::Kind::kWatermark:
+        task.op->ProcessWatermark(element->timestamp);
+        Ack(element->timestamp);
+        break;
+      case StreamElement::Kind::kEnd:
+        break;  // Handled above.
+    }
+  }
+}
+
+void SubtaskPool::Emit(size_t subtask, StreamElement element) {
+  subtasks_[subtask].queue->Push(std::move(element));
+}
+
+void SubtaskPool::BroadcastWatermark(EventTime watermark) {
+  StreamElement e;
+  e.kind = StreamElement::Kind::kWatermark;
+  e.timestamp = watermark;
+  for (auto& task : subtasks_) {
+    task.queue->Push(e);
+  }
+}
+
+void SubtaskPool::Ack(EventTime watermark) {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  if (++acks_[watermark] == subtasks_.size()) {
+    fully_acked_ = std::max(fully_acked_, watermark);
+    acks_.erase(watermark);
+    ack_cv_.notify_all();
+  }
+}
+
+int64_t SubtaskPool::AwaitWatermark(EventTime watermark) {
+  std::unique_lock<std::mutex> lock(ack_mu_);
+  ack_cv_.wait(lock, [&] { return fully_acked_ >= watermark; });
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SubtaskPool::FinishAndJoin() {
+  TS_CHECK(started_ && !joined_);
+  StreamElement end;
+  end.kind = StreamElement::Kind::kEnd;
+  for (auto& task : subtasks_) {
+    task.queue->Push(end);
+  }
+  for (auto& task : subtasks_) {
+    task.thread.join();
+  }
+  joined_ = true;
+}
+
+size_t SubtaskPool::TotalStateBytes() const {
+  size_t total = 0;
+  for (const auto& task : subtasks_) {
+    total += task.op->state_bytes();
+  }
+  return total;
+}
+
+size_t SubtaskPool::TotalQueuedElements() const {
+  size_t total = 0;
+  for (const auto& task : subtasks_) {
+    total += task.queue->size();
+  }
+  return total;
+}
+
+}  // namespace ts

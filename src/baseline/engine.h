@@ -1,0 +1,106 @@
+// Minimal general-purpose streaming runtime, shaped like Flink's task model:
+// parallel keyed subtasks, each a thread draining a bounded input queue
+// (bounded queues are what produce backpressure when an operator falls behind),
+// per-record virtual dispatch into the operator, and watermark broadcast with
+// completion acknowledgements so a harness can measure per-epoch latency the
+// same way it does for TS (first element in -> watermark fully processed).
+#ifndef SRC_BASELINE_ENGINE_H_
+#define SRC_BASELINE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baseline/row.h"
+#include "src/common/fixed_queue.h"
+#include "src/common/time_util.h"
+
+namespace ts {
+
+struct StreamElement {
+  enum class Kind : uint8_t { kRecord, kWatermark, kEnd };
+  Kind kind = Kind::kRecord;
+  EventTime timestamp = 0;  // Record event time, or the watermark value.
+  std::string key;          // Partition key (extracted upstream, as keyBy does).
+  RowPtr row;               // Set when the element is already deserialized.
+  // Exchange edges in a general-purpose engine move records in serialized form
+  // (Flink serializes at every keyBy boundary, even within one process); when
+  // `serialized` is set, the receiving subtask's deserializer materializes the
+  // row before ProcessElement.
+  std::string serialized;
+};
+
+// The operator a subtask runs. One instance per subtask; all methods are called
+// from that subtask's thread only.
+class KeyedOperator {
+ public:
+  virtual ~KeyedOperator() = default;
+  virtual void ProcessElement(const std::string& key, EventTime t, RowPtr row) = 0;
+  virtual void ProcessWatermark(EventTime watermark) = 0;
+  // End of stream: release every remaining window/state.
+  virtual void Finish() = 0;
+  virtual size_t state_bytes() const = 0;
+};
+
+class SubtaskPool {
+ public:
+  using OperatorFactory = std::function<std::unique_ptr<KeyedOperator>(size_t subtask)>;
+  // Materializes element.row from element.serialized on the subtask thread.
+  using Deserializer = std::function<RowPtr(const std::string& serialized)>;
+
+  SubtaskPool(size_t parallelism, size_t queue_capacity, OperatorFactory factory);
+
+  void SetDeserializer(Deserializer deserializer) {
+    deserializer_ = std::move(deserializer);
+  }
+  ~SubtaskPool();
+
+  void Start();
+
+  // Blocking push into `subtask`'s queue: the caller (source) experiences
+  // backpressure when the subtask cannot keep up.
+  void Emit(size_t subtask, StreamElement element);
+
+  // Broadcasts a watermark to every subtask. Watermarks must increase.
+  void BroadcastWatermark(EventTime watermark);
+
+  // Blocks until every subtask has processed watermark >= `watermark`; returns
+  // the steady-clock nanos at which the last ack landed.
+  int64_t AwaitWatermark(EventTime watermark);
+
+  // Sends end-of-stream and joins all subtask threads.
+  void FinishAndJoin();
+
+  size_t parallelism() const { return subtasks_.size(); }
+  size_t TotalStateBytes() const;
+  size_t TotalQueuedElements() const;
+
+ private:
+  struct Subtask {
+    std::unique_ptr<FixedQueue<StreamElement>> queue;
+    std::unique_ptr<KeyedOperator> op;
+    std::thread thread;
+  };
+
+  void RunSubtask(size_t index);
+  void Ack(EventTime watermark);
+
+  std::vector<Subtask> subtasks_;
+  Deserializer deserializer_;
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::map<EventTime, size_t> acks_;
+  EventTime fully_acked_ = -1;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace ts
+
+#endif  // SRC_BASELINE_ENGINE_H_

@@ -1,0 +1,25 @@
+#include "src/baseline/row.h"
+
+namespace ts {
+
+size_t Row::MemoryFootprint() const {
+  size_t bytes = sizeof(Row) + fields_.capacity() * sizeof(Value);
+  for (const auto& f : fields_) {
+    if (const auto* s = std::get_if<std::string>(&f)) {
+      bytes += s->capacity();
+    }
+  }
+  return bytes;
+}
+
+RowPtr RowFromRecord(const LogRecord& record) {
+  auto row = std::make_shared<Row>();
+  row->Append(record.session_id);
+  row->Append(record.txn_id.ToString());
+  row->Append(static_cast<int64_t>(record.service));
+  row->Append(static_cast<int64_t>(record.kind));
+  row->Append(record.payload);
+  return row;
+}
+
+}  // namespace ts

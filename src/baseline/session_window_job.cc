@@ -1,0 +1,125 @@
+#include "src/baseline/session_window_job.h"
+
+#include <algorithm>
+
+#include "src/common/siphash.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+
+void SessionWindowOperator::ProcessElement(const std::string& key, EventTime t,
+                                           RowPtr row) {
+  auto& windows = state_[key];
+  int64_t delta = 0;
+  const size_t idx = windows.AddElement(t, gap_ns_, std::move(row), &delta);
+  state_bytes_ += static_cast<size_t>(delta);
+  // Register (or refresh) the event-time timer for the merged window. Stale
+  // timers for absorbed windows are skipped at firing time.
+  timers_.push(Timer{windows.window(idx).window.end, key});
+}
+
+void SessionWindowOperator::FireWindow(const std::string& key, size_t window_index) {
+  auto it = state_.find(key);
+  auto& ws = it->second.window(window_index);
+  std::sort(ws.elements.begin(), ws.elements.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  BaselineSessionOutput out;
+  out.key = key;
+  out.num_records = ws.elements.size();
+  out.start = ws.elements.empty() ? ws.window.start : ws.elements.front().first;
+  out.end = ws.elements.empty() ? ws.window.start : ws.elements.back().first;
+  state_bytes_ -= std::min(state_bytes_, ws.bytes);
+  it->second.Remove(window_index);
+  if (it->second.empty()) {
+    state_.erase(it);
+  }
+  if (sink_) {
+    sink_(std::move(out));
+  }
+}
+
+void SessionWindowOperator::ProcessWatermark(EventTime watermark) {
+  while (!timers_.empty() && timers_.top().end <= watermark) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    auto it = state_.find(timer.key);
+    if (it == state_.end()) {
+      continue;  // Stale timer: the window fired or merged away.
+    }
+    // Fire the window whose end matches the timer exactly; merged windows
+    // re-registered timers for their extended ends.
+    const auto& windows = it->second.windows();
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (windows[i].window.end == timer.end) {
+        FireWindow(timer.key, i);
+        break;
+      }
+    }
+  }
+}
+
+void SessionWindowOperator::Finish() {
+  // Bounded input: a final +inf watermark releases everything.
+  ProcessWatermark(std::numeric_limits<EventTime>::max());
+}
+
+BaselineSessionJob::BaselineSessionJob(const BaselineJobConfig& config, Sink sink)
+    : config_(config),
+      pool_(config.parallelism, config.queue_capacity,
+            [this, sink = std::move(sink)](size_t) {
+              return std::make_unique<SessionWindowOperator>(
+                  config_.session_gap_ns, [this, sink](BaselineSessionOutput out) {
+                    sessions_.fetch_add(1, std::memory_order_relaxed);
+                    if (sink) {
+                      sink(std::move(out));
+                    }
+                  });
+            }) {
+  pool_.SetDeserializer([](const std::string& serialized) -> RowPtr {
+    auto parsed = ParseWireFormat(serialized);
+    return parsed ? RowFromRecord(*parsed) : std::make_shared<Row>();
+  });
+}
+
+void BaselineSessionJob::Route(const LogRecord& record) {
+  ++elements_;
+  StreamElement e;
+  e.kind = StreamElement::Kind::kRecord;
+  e.timestamp = record.time;
+  e.key = record.session_id;
+  // keyBy boundary: general-purpose engines ship records across task
+  // boundaries in serialized form; the subtask deserializes (see the pool's
+  // deserializer). This is the Flink data path even within one process.
+  e.serialized = ToWireFormat(record);
+  const size_t subtask =
+      static_cast<size_t>(SipHash24(record.session_id) % pool_.parallelism());
+  pool_.Emit(subtask, std::move(e));
+}
+
+void BaselineSessionJob::FeedLine(const std::string& line) {
+  auto parsed = ParseWireFormat(line);
+  if (!parsed) {
+    ++parse_failures_;
+    return;
+  }
+  Route(*parsed);
+}
+
+void BaselineSessionJob::FeedRecord(const LogRecord& record) { Route(record); }
+
+size_t BaselineSessionJob::PollStateBytes() {
+  const size_t now = pool_.TotalStateBytes();
+  peak_state_bytes_ = std::max(peak_state_bytes_, now);
+  return now;
+}
+
+BaselineJobStats BaselineSessionJob::stats() const {
+  BaselineJobStats s;
+  s.elements = elements_;
+  s.parse_failures = parse_failures_;
+  s.sessions = sessions_.load(std::memory_order_relaxed);
+  s.peak_state_bytes = peak_state_bytes_;
+  return s;
+}
+
+}  // namespace ts

@@ -1,0 +1,118 @@
+// The baseline sessionization job (the Figure 6 comparison system): text source
+// with a chained deserializer, keyBy(session id), event-time merging session
+// windows with a per-window timer service, and a session sink.
+//
+// Semantics match TS's sessionizer: a session closes after `gap` of event-time
+// inactivity, and its buffered elements are emitted together. The mechanisms
+// are the generic ones a Flink job uses — per-record heap rows, per-key merging
+// window sets, timer queues — not TS's epoch-batched worker-local state.
+#ifndef SRC_BASELINE_SESSION_WINDOW_JOB_H_
+#define SRC_BASELINE_SESSION_WINDOW_JOB_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/engine.h"
+#include "src/baseline/window.h"
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+struct BaselineSessionOutput {
+  std::string key;
+  size_t num_records = 0;
+  EventTime start = 0;
+  EventTime end = 0;  // Last element time.
+};
+
+class SessionWindowOperator : public KeyedOperator {
+ public:
+  using Sink = std::function<void(BaselineSessionOutput)>;
+
+  SessionWindowOperator(EventTime gap_ns, Sink sink)
+      : gap_ns_(gap_ns), sink_(std::move(sink)) {}
+
+  void ProcessElement(const std::string& key, EventTime t, RowPtr row) override;
+  void ProcessWatermark(EventTime watermark) override;
+  void Finish() override;
+  size_t state_bytes() const override { return state_bytes_; }
+
+ private:
+  struct Timer {
+    EventTime end;
+    std::string key;
+    bool operator>(const Timer& other) const { return end > other.end; }
+  };
+
+  void FireWindow(const std::string& key, size_t window_index);
+
+  const EventTime gap_ns_;
+  Sink sink_;
+  std::unordered_map<std::string, MergingWindowSet> state_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  size_t state_bytes_ = 0;
+};
+
+struct BaselineJobConfig {
+  size_t parallelism = 4;
+  EventTime session_gap_ns = 5 * kNanosPerSecond;
+  size_t queue_capacity = 16 * 1024;
+  bool parse_text = true;  // Source deserializes wire-format lines.
+};
+
+struct BaselineJobStats {
+  uint64_t elements = 0;
+  uint64_t parse_failures = 0;
+  uint64_t sessions = 0;
+  size_t peak_state_bytes = 0;
+};
+
+// Drives the job: the caller is the source thread.
+class BaselineSessionJob {
+ public:
+  using Sink = std::function<void(BaselineSessionOutput)>;
+
+  // `sink` runs on subtask threads; it must be thread-safe. May be null.
+  BaselineSessionJob(const BaselineJobConfig& config, Sink sink);
+
+  void Start() { pool_.Start(); }
+
+  // Source path: deserialize (if text), extract key, route. Blocks under
+  // backpressure, exactly like a Flink source with full output buffers.
+  void FeedLine(const std::string& line);
+  void FeedRecord(const LogRecord& record);
+
+  void BroadcastWatermark(EventTime watermark) {
+    pool_.BroadcastWatermark(watermark);
+  }
+  int64_t AwaitWatermark(EventTime watermark) {
+    return pool_.AwaitWatermark(watermark);
+  }
+  // Flushes all remaining windows and joins the subtasks.
+  void FinishAndJoin() { pool_.FinishAndJoin(); }
+
+  // Updates and returns peak state bytes (poll from the harness).
+  size_t PollStateBytes();
+  size_t QueuedElements() const { return pool_.TotalQueuedElements(); }
+  BaselineJobStats stats() const;
+
+ private:
+  void Route(const LogRecord& record);
+
+  BaselineJobConfig config_;
+  std::atomic<uint64_t> sessions_{0};
+  SubtaskPool pool_;
+  uint64_t elements_ = 0;
+  uint64_t parse_failures_ = 0;
+  size_t peak_state_bytes_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_BASELINE_SESSION_WINDOW_JOB_H_

@@ -1,0 +1,52 @@
+#include "src/baseline/window.h"
+
+#include <algorithm>
+
+namespace ts {
+
+size_t MergingWindowSet::AddElement(EventTime t, EventTime gap, RowPtr row,
+                                    int64_t* bytes_delta) {
+  int64_t delta = 0;
+  TimeWindow merged{t, t + gap};
+  WindowState target;
+  target.window = merged;
+
+  // Collect and absorb every intersecting window (Flink merges eagerly on
+  // element insertion).
+  for (size_t i = windows_.size(); i-- > 0;) {
+    if (!windows_[i].window.Intersects(merged)) {
+      continue;
+    }
+    merged.start = std::min(merged.start, windows_[i].window.start);
+    merged.end = std::max(merged.end, windows_[i].window.end);
+    for (auto& e : windows_[i].elements) {
+      target.elements.push_back(std::move(e));
+    }
+    target.bytes += windows_[i].bytes;
+    windows_.erase(windows_.begin() + static_cast<long>(i));
+  }
+  target.window = merged;
+  const size_t row_bytes = row->MemoryFootprint() + sizeof(EventTime) + sizeof(RowPtr);
+  target.elements.emplace_back(t, std::move(row));
+  target.bytes += row_bytes;
+  delta += static_cast<int64_t>(row_bytes);
+  windows_.push_back(std::move(target));
+  if (bytes_delta != nullptr) {
+    *bytes_delta = delta;
+  }
+  return windows_.size() - 1;
+}
+
+std::vector<size_t> MergingWindowSet::RipeWindows(EventTime watermark) const {
+  std::vector<size_t> ripe;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (windows_[i].window.end <= watermark) {
+      ripe.push_back(i);
+    }
+  }
+  // Descending order so callers can Remove() while iterating.
+  std::sort(ripe.rbegin(), ripe.rend());
+  return ripe;
+}
+
+}  // namespace ts

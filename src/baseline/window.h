@@ -1,0 +1,54 @@
+// Event-time session windows with merging, as implemented by Flink's
+// MergingWindowAssigner: each element opens a window [t, t + gap); overlapping
+// windows of the same key merge, coalescing their buffered elements; a window
+// fires when the watermark passes its end.
+#ifndef SRC_BASELINE_WINDOW_H_
+#define SRC_BASELINE_WINDOW_H_
+
+#include <vector>
+
+#include "src/baseline/row.h"
+#include "src/common/time_util.h"
+
+namespace ts {
+
+struct TimeWindow {
+  EventTime start = 0;
+  EventTime end = 0;  // Exclusive.
+  bool Intersects(const TimeWindow& other) const {
+    return start < other.end && other.start < end;
+  }
+  bool operator==(const TimeWindow& other) const = default;
+};
+
+// Per-key merging window set holding the buffered elements of each window.
+class MergingWindowSet {
+ public:
+  struct WindowState {
+    TimeWindow window;
+    std::vector<std::pair<EventTime, RowPtr>> elements;
+    size_t bytes = 0;
+  };
+
+  // Adds an element at time `t`, creating window [t, t+gap) and merging every
+  // intersecting window. Returns the index of the (possibly merged) window the
+  // element landed in. `bytes_delta` reports the net state-size change.
+  size_t AddElement(EventTime t, EventTime gap, RowPtr row, int64_t* bytes_delta);
+
+  // Windows whose end is <= `watermark`, ready to fire.
+  std::vector<size_t> RipeWindows(EventTime watermark) const;
+
+  WindowState& window(size_t i) { return windows_[i]; }
+  const std::vector<WindowState>& windows() const { return windows_; }
+  void Remove(size_t i) {
+    windows_.erase(windows_.begin() + static_cast<long>(i));
+  }
+  bool empty() const { return windows_.empty(); }
+
+ private:
+  std::vector<WindowState> windows_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_BASELINE_WINDOW_H_

@@ -1,0 +1,33 @@
+#include "src/common/mem_probe.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ts {
+namespace {
+
+uint64_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+uint64_t PeakRssBytes() { return ReadStatusField("VmHWM:"); }
+
+}  // namespace ts

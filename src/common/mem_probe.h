@@ -1,0 +1,19 @@
+// Process-memory probes used by the Figure 8 experiment (peak resident set size
+// vs re-order window size).
+#ifndef SRC_COMMON_MEM_PROBE_H_
+#define SRC_COMMON_MEM_PROBE_H_
+
+#include <cstdint>
+
+namespace ts {
+
+// Current resident set size of this process in bytes (VmRSS). Returns 0 if the
+// probe is unavailable (non-Linux).
+uint64_t CurrentRssBytes();
+
+// Peak resident set size in bytes (VmHWM).
+uint64_t PeakRssBytes();
+
+}  // namespace ts
+
+#endif  // SRC_COMMON_MEM_PROBE_H_

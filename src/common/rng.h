@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation and the sampling distributions
+// used by the synthetic workload generator.
+//
+// The generator is xoshiro256** (Blackman & Vigna): fast, high quality, and with a
+// compact state that makes per-stream independent RNGs cheap. Determinism matters:
+// every experiment in EXPERIMENTS.md is reproducible from a seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ts {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform integer in [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Bernoulli trial.
+  bool NextBool(double p_true);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double NextLogNormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller.
+  double NextNormal();
+
+  // Bounded Pareto on [lo, hi] with shape alpha. Used for long-tailed session
+  // durations (95% short, tail up to the trace length).
+  double NextBoundedPareto(double lo, double hi, double alpha);
+
+  // Derives an independent child generator (for per-stream RNGs).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n). Precomputes the CDF once; sampling is a binary
+// search. Used for service popularity in the workload topology.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew);
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_COMMON_RNG_H_

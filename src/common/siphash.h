@@ -1,0 +1,33 @@
+// SipHash-2-4, the keyed hash the paper applies to session IDs to drive the
+// Exchange PACT ("we have a fixed partitioning strategy and apply SipHash 2-4 to
+// the session ID", §4.2).
+//
+// Reference: Aumasson & Bernstein, "SipHash: a fast short-input PRF" (2012).
+#ifndef SRC_COMMON_SIPHASH_H_
+#define SRC_COMMON_SIPHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ts {
+
+struct SipHashKey {
+  uint64_t k0 = 0x0706050403020100ULL;
+  uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+};
+
+// Hashes `data[0..len)` with SipHash-2-4 under `key`.
+uint64_t SipHash24(const void* data, size_t len, const SipHashKey& key);
+
+inline uint64_t SipHash24(std::string_view s, const SipHashKey& key = SipHashKey{}) {
+  return SipHash24(s.data(), s.size(), key);
+}
+
+inline uint64_t SipHash24(uint64_t v, const SipHashKey& key = SipHashKey{}) {
+  return SipHash24(&v, sizeof(v), key);
+}
+
+}  // namespace ts
+
+#endif  // SRC_COMMON_SIPHASH_H_

@@ -1,0 +1,32 @@
+// Lightweight invariant-checking macros used across the TraceStream codebase.
+//
+// The library is exception-free: programming errors abort with a diagnostic, and
+// recoverable conditions are surfaced through std::optional / result structs.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a location-tagged message when `cond` is false.
+// Active in all build types: these guard cross-module invariants whose violation
+// would silently corrupt downstream results (e.g. progress-tracking counts).
+#define TS_CHECK(cond)                                                              \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "TS_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                          \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#define TS_CHECK_MSG(cond, msg)                                                    \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "TS_CHECK failed at %s:%d: %s (%s)\n", __FILE__,        \
+                   __LINE__, #cond, msg);                                          \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,98 @@
+#include "src/core/reorder_buffer.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+ReorderBuffer::ReorderBuffer(const Config& config) : config_(config) {
+  TS_CHECK(config_.slack_ns > 0);
+  TS_CHECK(config_.slot_width_ns > 0);
+  // The active window spans at most slack + one slot beyond the watermark, so
+  // slack/width + 2 slots guarantee a flushed slot is never re-filled before
+  // its time range is fully released.
+  const size_t n =
+      static_cast<size_t>((config_.slack_ns + config_.slot_width_ns - 1) /
+                          config_.slot_width_ns) +
+      2;
+  slots_.resize(n);
+}
+
+void ReorderBuffer::FlushSlot(size_t idx, std::vector<LogRecord>* out) {
+  auto& slot = slots_[idx];
+  if (slot.empty()) {
+    return;
+  }
+  std::stable_sort(slot.begin(), slot.end(),
+                   [](const LogRecord& a, const LogRecord& b) { return a.time < b.time; });
+  stats_.emitted += slot.size();
+  buffered_records_ -= slot.size();
+  for (auto& r : slot) {
+    buffered_bytes_ -= r.MemoryFootprint();
+    out->push_back(std::move(r));
+  }
+  slot.clear();
+}
+
+void ReorderBuffer::AdvanceWatermark(EventTime new_least, std::vector<LogRecord>* out) {
+  const EventTime w = config_.slot_width_ns;
+  const EventTime target = (new_least / w) * w;
+  while (least_ < target) {
+    FlushSlot(SlotIndex(least_), out);
+    least_ += w;
+  }
+}
+
+void ReorderBuffer::Push(LogRecord record, std::vector<LogRecord>* out) {
+  const EventTime t = record.time;
+  if (t < 0) {
+    // Producer clock skew can yield (rare) negative timestamps relative to the
+    // trace origin; treat them as excessively late rather than complicating
+    // the ring arithmetic with negative slots.
+    ++stats_.discarded_late;
+    return;
+  }
+  if (!saw_any_) {
+    saw_any_ = true;
+    // The watermark starts a full slack interval below the first record, so
+    // slightly-older records arriving shortly after are still accepted.
+    const EventTime floor_t = t > config_.slack_ns ? t - config_.slack_ns : 0;
+    least_ = (floor_t / config_.slot_width_ns) * config_.slot_width_ns;
+  }
+  if (t < least_) {
+    ++stats_.discarded_late;
+    return;
+  }
+  if (t - least_ > config_.slack_ns) {
+    AdvanceWatermark(t - config_.slack_ns, out);
+  }
+  ++stats_.accepted;
+  buffered_bytes_ += record.MemoryFootprint();
+  ++buffered_records_;
+  slots_[SlotIndex(t)].push_back(std::move(record));
+}
+
+void ReorderBuffer::FlushUpTo(EventTime up_to, std::vector<LogRecord>* out) {
+  if (!saw_any_) {
+    least_ = (up_to / config_.slot_width_ns) * config_.slot_width_ns;
+    saw_any_ = true;
+    return;
+  }
+  if (up_to > least_) {
+    AdvanceWatermark(up_to, out);
+  }
+}
+
+void ReorderBuffer::FlushAll(std::vector<LogRecord>* out) {
+  if (!saw_any_) {
+    return;
+  }
+  const EventTime w = config_.slot_width_ns;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    FlushSlot(SlotIndex(least_), out);
+    least_ += w;
+  }
+}
+
+}  // namespace ts

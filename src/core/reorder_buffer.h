@@ -1,0 +1,85 @@
+// Re-order buffer (§4.1): restores chronological order of a late-and-reordered
+// log stream before ingestion.
+//
+// The implementation follows the paper's Pigeonhole-sort approach: a fixed ring
+// of time-slot buffers, filled in circular discipline and re-used as timestamps
+// advance. A record at time t lands in slot (t / slot_width) % num_slots. The
+// buffer tracks the lower watermark `least`; records older than `least` are
+// discarded (counted), and observing a record beyond `least + slack` flushes all
+// intervening slots into the output in timestamp order.
+//
+// The `slack` parameter is the upper bound on tolerated lateness; larger slack
+// means more reordering tolerance, a fixed added latency, and a proportionally
+// larger memory footprint (the Figure 8 trade-off).
+#ifndef SRC_CORE_REORDER_BUFFER_H_
+#define SRC_CORE_REORDER_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+class ReorderBuffer {
+ public:
+  struct Config {
+    // Upper bound on lateness; records arriving more than `slack_ns` behind the
+    // newest flushed time are dropped.
+    EventTime slack_ns = kNanosPerSecond;
+    // Width of one pigeonhole slot. Records within a slot are sorted on flush,
+    // so output order is exact regardless of slot width; narrower slots reduce
+    // sort sizes at the cost of more slots.
+    EventTime slot_width_ns = 10 * kNanosPerMilli;
+  };
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t discarded_late = 0;  // Arrived below the watermark; dropped.
+    uint64_t emitted = 0;
+  };
+
+  explicit ReorderBuffer(const Config& config);
+
+  // Inserts one record. Records whose timestamp advances the high watermark far
+  // enough are preceded by a flush of completed slots into `out` (in timestamp
+  // order). Too-late records are dropped and counted.
+  void Push(LogRecord record, std::vector<LogRecord>* out);
+
+  // Emits everything still buffered, in timestamp order. Call at end-of-stream.
+  void FlushAll(std::vector<LogRecord>* out);
+
+  // Emits every complete slot whose upper time bound is <= `up_to`. Used by the
+  // ingestion driver to release records for closed epochs even when the stream
+  // momentarily stalls.
+  void FlushUpTo(EventTime up_to, std::vector<LogRecord>* out);
+
+  const Stats& stats() const { return stats_; }
+  size_t buffered_records() const { return buffered_records_; }
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  // Lower watermark: all emitted records have time < watermark, and no future
+  // output will be older.
+  EventTime watermark() const { return least_; }
+
+ private:
+  size_t SlotIndex(EventTime t) const {
+    return static_cast<size_t>((t / config_.slot_width_ns) %
+                               static_cast<EventTime>(slots_.size()));
+  }
+  // Flushes slots covering times < new_least and advances the watermark.
+  void AdvanceWatermark(EventTime new_least, std::vector<LogRecord>* out);
+  void FlushSlot(size_t idx, std::vector<LogRecord>* out);
+
+  Config config_;
+  std::vector<std::vector<LogRecord>> slots_;
+  EventTime least_ = 0;         // Watermark (slot-width aligned).
+  bool saw_any_ = false;
+  Stats stats_;
+  size_t buffered_records_ = 0;
+  size_t buffered_bytes_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_CORE_REORDER_BUFFER_H_

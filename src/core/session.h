@@ -1,0 +1,54 @@
+// Reconstructed user sessions: the output of sessionization.
+#ifndef SRC_CORE_SESSION_H_
+#define SRC_CORE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+// All log records observed for one session ID between two quiet periods. With
+// online sessionization a logical user session may be emitted as multiple
+// Session fragments if it goes idle longer than the inactivity delay and later
+// resumes (§2.2); `fragment_index` numbers the fragments a worker emitted for
+// the same ID.
+struct Session {
+  std::string id;
+  std::vector<LogRecord> records;  // In arrival (epoch) order.
+  Epoch first_epoch = 0;           // Epoch of the earliest contributing record.
+  Epoch last_epoch = 0;            // Epoch of the latest contributing record.
+  Epoch closed_at = 0;             // Epoch whose notification flushed the session.
+  uint32_t fragment_index = 0;
+
+  EventTime MinTime() const {
+    EventTime t = records.empty() ? 0 : records.front().time;
+    for (const auto& r : records) {
+      t = t < r.time ? t : r.time;
+    }
+    return t;
+  }
+  EventTime MaxTime() const {
+    EventTime t = records.empty() ? 0 : records.front().time;
+    for (const auto& r : records) {
+      t = t > r.time ? t : r.time;
+    }
+    return t;
+  }
+  EventTime Duration() const { return records.empty() ? 0 : MaxTime() - MinTime(); }
+
+  size_t MemoryFootprint() const {
+    size_t bytes = sizeof(Session) + id.capacity();
+    for (const auto& r : records) {
+      bytes += r.MemoryFootprint();
+    }
+    return bytes;
+  }
+};
+
+}  // namespace ts
+
+#endif  // SRC_CORE_SESSION_H_

@@ -1,0 +1,191 @@
+#include "src/core/skew_estimator.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace ts {
+
+void ClockSkewEstimator::ObservePair(uint32_t parent_host, uint32_t child_host,
+                                     int64_t delta_ns) {
+  if (parent_host == child_host) {
+    return;  // Same clock: no information about relative offsets.
+  }
+  ++observations_;
+  auto [it, inserted] = pair_min_.emplace(std::make_pair(parent_host, child_host),
+                                          PairStats{delta_ns, 1});
+  if (!inserted) {
+    it->second.min_delta = std::min(it->second.min_delta, delta_ns);
+    ++it->second.count;
+  }
+}
+
+void ClockSkewEstimator::ObserveTree(const TraceTree& tree) {
+  // Use tightly matched event pairs so the latency floor is small and similar
+  // in both directions (which is what makes the bidirectional cancellation
+  // work): the parent's start is immediately followed by its *first* child's
+  // start, and the *last* child's end is immediately followed by the parent's
+  // end. A middle child's delta would include entire earlier-sibling subtrees
+  // and carry an unbounded floor.
+  for (const auto& node : tree.nodes()) {
+    if (node.inferred || node.children.empty()) {
+      continue;
+    }
+    const auto& first = tree.nodes()[node.children.front()];
+    if (!first.inferred) {
+      ObservePair(node.host, first.host, first.start - node.start);
+    }
+    // Note: the symmetric "last child's end -> parent's end" pair is NOT used.
+    // A span's end is only a lower bound on when it ended (its END record may
+    // be lost or truncated at a trace boundary), so that delta can come out
+    // far below the true offset difference and a single such sample poisons
+    // the per-pair minimum. Start-anchored pairs only ever err upward.
+    // Adjacent siblings are also emitted back to back: the next sibling's
+    // start follows the previous sibling's end within a few log gaps.
+    for (size_t c = 1; c < node.children.size(); ++c) {
+      const auto& prev = tree.nodes()[node.children[c - 1]];
+      const auto& next = tree.nodes()[node.children[c]];
+      if (!prev.inferred && !next.inferred) {
+        ObservePair(prev.host, next.host, next.start - prev.end);
+      }
+    }
+  }
+}
+
+std::unordered_map<uint32_t, int64_t> ClockSkewEstimator::EstimateOffsets() const {
+  // Combine directed pair minima into undirected edge estimates. With both
+  // directions the min-latency bias cancels; with one direction, the estimate
+  // keeps the (positive) bias and gets a low weight so spanning-tree
+  // propagation prefers better edges.
+  struct EdgeEstimate {
+    uint32_t a, b;
+    int64_t offset_b_minus_a;
+    uint64_t weight;
+    bool bidirectional;  // Latency bias cancelled; trustworthy for refinement.
+  };
+  std::map<std::pair<uint32_t, uint32_t>, EdgeEstimate> edges;
+  std::set<uint32_t> hosts;
+  for (const auto& [pair, stats] : pair_min_) {
+    hosts.insert(pair.first);
+    hosts.insert(pair.second);
+    const auto key = pair.first < pair.second
+                         ? pair
+                         : std::make_pair(pair.second, pair.first);
+    if (edges.count(key)) {
+      continue;  // Handled when we saw the first direction.
+    }
+    auto reverse = pair_min_.find({pair.second, pair.first});
+    EdgeEstimate e;
+    e.a = key.first;
+    e.b = key.second;
+    if (reverse != pair_min_.end()) {
+      // min(a->b) = L + (o_b - o_a); min(b->a) = L' + (o_a - o_b).
+      // Half the difference cancels the (assumed comparable) latency floors.
+      const auto& fwd = pair.first == key.first ? stats : reverse->second;
+      const auto& bwd = pair.first == key.first ? reverse->second : stats;
+      e.offset_b_minus_a = (fwd.min_delta - bwd.min_delta) / 2;
+      e.weight = std::min(fwd.count, bwd.count) * 2;
+      e.bidirectional = true;
+    } else {
+      // One direction only: the estimate retains the full (positive) latency
+      // floor as bias. Keep it for connectivity, at the lowest weight, and
+      // exclude it from the least-squares refinement.
+      const bool forward = pair.first == key.first;
+      e.offset_b_minus_a = forward ? stats.min_delta : -stats.min_delta;
+      e.weight = 1;
+      e.bidirectional = false;
+    }
+    edges.emplace(key, e);
+  }
+
+  // Adjacency with per-edge weights.
+  std::map<uint32_t, std::vector<const EdgeEstimate*>> adjacency;
+  for (const auto& [key, e] : edges) {
+    adjacency[e.a].push_back(&e);
+    adjacency[e.b].push_back(&e);
+  }
+
+  // Maximum-observation spanning forest (Prim): reach each host through the
+  // most-sampled chain of edges.
+  std::unordered_map<uint32_t, int64_t> offsets;
+  struct Frontier {
+    uint64_t weight;
+    uint32_t host;
+    int64_t offset;
+    bool operator<(const Frontier& other) const { return weight < other.weight; }
+  };
+  std::unordered_map<uint32_t, uint32_t> component;  // host -> anchor.
+  for (uint32_t root : hosts) {
+    if (offsets.count(root)) {
+      continue;
+    }
+    std::priority_queue<Frontier> queue;
+    queue.push({~uint64_t{0}, root, 0});
+    while (!queue.empty()) {
+      const Frontier f = queue.top();
+      queue.pop();
+      if (offsets.count(f.host)) {
+        continue;
+      }
+      offsets[f.host] = f.offset;
+      component[f.host] = root;
+      for (const EdgeEstimate* e : adjacency[f.host]) {
+        const uint32_t next = e->a == f.host ? e->b : e->a;
+        if (offsets.count(next)) {
+          continue;
+        }
+        const int64_t next_offset =
+            e->a == f.host ? f.offset + e->offset_b_minus_a
+                           : f.offset - e->offset_b_minus_a;
+        queue.push({e->weight, next, next_offset});
+      }
+    }
+  }
+
+  // Weighted least-squares refinement: the spanning forest uses one edge per
+  // host and concentrates per-edge noise along paths; Gauss-Seidel sweeps over
+  // *all* edges solve min sum_e w_e (o_b - o_a - est_e)^2, averaging the noise
+  // out. The gauge is re-pinned to each component's anchor after every sweep.
+  for (int sweep = 0; sweep < 30; ++sweep) {
+    for (uint32_t host : hosts) {
+      double num = 0;
+      double den = 0;
+      for (const EdgeEstimate* e : adjacency[host]) {
+        if (!e->bidirectional) {
+          continue;  // Biased estimate: connectivity only.
+        }
+        const double w = static_cast<double>(e->weight);
+        if (e->a == host) {
+          num += w * static_cast<double>(offsets[e->b] - e->offset_b_minus_a);
+        } else {
+          num += w * static_cast<double>(offsets[e->a] + e->offset_b_minus_a);
+        }
+        den += w;
+      }
+      if (den > 0) {
+        offsets[host] = static_cast<int64_t>(num / den);
+      }
+    }
+    // Re-anchor each component at its root.
+    std::unordered_map<uint32_t, int64_t> anchor_offset;
+    for (const auto& [host, root] : component) {
+      if (host == root) {
+        anchor_offset[root] = offsets[host];
+      }
+    }
+    for (auto& [host, offset] : offsets) {
+      offset -= anchor_offset[component[host]];
+    }
+  }
+  return offsets;
+}
+
+void ClockSkewEstimator::CorrectRecord(
+    const std::unordered_map<uint32_t, int64_t>& offsets, LogRecord* record) {
+  auto it = offsets.find(record->host);
+  if (it != offsets.end()) {
+    record->time -= it->second;
+  }
+}
+
+}  // namespace ts

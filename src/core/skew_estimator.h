@@ -1,0 +1,69 @@
+// Clock-skew estimation from trace structure (§2.3 extension).
+//
+// The paper observes that clock desynchronization makes "parent transactions
+// start after their children" and defers correction to future work, pointing
+// at offline trace-synchronization protocols (Poirier et al.). This module
+// implements the natural estimator those protocols use, applied to trace
+// trees: a child span is caused by its parent, so in true time
+// child.start >= parent.start + (send latency >= 0). The observed difference
+//
+//     d = child.start_observed - parent.start_observed
+//       = (true gap >= 0) + offset(child.host) - offset(parent.host)
+//
+// lower-bounds the relative offset; the minimum over many observations of the
+// same host pair converges to offset(child) - offset(parent) + min-latency.
+// When both directions of a pair are observed (common in service graphs), the
+// min-latency bias cancels: (min_ab - min_ba) / 2 estimates the offset delta
+// directly — the trick Poirier et al.'s offline synchronization uses. Per-host
+// offsets follow by anchoring one host per component and propagating pairwise
+// estimates along a maximum-observation spanning forest (heavily observed
+// pairs have the tightest minima).
+#ifndef SRC_CORE_SKEW_ESTIMATOR_H_
+#define SRC_CORE_SKEW_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/trace_tree.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+class ClockSkewEstimator {
+ public:
+  // Feeds every cross-host parent->child span-start pair of the tree into the
+  // pairwise minima.
+  void ObserveTree(const TraceTree& tree);
+
+  // Observes one explicit (parent host, child host, start delta) sample.
+  void ObservePair(uint32_t parent_host, uint32_t child_host, int64_t delta_ns);
+
+  // Estimated offset per host, anchored so the reference host (the first host
+  // reached; lowest id among observed) has offset 0. Hosts disconnected from
+  // the anchor's constraint graph are reported relative to the lowest host id
+  // of their own component.
+  std::unordered_map<uint32_t, int64_t> EstimateOffsets() const;
+
+  // Applies the estimate: subtracts the host's offset from the record time.
+  // Requires `offsets` from EstimateOffsets().
+  static void CorrectRecord(const std::unordered_map<uint32_t, int64_t>& offsets,
+                            LogRecord* record);
+
+  size_t observed_pairs() const { return pair_min_.size(); }
+  uint64_t observations() const { return observations_; }
+
+ private:
+  struct PairStats {
+    int64_t min_delta = 0;
+    uint64_t count = 0;
+  };
+  // (parent_host, child_host) -> min observed start delta and sample count.
+  std::map<std::pair<uint32_t, uint32_t>, PairStats> pair_min_;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_CORE_SKEW_ESTIMATOR_H_

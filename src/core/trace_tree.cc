@@ -1,0 +1,183 @@
+#include "src/core/trace_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+std::vector<TraceTree> TraceTree::FromSession(const Session& session) {
+  // Group records by root transaction index, preserving root order.
+  std::map<uint32_t, std::vector<const LogRecord*>> by_root;
+  for (const auto& r : session.records) {
+    if (r.txn_id.empty()) {
+      continue;  // Malformed correlator; cannot be placed in any tree.
+    }
+    by_root[r.txn_id.root()].push_back(&r);
+  }
+  std::vector<TraceTree> trees;
+  trees.reserve(by_root.size());
+  for (auto& [root, records] : by_root) {
+    trees.push_back(FromRecords(session.id, records));
+  }
+  return trees;
+}
+
+TraceTree TraceTree::FromRecords(const std::string& session_id,
+                                 const std::vector<const LogRecord*>& records) {
+  TS_CHECK(!records.empty());
+  TraceTree tree;
+  tree.session_id_ = session_id;
+
+  // Assign node slots: ordered map over TxnId gives deterministic layout and
+  // implicitly sorts siblings by index (lexicographic path order).
+  std::map<TxnId, int> index;
+  // The root must exist even if only deep descendants were logged (§2.3:
+  // "transaction ID of 2-10 implies there is a root transaction 2").
+  const TxnId root_id = records.front()->txn_id.Root();
+  index.emplace(root_id, -1);
+  for (const auto* r : records) {
+    TS_CHECK(r->txn_id.root() == root_id.root());
+    index.emplace(r->txn_id, -1);
+    // Materialize the ancestor chain: every observed transaction implies its
+    // parents' existence.
+    TxnId cursor = r->txn_id;
+    while (cursor.depth() > 1) {
+      cursor = cursor.Parent();
+      index.emplace(cursor, -1);
+    }
+  }
+
+  tree.nodes_.resize(index.size());
+  int next = 0;
+  for (auto& [id, slot] : index) {
+    slot = next;
+    tree.nodes_[next].id = id;
+    tree.nodes_[next].inferred = true;
+    ++next;
+  }
+
+  // Link parents/children. Lexicographic order put the root first.
+  TS_CHECK(tree.nodes_.front().id == root_id);
+  for (size_t i = 1; i < tree.nodes_.size(); ++i) {
+    const int parent = index.at(tree.nodes_[i].id.Parent());
+    tree.nodes_[i].parent = parent;
+    tree.nodes_[parent].children.push_back(static_cast<int>(i));
+  }
+  // Map order sorts children of one parent by sibling index already; assert in
+  // debug-minded spirit but avoid O(n log n) re-sorts.
+
+  // Fold in the observed records.
+  bool first = true;
+  for (const auto* r : records) {
+    TraceNode& node = tree.nodes_[index.at(r->txn_id)];
+    if (node.inferred) {
+      node.inferred = false;
+      node.service = r->service;
+      node.host = r->host;
+      node.start = node.end = r->time;
+    } else {
+      node.start = std::min(node.start, r->time);
+      node.end = std::max(node.end, r->time);
+    }
+    ++node.num_records;
+    ++tree.total_records_;
+    if (first) {
+      tree.min_time_ = tree.max_time_ = r->time;
+      first = false;
+    } else {
+      tree.min_time_ = std::min(tree.min_time_, r->time);
+      tree.max_time_ = std::max(tree.max_time_, r->time);
+    }
+  }
+  return tree;
+}
+
+size_t TraceTree::num_inferred() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.inferred) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<uint32_t> TraceTree::Signature() const {
+  std::vector<uint32_t> sig;
+  sig.reserve(nodes_.size());
+  std::deque<int> queue = {0};
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    sig.push_back(static_cast<uint32_t>(nodes_[n].children.size()));
+    for (int c : nodes_[n].children) {
+      queue.push_back(c);
+    }
+  }
+  return sig;
+}
+
+std::string TraceTree::SignatureKey() const {
+  std::string key;
+  for (uint32_t d : Signature()) {
+    if (!key.empty()) {
+      key.push_back('.');
+    }
+    key += std::to_string(d);
+  }
+  return key;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> TraceTree::ServiceCallPairs() const {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  std::deque<int> queue = {0};
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    for (int c : nodes_[n].children) {
+      if (nodes_[n].service != kUnknownService &&
+          nodes_[c].service != kUnknownService) {
+        pairs.emplace_back(nodes_[n].service, nodes_[c].service);
+      }
+      queue.push_back(c);
+    }
+  }
+  return pairs;
+}
+
+size_t TraceTree::DistinctServices() const {
+  std::vector<uint32_t> services;
+  services.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (node.service != kUnknownService) {
+      services.push_back(node.service);
+    }
+  }
+  std::sort(services.begin(), services.end());
+  services.erase(std::unique(services.begin(), services.end()), services.end());
+  return services.size();
+}
+
+size_t TraceTree::ImpliedMissingChildren() const {
+  size_t missing = 0;
+  for (const auto& node : nodes_) {
+    if (node.children.empty()) {
+      continue;
+    }
+    uint32_t max_sibling = 0;
+    for (int c : node.children) {
+      max_sibling = std::max(max_sibling, nodes_[c].id.sibling_index());
+    }
+    // Sibling indices are 1-based in the instrumentation convention, so a max
+    // index above the child count implies unobserved siblings.
+    if (max_sibling > node.children.size()) {
+      missing += max_sibling - node.children.size();
+    }
+  }
+  return missing;
+}
+
+}  // namespace ts

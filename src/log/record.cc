@@ -1,0 +1,23 @@
+#include "src/log/record.h"
+
+#include "src/common/siphash.h"
+
+namespace ts {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanStart:
+      return "START";
+    case EventKind::kSpanEnd:
+      return "END";
+    case EventKind::kAnnotation:
+      return "ANNOT";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t SessionHash(const std::string& session_id) {
+  return SipHash24(session_id);
+}
+
+}  // namespace ts

@@ -1,0 +1,82 @@
+#include "src/log/txn_id.h"
+
+#include <charconv>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+std::optional<TxnId> TxnId::Parse(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> path;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t dash = s.find('-', start);
+    if (dash == std::string_view::npos) {
+      dash = s.size();
+    }
+    if (dash == start) {
+      return std::nullopt;  // Empty component ("1--2", leading/trailing dash).
+    }
+    uint32_t value = 0;
+    const char* first = s.data() + start;
+    const char* last = s.data() + dash;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      return std::nullopt;
+    }
+    path.push_back(value);
+    if (dash == s.size()) {
+      break;
+    }
+    start = dash + 1;
+  }
+  return TxnId(std::move(path));
+}
+
+std::string TxnId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (i > 0) {
+      out.push_back('-');
+    }
+    out += std::to_string(path_[i]);
+  }
+  return out;
+}
+
+TxnId TxnId::Parent() const {
+  TS_CHECK(path_.size() >= 2);
+  return TxnId(std::vector<uint32_t>(path_.begin(), path_.end() - 1));
+}
+
+TxnId TxnId::Root() const {
+  TS_CHECK(!path_.empty());
+  return TxnId({path_.front()});
+}
+
+bool TxnId::IsAncestorOf(const TxnId& other) const {
+  if (path_.size() >= other.path_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (path_[i] != other.path_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t TxnIdHash::operator()(const TxnId& id) const {
+  // FNV-1a over the components; adequate for in-process container use.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t c : id.path()) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace ts

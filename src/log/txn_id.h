@@ -1,0 +1,67 @@
+// Hierarchical transaction identifiers.
+//
+// The paper's logging infrastructure assigns IDs that reflect call nesting: a
+// record for transaction "26-3-11-5-1" is the 1st child of the 5th child of ... of
+// root transaction 26 within its session (§2.1). The sessionizer exploits this to
+// rebuild trace trees without needing explicit parent pointers, and to infer
+// missing interior nodes ("transaction ID of 2-10 implies there is a root
+// transaction 2 and nine other siblings", §2.3).
+#ifndef SRC_LOG_TXN_ID_H_
+#define SRC_LOG_TXN_ID_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ts {
+
+class TxnId {
+ public:
+  TxnId() = default;
+  explicit TxnId(std::vector<uint32_t> path) : path_(std::move(path)) {}
+
+  // Parses "26-3-11-5-1". Returns nullopt on empty input, non-numeric components,
+  // or component overflow.
+  static std::optional<TxnId> Parse(std::string_view s);
+
+  std::string ToString() const;
+
+  bool empty() const { return path_.empty(); }
+  size_t depth() const { return path_.size(); }
+  bool IsRoot() const { return path_.size() == 1; }
+
+  // The root transaction index (first component). Requires !empty().
+  uint32_t root() const { return path_.front(); }
+
+  // Index among siblings (last component). Requires !empty().
+  uint32_t sibling_index() const { return path_.back(); }
+
+  // Parent ID (one component shorter). Requires depth() >= 2.
+  TxnId Parent() const;
+
+  // Root-level ID (just the first component). Requires !empty().
+  TxnId Root() const;
+
+  // True when this ID is a strict ancestor of `other` (proper prefix).
+  bool IsAncestorOf(const TxnId& other) const;
+
+  const std::vector<uint32_t>& path() const { return path_; }
+
+  // Total order: lexicographic over components; used for deterministic tree
+  // layout and as map keys.
+  auto operator<=>(const TxnId& other) const = default;
+
+ private:
+  std::vector<uint32_t> path_;
+};
+
+// Hash suitable for unordered containers.
+struct TxnIdHash {
+  size_t operator()(const TxnId& id) const;
+};
+
+}  // namespace ts
+
+#endif  // SRC_LOG_TXN_ID_H_

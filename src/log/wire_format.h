@@ -1,0 +1,32 @@
+// Text wire format for log records.
+//
+// The paper's replayer emits records "in their original text format over a TCP
+// socket" (§5); TS re-parses them on ingest, so parse cost is part of the input
+// fraction shown in Figure 7b. The format is one record per line:
+//
+//   <time_ns>|<session_id>|<txn_id>|svc-<service>|h-<host>|<kind>|<payload>
+//
+// e.g.  599859123|XKSHSKCBA53U088FXGE7LD8|26-3-11-5-1|svc-204|h-17|ANNOT|q=BOS...
+#ifndef SRC_LOG_WIRE_FORMAT_H_
+#define SRC_LOG_WIRE_FORMAT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/log/record.h"
+
+namespace ts {
+
+// Serializes `record` as a single line (no trailing newline), appending to `out`.
+void AppendWireFormat(const LogRecord& record, std::string* out);
+
+std::string ToWireFormat(const LogRecord& record);
+
+// Parses one line. Returns nullopt on any malformed field; the caller counts and
+// skips such records, mirroring how a real pipeline tolerates corrupt log lines.
+std::optional<LogRecord> ParseWireFormat(std::string_view line);
+
+}  // namespace ts
+
+#endif  // SRC_LOG_WIRE_FORMAT_H_

@@ -1,0 +1,54 @@
+#include "src/offline/offline_sessionizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ts {
+
+std::vector<Session> OfflineSessionizer::Sessionize(std::vector<LogRecord> records,
+                                                    const OfflineOptions& options) {
+  // Map phase: group by session ID.
+  std::unordered_map<std::string, std::vector<LogRecord>> groups;
+  for (auto& r : records) {
+    groups[r.session_id].push_back(std::move(r));
+  }
+  records.clear();
+
+  // Reduce phase: order each group by event time and (optionally) split at
+  // idle gaps.
+  std::vector<Session> sessions;
+  sessions.reserve(groups.size());
+  for (auto& [id, group] : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const LogRecord& a, const LogRecord& b) {
+                       return a.time < b.time;
+                     });
+    uint32_t fragment = 0;
+    size_t start = 0;
+    for (size_t i = 1; i <= group.size(); ++i) {
+      const bool split =
+          i == group.size() ||
+          (options.inactivity_split_ns > 0 &&
+           group[i].time - group[i - 1].time > options.inactivity_split_ns);
+      if (!split) {
+        continue;
+      }
+      Session s;
+      s.id = id;
+      s.fragment_index = fragment++;
+      s.records.assign(std::make_move_iterator(group.begin() + start),
+                       std::make_move_iterator(group.begin() + i));
+      s.first_epoch = static_cast<Epoch>(s.records.front().time / kNanosPerSecond);
+      s.last_epoch = static_cast<Epoch>(s.records.back().time / kNanosPerSecond);
+      s.closed_at = s.last_epoch;
+      sessions.push_back(std::move(s));
+      start = i;
+    }
+  }
+  std::sort(sessions.begin(), sessions.end(), [](const Session& a, const Session& b) {
+    return a.id < b.id || (a.id == b.id && a.fragment_index < b.fragment_index);
+  });
+  return sessions;
+}
+
+}  // namespace ts

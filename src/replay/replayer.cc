@@ -1,0 +1,106 @@
+#include "src/replay/replayer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/siphash.h"
+#include "src/common/status.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+
+Replayer::Replayer(const ReplayerConfig& config, const GeneratorConfig& gen_config)
+    : config_(config),
+      generator_(gen_config),
+      rng_(config.seed),
+      buckets_(config.num_workers) {
+  TS_CHECK(config_.num_workers >= 1);
+  TS_CHECK(config_.num_processes >= 1);
+  TS_CHECK(config_.flush_interval_max_ns >= config_.flush_interval_min_ns);
+  processes_.resize(config_.num_processes);
+  for (auto& p : processes_) {
+    p.flush_interval = config_.flush_interval_min_ns +
+                       static_cast<EventTime>(rng_.NextBelow(static_cast<uint64_t>(
+                           config_.flush_interval_max_ns -
+                           config_.flush_interval_min_ns + 1)));
+    p.flush_phase = static_cast<EventTime>(
+        rng_.NextBelow(static_cast<uint64_t>(p.flush_interval)));
+  }
+}
+
+size_t Replayer::ProcessFor(const LogRecord& r) const {
+  // A logging process belongs to the middleware replica co-located with the
+  // emitting (host, service) pair; the mapping is stable over the trace.
+  const uint64_t key = (static_cast<uint64_t>(r.host) << 32) | r.service;
+  return static_cast<size_t>(SipHash24(key) % config_.num_processes);
+}
+
+void Replayer::EnsureGenerated(Epoch epoch) {
+  std::vector<LogRecord> records;
+  while (!generator_done_ && generated_through_ <= epoch) {
+    Epoch gen_epoch = 0;
+    if (!generator_.NextEpoch(&gen_epoch, &records)) {
+      generator_done_ = true;
+      break;
+    }
+    generated_through_ = gen_epoch + 1;
+    for (auto& r : records) {
+      const size_t pidx = ProcessFor(r);
+      const Process& p = processes_[pidx];
+      // The record is buffered by its logging process until the next flush
+      // boundary strictly after its event time.
+      const EventTime since_phase = r.time - p.flush_phase;
+      const EventTime k = since_phase >= 0 ? since_phase / p.flush_interval : -1;
+      EventTime arrival = p.flush_phase + (k + 1) * p.flush_interval;
+      ++stats_.flushes;  // Upper bound; batches within one flush share it.
+      arrival += static_cast<EventTime>(rng_.NextLogNormal(
+          std::log(static_cast<double>(config_.jitter_median_ns)),
+          config_.jitter_sigma));
+      if (config_.straggler_prob > 0 && rng_.NextBool(config_.straggler_prob)) {
+        arrival += static_cast<EventTime>(rng_.NextBoundedPareto(
+            static_cast<double>(kNanosPerSecond),
+            static_cast<double>(config_.straggler_max_ns), 1.1));
+        ++stats_.stragglers;
+      }
+      ++stats_.records;
+      if ((stats_.records & 63) == 0) {
+        stats_.arrival_delays_ms.Add(static_cast<double>(arrival - r.time) / 1e6);
+      }
+
+      const size_t worker = pidx % config_.num_workers;  // Round-robin (§5).
+      const Epoch arrival_epoch = static_cast<Epoch>(arrival / kNanosPerSecond);
+      max_arrival_epoch_ = std::max(max_arrival_epoch_, arrival_epoch);
+      Arrival a;
+      a.arrival_ns = arrival;
+      if (config_.as_text) {
+        a.line = ToWireFormat(r);
+      } else {
+        a.record = std::move(r);
+      }
+      buckets_[worker][arrival_epoch].push_back(std::move(a));
+    }
+  }
+}
+
+Replayer::Fetch Replayer::ArrivalsFor(size_t worker, Epoch epoch,
+                                      std::vector<Arrival>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureGenerated(epoch);
+  auto& worker_buckets = buckets_[worker];
+  auto it = worker_buckets.find(epoch);
+  if (it != worker_buckets.end()) {
+    *out = std::move(it->second);
+    worker_buckets.erase(it);
+    std::sort(out->begin(), out->end(), [](const Arrival& a, const Arrival& b) {
+      return a.arrival_ns < b.arrival_ns;
+    });
+    return Fetch::kOk;
+  }
+  if (generator_done_ && epoch > max_arrival_epoch_) {
+    return Fetch::kEndOfStream;
+  }
+  return Fetch::kOk;  // An epoch with no arrivals for this worker.
+}
+
+}  // namespace ts

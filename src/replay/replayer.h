@@ -1,0 +1,118 @@
+// Log-pipeline simulator (§5 "Logging pipeline and its simulation").
+//
+// The paper's datacenter propagates middleware log events to 42 log servers
+// running 1263 logging processes in total; the evaluation replays the archived
+// files, preserving per-event timings and the process fan-out, and maps streams
+// to replayer instances round-robin. This module reproduces that pipeline:
+//
+//   generator (event-time order) -> logging process (buffer + periodic flush)
+//     -> network jitter / rare stragglers -> per-worker arrival streams
+//
+// Per-process batch flushing is what reorders the stream and makes arrival
+// bursty: a record generated at t sits in its process buffer until the next
+// flush boundary. Workers consume their assigned processes' merged arrival
+// stream epoch by epoch.
+#ifndef SRC_REPLAY_REPLAYER_H_
+#define SRC_REPLAY_REPLAYER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+#include "src/workload/generator.h"
+
+namespace ts {
+
+// One record as it reaches a TS worker: either a parsed record or a wire-format
+// text line (the paper replays "in their original text format", so TS pays the
+// parse cost on ingest — part of Figure 7b's input fraction).
+struct Arrival {
+  EventTime arrival_ns = 0;  // When the record reaches TS.
+  LogRecord record;          // Populated when !as_text.
+  std::string line;          // Populated when as_text.
+};
+
+struct ReplayerConfig {
+  size_t num_servers = 42;
+  size_t num_processes = 1263;
+  size_t num_workers = 1;
+
+  // Per-process flush cadence (uniform per process within [min, max]). The
+  // paper's pipeline delivers quickly (median out-of-order timestamp
+  // difference 0.69 ms); short, per-process-staggered flushes reproduce that
+  // regime while still producing bursts and reordering.
+  EventTime flush_interval_min_ns = 2 * kNanosPerMilli;
+  EventTime flush_interval_max_ns = 30 * kNanosPerMilli;
+
+  // Network delay from log server to TS: log-normal around ~0.3 ms.
+  EventTime jitter_median_ns = 300 * kNanosPerMicro;
+  double jitter_sigma = 0.8;
+
+  // Rare stragglers (paper: the most delayed record arrived 485 s late).
+  double straggler_prob = 0.0;
+  EventTime straggler_max_ns = 500 * kNanosPerSecond;
+
+  // Deliver text lines (true, the paper's setup) or parsed records.
+  bool as_text = true;
+
+  uint64_t seed = 7;
+};
+
+struct ReplayerStats {
+  uint64_t records = 0;
+  uint64_t flushes = 0;
+  uint64_t stragglers = 0;
+  // Arrival delay (arrival - event time) distribution, ms, sampled 1/64.
+  SampleSet arrival_delays_ms;
+};
+
+// Thread-safe coordinator: worker drivers fetch their arrival stream epoch by
+// epoch; generation happens lazily under a lock, one event-time epoch at a
+// time, so memory stays bounded by the in-flight window.
+class Replayer {
+ public:
+  enum class Fetch {
+    kOk,           // `out` holds this worker's arrivals for the epoch.
+    kEndOfStream,  // No arrivals at or beyond this epoch will ever exist.
+  };
+
+  Replayer(const ReplayerConfig& config, const GeneratorConfig& gen_config);
+
+  // Fetches (and removes) the arrivals for `worker` with arrival time in
+  // [epoch, epoch+1), sorted by arrival time. Each (worker, epoch) may be
+  // fetched once.
+  Fetch ArrivalsFor(size_t worker, Epoch epoch, std::vector<Arrival>* out);
+
+  const ReplayerStats& stats() const { return stats_; }
+  const GeneratorStats& generator_stats() const { return generator_.stats(); }
+  Epoch trace_epochs() const { return generator_.duration_epochs(); }
+
+ private:
+  struct Process {
+    EventTime flush_interval = 0;
+    EventTime flush_phase = 0;
+  };
+
+  void EnsureGenerated(Epoch epoch);  // Caller holds mu_.
+  size_t ProcessFor(const LogRecord& r) const;
+
+  ReplayerConfig config_;
+  std::mutex mu_;
+  TraceGenerator generator_;
+  Rng rng_;
+  std::vector<Process> processes_;
+  // Pending arrivals: per worker, per arrival epoch.
+  std::vector<std::map<Epoch, std::vector<Arrival>>> buckets_;
+  bool generator_done_ = false;
+  Epoch generated_through_ = 0;  // Generator epochs [0, generated_through_) done.
+  Epoch max_arrival_epoch_ = 0;
+  ReplayerStats stats_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_REPLAY_REPLAYER_H_

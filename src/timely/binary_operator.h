@@ -1,0 +1,168 @@
+// Two-input dataflow operator ("there is also a generic construct for unary-
+// and binary-shaped operators", §3). Unlike Concat, the inputs may have
+// different record types; the canonical use is a keyed join/enrichment where
+// both inputs are exchanged by the same key so matching records meet on the
+// same worker.
+#ifndef SRC_TIMELY_BINARY_OPERATOR_H_
+#define SRC_TIMELY_BINARY_OPERATOR_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/timely/operator.h"
+#include "src/timely/scope.h"
+
+namespace ts {
+
+template <typename In1, typename In2, typename Out>
+class BinaryOperator : public OperatorBase, public Producer<Out> {
+ public:
+  using Data1Fn =
+      std::function<void(Epoch, std::vector<In1>&, OutputSession<Out>&, NotificatorHandle&)>;
+  using Data2Fn =
+      std::function<void(Epoch, std::vector<In2>&, OutputSession<Out>&, NotificatorHandle&)>;
+  using NotifyFn = std::function<void(Epoch, OutputSession<Out>&, NotificatorHandle&)>;
+
+  BinaryOperator(int node_id, int cap_loc, size_t self, size_t workers,
+                 RuntimeCounters* counters, Data1Fn on_data1, Data2Fn on_data2,
+                 NotifyFn on_notify)
+      : OperatorBase(node_id),
+        cap_loc_(cap_loc),
+        output_(self, workers, counters),
+        self_(self),
+        on_data1_(std::move(on_data1)),
+        on_data2_(std::move(on_data2)),
+        on_notify_(std::move(on_notify)) {}
+
+  void AddTarget(OutputTarget<Out> target) override {
+    output_.AddTarget(std::move(target));
+  }
+  void AddInput1(ExchangeHub<In1>* hub, int msg_loc) {
+    in1_ = InEdge1{hub, msg_loc};
+  }
+  void AddInput2(ExchangeHub<In2>* hub, int msg_loc) {
+    in2_ = InEdge2{hub, msg_loc};
+  }
+
+  bool Pump() override {
+    bool any = false;
+    drained1_.clear();
+    if (in1_.hub->Drain(self_, drained1_)) {
+      any = true;
+      for (auto& b : drained1_) {
+        pending1_.push_back(std::move(b));
+      }
+    }
+    drained2_.clear();
+    if (in2_.hub->Drain(self_, drained2_)) {
+      any = true;
+      for (auto& b : drained2_) {
+        pending2_.push_back(std::move(b));
+      }
+    }
+    return any;
+  }
+
+  bool Work(ProgressBatch& deltas) override {
+    if (pending1_.empty() && pending2_.empty()) {
+      return false;
+    }
+    // Deliver each input's batches in epoch order; input 1 before input 2 per
+    // epoch (a deterministic convention the join logic can rely on).
+    auto by_epoch = [](const auto& a, const auto& b) { return a.epoch < b.epoch; };
+    std::stable_sort(pending1_.begin(), pending1_.end(), by_epoch);
+    std::stable_sort(pending2_.begin(), pending2_.end(), by_epoch);
+    for (auto& b : pending1_) {
+      on_data1_(b.epoch, b.data, output_, notificator_);
+      deltas.Add(in1_.msg_loc, b.epoch, -1);
+    }
+    for (auto& b : pending2_) {
+      on_data2_(b.epoch, b.data, output_, notificator_);
+      deltas.Add(in2_.msg_loc, b.epoch, -1);
+    }
+    pending1_.clear();
+    pending2_.clear();
+    notificator_.FlushRequests(cap_loc_, deltas);
+    output_.Flush(deltas);
+    return true;
+  }
+
+  bool DeliverNotifications(const Frontier& frontier, ProgressBatch& deltas) override {
+    if (!notificator_.has_pending()) {
+      return false;
+    }
+    const bool fired = notificator_.Deliver(
+        frontier, cap_loc_, deltas,
+        [&](Epoch e) { on_notify_(e, output_, notificator_); });
+    if (fired) {
+      notificator_.FlushRequests(cap_loc_, deltas);
+      output_.Flush(deltas);
+    }
+    return fired;
+  }
+
+ private:
+  struct InEdge1 {
+    ExchangeHub<In1>* hub = nullptr;
+    int msg_loc = -1;
+  };
+  struct InEdge2 {
+    ExchangeHub<In2>* hub = nullptr;
+    int msg_loc = -1;
+  };
+
+  const int cap_loc_;
+  OutputSession<Out> output_;
+  const size_t self_;
+  Data1Fn on_data1_;
+  Data2Fn on_data2_;
+  NotifyFn on_notify_;
+  NotificatorHandle notificator_;
+  InEdge1 in1_;
+  InEdge2 in2_;
+  std::vector<Batch<In1>> drained1_;
+  std::vector<Batch<In2>> drained2_;
+  std::vector<Batch<In1>> pending1_;
+  std::vector<Batch<In2>> pending2_;
+};
+
+// Factory: builds a binary operator consuming `a` and `b`.
+template <typename In1, typename In2, typename Out>
+Stream<Out> Binary(Scope& scope, const Stream<In1>& a, Partition<In1> partition_a,
+                   const Stream<In2>& b, Partition<In2> partition_b,
+                   const std::string& name,
+                   typename BinaryOperator<In1, In2, Out>::Data1Fn on_data1,
+                   typename BinaryOperator<In1, In2, Out>::Data2Fn on_data2,
+                   typename BinaryOperator<In1, In2, Out>::NotifyFn on_notify) {
+  WorkerGraph* graph = scope.graph();
+  Topology& topo = graph->topo();
+  const int node = topo.AddNode(name, /*is_input=*/false);
+  auto op = std::make_unique<BinaryOperator<In1, In2, Out>>(
+      node, topo.nodes()[node].cap_loc, graph->index(), graph->workers(),
+      &graph->runtime()->counters(), std::move(on_data1), std::move(on_data2),
+      std::move(on_notify));
+
+  const int edge_a = topo.AddEdge(a.node, node, partition_a.exchanged());
+  auto* hub_a = graph->runtime()->template Hub<In1>(edge_a);
+  a.producer->AddTarget(OutputTarget<In1>{hub_a, edge_a,
+                                          topo.edges()[edge_a].msg_loc,
+                                          std::move(partition_a.hash)});
+  op->AddInput1(hub_a, topo.edges()[edge_a].msg_loc);
+
+  const int edge_b = topo.AddEdge(b.node, node, partition_b.exchanged());
+  auto* hub_b = graph->runtime()->template Hub<In2>(edge_b);
+  b.producer->AddTarget(OutputTarget<In2>{hub_b, edge_b,
+                                          topo.edges()[edge_b].msg_loc,
+                                          std::move(partition_b.hash)});
+  op->AddInput2(hub_b, topo.edges()[edge_b].msg_loc);
+
+  Stream<Out> out{node, op.get()};
+  graph->SetOperator(node, std::move(op));
+  return out;
+}
+
+}  // namespace ts
+
+#endif  // SRC_TIMELY_BINARY_OPERATOR_H_

@@ -1,0 +1,53 @@
+// Frontiers over totally-ordered integer epochs.
+//
+// Timely Dataflow tracks, per dataflow location, the set of logical timestamps
+// that may still appear. With a totally-ordered timestamp (integer epochs, §4.1)
+// an antichain degenerates to a single minimum, so a frontier is either "at e"
+// (epochs >= e may still arrive) or "done" (no further data).
+#ifndef SRC_TIMELY_FRONTIER_H_
+#define SRC_TIMELY_FRONTIER_H_
+
+#include <cstdint>
+
+#include "src/common/time_util.h"
+
+namespace ts {
+
+class Frontier {
+ public:
+  // A frontier that has passed all epochs (stream complete).
+  static Frontier Done() { return Frontier(true, 0); }
+
+  // A frontier at epoch `e`: data at epochs >= e may still arrive.
+  static Frontier At(Epoch e) { return Frontier(false, e); }
+
+  bool done() const { return done_; }
+
+  // Minimum epoch that may still arrive. Only meaningful when !done().
+  Epoch min() const { return min_; }
+
+  // True when epoch `e` is complete: no record with epoch <= e can appear.
+  bool Beyond(Epoch e) const { return done_ || min_ > e; }
+
+  // Pointwise minimum of two frontiers.
+  static Frontier Min(const Frontier& a, const Frontier& b) {
+    if (a.done_) {
+      return b;
+    }
+    if (b.done_) {
+      return a;
+    }
+    return At(a.min_ < b.min_ ? a.min_ : b.min_);
+  }
+
+  bool operator==(const Frontier& other) const = default;
+
+ private:
+  Frontier(bool done, Epoch min) : done_(done), min_(min) {}
+  bool done_;
+  Epoch min_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_TIMELY_FRONTIER_H_

@@ -1,0 +1,70 @@
+#include "src/timely/progress.h"
+
+#include "src/common/status.h"
+
+namespace ts {
+
+ProgressTracker::ProgressTracker(const Topology* topo) : topo_(topo) {
+  counts_.resize(topo->num_locations());
+}
+
+void ProgressTracker::InitializeCapability(int cap_loc, size_t workers) {
+  TS_CHECK(cap_loc >= 0 && cap_loc < static_cast<int>(counts_.size()));
+  auto [it, inserted] = counts_[cap_loc].emplace(0, static_cast<int64_t>(workers));
+  TS_CHECK(inserted);
+  ++nonzero_entries_;
+}
+
+void ProgressTracker::Apply(const ProgressBatch& batch) {
+  for (const ProgressDelta& d : batch.deltas) {
+    auto& per_epoch = counts_[d.loc];
+    auto [it, inserted] = per_epoch.emplace(d.epoch, d.delta);
+    if (inserted) {
+      if (d.delta != 0) {
+        ++nonzero_entries_;
+      } else {
+        per_epoch.erase(it);
+      }
+      continue;
+    }
+    const int64_t before = it->second;
+    it->second += d.delta;
+    if (before != 0 && it->second == 0) {
+      per_epoch.erase(it);
+      --nonzero_entries_;
+    } else if (before == 0 && it->second != 0) {
+      ++nonzero_entries_;
+    }
+  }
+}
+
+Frontier ProgressTracker::EdgeFrontier(int edge_id) const {
+  bool any = false;
+  Epoch min_epoch = 0;
+  for (int loc : topo_->ReachingEdge(edge_id)) {
+    // A location's min outstanding epoch is its first entry with positive
+    // count. Negative transients (a consumption applied before the matching
+    // send, possible with independent senders) do not represent pending work.
+    for (const auto& [epoch, count] : counts_[loc]) {
+      if (count > 0) {
+        if (!any || epoch < min_epoch) {
+          any = true;
+          min_epoch = epoch;
+        }
+        break;  // Entries are epoch-ordered; first positive is the min.
+      }
+    }
+  }
+  return any ? Frontier::At(min_epoch) : Frontier::Done();
+}
+
+Frontier ProgressTracker::NodeInputFrontier(int node_id) const {
+  const auto& node = topo_->nodes()[node_id];
+  Frontier f = Frontier::Done();
+  for (int e : node.in_edges) {
+    f = Frontier::Min(f, EdgeFrontier(e));
+  }
+  return f;
+}
+
+}  // namespace ts

@@ -1,0 +1,77 @@
+// Naiad-style progress tracking: distributed pointstamp counting.
+//
+// Every worker maintains a local view of the global outstanding-work counts,
+// indexed by (location, epoch). Workers batch the deltas produced by one
+// scheduling step (message sends +1, message consumptions -1, capability
+// retention/drop) and broadcast the batch to all peers. Because a batch is
+// applied atomically and mailboxes are FIFO per sender, a worker's local view
+// never under-counts the outstanding work that could reach a location — the
+// safety property that makes frontier-based notification sound (§3 "Progress
+// tracking", and Abadi & Isard, "Timely Dataflow: A Model").
+#ifndef SRC_TIMELY_PROGRESS_H_
+#define SRC_TIMELY_PROGRESS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/time_util.h"
+#include "src/timely/frontier.h"
+#include "src/timely/topology.h"
+
+namespace ts {
+
+struct ProgressDelta {
+  int32_t loc = 0;
+  Epoch epoch = 0;
+  int64_t delta = 0;
+};
+
+struct ProgressBatch {
+  std::vector<ProgressDelta> deltas;
+
+  void Add(int loc, Epoch epoch, int64_t delta) {
+    deltas.push_back({loc, epoch, delta});
+  }
+  bool empty() const { return deltas.empty(); }
+  void clear() { deltas.clear(); }
+  void Append(const ProgressBatch& other) {
+    deltas.insert(deltas.end(), other.deltas.begin(), other.deltas.end());
+  }
+};
+
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(const Topology* topo);
+
+  // Registers the initial capability of an input node: every worker's input
+  // instance holds epoch 0 at startup, so the global count is `workers`.
+  void InitializeCapability(int cap_loc, size_t workers);
+
+  // Applies one batch atomically.
+  void Apply(const ProgressBatch& batch);
+
+  // Frontier of the messages that may still appear on edge `edge_id`: the
+  // minimum epoch with a positive count over every location that can still
+  // result in such a message.
+  Frontier EdgeFrontier(int edge_id) const;
+
+  // Combined input frontier of a node: Min over its in-edges. A node with no
+  // inputs reports Done.
+  Frontier NodeInputFrontier(int node_id) const;
+
+  // True when every count in the local view is zero: the computation is
+  // complete (no messages in flight, no capabilities held anywhere).
+  bool AllZero() const { return nonzero_entries_ == 0; }
+
+ private:
+  const Topology* topo_;
+  // Per location: epoch -> net count. Entries are erased when they cancel to
+  // keep frontier scans proportional to genuinely outstanding epochs.
+  std::vector<std::map<Epoch, int64_t>> counts_;
+  size_t nonzero_entries_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_TIMELY_PROGRESS_H_

@@ -1,0 +1,178 @@
+// Shared runtime state for a multi-worker computation: typed exchange hubs (the
+// data plane) and per-worker progress mailboxes (the control plane).
+//
+// Data exchange implements the Exchange PACT (§4.2): an all-to-all shuffle with
+// no logical barrier — senders deposit batches into per-destination cells and
+// proceed; receivers drain their cell when scheduled. Worker-local (pipeline)
+// edges use the same mechanism with dst == src, where the cell mutex is
+// uncontended.
+#ifndef SRC_TIMELY_RUNTIME_H_
+#define SRC_TIMELY_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time_util.h"
+#include "src/timely/progress.h"
+
+namespace ts {
+
+template <typename T>
+struct Batch {
+  Epoch epoch = 0;
+  std::vector<T> data;
+};
+
+class HubBase {
+ public:
+  virtual ~HubBase() = default;
+};
+
+// One hub per dataflow edge; cells_[dst] holds batches in flight to worker dst.
+template <typename T>
+class ExchangeHub : public HubBase {
+ public:
+  explicit ExchangeHub(size_t workers) {
+    cells_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      cells_.push_back(std::make_unique<Cell>());
+    }
+  }
+
+  void Send(size_t dst, Epoch epoch, std::vector<T> data) {
+    Cell& cell = *cells_[dst];
+    std::lock_guard<std::mutex> lock(cell.mu);
+    cell.batches.push_back(Batch<T>{epoch, std::move(data)});
+  }
+
+  // Moves all batches destined to `dst` into `out`; returns whether any moved.
+  bool Drain(size_t dst, std::vector<Batch<T>>& out) {
+    Cell& cell = *cells_[dst];
+    std::lock_guard<std::mutex> lock(cell.mu);
+    if (cell.batches.empty()) {
+      return false;
+    }
+    for (auto& b : cell.batches) {
+      out.push_back(std::move(b));
+    }
+    cell.batches.clear();
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::mutex mu;
+    std::vector<Batch<T>> batches;
+  };
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+// Aggregate counters a run reports back; used by benches to model coordination
+// cost and to report engine health.
+struct RuntimeCounters {
+  std::atomic<uint64_t> progress_batches{0};
+  std::atomic<uint64_t> progress_deltas{0};
+  std::atomic<uint64_t> data_batches{0};
+  std::atomic<uint64_t> records_exchanged{0};
+};
+
+class SharedRuntime {
+ public:
+  explicit SharedRuntime(size_t workers) : workers_(workers), mailboxes_(workers) {
+    for (auto& m : mailboxes_) {
+      m = std::make_unique<Mailbox>();
+    }
+  }
+
+  size_t workers() const { return workers_; }
+
+  // Returns the hub for `edge_id`, creating it on first use. All workers build
+  // identical graphs, so the type parameter agrees across callers; this is
+  // verified with the stored type index.
+  template <typename T>
+  ExchangeHub<T>* Hub(int edge_id) {
+    std::lock_guard<std::mutex> lock(hubs_mu_);
+    auto it = hubs_.find(edge_id);
+    if (it == hubs_.end()) {
+      auto hub = std::make_unique<ExchangeHub<T>>(workers_);
+      ExchangeHub<T>* ptr = hub.get();
+      hubs_.emplace(edge_id, TypedHub{std::type_index(typeid(T)), std::move(hub)});
+      return ptr;
+    }
+    TS_CHECK_MSG(it->second.type == std::type_index(typeid(T)),
+                 "edge rebuilt with a different record type");
+    return static_cast<ExchangeHub<T>*>(it->second.hub.get());
+  }
+
+  // Control plane: worker `from` publishes a progress batch to all peers.
+  // Local application is the caller's responsibility (it already has the batch).
+  void BroadcastProgress(size_t from, const ProgressBatch& batch) {
+    counters_.progress_batches.fetch_add(workers_ - 1, std::memory_order_relaxed);
+    counters_.progress_deltas.fetch_add((workers_ - 1) * batch.deltas.size(),
+                                        std::memory_order_relaxed);
+    for (size_t w = 0; w < workers_; ++w) {
+      if (w == from) {
+        continue;
+      }
+      Mailbox& mb = *mailboxes_[w];
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.batches.push_back(batch);
+    }
+  }
+
+  // Drains worker `w`'s mailbox (FIFO per sender is preserved because each
+  // sender appends under the same lock and we drain in order).
+  bool DrainProgress(size_t w, std::vector<ProgressBatch>& out) {
+    Mailbox& mb = *mailboxes_[w];
+    std::lock_guard<std::mutex> lock(mb.mu);
+    if (mb.batches.empty()) {
+      return false;
+    }
+    for (auto& b : mb.batches) {
+      out.push_back(std::move(b));
+    }
+    mb.batches.clear();
+    return true;
+  }
+
+  // Startup latch: workers wait until every peer finished graph construction.
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(latch_mu_);
+    if (++arrived_ == workers_) {
+      latch_cv_.notify_all();
+    } else {
+      latch_cv_.wait(lock, [&] { return arrived_ == workers_; });
+    }
+  }
+
+  RuntimeCounters& counters() { return counters_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<ProgressBatch> batches;
+  };
+  struct TypedHub {
+    std::type_index type;
+    std::unique_ptr<HubBase> hub;
+  };
+
+  const size_t workers_;
+  std::mutex hubs_mu_;
+  std::unordered_map<int, TypedHub> hubs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::mutex latch_mu_;
+  std::condition_variable latch_cv_;
+  size_t arrived_ = 0;
+  RuntimeCounters counters_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_TIMELY_RUNTIME_H_

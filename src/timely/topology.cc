@@ -1,0 +1,91 @@
+#include "src/timely/topology.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+int Topology::AddNode(std::string name, bool is_input) {
+  TS_CHECK(!finalized_);
+  Node n;
+  n.name = std::move(name);
+  n.cap_loc = num_locations_++;
+  n.is_input = is_input;
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Topology::AddEdge(int src_node, int dst_node, bool exchanged) {
+  TS_CHECK(!finalized_);
+  TS_CHECK(src_node >= 0 && src_node < static_cast<int>(nodes_.size()));
+  TS_CHECK(dst_node >= 0 && dst_node < static_cast<int>(nodes_.size()));
+  // Node ids are assigned in construction order, so src < dst guarantees an
+  // acyclic graph (streams must exist before they are consumed).
+  TS_CHECK_MSG(src_node < dst_node, "dataflow graphs must be acyclic");
+  Edge e;
+  e.src_node = src_node;
+  e.dst_node = dst_node;
+  e.msg_loc = num_locations_++;
+  e.exchanged = exchanged;
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(e);
+  nodes_[src_node].out_edges.push_back(id);
+  nodes_[dst_node].in_edges.push_back(id);
+  return id;
+}
+
+void Topology::Finalize() {
+  TS_CHECK(!finalized_);
+  // Location adjacency: capability(n) -> msg(e) for every out-edge e of n, and
+  // msg(e into n) -> msg(e' out of n) (processing a message can produce output).
+  std::vector<std::vector<int>> adj(num_locations_);
+  for (const Node& n : nodes_) {
+    for (int out : n.out_edges) {
+      adj[n.cap_loc].push_back(edges_[out].msg_loc);
+    }
+    for (int in : n.in_edges) {
+      for (int out : n.out_edges) {
+        adj[edges_[in].msg_loc].push_back(edges_[out].msg_loc);
+      }
+    }
+  }
+
+  // reaching_[e] = { L : L can reach msg_loc(e) } U { msg_loc(e) }.
+  // Locations are few (2 per operator), so a DFS per edge is plenty fast and runs
+  // once at graph construction.
+  reaching_.assign(edges_.size(), {});
+  // Reverse adjacency for backward reachability.
+  std::vector<std::vector<int>> radj(num_locations_);
+  for (int l = 0; l < num_locations_; ++l) {
+    for (int m : adj[l]) {
+      radj[m].push_back(l);
+    }
+  }
+  std::vector<char> seen(num_locations_);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    std::fill(seen.begin(), seen.end(), 0);
+    std::vector<int> stack = {edges_[e].msg_loc};
+    seen[edges_[e].msg_loc] = 1;
+    while (!stack.empty()) {
+      const int l = stack.back();
+      stack.pop_back();
+      reaching_[e].push_back(l);
+      for (int p : radj[l]) {
+        if (!seen[p]) {
+          seen[p] = 1;
+          stack.push_back(p);
+        }
+      }
+    }
+    std::sort(reaching_[e].begin(), reaching_[e].end());
+  }
+  finalized_ = true;
+}
+
+const std::vector<int>& Topology::ReachingEdge(int edge_id) const {
+  TS_CHECK(finalized_);
+  return reaching_[edge_id];
+}
+
+}  // namespace ts

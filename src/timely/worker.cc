@@ -1,0 +1,128 @@
+#include "src/timely/worker.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/common/thread_timer.h"
+
+namespace ts {
+
+void WorkerGraph::SetOperator(int node_id, std::unique_ptr<OperatorBase> op) {
+  TS_CHECK(!finalized_);
+  if (ops_.size() <= static_cast<size_t>(node_id)) {
+    ops_.resize(node_id + 1);
+  }
+  TS_CHECK_MSG(ops_[node_id] == nullptr, "node already has an operator");
+  ops_[node_id] = std::move(op);
+}
+
+void WorkerGraph::Finalize() {
+  TS_CHECK(!finalized_);
+  TS_CHECK_MSG(ops_.size() == topo_.nodes().size(), "every node needs an operator");
+  topo_.Finalize();
+  tracker_ = std::make_unique<ProgressTracker>(&topo_);
+  for (const auto& node : topo_.nodes()) {
+    if (node.is_input) {
+      tracker_->InitializeCapability(node.cap_loc, runtime_->workers());
+    }
+  }
+  finalized_ = true;
+}
+
+void WorkerGraph::Run(WorkerStats* stats) {
+  TS_CHECK(finalized_);
+  stats->index = index_;
+  runtime_->ArriveAndWait();
+
+  const int64_t cpu_start = ThreadCpuNanos();
+  ProgressBatch step_batch;
+  ProgressBatch notify_batch;
+  std::vector<ProgressBatch> incoming;
+  bool drivers_done = drivers_.empty();
+
+  for (;;) {
+    bool did_work = false;
+
+    // 1. Drivers feed inputs. A driver pacing real-time replay may be idle.
+    if (!drivers_done) {
+      bool all_finished = true;
+      for (auto& d : drivers_) {
+        if (!d.active) {
+          continue;
+        }
+        const DriverStatus status = d.fn();
+        if (status == DriverStatus::kFinished) {
+          d.active = false;
+        } else {
+          all_finished = false;
+          if (status == DriverStatus::kWorked) {
+            did_work = true;
+          }
+        }
+      }
+      drivers_done = all_finished;
+      if (drivers_done) {
+        did_work = true;  // Ensure one more full pass after the last close.
+      }
+    }
+
+    // 2. Pump + work in topological order, so a batch traverses as much of the
+    //    pipeline as possible within a single step.
+    step_batch.clear();
+    for (auto& op : ops_) {
+      if (op->Pump()) {
+        did_work = true;
+      }
+      if (op->Work(step_batch)) {
+        did_work = true;
+      }
+    }
+    if (!step_batch.empty()) {
+      tracker_->Apply(step_batch);
+    }
+
+    // 3. Notifications, with the local view refreshed by this step's deltas.
+    notify_batch.clear();
+    for (auto& op : ops_) {
+      const Frontier frontier = tracker_->NodeInputFrontier(op->node_id());
+      if (op->DeliverNotifications(frontier, notify_batch)) {
+        did_work = true;
+      }
+    }
+    if (!notify_batch.empty()) {
+      tracker_->Apply(notify_batch);
+      step_batch.Append(notify_batch);
+    }
+
+    // 4. Publish this step's progress statement and absorb the peers'.
+    if (!step_batch.empty()) {
+      runtime_->BroadcastProgress(index_, step_batch);
+    }
+    incoming.clear();
+    if (runtime_->DrainProgress(index_, incoming)) {
+      did_work = true;
+      for (const auto& b : incoming) {
+        tracker_->Apply(b);
+      }
+    }
+
+    for (auto& cb : step_callbacks_) {
+      cb();
+    }
+    ++stats->steps;
+
+    if (drivers_done && tracker_->AllZero()) {
+      break;
+    }
+    if (!did_work) {
+      // Idle: yield the core instead of spinning. Thread CPU time (the busy
+      // metric) does not advance while sleeping.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  stats->cpu_ns = ThreadCpuNanos() - cpu_start;
+}
+
+}  // namespace ts

@@ -1,0 +1,87 @@
+// Per-worker execution state and the scheduling loop.
+//
+// A worker owns its copies of all operator instances, its progress tracker, the
+// drivers that feed its inputs, and runs the event loop: drivers -> pump+work in
+// topological order -> notifications -> progress broadcast/apply -> callbacks.
+// Workers never block on one another during data exchange; the only cross-worker
+// interaction is depositing batches in hubs and mailboxes (§3, §4.1).
+#ifndef SRC_TIMELY_WORKER_H_
+#define SRC_TIMELY_WORKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/timely/operator.h"
+#include "src/timely/progress.h"
+#include "src/timely/runtime.h"
+#include "src/timely/topology.h"
+
+namespace ts {
+
+// What a driver accomplished in one scheduling quantum.
+enum class DriverStatus {
+  kIdle = 0,      // Nothing to do right now (e.g. pacing real-time replay).
+  kWorked = 1,    // Fed data or advanced the input.
+  kFinished = 2,  // Input exhausted and closed; do not call again.
+};
+
+struct WorkerStats {
+  size_t index = 0;
+  uint64_t steps = 0;
+  int64_t cpu_ns = 0;  // Thread CPU time spent inside Run().
+};
+
+class WorkerGraph {
+ public:
+  WorkerGraph(size_t index, SharedRuntime* runtime)
+      : index_(index), runtime_(runtime) {}
+
+  size_t index() const { return index_; }
+  size_t workers() const { return runtime_->workers(); }
+  SharedRuntime* runtime() { return runtime_; }
+  Topology& topo() { return topo_; }
+  const ProgressTracker& tracker() const { return *tracker_; }
+
+  // Registers the operator instance for `node_id`. Node ids are dense and
+  // assigned in construction order, which is a topological order.
+  void SetOperator(int node_id, std::unique_ptr<OperatorBase> op);
+
+  // Registers a driver that feeds an input each scheduling quantum.
+  void AddDriver(std::function<DriverStatus()> driver) {
+    drivers_.push_back({std::move(driver), true});
+  }
+
+  // Runs after every scheduling step, on the worker thread. Benches use this
+  // for probes and per-epoch latency bookkeeping.
+  void AddStepCallback(std::function<void()> callback) {
+    step_callbacks_.push_back(std::move(callback));
+  }
+
+  // Freezes the topology, computes reachability, and initializes progress
+  // counts (each worker's input instances hold a capability at epoch 0).
+  void Finalize();
+
+  // Executes the scheduling loop until all drivers finish and the local view
+  // of global progress reaches zero. Must be called exactly once.
+  void Run(WorkerStats* stats);
+
+ private:
+  const size_t index_;
+  SharedRuntime* runtime_;
+  Topology topo_;
+  std::vector<std::unique_ptr<OperatorBase>> ops_;
+  struct Driver {
+    std::function<DriverStatus()> fn;
+    bool active;
+  };
+  std::vector<Driver> drivers_;
+  std::vector<std::function<void()>> step_callbacks_;
+  std::unique_ptr<ProgressTracker> tracker_;
+  bool finalized_ = false;
+};
+
+}  // namespace ts
+
+#endif  // SRC_TIMELY_WORKER_H_

@@ -1,0 +1,148 @@
+// Synthetic datacenter trace generator.
+//
+// The paper evaluates TS on a proprietary one-hour trace from a travel-industry
+// datacenter (Table 1). We do not have that trace, so this generator synthesizes
+// one calibrated to every statistic the paper publishes:
+//
+//   * record rate: constant mean rate (1.3M/s in the paper; configurable),
+//   * ~7.5 spans per trace tree, ~6.5 annotations per span (=> ~49 records per
+//     tree), ~1.04 root spans per session,
+//   * 95% of root spans live < 2 s; rare sessions last minutes to the trace end,
+//   * 99.5% of root spans have max inter-message gap <= 12.3 ms; ~0.26% have a
+//     medium dormancy (12.3 ms..60 s); ~0.24% are dormant > 60 s (§5),
+//   * trees drawn from a Zipf mixture of structural templates, so signature
+//     clustering and service-pair mining (§5.2) have meaningful hot keys,
+//   * most trees touch a single or a few services (Figure 4),
+//   * optional record loss and per-host clock skew injection (§2.3).
+//
+// Generation is streaming: NextEpoch() yields one second of event time at a
+// time, in event-time order, so arbitrarily long traces run in bounded memory.
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+
+  // Trace shape.
+  EventTime duration_ns = 60 * kNanosPerSecond;  // Paper: one hour.
+  double target_records_per_sec = 100'000;       // Paper: 1.3M/s.
+
+  // Topology.
+  uint32_t num_services = 500;   // Paper datacenter: ~13,000 service instances.
+  uint32_t num_hosts = 100;      // Paper: ~5,500 machines.
+  // Replicas per service: each span executes on one replica's host, so the
+  // same service appears on several machines (the paper's datacenter runs
+  // ~2500 application instances as ~13,000 service instances).
+  uint32_t replicas_per_service = 3;
+  uint32_t num_templates = 200;  // Structural tree templates (Zipf mixture).
+  double template_zipf_skew = 1.1;
+
+  // Tree structure calibration (see header comment).
+  double single_span_tree_prob = 0.40;
+  double mean_extra_spans = 9.8;        // Mean of the geometric tail beyond 2.
+  uint32_t max_spans_per_tree = 400;
+  double mean_extra_annotations = 4.5;  // Poisson annotations beyond START/END.
+
+  // Session composition.
+  double extra_root_span_prob = 0.04;   // Geometric continuation => mean ~1.042.
+  EventTime mean_inter_root_gap_ns = 500 * kNanosPerMilli;
+
+  // Inter-message gap model (per root span).
+  EventTime base_gap_median_ns = 500 * kNanosPerMicro;  // ~0.5 ms typical.
+  double base_gap_sigma = 1.0;                          // Log-normal shape.
+  double medium_dormancy_prob = 0.0026;  // One 12.3ms..60s gap in the span.
+  double long_dormancy_prob = 0.0024;    // One 60s..15min gap in the span.
+
+  // Payloads: sized so the mean wire-format record is ~300 bytes (Table 1:
+  // 305 bytes per record).
+  uint32_t payload_mean_bytes = 220;
+
+  // Fault injection.
+  double record_loss_rate = 0.0;       // Drop probability per record (§2.3).
+  EventTime clock_skew_sigma_ns = 0;   // Per-host clock offset stddev (§2.3).
+
+  // When true, samples gap/duration/size distributions (1-in-N reservoir) into
+  // GeneratorStats for the trace_stats bench.
+  bool collect_distributions = false;
+};
+
+struct GeneratorStats {
+  uint64_t sessions = 0;
+  uint64_t root_spans = 0;
+  uint64_t spans = 0;
+  uint64_t annotations = 0;      // Total log records before loss.
+  uint64_t records_emitted = 0;  // After loss injection.
+  uint64_t records_lost = 0;
+  uint64_t wire_bytes = 0;       // Wire-format bytes of emitted records.
+
+  // Populated when collect_distributions is set (values in milliseconds).
+  SampleSet root_span_durations_ms;
+  SampleSet max_gap_per_root_ms;
+  SampleSet spans_per_tree;
+  SampleSet services_per_tree;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const GeneratorConfig& config);
+  ~TraceGenerator();  // Out-of-line: Template is an implementation detail.
+  TraceGenerator(const TraceGenerator&) = delete;
+  TraceGenerator& operator=(const TraceGenerator&) = delete;
+
+  // Produces the next second of event time: `*epoch` is the epoch index and
+  // `out` receives its records sorted by event time. Returns false when the
+  // trace is exhausted (no records were produced).
+  bool NextEpoch(Epoch* epoch, std::vector<LogRecord>* out);
+
+  const GeneratorStats& stats() const { return stats_; }
+  const GeneratorConfig& config() const { return config_; }
+  Epoch duration_epochs() const { return duration_epochs_; }
+  // Injected per-host clock offsets (ground truth for skew-estimation tests).
+  const std::vector<EventTime>& host_skew() const { return host_skew_; }
+
+ private:
+  struct Template;
+
+  // Generates one whole session starting at `start`, bucketing its records.
+  void GenerateSession(EventTime start);
+  // Generates one root span; returns the time of its last record.
+  EventTime GenerateRootSpan(const std::string& session_id, uint32_t root_index,
+                             EventTime start);
+  void EmitRecord(LogRecord record);
+  const Template& TemplateFor(size_t id);
+
+  GeneratorConfig config_;
+  Rng rng_;
+  ZipfSampler template_sampler_;
+  ZipfSampler root_service_sampler_;
+  std::vector<Template> templates_;       // Lazily built per template id.
+  std::vector<bool> template_built_;
+  // Calibrated span count per template: raw sizes are rescaled so the
+  // Zipf-weighted mean hits the configured spans-per-tree target exactly,
+  // independent of which templates the seed made popular.
+  std::vector<size_t> template_size_;
+  std::vector<EventTime> host_skew_;      // Per-host clock offset.
+  std::map<Epoch, std::vector<LogRecord>> buckets_;
+  Epoch next_generate_epoch_ = 0;
+  Epoch next_emit_epoch_ = 0;
+  Epoch duration_epochs_ = 0;
+  double sessions_per_sec_ = 0;
+  uint64_t session_counter_ = 0;
+  GeneratorStats stats_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,216 @@
+// Tests for the Flink-like baseline engine: merging session windows, watermark
+// semantics, backpressure, and semantic agreement with the offline ground
+// truth on a generated trace.
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/session_window_job.h"
+#include "src/baseline/window.h"
+#include "src/offline/offline_sessionizer.h"
+#include "src/workload/generator.h"
+
+namespace ts {
+namespace {
+
+TEST(MergingWindowSet, SingleElementWindow) {
+  MergingWindowSet set;
+  int64_t delta = 0;
+  const size_t idx = set.AddElement(100, 50, std::make_shared<Row>(), &delta);
+  ASSERT_EQ(set.windows().size(), 1u);
+  EXPECT_EQ(set.window(idx).window.start, 100);
+  EXPECT_EQ(set.window(idx).window.end, 150);
+  EXPECT_GT(delta, 0);
+}
+
+TEST(MergingWindowSet, OverlappingWindowsMerge) {
+  MergingWindowSet set;
+  set.AddElement(100, 50, std::make_shared<Row>(), nullptr);
+  set.AddElement(130, 50, std::make_shared<Row>(), nullptr);  // Overlaps.
+  ASSERT_EQ(set.windows().size(), 1u);
+  EXPECT_EQ(set.windows()[0].window.start, 100);
+  EXPECT_EQ(set.windows()[0].window.end, 180);
+  EXPECT_EQ(set.windows()[0].elements.size(), 2u);
+}
+
+TEST(MergingWindowSet, DisjointWindowsStaySeparate) {
+  MergingWindowSet set;
+  set.AddElement(100, 50, std::make_shared<Row>(), nullptr);
+  set.AddElement(500, 50, std::make_shared<Row>(), nullptr);
+  EXPECT_EQ(set.windows().size(), 2u);
+}
+
+TEST(MergingWindowSet, LateElementBridgesTwoWindows) {
+  MergingWindowSet set;
+  set.AddElement(100, 50, std::make_shared<Row>(), nullptr);   // [100,150)
+  set.AddElement(200, 50, std::make_shared<Row>(), nullptr);   // [200,250)
+  set.AddElement(140, 80, std::make_shared<Row>(), nullptr);   // [140,220): bridges.
+  ASSERT_EQ(set.windows().size(), 1u);
+  EXPECT_EQ(set.windows()[0].window.start, 100);
+  EXPECT_EQ(set.windows()[0].window.end, 250);
+  EXPECT_EQ(set.windows()[0].elements.size(), 3u);
+}
+
+TEST(MergingWindowSet, RipeWindowsAgainstWatermark) {
+  MergingWindowSet set;
+  set.AddElement(100, 50, std::make_shared<Row>(), nullptr);  // End 150.
+  set.AddElement(500, 50, std::make_shared<Row>(), nullptr);  // End 550.
+  EXPECT_TRUE(set.RipeWindows(149).empty());
+  auto ripe = set.RipeWindows(150);  // End <= watermark fires.
+  ASSERT_EQ(ripe.size(), 1u);
+  EXPECT_EQ(set.window(ripe[0]).window.end, 150);
+  EXPECT_EQ(set.RipeWindows(1000).size(), 2u);
+}
+
+LogRecord Rec(const std::string& session, EventTime t) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = session;
+  r.txn_id = *TxnId::Parse("1");
+  r.service = 1;
+  return r;
+}
+
+TEST(BaselineJob, SessionizesWithInactivityGap) {
+  std::mutex mu;
+  std::vector<BaselineSessionOutput> outputs;
+  BaselineJobConfig config;
+  config.parallelism = 2;
+  config.session_gap_ns = 5 * kNanosPerSecond;
+  BaselineSessionJob job(config, [&](BaselineSessionOutput out) {
+    std::lock_guard<std::mutex> lock(mu);
+    outputs.push_back(std::move(out));
+  });
+  job.Start();
+  job.FeedRecord(Rec("A", 0));
+  job.FeedRecord(Rec("A", 2 * kNanosPerSecond));
+  job.FeedRecord(Rec("B", kNanosPerSecond));
+  // A long gap then renewed activity on A: two fragments.
+  job.FeedRecord(Rec("A", 60 * kNanosPerSecond));
+  job.FinishAndJoin();
+
+  ASSERT_EQ(outputs.size(), 3u);
+  const auto stats = job.stats();
+  EXPECT_EQ(stats.elements, 4u);
+  EXPECT_EQ(stats.sessions, 3u);
+  size_t a_fragments = 0;
+  for (const auto& out : outputs) {
+    if (out.key == "A") {
+      ++a_fragments;
+    }
+  }
+  EXPECT_EQ(a_fragments, 2u);
+}
+
+TEST(BaselineJob, WatermarkFiresOnlyElapsedWindows) {
+  std::mutex mu;
+  std::vector<BaselineSessionOutput> outputs;
+  BaselineJobConfig config;
+  config.parallelism = 1;
+  config.session_gap_ns = 2 * kNanosPerSecond;
+  BaselineSessionJob job(config, [&](BaselineSessionOutput out) {
+    std::lock_guard<std::mutex> lock(mu);
+    outputs.push_back(std::move(out));
+  });
+  job.Start();
+  job.FeedRecord(Rec("A", 0));
+  job.FeedRecord(Rec("B", 8 * kNanosPerSecond));
+  job.BroadcastWatermark(5 * kNanosPerSecond);
+  job.AwaitWatermark(5 * kNanosPerSecond);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(outputs.size(), 1u);  // Only A's window (end=2s) has elapsed.
+    EXPECT_EQ(outputs[0].key, "A");
+  }
+  job.FinishAndJoin();
+  EXPECT_EQ(outputs.size(), 2u);
+}
+
+TEST(BaselineJob, ParsesTextAndCountsFailures) {
+  BaselineJobConfig config;
+  config.parallelism = 1;
+  BaselineSessionJob job(config, nullptr);
+  job.Start();
+  job.FeedLine("0|S|1|svc-1|h-1|ANNOT|p");
+  job.FeedLine("not a record");
+  job.FinishAndJoin();
+  EXPECT_EQ(job.stats().elements, 1u);
+  EXPECT_EQ(job.stats().parse_failures, 1u);
+}
+
+TEST(BaselineJob, StateBytesGrowAndShrink) {
+  BaselineJobConfig config;
+  config.parallelism = 1;
+  config.session_gap_ns = kNanosPerSecond;
+  BaselineSessionJob job(config, nullptr);
+  job.Start();
+  for (int i = 0; i < 100; ++i) {
+    job.FeedRecord(Rec("S" + std::to_string(i), 0));
+  }
+  job.BroadcastWatermark(0);  // Nothing fires; state resident.
+  job.AwaitWatermark(0);
+  EXPECT_GT(job.PollStateBytes(), 0u);
+  job.BroadcastWatermark(10 * kNanosPerSecond);  // Everything fires.
+  job.AwaitWatermark(10 * kNanosPerSecond);
+  EXPECT_EQ(job.PollStateBytes(), 0u);
+  job.FinishAndJoin();
+  EXPECT_EQ(job.stats().sessions, 100u);
+  EXPECT_GT(job.stats().peak_state_bytes, 0u);
+}
+
+// Semantic agreement: on a generated trace, the baseline's (key, fragment
+// count, record count) multiset must match the offline sessionizer splitting
+// at the same gap.
+TEST(BaselineJob, AgreesWithOfflineGroundTruthOnGeneratedTrace) {
+  GeneratorConfig gen_config;
+  gen_config.seed = 31;
+  gen_config.duration_ns = 6 * kNanosPerSecond;
+  gen_config.target_records_per_sec = 2'000;
+  TraceGenerator gen(gen_config);
+  std::vector<LogRecord> all;
+  Epoch epoch;
+  std::vector<LogRecord> batch;
+  while (gen.NextEpoch(&epoch, &batch)) {
+    for (auto& r : batch) {
+      all.push_back(r);
+    }
+  }
+
+  const EventTime gap = 3 * kNanosPerSecond;
+  std::mutex mu;
+  std::map<std::string, std::vector<size_t>> baseline_sessions;
+  BaselineJobConfig config;
+  config.parallelism = 3;
+  config.session_gap_ns = gap;
+  BaselineSessionJob job(config, [&](BaselineSessionOutput out) {
+    std::lock_guard<std::mutex> lock(mu);
+    baseline_sessions[out.key].push_back(out.num_records);
+  });
+  job.Start();
+  for (const auto& r : all) {
+    job.FeedRecord(r);
+  }
+  job.FinishAndJoin();
+
+  // Window semantics: [t, t+gap) windows merge only when the inter-record gap
+  // is strictly below `gap`, so the equivalent offline rule splits at >= gap.
+  OfflineOptions offline_options;
+  offline_options.inactivity_split_ns = gap - 1;
+  auto expected = OfflineSessionizer::Sessionize(std::move(all), offline_options);
+  std::map<std::string, std::vector<size_t>> expected_sessions;
+  for (const auto& s : expected) {
+    expected_sessions[s.id].push_back(s.records.size());
+  }
+  for (auto& [id, sizes] : baseline_sessions) {
+    std::sort(sizes.begin(), sizes.end());
+  }
+  for (auto& [id, sizes] : expected_sessions) {
+    std::sort(sizes.begin(), sizes.end());
+  }
+  EXPECT_EQ(baseline_sessions, expected_sessions);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,212 @@
+// Tests for the binary (two-input) operator and the distributed per-epoch
+// histogram operator.
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/collectors.h"
+#include "src/analytics/histogram_op.h"
+#include "src/common/siphash.h"
+#include "src/timely/binary_operator.h"
+#include "src/timely/timely.h"
+
+namespace ts {
+namespace {
+
+// Keyed enrichment join: a metadata stream (key -> label) and a data stream
+// (key, value); output labels each value. Both inputs exchanged by key, so
+// matching records meet on one worker; values are buffered per epoch and
+// joined on notification so results do not depend on arrival interleaving.
+struct Meta {
+  uint64_t key;
+  std::string label;
+};
+struct Value {
+  uint64_t key;
+  int value;
+};
+struct Labeled {
+  std::string label;
+  int value;
+};
+
+TEST(BinaryOperator, KeyedEnrichmentJoinAcrossWorkers) {
+  for (size_t workers : {1u, 3u}) {
+    auto collector = std::make_shared<ConcurrentCollector<Labeled>>();
+    Computation::Options options;
+    options.workers = workers;
+    Computation::Run(options, [&](Scope& scope) {
+      auto [meta_in, meta_stream] = scope.NewInput<Meta>("meta");
+      auto [value_in, value_stream] = scope.NewInput<Value>("values");
+
+      struct JoinState {
+        std::unordered_map<uint64_t, std::string> labels;
+        std::map<Epoch, std::vector<Value>> pending;
+      };
+      auto state = std::make_shared<JoinState>();
+      auto labeled = Binary<Meta, Value, Labeled>(
+          scope, meta_stream,
+          Partition<Meta>::ByKey([](const Meta& m) { return SipHash24(m.key); }),
+          value_stream,
+          Partition<Value>::ByKey([](const Value& v) { return SipHash24(v.key); }),
+          "join",
+          [state](Epoch, std::vector<Meta>& metas, OutputSession<Labeled>&,
+                  NotificatorHandle&) {
+            for (auto& m : metas) {
+              state->labels[m.key] = m.label;
+            }
+          },
+          [state](Epoch e, std::vector<Value>& values, OutputSession<Labeled>&,
+                  NotificatorHandle& notificator) {
+            auto& pending = state->pending[e];
+            for (auto& v : values) {
+              pending.push_back(v);
+            }
+            notificator.NotifyAt(e);
+          },
+          [state](Epoch e, OutputSession<Labeled>& out, NotificatorHandle&) {
+            auto it = state->pending.find(e);
+            if (it == state->pending.end()) {
+              return;
+            }
+            for (const auto& v : it->second) {
+              auto label = state->labels.find(v.key);
+              out.Give(e, Labeled{label == state->labels.end() ? "?" : label->second,
+                                  v.value});
+            }
+            state->pending.erase(it);
+          });
+      CollectInto<Labeled>(scope, labeled, collector, "collect");
+
+      auto meta_session = std::make_shared<InputSession<Meta>>(meta_in);
+      auto value_session = std::make_shared<InputSession<Value>>(value_in);
+      const size_t w = scope.worker_index();
+      auto step = std::make_shared<int>(0);
+      scope.AddDriver([meta_session, value_session, w, step]() -> DriverStatus {
+        switch ((*step)++) {
+          case 0:
+            if (w == 0) {
+              // Metadata at epoch 0; values follow at epoch 1.
+              for (uint64_t k = 0; k < 8; ++k) {
+                meta_session->Give(Meta{k, "svc" + std::to_string(k)});
+              }
+            }
+            meta_session->AdvanceTo(1);
+            value_session->AdvanceTo(1);
+            return DriverStatus::kWorked;
+          case 1:
+            if (w == 0) {
+              for (uint64_t k = 0; k < 8; ++k) {
+                value_session->Give(Value{k, static_cast<int>(k * 10)});
+              }
+            }
+            meta_session->Close();
+            value_session->Close();
+            return DriverStatus::kFinished;
+        }
+        return DriverStatus::kFinished;
+      });
+    });
+
+    auto& items = collector->items();
+    ASSERT_EQ(items.size(), 8u) << "workers=" << workers;
+    std::map<std::string, int> by_label;
+    for (const auto& l : items) {
+      by_label[l.label] = l.value;
+    }
+    for (uint64_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(by_label["svc" + std::to_string(k)], static_cast<int>(k * 10));
+    }
+  }
+}
+
+TEST(HistogramOp, MergesPartialsAcrossWorkersExactly) {
+  for (size_t workers : {1u, 4u}) {
+    auto collector = std::make_shared<ConcurrentCollector<EpochHistogram>>();
+    Computation::Options options;
+    options.workers = workers;
+    Computation::Run(options, [&](Scope& scope) {
+      auto [input, stream] = scope.NewInput<double>("values");
+      auto histograms = HistogramPerEpoch<double>(
+          scope, stream, [](const double& v) { return v; }, "hist");
+      CollectInto<EpochHistogram>(scope, histograms, collector, "collect");
+
+      auto session = std::make_shared<InputSession<double>>(input);
+      const size_t w = scope.worker_index();
+      auto fed = std::make_shared<Epoch>(0);
+      scope.AddDriver([session, fed, w]() -> DriverStatus {
+        if (*fed == 2) {
+          session->Close();
+          return DriverStatus::kFinished;
+        }
+        // Every worker contributes the same values: 1, 2, 4, 8 -> buckets
+        // 0, 1, 2, 3 with one count each per worker.
+        for (double v : {1.0, 2.0, 4.0, 8.0}) {
+          session->Give(v + static_cast<double>(*fed == 1 ? 8 : 0) * v);
+        }
+        session->AdvanceTo(++*fed);
+        return DriverStatus::kWorked;
+      });
+    });
+
+    auto& results = collector->items();
+    ASSERT_EQ(results.size(), 2u) << "workers=" << workers;
+    std::map<Epoch, EpochHistogram> by_epoch;
+    for (auto& h : results) {
+      by_epoch[h.epoch] = h;
+    }
+    // Epoch 0: values {1,2,4,8} per worker.
+    const auto& e0 = by_epoch.at(0);
+    EXPECT_EQ(e0.total, 4 * workers);
+    for (int b : {0, 1, 2, 3}) {
+      EXPECT_EQ(e0.buckets.at(b), workers) << "bucket " << b;
+    }
+    // Epoch 1: values x9 -> buckets 3, 4, 5, 6.
+    const auto& e1 = by_epoch.at(1);
+    EXPECT_EQ(e1.total, 4 * workers);
+    EXPECT_EQ(e1.buckets.at(3), workers);  // 9 -> [8,16).
+    EXPECT_EQ(e1.buckets.at(6), workers);  // 72 -> [64,128).
+    // CDF reaches 1 and is monotone.
+    auto cdf = e1.Cdf();
+    ASSERT_FALSE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    for (size_t i = 1; i < cdf.size(); ++i) {
+      EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+    }
+  }
+}
+
+TEST(HistogramOp, EmptyEpochsProduceNoHistogram) {
+  auto collector = std::make_shared<ConcurrentCollector<EpochHistogram>>();
+  Computation::Options options;
+  options.workers = 1;
+  Computation::Run(options, [&](Scope& scope) {
+    auto [input, stream] = scope.NewInput<double>("values");
+    auto histograms = HistogramPerEpoch<double>(
+        scope, stream, [](const double& v) { return v; }, "hist");
+    CollectInto<EpochHistogram>(scope, histograms, collector, "collect");
+    auto session = std::make_shared<InputSession<double>>(input);
+    auto step = std::make_shared<int>(0);
+    scope.AddDriver([session, step]() -> DriverStatus {
+      if ((*step)++ == 0) {
+        session->Give(5.0);
+        session->AdvanceTo(10);  // Epochs 1..9 are empty.
+        return DriverStatus::kWorked;
+      }
+      session->Give(7.0);
+      session->Close();
+      return DriverStatus::kFinished;
+    });
+  });
+  ASSERT_EQ(collector->items().size(), 2u);
+  EXPECT_EQ(collector->items()[0].epoch, 0u);
+  EXPECT_EQ(collector->items()[1].epoch, 10u);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,100 @@
+// Tests for critical-path analysis over trace trees.
+#include <gtest/gtest.h>
+
+#include "src/analytics/critical_path.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(const char* txn, EventTime t, uint32_t service, uint32_t host = 0) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = "S";
+  r.txn_id = *TxnId::Parse(txn);
+  r.service = service;
+  r.host = host;
+  return r;
+}
+
+TraceTree Build(std::vector<LogRecord> records) {
+  Session s;
+  s.id = "S";
+  s.records = std::move(records);
+  auto trees = TraceTree::FromSession(s);
+  EXPECT_EQ(trees.size(), 1u);
+  return trees[0];
+}
+
+TEST(CriticalPath, SingleSpanIsItsOwnPath) {
+  auto tree = Build({Rec("1", 0, 5), Rec("1", 100, 5)});
+  auto path = ComputeCriticalPath(tree);
+  ASSERT_EQ(path.steps.size(), 1u);
+  EXPECT_EQ(path.steps[0].service, 5u);
+  EXPECT_EQ(path.steps[0].exclusive_ns, 100);
+  EXPECT_EQ(path.total_ns, 100);
+  EXPECT_DOUBLE_EQ(path.ServiceShare(5), 1.0);
+  EXPECT_DOUBLE_EQ(path.ServiceShare(6), 0.0);
+}
+
+TEST(CriticalPath, FollowsLatestEndingChild) {
+  // Root [0,100]; child 1-1 [10,30] (svc 2); child 1-2 [20,90] (svc 3).
+  auto tree = Build({
+      Rec("1", 0, 1), Rec("1", 100, 1),
+      Rec("1-1", 10, 2), Rec("1-1", 30, 2),
+      Rec("1-2", 20, 3), Rec("1-2", 90, 3),
+  });
+  auto path = ComputeCriticalPath(tree);
+  ASSERT_EQ(path.steps.size(), 2u);
+  EXPECT_EQ(path.steps[0].service, 1u);
+  EXPECT_EQ(path.steps[1].service, 3u);  // 1-2 ends last: the blocker.
+  // Root exclusive: head [0,20) + tail (90,100] = 30; child: 70.
+  EXPECT_EQ(path.steps[0].exclusive_ns, 30);
+  EXPECT_EQ(path.steps[1].exclusive_ns, 70);
+  EXPECT_EQ(path.total_ns, 100);
+  EXPECT_DOUBLE_EQ(path.ServiceShare(3), 0.7);
+}
+
+TEST(CriticalPath, ExclusiveTimesTelescopeToTotal) {
+  // Three-level chain with siblings at each level.
+  auto tree = Build({
+      Rec("1", 0, 1), Rec("1", 200, 1),
+      Rec("1-1", 10, 2), Rec("1-1", 180, 2),
+      Rec("1-2", 5, 9), Rec("1-2", 50, 9),
+      Rec("1-1-1", 20, 3), Rec("1-1-1", 170, 3),
+  });
+  auto path = ComputeCriticalPath(tree);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EventTime sum = 0;
+  for (const auto& s : path.steps) {
+    sum += s.exclusive_ns;
+  }
+  EXPECT_EQ(sum, path.total_ns);
+  EXPECT_EQ(path.total_ns, 200);
+}
+
+TEST(CriticalPath, InferredNodesTraversedWithZeroCharge) {
+  // Only the grandchild was observed: root and middle are inferred, with the
+  // grandchild's extent as their effective interval.
+  auto tree = Build({Rec("1-3-2", 40, 7), Rec("1-3-2", 90, 7)});
+  auto path = ComputeCriticalPath(tree);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].exclusive_ns, 0);  // Inferred root.
+  EXPECT_EQ(path.steps[1].exclusive_ns, 0);  // Inferred middle.
+  EXPECT_EQ(path.steps[2].exclusive_ns, 50);
+  EXPECT_EQ(path.total_ns, 50);
+}
+
+TEST(CriticalPath, SkewedChildDoesNotProduceNegativeCharges) {
+  // Child appears to start before and end after its parent (clock skew).
+  auto tree = Build({
+      Rec("1", 50, 1), Rec("1", 100, 1),
+      Rec("1-1", 40, 2), Rec("1-1", 120, 2),
+  });
+  auto path = ComputeCriticalPath(tree);
+  ASSERT_EQ(path.steps.size(), 2u);
+  EXPECT_GE(path.steps[0].exclusive_ns, 0);
+  EXPECT_GE(path.steps[1].exclusive_ns, 0);
+}
+
+}  // namespace
+}  // namespace ts

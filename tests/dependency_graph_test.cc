@@ -1,0 +1,96 @@
+// Tests for service dependency extraction.
+#include <gtest/gtest.h>
+
+#include "src/analytics/dependency_graph.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(const char* txn, EventTime t, uint32_t service) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = "S";
+  r.txn_id = *TxnId::Parse(txn);
+  r.service = service;
+  return r;
+}
+
+TraceTree Build(std::vector<LogRecord> records) {
+  Session s;
+  s.id = "S";
+  s.records = std::move(records);
+  return TraceTree::FromSession(s)[0];
+}
+
+TEST(DependencyGraph, EdgesCountsAndLatency) {
+  DependencyGraph graph;
+  // svc1 -> svc2 (span [10,30] = 20ms... times in ns; use ms-scale ns).
+  graph.AddTree(Build({
+      Rec("1", 0, 1), Rec("1", 100'000'000, 1),
+      Rec("1-1", 10'000'000, 2), Rec("1-1", 30'000'000, 2),
+  }));
+  graph.AddTree(Build({
+      Rec("1", 0, 1), Rec("1-1", 5'000'000, 2), Rec("1-1", 45'000'000, 2),
+  }));
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_EQ(graph.total_calls(), 2u);
+  auto callees = graph.Callees(1);
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(callees[0].first, 2u);
+  EXPECT_EQ(callees[0].second->calls, 2u);
+  EXPECT_NEAR(callees[0].second->child_latency_ms.mean(), 30.0, 1e-9);
+  EXPECT_EQ(graph.Callers(2), (std::vector<uint32_t>{1}));
+}
+
+TEST(DependencyGraph, SelfCallsAndInferredNodesIgnored) {
+  DependencyGraph graph;
+  graph.AddTree(Build({
+      Rec("1", 0, 7), Rec("1-1", 10, 7),  // Self call.
+      Rec("1-2-1", 20, 9),                // 1-2 inferred: edge skipped.
+  }));
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(DependencyGraph, TransitiveClosures) {
+  DependencyGraph graph;
+  // 1 -> 2 -> 3, 1 -> 4.
+  graph.AddTree(Build({
+      Rec("1", 0, 1),
+      Rec("1-1", 1, 2),
+      Rec("1-1-1", 2, 3),
+      Rec("1-2", 3, 4),
+  }));
+  EXPECT_EQ(graph.DependsOn(1), (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(graph.DependsOn(2), (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(graph.DependsOn(3).empty());
+  EXPECT_EQ(graph.ImpactedBy(3), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(graph.ImpactedBy(4), (std::vector<uint32_t>{1}));
+}
+
+TEST(DependencyGraph, HeaviestEdgesOrderedDeterministically) {
+  DependencyGraph graph;
+  for (int i = 0; i < 3; ++i) {
+    graph.AddTree(Build({Rec("1", 0, 1), Rec("1-1", 1, 2)}));
+  }
+  graph.AddTree(Build({Rec("1", 0, 1), Rec("1-1", 1, 3)}));
+  graph.AddTree(Build({Rec("1", 0, 2), Rec("1-1", 1, 3)}));
+  auto heaviest = graph.HeaviestEdges(2);
+  ASSERT_EQ(heaviest.size(), 2u);
+  EXPECT_EQ(heaviest[0].first, (std::pair<uint32_t, uint32_t>{1, 2}));
+  EXPECT_EQ(heaviest[0].second, 3u);
+  // Tie between (1,3) and (2,3): lexicographically smaller edge first.
+  EXPECT_EQ(heaviest[1].first, (std::pair<uint32_t, uint32_t>{1, 3}));
+}
+
+TEST(DependencyGraph, CyclicServiceRelationshipsTerminate) {
+  // A calls B in one request; B calls A in another: closure must terminate
+  // and exclude the root itself.
+  DependencyGraph graph;
+  graph.AddTree(Build({Rec("1", 0, 1), Rec("1-1", 1, 2)}));
+  graph.AddTree(Build({Rec("1", 0, 2), Rec("1-1", 1, 1)}));
+  EXPECT_EQ(graph.DependsOn(1), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(graph.DependsOn(2), (std::vector<uint32_t>{1}));
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,207 @@
+// Tests for the synthetic trace generator: determinism, stream ordering, and —
+// most importantly — calibration against the statistics the paper publishes
+// for the real Amadeus trace (Table 1 and §5).
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+
+namespace ts {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.seed = 1234;
+  config.duration_ns = 20 * kNanosPerSecond;
+  config.target_records_per_sec = 20'000;
+  config.collect_distributions = true;
+  return config;
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+  GeneratorConfig config = SmallConfig();
+  config.duration_ns = 3 * kNanosPerSecond;
+  TraceGenerator g1(config);
+  TraceGenerator g2(config);
+  Epoch e1 = 0, e2 = 0;
+  std::vector<LogRecord> r1, r2;
+  while (true) {
+    const bool more1 = g1.NextEpoch(&e1, &r1);
+    const bool more2 = g2.NextEpoch(&e2, &r2);
+    ASSERT_EQ(more1, more2);
+    if (!more1) {
+      break;
+    }
+    ASSERT_EQ(e1, e2);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+      ASSERT_EQ(r1[i].time, r2[i].time);
+      ASSERT_EQ(r1[i].session_id, r2[i].session_id);
+      ASSERT_EQ(r1[i].txn_id, r2[i].txn_id);
+    }
+  }
+  EXPECT_EQ(g1.stats().annotations, g2.stats().annotations);
+}
+
+TEST(Generator, EpochsOrderedAndRecordsSortedWithinEpoch) {
+  TraceGenerator gen(SmallConfig());
+  Epoch epoch = 0;
+  Epoch expected = 0;
+  std::vector<LogRecord> records;
+  while (gen.NextEpoch(&epoch, &records)) {
+    EXPECT_EQ(epoch, expected++);
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Epoch record_epoch =
+          static_cast<Epoch>(records[i].time / kNanosPerSecond);
+      EXPECT_EQ(record_epoch, epoch) << "record outside its epoch";
+      if (i > 0) {
+        EXPECT_LE(records[i - 1].time, records[i].time);
+      }
+    }
+  }
+  EXPECT_EQ(expected, gen.duration_epochs());
+}
+
+TEST(Generator, CalibrationMatchesPaperRatios) {
+  TraceGenerator gen(SmallConfig());
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  uint64_t emitted = 0;
+  while (gen.NextEpoch(&epoch, &records)) {
+    emitted += records.size();
+  }
+  const GeneratorStats& s = gen.stats();
+  ASSERT_GT(s.root_spans, 1000u);
+
+  // Table 1 ratios: ~7.5 spans per tree, ~6.5 annotations per span, ~49
+  // records per tree, ~1.04 root spans per session.
+  const double spans_per_tree =
+      static_cast<double>(s.spans) / static_cast<double>(s.root_spans);
+  EXPECT_NEAR(spans_per_tree, 7.5, 0.8);
+  const double ann_per_span =
+      static_cast<double>(s.annotations) / static_cast<double>(s.spans);
+  EXPECT_NEAR(ann_per_span, 6.5, 0.3);
+  const double roots_per_session =
+      static_cast<double>(s.root_spans) / static_cast<double>(s.sessions);
+  EXPECT_NEAR(roots_per_session, 1.04, 0.03);
+
+  // Mean input rate within 20% of target (trees crossing the trace boundary
+  // lose some records).
+  const double rate = static_cast<double>(emitted) /
+                      static_cast<double>(gen.duration_epochs());
+  EXPECT_NEAR(rate, 20'000, 4'000);
+
+  // Mean wire-format record size ~300 bytes (Table 1: 305 B).
+  const double bytes_per_record =
+      static_cast<double>(s.wire_bytes) / static_cast<double>(s.records_emitted);
+  EXPECT_NEAR(bytes_per_record, 300, 60);
+}
+
+TEST(Generator, DurationAndGapDistributionsMatchPaper) {
+  GeneratorConfig config = SmallConfig();
+  config.duration_ns = 40 * kNanosPerSecond;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  while (gen.NextEpoch(&epoch, &records)) {
+  }
+  GeneratorStats& s = const_cast<GeneratorStats&>(gen.stats());
+  ASSERT_GT(s.root_span_durations_ms.count(), 200u);
+
+  // ~95% of root spans live under 2 seconds (§5).
+  const double p95 = s.root_span_durations_ms.Quantile(0.95);
+  EXPECT_LT(p95, 2000.0);
+  const double p50 = s.root_span_durations_ms.Quantile(0.50);
+  EXPECT_LT(p50, 500.0);
+  EXPECT_GT(p50, 1.0);
+
+  // 99.5% of root spans have max inter-message gap <= 12.3 ms (§5).
+  const double gap_p99 = s.max_gap_per_root_ms.Quantile(0.99);
+  EXPECT_LE(gap_p99, 12.3 + 1.0);
+
+  // Spans per tree: heavy small mass, strong variation (§5).
+  EXPECT_EQ(s.spans_per_tree.Min(), 1.0);
+  EXPECT_GT(s.spans_per_tree.Max(), 20.0);
+  // Most trees touch few services (Figure 4).
+  EXPECT_LE(s.services_per_tree.Quantile(0.5), 8.0);
+}
+
+TEST(Generator, LossInjectionDropsApproximatelyTheConfiguredFraction) {
+  GeneratorConfig config = SmallConfig();
+  config.record_loss_rate = 0.10;
+  config.duration_ns = 10 * kNanosPerSecond;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  while (gen.NextEpoch(&epoch, &records)) {
+  }
+  const GeneratorStats& s = gen.stats();
+  const double loss = static_cast<double>(s.records_lost) /
+                      static_cast<double>(s.annotations);
+  EXPECT_NEAR(loss, 0.10, 0.01);
+}
+
+TEST(Generator, ClockSkewPerturbsTimestampsButKeepsStreamFeasible) {
+  GeneratorConfig config = SmallConfig();
+  config.clock_skew_sigma_ns = 5 * kNanosPerMilli;
+  config.duration_ns = 5 * kNanosPerSecond;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  uint64_t total = 0;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (size_t i = 1; i < records.size(); ++i) {
+      ASSERT_LE(records[i - 1].time, records[i].time);
+    }
+    total += records.size();
+  }
+  EXPECT_GT(total, 10'000u);
+}
+
+TEST(Generator, SessionIdsAreUniquePerSession) {
+  GeneratorConfig config = SmallConfig();
+  config.duration_ns = 5 * kNanosPerSecond;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  std::map<std::string, int> sessions_seen;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      ++sessions_seen[r.session_id];
+    }
+  }
+  EXPECT_EQ(sessions_seen.size(), gen.stats().sessions);
+}
+
+TEST(Generator, TemplatesRepeatTreeStructures) {
+  // Zipf-weighted templates: the same signature must recur often, making
+  // structure clustering (§5.2) meaningful.
+  GeneratorConfig config = SmallConfig();
+  config.duration_ns = 3 * kNanosPerSecond;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  std::map<std::string, std::map<std::string, int>> txn_sets;  // session -> txns.
+  std::map<std::string, int> root_sig;
+  uint64_t trees = 0;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      if (r.txn_id.IsRoot() && r.kind == EventKind::kSpanStart) {
+        ++trees;
+        ++root_sig["svc" + std::to_string(r.service)];
+      }
+    }
+  }
+  ASSERT_GT(trees, 500u);
+  // The hottest root service should dominate (Zipf skew).
+  int max_count = 0;
+  for (const auto& [k, v] : root_sig) {
+    max_count = std::max(max_count, v);
+  }
+  EXPECT_GT(max_count, static_cast<int>(trees / 20));
+}
+
+}  // namespace
+}  // namespace ts

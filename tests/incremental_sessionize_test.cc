@@ -1,0 +1,154 @@
+// Tests for multi-versioned (incremental) sessionization: per-epoch updates,
+// version numbering, finalization, and agreement with the batch operator.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/collectors.h"
+#include "src/core/incremental_sessionize.h"
+#include "src/timely/timely.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(const std::string& session, Epoch epoch, EventTime offset = 0) {
+  LogRecord r;
+  r.time = static_cast<EventTime>(epoch) * kNanosPerSecond + offset;
+  r.session_id = session;
+  r.txn_id = *TxnId::Parse("1");
+  return r;
+}
+
+std::vector<SessionUpdate> RunIncremental(size_t workers, Epoch inactivity,
+                               const std::map<Epoch, std::vector<LogRecord>>& input) {
+  auto collector = std::make_shared<ConcurrentCollector<SessionUpdate>>();
+  Computation::Options options;
+  options.workers = workers;
+  Computation::Run(options, [&](Scope& scope) {
+    auto [in, stream] = scope.NewInput<LogRecord>("logs");
+    SessionizeOptions sess;
+    sess.inactivity_epochs = inactivity;
+    auto [updates, metrics] = SessionizeIncremental(scope, stream, sess);
+    CollectInto<SessionUpdate>(scope, updates, collector, "collect");
+
+    auto session = std::make_shared<InputSession<LogRecord>>(in);
+    if (scope.worker_index() == 0) {
+      auto it = std::make_shared<std::map<Epoch, std::vector<LogRecord>>::const_iterator>(
+          input.begin());
+      scope.AddDriver([session, it, &input]() mutable -> DriverStatus {
+        if (*it == input.end()) {
+          session->Close();
+          return DriverStatus::kFinished;
+        }
+        if ((*it)->first > session->current_epoch()) {
+          session->AdvanceTo((*it)->first);
+        }
+        session->GiveBatch((*it)->second);
+        ++*it;
+        return DriverStatus::kWorked;
+      });
+    } else {
+      scope.AddDriver([session]() -> DriverStatus {
+        session->Close();
+        return DriverStatus::kFinished;
+      });
+    }
+  });
+  auto updates = std::move(collector->items());
+  std::sort(updates.begin(), updates.end(),
+            [](const SessionUpdate& a, const SessionUpdate& b) {
+              return std::tie(a.id, a.epoch, a.version) <
+                     std::tie(b.id, b.epoch, b.version);
+            });
+  return updates;
+}
+
+TEST(IncrementalSessionize, EmitsUpdatePerActiveEpochThenFinal) {
+  auto updates = RunIncremental(1, 2,
+                     {{0, {Rec("A", 0), Rec("A", 0, 100)}},
+                      {1, {Rec("A", 1)}}});
+  // A touched epochs 0 and 1 -> updates v0 (2 records), v1 (1 record), final v2.
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].version, 0u);
+  EXPECT_EQ(updates[0].new_records.size(), 2u);
+  EXPECT_EQ(updates[0].epoch, 0u);
+  EXPECT_FALSE(updates[0].is_final);
+  EXPECT_EQ(updates[1].version, 1u);
+  EXPECT_EQ(updates[1].new_records.size(), 1u);
+  EXPECT_EQ(updates[2].version, 2u);
+  EXPECT_TRUE(updates[2].is_final);
+  EXPECT_TRUE(updates[2].new_records.empty());
+  EXPECT_EQ(updates[2].epoch, 3u);  // last activity (1) + inactivity (2).
+}
+
+TEST(IncrementalSessionize, UpdatesAvailableBeforeSessionCloses) {
+  // The whole point of the multi-versioned design (§3): the first update is
+  // emitted at epoch 0, long before the session closes at epoch 12.
+  auto updates = RunIncremental(1, 2, {{0, {Rec("A", 0)}}, {10, {Rec("A", 10)}}});
+  // A goes idle for more than 2 epochs: two windows, each with one activity
+  // update and one final, versions restarting per window.
+  ASSERT_EQ(updates.size(), 4u);
+  EXPECT_EQ(updates[0].epoch, 0u);
+  EXPECT_EQ(updates[0].version, 0u);
+  EXPECT_TRUE(updates[1].is_final);
+  EXPECT_EQ(updates[1].epoch, 2u);
+  EXPECT_EQ(updates[1].version, 1u);
+  EXPECT_EQ(updates[2].epoch, 10u);
+  EXPECT_EQ(updates[2].version, 0u);
+  EXPECT_TRUE(updates[3].is_final);
+  EXPECT_EQ(updates[3].epoch, 12u);
+  EXPECT_EQ(updates[3].version, 1u);
+}
+
+TEST(IncrementalSessionize, VersionsResetPerWindow) {
+  auto updates = RunIncremental(1, 1, {{0, {Rec("A", 0)}}, {5, {Rec("A", 5)}}});
+  ASSERT_EQ(updates.size(), 4u);
+  EXPECT_EQ(updates[0].version, 0u);
+  EXPECT_EQ(updates[1].version, 1u);  // Final of window 1.
+  EXPECT_EQ(updates[2].version, 0u);  // New window restarts versioning.
+  EXPECT_EQ(updates[3].version, 1u);
+}
+
+class IncrementalWorkers : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IncrementalWorkers, ConcatenatedUpdatesEqualFullSessions) {
+  const size_t workers = GetParam();
+  std::map<Epoch, std::vector<LogRecord>> input;
+  for (int s = 0; s < 30; ++s) {
+    const std::string id = "S" + std::to_string(s);
+    for (Epoch e = static_cast<Epoch>(s % 3); e < 6; ++e) {
+      input[e].push_back(Rec(id, e, s));
+      input[e].push_back(Rec(id, e, 1000 + s));
+    }
+  }
+  auto updates = RunIncremental(workers, 3, input);
+
+  std::map<std::string, size_t> record_counts;
+  std::map<std::string, size_t> finals;
+  std::map<std::string, uint32_t> max_version;
+  for (const auto& u : updates) {
+    record_counts[u.id] += u.new_records.size();
+    if (u.is_final) {
+      ++finals[u.id];
+    }
+    max_version[u.id] = std::max(max_version[u.id], u.version);
+  }
+  ASSERT_EQ(record_counts.size(), 30u);
+  for (const auto& [id, count] : record_counts) {
+    // Every record delivered exactly once across updates.
+    const int start = std::stoi(id.substr(1)) % 3;
+    EXPECT_EQ(count, 2u * (6 - static_cast<size_t>(start))) << id;
+    EXPECT_EQ(finals[id], 1u) << id;
+    // Versions dense: activity epochs + 1 final.
+    EXPECT_EQ(max_version[id], 6 - static_cast<uint32_t>(start)) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, IncrementalWorkers,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,157 @@
+// Unit tests for ts_log: hierarchical transaction IDs and the wire format.
+#include <gtest/gtest.h>
+
+#include "src/common/siphash.h"
+#include "src/log/record.h"
+#include "src/log/txn_id.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+TEST(TxnId, ParseAndFormatRoundTrip) {
+  for (const char* s : {"1", "26-3-11-5-1", "0", "4294967295", "7-7-7"}) {
+    auto id = TxnId::Parse(s);
+    ASSERT_TRUE(id.has_value()) << s;
+    EXPECT_EQ(id->ToString(), s);
+  }
+}
+
+TEST(TxnId, ParseRejectsMalformed) {
+  for (const char* s : {"", "-", "1-", "-1", "1--2", "a", "1-b", "1.2",
+                        "4294967296" /* overflow */, "1-2-99999999999"}) {
+    EXPECT_FALSE(TxnId::Parse(s).has_value()) << s;
+  }
+}
+
+TEST(TxnId, StructureAccessors) {
+  const TxnId id = *TxnId::Parse("26-3-11-5-1");
+  EXPECT_EQ(id.depth(), 5u);
+  EXPECT_FALSE(id.IsRoot());
+  EXPECT_EQ(id.root(), 26u);
+  EXPECT_EQ(id.sibling_index(), 1u);
+  EXPECT_EQ(id.Parent().ToString(), "26-3-11-5");
+  EXPECT_EQ(id.Root().ToString(), "26");
+  EXPECT_TRUE(TxnId::Parse("26")->IsRoot());
+}
+
+TEST(TxnId, AncestryIsProperPrefix) {
+  const TxnId root = *TxnId::Parse("2");
+  const TxnId mid = *TxnId::Parse("2-10");
+  const TxnId leaf = *TxnId::Parse("2-10-1");
+  const TxnId other = *TxnId::Parse("3-10");
+  EXPECT_TRUE(root.IsAncestorOf(mid));
+  EXPECT_TRUE(root.IsAncestorOf(leaf));
+  EXPECT_TRUE(mid.IsAncestorOf(leaf));
+  EXPECT_FALSE(mid.IsAncestorOf(mid));    // Not a strict ancestor of itself.
+  EXPECT_FALSE(leaf.IsAncestorOf(mid));
+  EXPECT_FALSE(root.IsAncestorOf(other));
+}
+
+TEST(TxnId, NumericOrderingNotLexicographic) {
+  // "2-2" must sort before "2-10": component-wise numeric order, which keeps
+  // siblings in index order when building trees.
+  EXPECT_LT(*TxnId::Parse("2-2"), *TxnId::Parse("2-10"));
+  EXPECT_LT(*TxnId::Parse("2"), *TxnId::Parse("2-1"));
+  EXPECT_LT(*TxnId::Parse("1-99"), *TxnId::Parse("2"));
+}
+
+TEST(TxnId, HashDistinguishesPaths) {
+  TxnIdHash hash;
+  EXPECT_NE(hash(*TxnId::Parse("1-2")), hash(*TxnId::Parse("2-1")));
+  EXPECT_EQ(hash(*TxnId::Parse("1-2-3")), hash(*TxnId::Parse("1-2-3")));
+}
+
+LogRecord MakeRecord() {
+  LogRecord r;
+  r.time = 1234567890123;
+  r.session_id = "XKSHSKCBA53U088FXGE7LD8";
+  r.txn_id = *TxnId::Parse("26-3-11-5-1");
+  r.service = 204;
+  r.host = 17;
+  r.kind = EventKind::kAnnotation;
+  r.payload = "q=BOS-LHR;cls=Y";
+  return r;
+}
+
+TEST(WireFormat, RoundTrip) {
+  const LogRecord r = MakeRecord();
+  const std::string line = ToWireFormat(r);
+  auto parsed = ParseWireFormat(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, r.time);
+  EXPECT_EQ(parsed->session_id, r.session_id);
+  EXPECT_EQ(parsed->txn_id, r.txn_id);
+  EXPECT_EQ(parsed->service, r.service);
+  EXPECT_EQ(parsed->host, r.host);
+  EXPECT_EQ(parsed->kind, r.kind);
+  EXPECT_EQ(parsed->payload, r.payload);
+}
+
+TEST(WireFormat, RoundTripAllKinds) {
+  for (EventKind kind :
+       {EventKind::kSpanStart, EventKind::kSpanEnd, EventKind::kAnnotation}) {
+    LogRecord r = MakeRecord();
+    r.kind = kind;
+    auto parsed = ParseWireFormat(ToWireFormat(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, kind);
+  }
+}
+
+TEST(WireFormat, PayloadMayContainSeparator) {
+  LogRecord r = MakeRecord();
+  r.payload = "a|b|c";  // Payload is the unsplit remainder.
+  auto parsed = ParseWireFormat(ToWireFormat(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, "a|b|c");
+}
+
+TEST(WireFormat, EmptyPayload) {
+  LogRecord r = MakeRecord();
+  r.payload.clear();
+  auto parsed = ParseWireFormat(ToWireFormat(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(WireFormat, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",
+      "garbage",
+      "123|sess",                                    // Too few fields.
+      "abc|sess|1|svc-2|h-3|ANNOT|p",                // Non-numeric time.
+      "123||1|svc-2|h-3|ANNOT|p",                    // Empty session.
+      "123|sess|x|svc-2|h-3|ANNOT|p",                // Bad txn id.
+      "123|sess|1|srv-2|h-3|ANNOT|p",                // Bad service prefix.
+      "123|sess|1|svc-2|host-3|ANNOT|p",             // Bad host prefix.
+      "123|sess|1|svc-2|h-3|WEIRD|p",                // Unknown kind.
+      "123|sess|1|svc-|h-3|ANNOT|p",                 // Empty service number.
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseWireFormat(line).has_value()) << line;
+  }
+}
+
+TEST(WireFormat, ParsesNegativeTimeAsValid) {
+  // Clock skew can make producer timestamps negative relative to the trace
+  // origin; the parser must not reject them (the pipeline decides policy).
+  auto parsed = ParseWireFormat("-5|sess|1|svc-2|h-3|ANNOT|p");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, -5);
+}
+
+TEST(Record, MemoryFootprintTracksCapacity) {
+  LogRecord r = MakeRecord();
+  const size_t base = r.MemoryFootprint();
+  r.payload.append(1000, 'x');
+  EXPECT_GE(r.MemoryFootprint(), base + 900);
+}
+
+TEST(Record, SessionHashIsSipHashOfId) {
+  const LogRecord r = MakeRecord();
+  EXPECT_EQ(SessionHash(r.session_id), SipHash24(r.session_id));
+}
+
+}  // namespace
+}  // namespace ts

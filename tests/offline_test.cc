@@ -1,0 +1,85 @@
+// Tests for the offline (batch) sessionizer.
+#include <gtest/gtest.h>
+
+#include "src/offline/offline_sessionizer.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(const std::string& session, EventTime t, const char* txn = "1") {
+  LogRecord r;
+  r.time = t;
+  r.session_id = session;
+  r.txn_id = *TxnId::Parse(txn);
+  return r;
+}
+
+TEST(Offline, GroupsBySessionAndSortsByTime) {
+  std::vector<LogRecord> records = {
+      Rec("B", 30), Rec("A", 20), Rec("A", 10), Rec("B", 5), Rec("A", 15),
+  };
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records));
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].id, "A");
+  ASSERT_EQ(sessions[0].records.size(), 3u);
+  EXPECT_EQ(sessions[0].records[0].time, 10);
+  EXPECT_EQ(sessions[0].records[2].time, 20);
+  EXPECT_EQ(sessions[1].id, "B");
+  EXPECT_EQ(sessions[1].records.size(), 2u);
+}
+
+TEST(Offline, NoSplitWithoutInactivityOption) {
+  // A session idle for an hour still comes back as one piece: offline
+  // grouping has an unbounded horizon (§2.2).
+  std::vector<LogRecord> records = {Rec("A", 0),
+                                    Rec("A", 3600 * kNanosPerSecond)};
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].records.size(), 2u);
+  EXPECT_EQ(sessions[0].fragment_index, 0u);
+}
+
+TEST(Offline, InactivitySplitFragmentsAtLargeGaps) {
+  OfflineOptions options;
+  options.inactivity_split_ns = 5 * kNanosPerSecond;
+  std::vector<LogRecord> records = {
+      Rec("A", 0), Rec("A", 1 * kNanosPerSecond),
+      Rec("A", 20 * kNanosPerSecond),  // 19 s gap: split.
+      Rec("A", 22 * kNanosPerSecond),
+      Rec("A", 60 * kNanosPerSecond),  // 38 s gap: split.
+  };
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0].fragment_index, 0u);
+  EXPECT_EQ(sessions[0].records.size(), 2u);
+  EXPECT_EQ(sessions[1].fragment_index, 1u);
+  EXPECT_EQ(sessions[1].records.size(), 2u);
+  EXPECT_EQ(sessions[2].fragment_index, 2u);
+  EXPECT_EQ(sessions[2].records.size(), 1u);
+}
+
+TEST(Offline, GapExactlyAtThresholdDoesNotSplit) {
+  OfflineOptions options;
+  options.inactivity_split_ns = 10;
+  std::vector<LogRecord> records = {Rec("A", 0), Rec("A", 10), Rec("A", 21)};
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+  ASSERT_EQ(sessions.size(), 2u);  // Only the 11-unit gap splits.
+  EXPECT_EQ(sessions[0].records.size(), 2u);
+}
+
+TEST(Offline, EpochFieldsDerivedFromEventTimes) {
+  std::vector<LogRecord> records = {Rec("A", kNanosPerSecond / 2),
+                                    Rec("A", 5 * kNanosPerSecond)};
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].first_epoch, 0u);
+  EXPECT_EQ(sessions[0].last_epoch, 5u);
+}
+
+TEST(Offline, EmptyInputYieldsNoSessions) {
+  auto sessions = OfflineSessionizer::Sessionize({});
+  EXPECT_TRUE(sessions.empty());
+}
+
+}  // namespace
+}  // namespace ts

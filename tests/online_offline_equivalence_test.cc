@@ -1,0 +1,112 @@
+// Seed-parameterized equivalence property: the online pipeline (replayer ->
+// re-order buffer -> exchange -> sessionize) must reconstruct, record for
+// record, the sessions an offline epoch-granularity splitter derives from the
+// same trace — across random seeds, worker counts, and inactivity windows,
+// provided the re-order slack covers the replay delays.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/collectors.h"
+#include "src/core/sessionize.h"
+#include "src/offline/offline_sessionizer.h"
+#include "src/replay/ingest_driver.h"
+#include "src/timely/timely.h"
+
+namespace ts {
+namespace {
+
+// (seed, workers, inactivity_epochs)
+class OnlineOffline
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, Epoch>> {};
+
+TEST_P(OnlineOffline, SessionsMatchGroundTruth) {
+  const auto [seed, workers, inactivity] = GetParam();
+
+  GeneratorConfig gen;
+  gen.seed = seed;
+  gen.duration_ns = 7 * kNanosPerSecond;
+  gen.target_records_per_sec = 4'000;
+
+  // Ground truth from the raw trace.
+  std::map<std::string, std::multiset<size_t>> expected;
+  size_t expected_records = 0;
+  {
+    TraceGenerator g(gen);
+    std::vector<LogRecord> all;
+    Epoch e;
+    std::vector<LogRecord> batch;
+    while (g.NextEpoch(&e, &batch)) {
+      for (auto& r : batch) {
+        all.push_back(std::move(r));
+      }
+    }
+    expected_records = all.size();
+    for (const auto& s : OfflineSessionizer::Sessionize(std::move(all))) {
+      // Epoch-granularity splitter matching the online semantics.
+      size_t count = 1;
+      for (size_t i = 1; i < s.records.size(); ++i) {
+        const Epoch prev = static_cast<Epoch>(s.records[i - 1].time / kNanosPerSecond);
+        const Epoch cur = static_cast<Epoch>(s.records[i].time / kNanosPerSecond);
+        if (cur > prev + inactivity) {
+          expected[s.id].insert(count);
+          count = 0;
+        }
+        ++count;
+      }
+      expected[s.id].insert(count);
+    }
+  }
+
+  // Online pipeline through the full replay simulation.
+  ReplayerConfig replay;
+  replay.num_servers = 8;
+  replay.num_processes = 96;
+  replay.num_workers = workers;
+  replay.as_text = true;
+  replay.seed = seed + 1;
+  auto replayer = std::make_shared<Replayer>(replay, gen);
+
+  auto collector = std::make_shared<ConcurrentCollector<Session>>();
+  Computation::Options options;
+  options.workers = workers;
+  Computation::Run(options, [&, inactivity = inactivity](Scope& scope) {
+    auto [input, stream] = scope.NewInput<LogRecord>("logs");
+    SessionizeOptions sess;
+    sess.inactivity_epochs = inactivity;
+    auto [sessions, metrics] = Sessionize(scope, stream, sess);
+    CollectInto<Session>(scope, sessions, collector, "collect");
+    auto probe = scope.Probe(
+        scope.Map<Session, Unit>(sessions, "tail", [](Session) { return Unit{}; }),
+        "probe");
+    IngestDriver::Options ingest;
+    ingest.slack_ns = 2 * kNanosPerSecond;  // Covers all replay delays.
+    auto driver = std::make_shared<IngestDriver>(replayer.get(),
+                                                 scope.worker_index(), input, ingest);
+    driver->SetGate(probe);
+    scope.AddDriver([driver] { return driver->Step(); });
+  });
+
+  std::map<std::string, std::multiset<size_t>> got;
+  size_t got_records = 0;
+  for (const auto& s : collector->items()) {
+    got[s.id].insert(s.records.size());
+    got_records += s.records.size();
+  }
+  EXPECT_EQ(got_records, expected_records);
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OnlineOffline,
+    ::testing::Values(std::make_tuple(101, 1, 3), std::make_tuple(101, 2, 3),
+                      std::make_tuple(202, 3, 2), std::make_tuple(303, 2, 5),
+                      std::make_tuple(404, 4, 1), std::make_tuple(505, 2, 8)));
+
+}  // namespace
+}  // namespace ts

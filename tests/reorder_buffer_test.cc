@@ -1,0 +1,186 @@
+// Unit and property tests for the pigeonhole re-order buffer (§4.1).
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/reorder_buffer.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(EventTime t, int seq = 0) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = "S" + std::to_string(seq);
+  r.txn_id = *TxnId::Parse("1");
+  return r;
+}
+
+std::vector<EventTime> Times(const std::vector<LogRecord>& records) {
+  std::vector<EventTime> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.push_back(r.time);
+  }
+  return out;
+}
+
+TEST(ReorderBuffer, RestoresOrderWithinSlack) {
+  ReorderBuffer buf({.slack_ns = 100, .slot_width_ns = 10});
+  std::vector<LogRecord> out;
+  // Out-of-order input, all within slack of one another.
+  for (EventTime t : {50, 20, 70, 10, 60, 30}) {
+    buf.Push(Rec(t), &out);
+  }
+  EXPECT_TRUE(out.empty());  // Nothing beyond least+slack yet.
+  buf.FlushAll(&out);
+  EXPECT_EQ(Times(out), (std::vector<EventTime>{10, 20, 30, 50, 60, 70}));
+  EXPECT_EQ(buf.stats().accepted, 6u);
+  EXPECT_EQ(buf.stats().discarded_late, 0u);
+  EXPECT_EQ(buf.stats().emitted, 6u);
+}
+
+TEST(ReorderBuffer, AdvancingRecordFlushesOldSlots) {
+  ReorderBuffer buf({.slack_ns = 100, .slot_width_ns = 10});
+  std::vector<LogRecord> out;
+  buf.Push(Rec(5), &out);
+  buf.Push(Rec(15), &out);
+  EXPECT_TRUE(out.empty());
+  // t=250 advances the watermark to 150: everything below is released.
+  buf.Push(Rec(250), &out);
+  EXPECT_EQ(Times(out), (std::vector<EventTime>{5, 15}));
+  EXPECT_EQ(buf.watermark(), 150);
+}
+
+TEST(ReorderBuffer, DiscardsRecordsBelowWatermark) {
+  ReorderBuffer buf({.slack_ns = 100, .slot_width_ns = 10});
+  std::vector<LogRecord> out;
+  buf.Push(Rec(500), &out);
+  buf.Push(Rec(700), &out);  // Watermark -> 600.
+  buf.Push(Rec(100), &out);  // Far too late.
+  EXPECT_EQ(buf.stats().discarded_late, 1u);
+  buf.FlushAll(&out);
+  EXPECT_EQ(Times(out), (std::vector<EventTime>{500, 700}));
+}
+
+TEST(ReorderBuffer, FlushUpToReleasesCompletedSlotsOnly) {
+  ReorderBuffer buf({.slack_ns = 1000, .slot_width_ns = 10});
+  std::vector<LogRecord> out;
+  buf.Push(Rec(5), &out);
+  buf.Push(Rec(25), &out);
+  buf.Push(Rec(45), &out);
+  buf.FlushUpTo(30, &out);
+  EXPECT_EQ(Times(out), (std::vector<EventTime>{5, 25}));
+  EXPECT_EQ(buf.buffered_records(), 1u);
+  // Watermark advanced: a record at t=7 is now late.
+  buf.Push(Rec(7), &out);
+  EXPECT_EQ(buf.stats().discarded_late, 1u);
+}
+
+TEST(ReorderBuffer, TracksBufferedBytes) {
+  ReorderBuffer buf({.slack_ns = kNanosPerSecond, .slot_width_ns = kNanosPerMilli});
+  std::vector<LogRecord> out;
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+  buf.Push(Rec(100), &out);
+  buf.Push(Rec(200), &out);
+  const size_t with_two = buf.buffered_bytes();
+  EXPECT_GT(with_two, 0u);
+  buf.FlushAll(&out);
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+  EXPECT_EQ(buf.buffered_records(), 0u);
+}
+
+TEST(ReorderBuffer, StableOrderForEqualTimestamps) {
+  ReorderBuffer buf({.slack_ns = 100, .slot_width_ns = 10});
+  std::vector<LogRecord> out;
+  buf.Push(Rec(42, 1), &out);
+  buf.Push(Rec(42, 2), &out);
+  buf.Push(Rec(42, 3), &out);
+  buf.FlushAll(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].session_id, "S1");
+  EXPECT_EQ(out[1].session_id, "S2");
+  EXPECT_EQ(out[2].session_id, "S3");
+}
+
+// Property sweep: for random streams with bounded lateness <= slack, the
+// buffer must emit every record exactly once in nondecreasing time order with
+// zero drops; with lateness above slack, drops are exactly the too-late
+// arrivals and the output remains ordered.
+class ReorderProperty
+    : public ::testing::TestWithParam<std::tuple<EventTime, EventTime, EventTime>> {};
+
+TEST_P(ReorderProperty, OrderedLosslessWithinSlack) {
+  const auto [slack, slot, max_delay] = GetParam();
+  Rng rng(slack * 31 + slot * 7 + max_delay);
+  ReorderBuffer buf({.slack_ns = slack, .slot_width_ns = slot});
+
+  // Event times advance; arrival order = event order shuffled by delay.
+  constexpr int kN = 5000;
+  std::vector<std::pair<EventTime, EventTime>> arrivals;  // (arrival, event).
+  EventTime t = 0;
+  for (int i = 0; i < kN; ++i) {
+    t += static_cast<EventTime>(rng.NextBelow(50)) + 1;
+    const EventTime delay = static_cast<EventTime>(rng.NextBelow(
+        static_cast<uint64_t>(max_delay) + 1));
+    arrivals.emplace_back(t + delay, t);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<LogRecord> out;
+  for (const auto& [arrival, event] : arrivals) {
+    buf.Push(Rec(event), &out);
+  }
+  buf.FlushAll(&out);
+
+  // Output ordered.
+  for (size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].time, out[i].time) << "at " << i;
+  }
+  // Conservation.
+  EXPECT_EQ(buf.stats().emitted + 0u, out.size());
+  EXPECT_EQ(buf.stats().accepted + buf.stats().discarded_late,
+            static_cast<uint64_t>(kN));
+  if (max_delay <= slack) {
+    // Bounded lateness within slack: lossless.
+    EXPECT_EQ(buf.stats().discarded_late, 0u);
+    EXPECT_EQ(out.size(), static_cast<size_t>(kN));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlackSweep, ReorderProperty,
+    ::testing::Values(
+        std::make_tuple<EventTime, EventTime, EventTime>(1000, 10, 0),
+        std::make_tuple<EventTime, EventTime, EventTime>(1000, 10, 500),
+        std::make_tuple<EventTime, EventTime, EventTime>(1000, 10, 1000),
+        std::make_tuple<EventTime, EventTime, EventTime>(1000, 100, 900),
+        std::make_tuple<EventTime, EventTime, EventTime>(1000, 1000, 900),
+        std::make_tuple<EventTime, EventTime, EventTime>(500, 7, 2000),
+        std::make_tuple<EventTime, EventTime, EventTime>(100, 10, 5000),
+        std::make_tuple<EventTime, EventTime, EventTime>(10000, 100, 9999)));
+
+// Memory grows with slack: a larger window buffers proportionally more input
+// (the Figure 8 relationship) for delay-free, steady-rate input.
+TEST(ReorderBuffer, BufferedBytesGrowWithSlack) {
+  size_t prev_peak = 0;
+  for (EventTime slack : {1000, 2000, 4000}) {
+    ReorderBuffer buf(
+        {.slack_ns = slack, .slot_width_ns = 10});
+    std::vector<LogRecord> out;
+    size_t peak = 0;
+    for (EventTime t = 0; t < 20000; t += 2) {
+      buf.Push(Rec(t), &out);
+      peak = std::max(peak, buf.buffered_bytes());
+      out.clear();
+    }
+    EXPECT_GT(peak, prev_peak);
+    prev_peak = peak;
+  }
+}
+
+}  // namespace
+}  // namespace ts

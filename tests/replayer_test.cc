@@ -1,0 +1,192 @@
+// Tests for the log-pipeline simulator: conservation of records across workers
+// and epochs, arrival-time sanity, reordering characteristics, and stream
+// termination.
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/log/wire_format.h"
+#include "src/replay/replayer.h"
+
+namespace ts {
+namespace {
+
+GeneratorConfig SmallGen() {
+  GeneratorConfig config;
+  config.seed = 77;
+  config.duration_ns = 8 * kNanosPerSecond;
+  config.target_records_per_sec = 5'000;
+  return config;
+}
+
+ReplayerConfig SmallReplay(size_t workers) {
+  ReplayerConfig config;
+  config.num_servers = 6;
+  config.num_processes = 64;
+  config.num_workers = workers;
+  config.as_text = false;
+  return config;
+}
+
+// Drains a worker's arrival stream completely; returns per-epoch arrivals.
+std::map<Epoch, std::vector<Arrival>> DrainWorker(Replayer& replayer, size_t worker) {
+  std::map<Epoch, std::vector<Arrival>> out;
+  std::vector<Arrival> arrivals;
+  for (Epoch e = 0;; ++e) {
+    const auto fetch = replayer.ArrivalsFor(worker, e, &arrivals);
+    if (fetch == Replayer::Fetch::kEndOfStream) {
+      break;
+    }
+    if (!arrivals.empty()) {
+      out[e] = std::move(arrivals);
+    }
+    if (e >= 10'000u) {
+      ADD_FAILURE() << "stream never terminated";
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(Replayer, ConservesEveryGeneratedRecordExactlyOnce) {
+  const GeneratorConfig gen = SmallGen();
+  // Reference: count records straight from an identical generator.
+  uint64_t expected = 0;
+  {
+    TraceGenerator direct(gen);
+    Epoch e;
+    std::vector<LogRecord> r;
+    while (direct.NextEpoch(&e, &r)) {
+      expected += r.size();
+    }
+  }
+
+  Replayer replayer(SmallReplay(3), gen);
+  uint64_t got = 0;
+  for (size_t w = 0; w < 3; ++w) {
+    std::map<Epoch, std::vector<Arrival>> stream;
+    std::vector<Arrival> arrivals;
+    for (Epoch e = 0;; ++e) {
+      if (replayer.ArrivalsFor(w, e, &arrivals) == Replayer::Fetch::kEndOfStream) {
+        break;
+      }
+      got += arrivals.size();
+    }
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(replayer.stats().records, expected);
+}
+
+TEST(Replayer, ArrivalsRespectCausalityAndBucketing) {
+  Replayer replayer(SmallReplay(2), SmallGen());
+  for (size_t w = 0; w < 2; ++w) {
+    // Re-create per worker since DrainWorker consumes.
+    ;
+  }
+  auto stream0 = DrainWorker(replayer, 0);
+  auto stream1 = DrainWorker(replayer, 1);
+  for (const auto* stream : {&stream0, &stream1}) {
+    for (const auto& [epoch, arrivals] : *stream) {
+      for (size_t i = 0; i < arrivals.size(); ++i) {
+        const Arrival& a = arrivals[i];
+        // Bucketed correctly and sorted by arrival.
+        EXPECT_EQ(static_cast<Epoch>(a.arrival_ns / kNanosPerSecond), epoch);
+        if (i > 0) {
+          EXPECT_GE(a.arrival_ns, arrivals[i - 1].arrival_ns);
+        }
+        // A record cannot arrive before it was produced.
+        EXPECT_GE(a.arrival_ns, a.record.time);
+      }
+    }
+  }
+}
+
+TEST(Replayer, BatchFlushingReordersEventTimes) {
+  Replayer replayer(SmallReplay(1), SmallGen());
+  auto stream = DrainWorker(replayer, 0);
+  uint64_t inversions = 0;
+  uint64_t total = 0;
+  EventTime prev = -1;
+  for (const auto& [epoch, arrivals] : stream) {
+    for (const auto& a : arrivals) {
+      if (a.record.time < prev) {
+        ++inversions;
+      }
+      prev = a.record.time;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 10'000u);
+  // Multiplexing many processes with batched flushing must reorder a
+  // substantial fraction of the stream — that is why TS needs the re-order
+  // buffer at all.
+  EXPECT_GT(inversions, total / 100);
+}
+
+TEST(Replayer, TextModeEmitsParseableWireFormat) {
+  ReplayerConfig config = SmallReplay(1);
+  config.as_text = true;
+  GeneratorConfig gen = SmallGen();
+  gen.duration_ns = 2 * kNanosPerSecond;
+  Replayer replayer(config, gen);
+  auto stream = DrainWorker(replayer, 0);
+  uint64_t parsed_ok = 0;
+  for (const auto& [epoch, arrivals] : stream) {
+    for (const auto& a : arrivals) {
+      ASSERT_FALSE(a.line.empty());
+      auto parsed = ParseWireFormat(a.line);
+      ASSERT_TRUE(parsed.has_value()) << a.line;
+      ++parsed_ok;
+    }
+  }
+  EXPECT_GT(parsed_ok, 1'000u);
+}
+
+TEST(Replayer, ArrivalDelaysAreMostlySmallWithBoundedTail) {
+  Replayer replayer(SmallReplay(1), SmallGen());
+  auto stream = DrainWorker(replayer, 0);
+  (void)stream;
+  auto& delays = const_cast<SampleSet&>(replayer.stats().arrival_delays_ms);
+  ASSERT_GT(delays.count(), 100u);
+  // Median delay around half the mean flush interval (tens of ms), never huge
+  // without straggler injection.
+  EXPECT_LT(delays.Median(), 200.0);
+  EXPECT_LT(delays.Max(), 2'000.0);
+}
+
+TEST(Replayer, StragglerInjectionProducesLateArrivals) {
+  ReplayerConfig config = SmallReplay(1);
+  config.straggler_prob = 0.001;
+  config.straggler_max_ns = 30 * kNanosPerSecond;
+  Replayer replayer(config, SmallGen());
+  auto stream = DrainWorker(replayer, 0);
+  (void)stream;
+  EXPECT_GT(replayer.stats().stragglers, 0u);
+  auto& delays = const_cast<SampleSet&>(replayer.stats().arrival_delays_ms);
+  EXPECT_GT(delays.Max(), 1'000.0);  // At least one second-scale delay sampled.
+}
+
+TEST(Replayer, WorkerPartitionIsDisjointAndStable) {
+  // The same (host, service) always lands on the same worker: per-process
+  // streams are never split.
+  Replayer replayer(SmallReplay(4), SmallGen());
+  std::map<std::pair<uint32_t, uint32_t>, size_t> owner;
+  for (size_t w = 0; w < 4; ++w) {
+    auto stream = DrainWorker(replayer, w);
+    for (const auto& [epoch, arrivals] : stream) {
+      for (const auto& a : arrivals) {
+        const auto key = std::make_pair(a.record.host, a.record.service);
+        auto [it, inserted] = owner.emplace(key, w);
+        if (!inserted) {
+          EXPECT_EQ(it->second, w) << "host/service stream split across workers";
+        }
+      }
+    }
+  }
+  EXPECT_GT(owner.size(), 10u);
+}
+
+}  // namespace
+}  // namespace ts

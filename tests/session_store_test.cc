@@ -1,0 +1,126 @@
+// Tests for the bounded session store behind the query interface (Figure 2).
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/session_store.h"
+
+namespace ts {
+namespace {
+
+Session MakeSession(const std::string& id, EventTime start_ms, EventTime end_ms,
+                    std::vector<uint32_t> services, uint32_t fragment = 0) {
+  Session s;
+  s.id = id;
+  s.fragment_index = fragment;
+  EventTime t = start_ms * kNanosPerMilli;
+  const EventTime step =
+      services.empty() ? 0
+                       : (end_ms - start_ms) * kNanosPerMilli /
+                             static_cast<EventTime>(services.size() + 1);
+  for (uint32_t svc : services) {
+    LogRecord r;
+    r.time = t;
+    r.session_id = id;
+    r.txn_id = *TxnId::Parse("1");
+    r.service = svc;
+    s.records.push_back(std::move(r));
+    t += step;
+  }
+  // Ensure the extent reaches end_ms.
+  if (!s.records.empty()) {
+    s.records.back().time = end_ms * kNanosPerMilli;
+  }
+  return s;
+}
+
+TEST(SessionStore, InsertAndGetById) {
+  SessionStore store;
+  store.Insert(MakeSession("A", 0, 10, {1, 2}));
+  store.Insert(MakeSession("B", 5, 20, {2}));
+  auto a = store.GetById("A");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->records.size(), 2u);
+  EXPECT_FALSE(store.GetById("C").has_value());
+  EXPECT_FALSE(store.GetById("A", /*fragment=*/1).has_value());
+  EXPECT_EQ(store.stats().sessions, 2u);
+  EXPECT_EQ(store.stats().inserted, 2u);
+}
+
+TEST(SessionStore, FragmentsStoredSeparatelyAndListed) {
+  SessionStore store;
+  store.Insert(MakeSession("A", 0, 10, {1}, 0));
+  store.Insert(MakeSession("A", 100, 110, {1}, 1));
+  auto fragments = store.GetAllFragments("A");
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0].fragment_index, 0u);
+  EXPECT_EQ(fragments[1].fragment_index, 1u);
+  EXPECT_TRUE(store.GetById("A", 1).has_value());
+}
+
+TEST(SessionStore, QueryByServiceNewestFirstWithLimit) {
+  SessionStore store;
+  store.Insert(MakeSession("A", 0, 10, {7}));
+  store.Insert(MakeSession("B", 10, 20, {7, 8}));
+  store.Insert(MakeSession("C", 20, 30, {8}));
+  auto with7 = store.QueryByService(7, 10);
+  ASSERT_EQ(with7.size(), 2u);
+  EXPECT_EQ(with7[0].id, "B");  // Newest first.
+  EXPECT_EQ(with7[1].id, "A");
+  EXPECT_EQ(store.QueryByService(7, 1).size(), 1u);
+  EXPECT_TRUE(store.QueryByService(99, 10).empty());
+}
+
+TEST(SessionStore, QueryByTimeRangeIntersectsExtents) {
+  SessionStore store;
+  store.Insert(MakeSession("A", 0, 10, {1}));
+  store.Insert(MakeSession("B", 5, 25, {1}));
+  store.Insert(MakeSession("C", 30, 40, {1}));
+  auto hits = store.QueryByTimeRange(8 * kNanosPerMilli, 28 * kNanosPerMilli, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, "A");
+  EXPECT_EQ(hits[1].id, "B");
+  // A range after everything.
+  EXPECT_TRUE(store.QueryByTimeRange(100 * kNanosPerMilli,
+                                     200 * kNanosPerMilli, 10)
+                  .empty());
+}
+
+TEST(SessionStore, EvictsOldestWhenOverBudget) {
+  SessionStore::Options options;
+  options.max_bytes = 4096;
+  SessionStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(MakeSession("S" + std::to_string(i), i * 10, i * 10 + 5, {1, 2, 3}));
+  }
+  const auto stats = store.stats();
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_LE(stats.bytes, 4096u + 2048u);  // Budget plus one entry of slack.
+  // Oldest evicted, newest retained.
+  EXPECT_FALSE(store.GetById("S0").has_value());
+  EXPECT_TRUE(store.GetById("S99").has_value());
+  // Indexes stay consistent after eviction.
+  auto by_service = store.QueryByService(2, 1000);
+  EXPECT_EQ(by_service.size(), stats.sessions);
+}
+
+TEST(SessionStore, ConcurrentInsertAndQuery) {
+  SessionStore store;
+  std::thread writer([&] {
+    for (int i = 0; i < 500; ++i) {
+      store.Insert(MakeSession("W" + std::to_string(i), i, i + 1, {1}));
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 500; ++i) {
+      (void)store.QueryByService(1, 5);
+      (void)store.QueryByTimeRange(0, 1'000'000'000, 5);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(store.stats().inserted, 500u);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,173 @@
+// Tests for the clock-skew estimator (§2.3 extension): recovering injected
+// per-host offsets from parent-child span-start observations.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/skew_estimator.h"
+#include "src/core/trace_tree.h"
+#include "src/offline/offline_sessionizer.h"
+#include "src/workload/generator.h"
+
+namespace ts {
+namespace {
+
+TEST(SkewEstimator, PairwiseMinConvergesToOffsetDelta) {
+  ClockSkewEstimator estimator;
+  // True offsets: host 0 -> 0, host 1 -> +5ms. Child on host 1, parent on
+  // host 0: observed delta = true latency (>=0) + 5ms.
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t latency = static_cast<int64_t>(rng.NextBelow(2'000'000));
+    estimator.ObservePair(0, 1, latency + 5'000'000);
+  }
+  auto offsets = estimator.EstimateOffsets();
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets.at(0), 0);
+  // Min latency over 500 draws is close to 0 -> estimate close to 5ms.
+  EXPECT_NEAR(static_cast<double>(offsets.at(1)), 5e6, 1e5);
+}
+
+TEST(SkewEstimator, PropagatesThroughConstraintGraph) {
+  ClockSkewEstimator estimator;
+  // Chain: 0 -> 1 (+2ms), 1 -> 2 (-3ms). No direct 0 -> 2 observations.
+  estimator.ObservePair(0, 1, 2'000'000);
+  estimator.ObservePair(1, 2, -3'000'000);
+  auto offsets = estimator.EstimateOffsets();
+  EXPECT_EQ(offsets.at(0), 0);
+  EXPECT_EQ(offsets.at(1), 2'000'000);
+  EXPECT_EQ(offsets.at(2), -1'000'000);
+}
+
+TEST(SkewEstimator, SameHostObservationsAreIgnored) {
+  ClockSkewEstimator estimator;
+  estimator.ObservePair(3, 3, 1'000'000);
+  EXPECT_EQ(estimator.observations(), 0u);
+  EXPECT_TRUE(estimator.EstimateOffsets().empty());
+}
+
+TEST(SkewEstimator, CorrectRecordSubtractsOffset) {
+  std::unordered_map<uint32_t, int64_t> offsets = {{7, 5'000}};
+  LogRecord r;
+  r.host = 7;
+  r.time = 10'000;
+  ClockSkewEstimator::CorrectRecord(offsets, &r);
+  EXPECT_EQ(r.time, 5'000);
+  LogRecord unknown;
+  unknown.host = 9;
+  unknown.time = 10'000;
+  ClockSkewEstimator::CorrectRecord(offsets, &unknown);
+  EXPECT_EQ(unknown.time, 10'000);  // No estimate: untouched.
+}
+
+// Ground truth: estimated offsets must track the generator's injected skew
+// (up to a per-component constant) far more tightly than the skew magnitude.
+TEST(SkewEstimator, ResidualErrorWellBelowInjectedSkew) {
+  GeneratorConfig config;
+  config.seed = 3;
+  config.duration_ns = 10 * kNanosPerSecond;
+  config.target_records_per_sec = 8'000;
+  config.clock_skew_sigma_ns = 3 * kNanosPerMilli;
+  TraceGenerator gen(config);
+  std::vector<LogRecord> all;
+  Epoch epoch;
+  std::vector<LogRecord> batch;
+  while (gen.NextEpoch(&epoch, &batch)) {
+    for (auto& r : batch) {
+      all.push_back(std::move(r));
+    }
+  }
+  const auto& truth = gen.host_skew();
+
+  ClockSkewEstimator estimator;
+  for (const auto& s : OfflineSessionizer::Sessionize(all)) {
+    for (const auto& tree : TraceTree::FromSession(s)) {
+      estimator.ObserveTree(tree);
+    }
+  }
+  auto offsets = estimator.EstimateOffsets();
+  ASSERT_GT(offsets.size(), 50u);
+
+  // Gauge freedom: compare up to the mean difference.
+  double mean_diff = 0;
+  for (const auto& [host, offset] : offsets) {
+    mean_diff += static_cast<double>(offset - truth[host]);
+  }
+  mean_diff /= static_cast<double>(offsets.size());
+  double rms = 0;
+  for (const auto& [host, offset] : offsets) {
+    const double r = static_cast<double>(offset - truth[host]) - mean_diff;
+    rms += r * r;
+  }
+  rms = std::sqrt(rms / static_cast<double>(offsets.size()));
+  // Residual error at least ~5x below the injected 3ms skew.
+  EXPECT_LT(rms, 0.6e6) << "rms residual " << rms / 1e6 << " ms";
+}
+
+// End-to-end: inject per-host skew in the generator, reconstruct trees,
+// estimate offsets, and verify the correction removes most causality
+// anomalies.
+TEST(SkewEstimator, RecoversInjectedSkewFromGeneratedTrace) {
+  GeneratorConfig config;
+  config.seed = 3;
+  config.duration_ns = 10 * kNanosPerSecond;
+  config.target_records_per_sec = 8'000;
+  config.clock_skew_sigma_ns = 3 * kNanosPerMilli;
+  TraceGenerator gen(config);
+  std::vector<LogRecord> all;
+  Epoch epoch;
+  std::vector<LogRecord> batch;
+  while (gen.NextEpoch(&epoch, &batch)) {
+    for (auto& r : batch) {
+      all.push_back(std::move(r));
+    }
+  }
+
+  auto CountAnomalies = [](const std::vector<LogRecord>& records) {
+    auto sessions = OfflineSessionizer::Sessionize(records);
+    size_t anomalies = 0;
+    size_t cross_host_edges = 0;
+    ClockSkewEstimator est;
+    for (const auto& s : sessions) {
+      for (const auto& tree : TraceTree::FromSession(s)) {
+        est.ObserveTree(tree);
+        for (const auto& n : tree.nodes()) {
+          if (n.parent < 0 || n.inferred || tree.nodes()[n.parent].inferred) {
+            continue;
+          }
+          if (n.host != tree.nodes()[n.parent].host) {
+            ++cross_host_edges;
+            if (n.start < tree.nodes()[n.parent].start) {
+              ++anomalies;
+            }
+          }
+        }
+      }
+    }
+    return std::make_tuple(anomalies, cross_host_edges, est);
+  };
+
+  auto [before, edges, estimator] = CountAnomalies(all);
+  ASSERT_GT(edges, 1'000u);
+  ASSERT_GT(before, 0u) << "skew injection should cause causality anomalies";
+
+  // Correct all records with the estimated offsets and re-measure.
+  auto offsets = estimator.EstimateOffsets();
+  ASSERT_GT(offsets.size(), 10u);
+  std::vector<LogRecord> corrected = all;
+  for (auto& r : corrected) {
+    ClockSkewEstimator::CorrectRecord(offsets, &r);
+  }
+  auto [after, edges2, est2] = CountAnomalies(corrected);
+  (void)edges2;
+  (void)est2;
+  // The estimator is anchored per connected component, so residual anomalies
+  // can remain, but the bulk must be gone.
+  EXPECT_LT(after, before / 4)
+      << "correction should remove most causality anomalies (before=" << before
+      << ")";
+}
+
+}  // namespace
+}  // namespace ts

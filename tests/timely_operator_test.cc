@@ -1,0 +1,224 @@
+// Unit tests for the operator-level machinery: output staging and routing,
+// notificator semantics, exchange hubs, and the input-session protocol.
+#include <gtest/gtest.h>
+
+#include "src/timely/operator.h"
+#include "src/timely/runtime.h"
+
+namespace ts {
+namespace {
+
+TEST(ExchangeHub, SendDrainPerDestination) {
+  ExchangeHub<int> hub(3);
+  hub.Send(1, 0, {1, 2});
+  hub.Send(1, 1, {3});
+  hub.Send(2, 0, {4});
+
+  std::vector<Batch<int>> got;
+  EXPECT_FALSE(hub.Drain(0, got));
+  EXPECT_TRUE(hub.Drain(1, got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].epoch, 0u);
+  EXPECT_EQ(got[0].data, (std::vector<int>{1, 2}));
+  EXPECT_EQ(got[1].epoch, 1u);
+
+  got.clear();
+  EXPECT_TRUE(hub.Drain(2, got));
+  ASSERT_EQ(got.size(), 1u);
+  // A second drain finds nothing.
+  got.clear();
+  EXPECT_FALSE(hub.Drain(2, got));
+}
+
+TEST(SharedRuntime, HubTypeChecked) {
+  SharedRuntime rt(2);
+  auto* h1 = rt.Hub<int>(0);
+  auto* h2 = rt.Hub<int>(0);
+  EXPECT_EQ(h1, h2);  // Same edge -> same hub.
+  EXPECT_NE(rt.Hub<int>(1), h1);
+  EXPECT_DEATH(rt.Hub<double>(0), "different record type");
+}
+
+TEST(SharedRuntime, ProgressBroadcastSkipsSender) {
+  SharedRuntime rt(3);
+  ProgressBatch batch;
+  batch.Add(0, 1, +1);
+  rt.BroadcastProgress(/*from=*/1, batch);
+
+  std::vector<ProgressBatch> got;
+  EXPECT_FALSE(rt.DrainProgress(1, got));  // Sender does not receive its own.
+  EXPECT_TRUE(rt.DrainProgress(0, got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].deltas.size(), 1u);
+  got.clear();
+  EXPECT_TRUE(rt.DrainProgress(2, got));
+  EXPECT_EQ(rt.counters().progress_batches.load(), 2u);
+  EXPECT_EQ(rt.counters().progress_deltas.load(), 2u);
+}
+
+struct OutputFixture {
+  SharedRuntime rt{2};
+  RuntimeCounters counters;
+  ExchangeHub<int> pipeline_hub{2};
+  ExchangeHub<int> routed_hub{2};
+
+  OutputSession<int> MakeSession(size_t self) {
+    OutputSession<int> out(self, 2, &counters);
+    return out;
+  }
+};
+
+TEST(OutputSession, PipelineTargetStaysOnWorker) {
+  OutputFixture f;
+  auto out = f.MakeSession(/*self=*/1);
+  out.AddTarget(OutputTarget<int>{&f.pipeline_hub, 0, /*msg_loc=*/10, nullptr});
+  out.Give(3, 42);
+  out.GiveVec(3, {7, 8});
+  ProgressBatch deltas;
+  out.Flush(deltas);
+
+  // One batch at epoch 3, accounted once, delivered to worker 1 only.
+  ASSERT_EQ(deltas.deltas.size(), 1u);
+  EXPECT_EQ(deltas.deltas[0].loc, 10);
+  EXPECT_EQ(deltas.deltas[0].epoch, 3u);
+  EXPECT_EQ(deltas.deltas[0].delta, 1);
+  std::vector<Batch<int>> got;
+  EXPECT_FALSE(f.pipeline_hub.Drain(0, got));
+  EXPECT_TRUE(f.pipeline_hub.Drain(1, got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].data, (std::vector<int>{42, 7, 8}));
+  EXPECT_EQ(f.counters.records_exchanged.load(), 0u);  // Pipeline edge.
+}
+
+TEST(OutputSession, RoutedTargetPartitionsByHash) {
+  OutputFixture f;
+  auto out = f.MakeSession(0);
+  out.AddTarget(OutputTarget<int>{&f.routed_hub, 1, /*msg_loc=*/11,
+                                  [](const int& v) { return static_cast<uint64_t>(v); }});
+  for (int v = 0; v < 10; ++v) {
+    out.Give(0, v);
+  }
+  ProgressBatch deltas;
+  out.Flush(deltas);
+  ASSERT_EQ(deltas.deltas.size(), 2u);  // One batch per destination worker.
+
+  std::vector<Batch<int>> even, odd;
+  ASSERT_TRUE(f.routed_hub.Drain(0, even));
+  ASSERT_TRUE(f.routed_hub.Drain(1, odd));
+  EXPECT_EQ(even[0].data, (std::vector<int>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(odd[0].data, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(f.counters.records_exchanged.load(), 10u);
+}
+
+TEST(OutputSession, FanOutCopiesToEveryTarget) {
+  OutputFixture f;
+  ExchangeHub<int> second{2};
+  auto out = f.MakeSession(0);
+  out.AddTarget(OutputTarget<int>{&f.pipeline_hub, 0, 10, nullptr});
+  out.AddTarget(OutputTarget<int>{&second, 2, 12, nullptr});
+  out.Give(1, 99);
+  ProgressBatch deltas;
+  out.Flush(deltas);
+  EXPECT_EQ(deltas.deltas.size(), 2u);
+
+  std::vector<Batch<int>> a, b;
+  ASSERT_TRUE(f.pipeline_hub.Drain(0, a));
+  ASSERT_TRUE(second.Drain(0, b));
+  EXPECT_EQ(a[0].data, b[0].data);
+}
+
+TEST(OutputSession, SeparateEpochsSeparateBatches) {
+  OutputFixture f;
+  auto out = f.MakeSession(0);
+  out.AddTarget(OutputTarget<int>{&f.pipeline_hub, 0, 10, nullptr});
+  out.Give(1, 1);
+  out.Give(2, 2);
+  out.Give(1, 11);
+  ProgressBatch deltas;
+  out.Flush(deltas);
+  EXPECT_EQ(deltas.deltas.size(), 2u);
+  std::vector<Batch<int>> got;
+  ASSERT_TRUE(f.pipeline_hub.Drain(0, got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].epoch, 1u);
+  EXPECT_EQ(got[0].data, (std::vector<int>{1, 11}));
+  EXPECT_EQ(got[1].epoch, 2u);
+}
+
+TEST(Notificator, DeduplicatesAndAccountsCapabilities) {
+  NotificatorHandle n;
+  n.NotifyAt(4);
+  n.NotifyAt(4);
+  n.NotifyAt(2);
+  ProgressBatch deltas;
+  n.FlushRequests(/*cap_loc=*/5, deltas);
+  // Two distinct epochs -> two capability retentions.
+  ASSERT_EQ(deltas.deltas.size(), 2u);
+  for (const auto& d : deltas.deltas) {
+    EXPECT_EQ(d.loc, 5);
+    EXPECT_EQ(d.delta, 1);
+  }
+  // Re-flushing adds nothing.
+  deltas.clear();
+  n.FlushRequests(5, deltas);
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(Notificator, DeliversInEpochOrderUpToFrontier) {
+  NotificatorHandle n;
+  n.NotifyAt(3);
+  n.NotifyAt(1);
+  n.NotifyAt(7);
+  ProgressBatch deltas;
+  n.FlushRequests(5, deltas);
+  deltas.clear();
+
+  std::vector<Epoch> fired;
+  n.Deliver(Frontier::At(4), 5, deltas, [&](Epoch e) { fired.push_back(e); });
+  EXPECT_EQ(fired, (std::vector<Epoch>{1, 3}));
+  // Capability drops accounted for the fired epochs.
+  ASSERT_EQ(deltas.deltas.size(), 2u);
+  EXPECT_EQ(deltas.deltas[0].epoch, 1u);
+  EXPECT_EQ(deltas.deltas[0].delta, -1);
+  EXPECT_TRUE(n.has_pending());  // Epoch 7 still waiting.
+
+  fired.clear();
+  deltas.clear();
+  n.Deliver(Frontier::Done(), 5, deltas, [&](Epoch e) { fired.push_back(e); });
+  EXPECT_EQ(fired, (std::vector<Epoch>{7}));
+  EXPECT_FALSE(n.has_pending());
+}
+
+TEST(InputOperator, ProtocolViolationsAbort) {
+  RuntimeCounters counters;
+  InputOperator<int> input(/*node_id=*/0, /*cap_loc=*/0, 0, 1, &counters);
+  input.AdvanceTo(2);
+  EXPECT_DEATH(input.AdvanceTo(2), "monotonically");
+  EXPECT_DEATH(input.AdvanceTo(1), "monotonically");
+  input.Close();
+  EXPECT_DEATH(input.Give(1), "after Close");
+}
+
+TEST(InputOperator, CapabilityMovesArePublishedOnWork) {
+  RuntimeCounters counters;
+  ExchangeHub<int> hub(1);
+  InputOperator<int> input(0, /*cap_loc=*/7, 0, 1, &counters);
+  input.AddTarget(OutputTarget<int>{&hub, 0, /*msg_loc=*/9, nullptr});
+
+  input.Give(5);
+  input.AdvanceTo(3);
+  ProgressBatch deltas;
+  input.Work(deltas);
+  // Data increment must precede the capability drop within the batch.
+  ASSERT_EQ(deltas.deltas.size(), 3u);
+  EXPECT_EQ(deltas.deltas[0].loc, 9);
+  EXPECT_EQ(deltas.deltas[0].delta, 1);
+  EXPECT_EQ(deltas.deltas[1].loc, 7);
+  EXPECT_EQ(deltas.deltas[1].epoch, 0u);
+  EXPECT_EQ(deltas.deltas[1].delta, -1);
+  EXPECT_EQ(deltas.deltas[2].epoch, 3u);
+  EXPECT_EQ(deltas.deltas[2].delta, 1);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,222 @@
+// Unit tests for the progress-tracking machinery: topology reachability,
+// pointstamp accounting, frontier computation, and safety under out-of-order
+// delta application.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/timely/frontier.h"
+#include "src/timely/progress.h"
+#include "src/timely/topology.h"
+
+namespace ts {
+namespace {
+
+TEST(Frontier, BeyondAndMin) {
+  const Frontier at5 = Frontier::At(5);
+  EXPECT_FALSE(at5.done());
+  EXPECT_TRUE(at5.Beyond(4));
+  EXPECT_FALSE(at5.Beyond(5));
+  EXPECT_FALSE(at5.Beyond(6));
+
+  const Frontier done = Frontier::Done();
+  EXPECT_TRUE(done.done());
+  EXPECT_TRUE(done.Beyond(0));
+  EXPECT_TRUE(done.Beyond(1'000'000));
+
+  EXPECT_EQ(Frontier::Min(at5, Frontier::At(3)), Frontier::At(3));
+  EXPECT_EQ(Frontier::Min(at5, done), at5);
+  EXPECT_EQ(Frontier::Min(done, done), done);
+}
+
+// Builds the linear graph input(0) -> op(1) -> sink(2).
+struct LinearGraph {
+  Topology topo;
+  int input, op, sink;
+  int e01, e12;
+
+  LinearGraph() {
+    input = topo.AddNode("input", /*is_input=*/true);
+    op = topo.AddNode("op", false);
+    sink = topo.AddNode("sink", false);
+    e01 = topo.AddEdge(input, op, /*exchanged=*/true);
+    e12 = topo.AddEdge(op, sink, false);
+    topo.Finalize();
+  }
+};
+
+TEST(Topology, ReachabilityIncludesUpstreamCapsAndMessages) {
+  LinearGraph g;
+  const auto& nodes = g.topo.nodes();
+  const auto& edges = g.topo.edges();
+
+  // Everything upstream of e12 can still produce messages on it:
+  // input cap, e01 messages, op cap, and e12 itself.
+  const auto& reach12 = g.topo.ReachingEdge(g.e12);
+  auto contains = [&](int loc) {
+    return std::find(reach12.begin(), reach12.end(), loc) != reach12.end();
+  };
+  EXPECT_TRUE(contains(nodes[g.input].cap_loc));
+  EXPECT_TRUE(contains(edges[g.e01].msg_loc));
+  EXPECT_TRUE(contains(nodes[g.op].cap_loc));
+  EXPECT_TRUE(contains(edges[g.e12].msg_loc));
+  // The sink's own capability cannot reach its input (acyclic).
+  EXPECT_FALSE(contains(nodes[g.sink].cap_loc));
+
+  // e01 is not reachable from op's capability (downstream of it).
+  const auto& reach01 = g.topo.ReachingEdge(g.e01);
+  EXPECT_EQ(std::count(reach01.begin(), reach01.end(), nodes[g.op].cap_loc), 0);
+  EXPECT_EQ(std::count(reach01.begin(), reach01.end(), nodes[g.input].cap_loc), 1);
+}
+
+TEST(Topology, RejectsBackEdges) {
+  Topology topo;
+  const int a = topo.AddNode("a", true);
+  const int b = topo.AddNode("b", false);
+  topo.AddEdge(a, b, false);
+  EXPECT_DEATH(topo.AddEdge(b, a, false), "acyclic");
+}
+
+TEST(Progress, InputCapabilityHoldsFrontier) {
+  LinearGraph g;
+  ProgressTracker tracker(&g.topo);
+  tracker.InitializeCapability(g.topo.nodes()[g.input].cap_loc, 2);
+
+  // Both downstream edges see epoch 0 as pending.
+  EXPECT_EQ(tracker.EdgeFrontier(g.e01), Frontier::At(0));
+  EXPECT_EQ(tracker.EdgeFrontier(g.e12), Frontier::At(0));
+  EXPECT_FALSE(tracker.AllZero());
+
+  // One worker advances its input to epoch 3; the other still holds 0.
+  ProgressBatch batch;
+  batch.Add(g.topo.nodes()[g.input].cap_loc, 0, -1);
+  batch.Add(g.topo.nodes()[g.input].cap_loc, 3, +1);
+  tracker.Apply(batch);
+  EXPECT_EQ(tracker.EdgeFrontier(g.e12), Frontier::At(0));
+
+  // Second worker advances too: frontier moves to 3.
+  tracker.Apply(batch);
+  EXPECT_EQ(tracker.EdgeFrontier(g.e12), Frontier::At(3));
+
+  // Both close: all clear.
+  ProgressBatch close;
+  close.Add(g.topo.nodes()[g.input].cap_loc, 3, -2);
+  tracker.Apply(close);
+  EXPECT_TRUE(tracker.AllZero());
+  EXPECT_EQ(tracker.EdgeFrontier(g.e12), Frontier::Done());
+}
+
+TEST(Progress, MessagesHoldDownstreamFrontier) {
+  LinearGraph g;
+  ProgressTracker tracker(&g.topo);
+  tracker.InitializeCapability(g.topo.nodes()[g.input].cap_loc, 1);
+
+  // Input sends a batch at epoch 0 and advances to epoch 5.
+  ProgressBatch batch;
+  batch.Add(g.topo.edges()[g.e01].msg_loc, 0, +1);
+  batch.Add(g.topo.nodes()[g.input].cap_loc, 0, -1);
+  batch.Add(g.topo.nodes()[g.input].cap_loc, 5, +1);
+  tracker.Apply(batch);
+
+  // The unconsumed message keeps both edges at epoch 0.
+  EXPECT_EQ(tracker.EdgeFrontier(g.e01), Frontier::At(0));
+  EXPECT_EQ(tracker.EdgeFrontier(g.e12), Frontier::At(0));
+  EXPECT_EQ(tracker.NodeInputFrontier(g.op), Frontier::At(0));
+
+  // op consumes it and produces a result batch downstream.
+  ProgressBatch consume;
+  consume.Add(g.topo.edges()[g.e01].msg_loc, 0, -1);
+  consume.Add(g.topo.edges()[g.e12].msg_loc, 0, +1);
+  tracker.Apply(consume);
+  EXPECT_EQ(tracker.NodeInputFrontier(g.op), Frontier::At(5));
+  EXPECT_EQ(tracker.NodeInputFrontier(g.sink), Frontier::At(0));
+
+  // Sink consumes; only the input capability at 5 remains.
+  ProgressBatch sink_consume;
+  sink_consume.Add(g.topo.edges()[g.e12].msg_loc, 0, -1);
+  tracker.Apply(sink_consume);
+  EXPECT_EQ(tracker.NodeInputFrontier(g.sink), Frontier::At(5));
+}
+
+TEST(Progress, NotificationCapabilityHoldsDownstreamOnly) {
+  LinearGraph g;
+  ProgressTracker tracker(&g.topo);
+  // op retains a capability at epoch 2 (a pending notification).
+  ProgressBatch batch;
+  batch.Add(g.topo.nodes()[g.op].cap_loc, 2, +1);
+  tracker.Apply(batch);
+
+  // The sink must wait for it...
+  EXPECT_EQ(tracker.NodeInputFrontier(g.sink), Frontier::At(2));
+  // ...but op's own input frontier is unaffected (no self-blocking).
+  EXPECT_EQ(tracker.NodeInputFrontier(g.op), Frontier::Done());
+}
+
+TEST(Progress, NegativeTransientDoesNotUnderflowFrontier) {
+  // A consumption delta can be applied before the matching send when the two
+  // originate from different workers; the count dips negative and must be
+  // treated as "no outstanding work" at that (loc, epoch).
+  LinearGraph g;
+  ProgressTracker tracker(&g.topo);
+  tracker.InitializeCapability(g.topo.nodes()[g.input].cap_loc, 2);
+
+  ProgressBatch consume_first;
+  consume_first.Add(g.topo.edges()[g.e12].msg_loc, 0, -1);
+  tracker.Apply(consume_first);
+  // The negative entry alone contributes nothing; the input caps still hold 0.
+  EXPECT_EQ(tracker.NodeInputFrontier(g.sink), Frontier::At(0));
+  EXPECT_FALSE(tracker.AllZero());
+
+  ProgressBatch send_later;
+  send_later.Add(g.topo.edges()[g.e12].msg_loc, 0, +1);
+  tracker.Apply(send_later);  // Cancels out.
+  ProgressBatch close;
+  close.Add(g.topo.nodes()[g.input].cap_loc, 0, -2);
+  tracker.Apply(close);
+  EXPECT_TRUE(tracker.AllZero());
+}
+
+TEST(Progress, FrontierSkipsDrainedEpochs) {
+  LinearGraph g;
+  ProgressTracker tracker(&g.topo);
+  ProgressBatch batch;
+  batch.Add(g.topo.edges()[g.e01].msg_loc, 3, +1);
+  batch.Add(g.topo.edges()[g.e01].msg_loc, 7, +1);
+  tracker.Apply(batch);
+  EXPECT_EQ(tracker.NodeInputFrontier(g.op), Frontier::At(3));
+
+  ProgressBatch drain3;
+  drain3.Add(g.topo.edges()[g.e01].msg_loc, 3, -1);
+  tracker.Apply(drain3);
+  EXPECT_EQ(tracker.NodeInputFrontier(g.op), Frontier::At(7));
+}
+
+// Diamond: input -> a, input -> b, a -> join, b -> join. The join's frontier is
+// the min over both branches.
+TEST(Progress, DiamondJoinWaitsForBothBranches) {
+  Topology topo;
+  const int input = topo.AddNode("input", true);
+  const int a = topo.AddNode("a", false);
+  const int b = topo.AddNode("b", false);
+  const int join = topo.AddNode("join", false);
+  topo.AddEdge(input, a, false);
+  topo.AddEdge(input, b, false);
+  const int ea = topo.AddEdge(a, join, false);
+  const int eb = topo.AddEdge(b, join, false);
+  topo.Finalize();
+
+  ProgressTracker tracker(&topo);
+  ProgressBatch batch;
+  batch.Add(topo.edges()[ea].msg_loc, 4, +1);
+  batch.Add(topo.edges()[eb].msg_loc, 9, +1);
+  tracker.Apply(batch);
+  EXPECT_EQ(tracker.NodeInputFrontier(join), Frontier::At(4));
+
+  ProgressBatch drain;
+  drain.Add(topo.edges()[ea].msg_loc, 4, -1);
+  tracker.Apply(drain);
+  EXPECT_EQ(tracker.NodeInputFrontier(join), Frontier::At(9));
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,257 @@
+// Stress and property tests for the dataflow engine: deep pipelines, fan-out,
+// concat, many epochs, random feeding patterns across worker counts, and a
+// progress-tracking safety property under randomized delta application orders.
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/timely/timely.h"
+
+namespace ts {
+namespace {
+
+// A deep pipeline of maps with a mid-stream exchange must preserve the sum of
+// all inputs across epochs and workers, with every epoch completing in order.
+class EngineStress
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(EngineStress, DeepPipelineConservesSum) {
+  const auto [workers, epochs, per_epoch] = GetParam();
+  std::atomic<int64_t> sum{0};
+  std::atomic<uint64_t> count{0};
+
+  Computation::Options options;
+  options.workers = workers;
+  Computation::Run(options, [&, epochs = epochs, per_epoch = per_epoch](Scope& scope) {
+    auto [input, s0] = scope.NewInput<int64_t>("ints");
+    auto s1 = scope.Map<int64_t, int64_t>(s0, "add1", [](int64_t v) { return v + 1; });
+    auto s2 = scope.Unary<int64_t, int64_t>(
+        s1, Partition<int64_t>::ByKey([](const int64_t& v) {
+          return static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL;
+        }),
+        "shuffle",
+        [](Epoch e, std::vector<int64_t>& data, OutputSession<int64_t>& out,
+           NotificatorHandle&) { out.GiveVec(e, std::move(data)); },
+        [](Epoch, OutputSession<int64_t>&, NotificatorHandle&) {});
+    auto s3 = scope.Map<int64_t, int64_t>(s2, "sub1", [](int64_t v) { return v - 1; });
+    auto s4 = scope.Filter<int64_t>(s3, "all", [](const int64_t&) { return true; });
+    scope.Sink<int64_t>(s4, "sum", [&](Epoch, std::vector<int64_t>& data) {
+      for (int64_t v : data) {
+        sum.fetch_add(v, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+    auto in = std::make_shared<InputSession<int64_t>>(input);
+    const size_t w = scope.worker_index();
+    auto rng = std::make_shared<Rng>(1000 + w);
+    auto fed = std::make_shared<Epoch>(0);
+    scope.AddDriver([in, rng, fed, w, epochs, per_epoch]() -> DriverStatus {
+      if (*fed == epochs) {
+        in->Close();
+        return DriverStatus::kFinished;
+      }
+      // Random per-step batch sizes; occasionally skip epochs entirely.
+      const bool skip = rng->NextBool(0.2);
+      if (!skip) {
+        for (size_t i = 0; i < per_epoch; ++i) {
+          in->Give(static_cast<int64_t>(rng->NextBelow(1000)));
+        }
+      }
+      *fed += 1 + rng->NextBelow(2);  // Sometimes jump epochs.
+      if (*fed > epochs) {
+        *fed = epochs;
+      }
+      in->AdvanceTo(*fed);
+      return DriverStatus::kWorked;
+    });
+  });
+
+  // Expected sum recomputed with identical per-worker RNG streams.
+  int64_t expected_sum = 0;
+  uint64_t expected_count = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    Rng rng(1000 + w);
+    Epoch fed = 0;
+    while (fed != epochs) {
+      const bool skip = rng.NextBool(0.2);
+      if (!skip) {
+        for (size_t i = 0; i < per_epoch; ++i) {
+          expected_sum += static_cast<int64_t>(rng.NextBelow(1000));
+          ++expected_count;
+        }
+      }
+      fed += 1 + rng.NextBelow(2);
+      if (fed > epochs) {
+        fed = epochs;
+      }
+    }
+  }
+  EXPECT_EQ(sum.load(), expected_sum);
+  EXPECT_EQ(count.load(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineStress,
+    ::testing::Values(std::make_tuple(1, 20, 100), std::make_tuple(2, 20, 100),
+                      std::make_tuple(4, 30, 50), std::make_tuple(3, 50, 20),
+                      std::make_tuple(8, 10, 10)));
+
+TEST(EngineStress, ConcatMergesStreamsWithCorrectFrontiers) {
+  std::atomic<uint64_t> total{0};
+  std::vector<Epoch> completion_order;
+  std::mutex mu;
+
+  Computation::Options options;
+  options.workers = 2;
+  Computation::Run(options, [&](Scope& scope) {
+    auto [input, stream] = scope.NewInput<int>("ints");
+    auto evens = scope.Filter<int>(stream, "evens",
+                                   [](const int& v) { return v % 2 == 0; });
+    auto odds = scope.Filter<int>(stream, "odds",
+                                  [](const int& v) { return v % 2 == 1; });
+    auto merged = scope.Concat<int>({evens, odds}, "merge");
+    auto sink = scope.Unary<int, Unit>(
+        merged, Partition<int>::Pipeline(), "count",
+        [&total](Epoch e, std::vector<int>& data, OutputSession<Unit>& out,
+                 NotificatorHandle& n) {
+          total.fetch_add(data.size());
+          n.NotifyAt(e);
+          data.clear();
+          (void)out;
+        },
+        [&](Epoch e, OutputSession<Unit>&, NotificatorHandle&) {
+          std::lock_guard<std::mutex> lock(mu);
+          completion_order.push_back(e);
+        });
+    (void)sink;
+
+    auto in = std::make_shared<InputSession<int>>(input);
+    auto fed = std::make_shared<Epoch>(0);
+    scope.AddDriver([in, fed]() -> DriverStatus {
+      if (*fed == 5) {
+        in->Close();
+        return DriverStatus::kFinished;
+      }
+      for (int v = 0; v < 10; ++v) {
+        in->Give(v);
+      }
+      in->AdvanceTo(++*fed);
+      return DriverStatus::kWorked;
+    });
+  });
+
+  EXPECT_EQ(total.load(), 2u * 5u * 10u);
+  // Each worker's notifications arrive in epoch order.
+  std::map<Epoch, int> seen;
+  for (Epoch e : completion_order) {
+    ++seen[e];
+  }
+  for (Epoch e = 0; e < 5; ++e) {
+    EXPECT_EQ(seen[e], 2) << "each worker notified once for epoch " << e;
+  }
+}
+
+// Safety property: applying the same set of progress batches in any
+// sender-FIFO-preserving interleaving never lets a frontier advance beyond
+// what the fully-applied state allows (no premature notification).
+TEST(ProgressProperty, FrontierNeverOvertakesUnderReordering) {
+  Topology topo;
+  const int input = topo.AddNode("input", true);
+  const int mid = topo.AddNode("mid", false);
+  const int sink = topo.AddNode("sink", false);
+  const int e01 = topo.AddEdge(input, mid, true);
+  const int e12 = topo.AddEdge(mid, sink, false);
+  topo.Finalize();
+
+  // Two "workers" produce batches; ground truth applies all in order.
+  // Batches simulate: input sends at epochs 0..4 then closes; mid consumes
+  // and forwards; sink consumes.
+  std::vector<std::vector<ProgressBatch>> per_sender(2);
+  for (int w = 0; w < 2; ++w) {
+    Epoch cap = 0;
+    for (Epoch e = 0; e < 5; ++e) {
+      ProgressBatch b;
+      b.Add(topo.edges()[e01].msg_loc, e, +1);  // Send.
+      b.Add(topo.nodes()[input].cap_loc, cap, -1);
+      b.Add(topo.nodes()[input].cap_loc, e + 1, +1);
+      cap = e + 1;
+      per_sender[w].push_back(b);
+      ProgressBatch c;  // mid consumes + forwards.
+      c.Add(topo.edges()[e01].msg_loc, e, -1);
+      c.Add(topo.edges()[e12].msg_loc, e, +1);
+      per_sender[w].push_back(c);
+      ProgressBatch d;  // Sink consumes.
+      d.Add(topo.edges()[e12].msg_loc, e, -1);
+      per_sender[w].push_back(d);
+    }
+    ProgressBatch close;
+    close.Add(topo.nodes()[input].cap_loc, cap, -1);
+    per_sender[w].push_back(close);
+  }
+
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    ProgressTracker tracker(&topo);
+    tracker.InitializeCapability(topo.nodes()[input].cap_loc, 2);
+    // Reference tracker with everything applied.
+    ProgressTracker full(&topo);
+    full.InitializeCapability(topo.nodes()[input].cap_loc, 2);
+    for (const auto& sender : per_sender) {
+      for (const auto& b : sender) {
+        full.Apply(b);
+      }
+    }
+    ASSERT_TRUE(full.AllZero());
+
+    // Random FIFO-preserving interleaving; after each application the partial
+    // view's frontier must be <= the information-theoretic best (which here,
+    // mid-stream, is just: never report Done before all batches applied, and
+    // never pass an epoch whose consumption we haven't seen while we HAVE
+    // seen its send... the simplest strong check: frontier after k batches is
+    // never beyond the frontier computed from exactly those batches applied
+    // in order — which is what the tracker does; so assert monotonicity and
+    // no-done-before-end).
+    size_t idx[2] = {0, 0};
+    size_t applied = 0;
+    const size_t total = per_sender[0].size() + per_sender[1].size();
+    Frontier last = Frontier::At(0);
+    while (applied < total) {
+      const int w = (idx[0] < per_sender[0].size() &&
+                     (idx[1] >= per_sender[1].size() || rng.NextBool(0.5)))
+                        ? 0
+                        : 1;
+      tracker.Apply(per_sender[w][idx[w]++]);
+      ++applied;
+      const Frontier f = tracker.EdgeFrontier(e12);
+      if (applied < total) {
+        // Frontier may advance but must never report Done while work remains
+        // from the ground-truth perspective of unapplied decrements... it CAN
+        // be Done only if every applied count nets to zero AND remaining
+        // batches also net to zero per location -- which cannot happen before
+        // the final close batch of both senders.
+        const bool both_closed = idx[0] == per_sender[0].size() &&
+                                 idx[1] == per_sender[1].size();
+        if (!both_closed) {
+          EXPECT_FALSE(f.done()) << "seed " << seed << " applied " << applied;
+        }
+      }
+      // Monotonicity: frontiers never regress.
+      if (!last.done() && !f.done()) {
+        EXPECT_GE(f.min(), last.min());
+      }
+      EXPECT_FALSE(last.done() && !f.done());
+      last = f;
+    }
+    EXPECT_TRUE(tracker.AllZero());
+    EXPECT_TRUE(tracker.EdgeFrontier(e12).done());
+  }
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,172 @@
+// Unit tests for trace-tree reconstruction: structure from hierarchical IDs,
+// missing-node inference, signatures, and service call patterns.
+#include <gtest/gtest.h>
+
+#include "src/core/trace_tree.h"
+
+namespace ts {
+namespace {
+
+LogRecord Rec(const char* txn, EventTime t, uint32_t service,
+              EventKind kind = EventKind::kAnnotation) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = "SESS";
+  r.txn_id = *TxnId::Parse(txn);
+  r.service = service;
+  r.kind = kind;
+  return r;
+}
+
+Session MakeSession(std::vector<LogRecord> records) {
+  Session s;
+  s.id = "SESS";
+  s.records = std::move(records);
+  return s;
+}
+
+TEST(TraceTree, SingleSpan) {
+  const Session s = MakeSession({Rec("1", 10, 7, EventKind::kSpanStart),
+                                 Rec("1", 20, 7),
+                                 Rec("1", 30, 7, EventKind::kSpanEnd)});
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 1u);
+  const TraceTree& t = trees[0];
+  EXPECT_EQ(t.num_spans(), 1u);
+  EXPECT_EQ(t.num_inferred(), 0u);
+  EXPECT_EQ(t.total_records(), 3u);
+  EXPECT_EQ(t.root().service, 7u);
+  EXPECT_EQ(t.MinTime(), 10);
+  EXPECT_EQ(t.MaxTime(), 30);
+  EXPECT_EQ(t.Duration(), 20);
+  EXPECT_EQ(t.Signature(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(t.SignatureKey(), "0");
+  EXPECT_TRUE(t.ServiceCallPairs().empty());
+  EXPECT_EQ(t.DistinctServices(), 1u);
+}
+
+TEST(TraceTree, NestedStructureAndSiblingOrder) {
+  // Root 1 with children 1-1, 1-2, 1-10; 1-2 has child 1-2-1.
+  const Session s = MakeSession({
+      Rec("1", 0, 1),
+      Rec("1-1", 10, 2),
+      Rec("1-2", 20, 3),
+      Rec("1-2-1", 25, 4),
+      Rec("1-10", 40, 5),
+  });
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 1u);
+  const TraceTree& t = trees[0];
+  EXPECT_EQ(t.num_spans(), 5u);
+  ASSERT_EQ(t.root().children.size(), 3u);
+  // Children ordered numerically by sibling index: 1, 2, 10.
+  EXPECT_EQ(t.nodes()[t.root().children[0]].id.ToString(), "1-1");
+  EXPECT_EQ(t.nodes()[t.root().children[1]].id.ToString(), "1-2");
+  EXPECT_EQ(t.nodes()[t.root().children[2]].id.ToString(), "1-10");
+  // BFS signature: root has 3 children; 1-1 leaf; 1-2 one child; 1-10 leaf;
+  // 1-2-1 leaf.
+  EXPECT_EQ(t.Signature(), (std::vector<uint32_t>{3, 0, 1, 0, 0}));
+}
+
+TEST(TraceTree, InfersMissingInteriorNodes) {
+  // Only a deep descendant was logged: "2-10-3". Root "2" and "2-10" must be
+  // materialized as inferred nodes (§2.3).
+  const Session s = MakeSession({Rec("2-10-3", 100, 9)});
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 1u);
+  const TraceTree& t = trees[0];
+  EXPECT_EQ(t.num_spans(), 3u);
+  EXPECT_EQ(t.num_inferred(), 2u);
+  EXPECT_EQ(t.root().id.ToString(), "2");
+  EXPECT_TRUE(t.root().inferred);
+  EXPECT_EQ(t.root().service, kUnknownService);
+  EXPECT_EQ(t.nodes()[1].id.ToString(), "2-10");
+  EXPECT_TRUE(t.nodes()[1].inferred);
+  EXPECT_FALSE(t.nodes()[2].inferred);
+  EXPECT_EQ(t.nodes()[2].service, 9u);
+}
+
+TEST(TraceTree, ImpliedMissingChildrenFromSiblingIndices) {
+  // 1-10 observed with no siblings: 9 siblings implied missing. 1-10's parent
+  // chain is complete otherwise.
+  const Session s = MakeSession({Rec("1", 0, 1), Rec("1-10", 10, 2)});
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].ImpliedMissingChildren(), 9u);
+
+  // Full set present: nothing implied.
+  const Session full = MakeSession(
+      {Rec("1", 0, 1), Rec("1-1", 1, 2), Rec("1-2", 2, 3), Rec("1-3", 3, 4)});
+  EXPECT_EQ(TraceTree::FromSession(full)[0].ImpliedMissingChildren(), 0u);
+}
+
+TEST(TraceTree, SessionSplitsIntoOneTreePerRootSpan) {
+  const Session s = MakeSession({
+      Rec("1", 0, 1),
+      Rec("2", 100, 1),
+      Rec("2-1", 110, 2),
+      Rec("1-1", 10, 3),
+      Rec("5", 500, 4),  // Root indices need not be dense.
+  });
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 3u);
+  EXPECT_EQ(trees[0].root().id.ToString(), "1");
+  EXPECT_EQ(trees[0].num_spans(), 2u);
+  EXPECT_EQ(trees[1].root().id.ToString(), "2");
+  EXPECT_EQ(trees[1].num_spans(), 2u);
+  EXPECT_EQ(trees[2].root().id.ToString(), "5");
+  EXPECT_EQ(trees[2].num_spans(), 1u);
+}
+
+TEST(TraceTree, ServiceCallPairsViaBfsSkippingInferred) {
+  const Session s = MakeSession({
+      Rec("1", 0, 10),
+      Rec("1-1", 1, 20),
+      Rec("1-1-1", 2, 30),
+      Rec("1-2-1", 3, 40),  // 1-2 inferred: pairs through it are skipped.
+  });
+  auto trees = TraceTree::FromSession(s);
+  const auto pairs = trees[0].ServiceCallPairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<uint32_t, uint32_t>{10, 20}));
+  EXPECT_EQ(pairs[1], (std::pair<uint32_t, uint32_t>{20, 30}));
+}
+
+TEST(TraceTree, MalformedEmptyTxnIdsAreSkipped) {
+  Session s = MakeSession({Rec("1", 0, 1)});
+  LogRecord bad;
+  bad.time = 5;
+  bad.session_id = "SESS";
+  // Empty txn id (default-constructed).
+  s.records.push_back(bad);
+  auto trees = TraceTree::FromSession(s);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].total_records(), 1u);
+}
+
+TEST(TraceTree, DuplicateRecordsPerNodeAggregateTimes) {
+  const Session s = MakeSession({
+      Rec("3", 50, 6),
+      Rec("3", 10, 6),
+      Rec("3", 90, 6),
+  });
+  auto trees = TraceTree::FromSession(s);
+  const TraceNode& root = trees[0].root();
+  EXPECT_EQ(root.num_records, 3u);
+  EXPECT_EQ(root.start, 10);
+  EXPECT_EQ(root.end, 90);
+}
+
+TEST(TraceTree, SignatureDistinguishesShapes) {
+  // Chain 1 -> 1-1 -> 1-1-1 vs fan-out 1 -> {1-1, 1-2}.
+  const Session chain =
+      MakeSession({Rec("1", 0, 1), Rec("1-1", 1, 1), Rec("1-1-1", 2, 1)});
+  const Session fan = MakeSession({Rec("1", 0, 1), Rec("1-1", 1, 1), Rec("1-2", 2, 1)});
+  EXPECT_EQ(TraceTree::FromSession(chain)[0].SignatureKey(), "1.1.0");
+  EXPECT_EQ(TraceTree::FromSession(fan)[0].SignatureKey(), "2.0.0");
+  EXPECT_NE(TraceTree::FromSession(chain)[0].Signature(),
+            TraceTree::FromSession(fan)[0].Signature());
+}
+
+}  // namespace
+}  // namespace ts

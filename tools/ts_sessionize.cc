@@ -1,0 +1,151 @@
+// ts_sessionize: reads wire-format log records from a file (or stdin),
+// reconstructs sessions and trace trees, and prints a summary report — the
+// offline companion to the streaming system, handy for inspecting archived
+// logs produced by ts_trace_gen or exported from a real pipeline.
+//
+// Usage:
+//   ts_sessionize [--in=path] [--inactivity_s=0] [--top=10] [--trees]
+//
+//   --inactivity_s=N  also split sessions at idle gaps > N seconds
+//   --top=K           print the K most frequent tree signatures and
+//                     communicating service pairs
+//   --trees           dump every trace tree (verbose)
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analytics/dependency_graph.h"
+#include "src/core/trace_tree.h"
+#include "src/log/wire_format.h"
+#include "src/offline/offline_sessionizer.h"
+
+namespace {
+
+double Flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  FILE* in = stdin;
+  if (const char* path = FlagStr(argc, argv, "--in")) {
+    in = std::fopen(path, "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+  }
+
+  std::vector<LogRecord> records;
+  uint64_t parse_failures = 0;
+  {
+    char* line = nullptr;
+    size_t capacity = 0;
+    ssize_t len;
+    while ((len = getline(&line, &capacity, in)) >= 0) {
+      while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+        --len;
+      }
+      auto parsed = ParseWireFormat(std::string_view(line, static_cast<size_t>(len)));
+      if (parsed) {
+        records.push_back(std::move(*parsed));
+      } else if (len > 0) {
+        ++parse_failures;
+      }
+    }
+    free(line);
+  }
+  if (in != stdin) {
+    std::fclose(in);
+  }
+
+  OfflineOptions options;
+  options.inactivity_split_ns = static_cast<EventTime>(
+      Flag(argc, argv, "--inactivity_s", 0) * kNanosPerSecond);
+  const size_t record_count = records.size();
+  auto sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+
+  uint64_t trees = 0;
+  uint64_t spans = 0;
+  uint64_t inferred = 0;
+  std::map<std::string, uint64_t> signatures;
+  DependencyGraph deps;
+  const bool dump_trees = HasFlag(argc, argv, "--trees");
+  for (const auto& s : sessions) {
+    for (const auto& tree : TraceTree::FromSession(s)) {
+      ++trees;
+      spans += tree.num_spans();
+      inferred += tree.num_inferred();
+      ++signatures[tree.SignatureKey()];
+      deps.AddTree(tree);
+      if (dump_trees) {
+        std::printf("%s root=%s spans=%zu records=%u duration=%.2fms sig=%s\n",
+                    s.id.c_str(), tree.root().id.ToString().c_str(),
+                    tree.num_spans(), tree.total_records(),
+                    static_cast<double>(tree.Duration()) / 1e6,
+                    tree.SignatureKey().c_str());
+      }
+    }
+  }
+
+  std::printf("records:        %zu (%llu unparseable lines skipped)\n",
+              record_count, static_cast<unsigned long long>(parse_failures));
+  std::printf("sessions:       %zu\n", sessions.size());
+  std::printf("trace trees:    %llu\n", static_cast<unsigned long long>(trees));
+  std::printf("spans:          %llu (%llu inferred from descendants)\n",
+              static_cast<unsigned long long>(spans),
+              static_cast<unsigned long long>(inferred));
+  std::printf("service edges:  %zu (%llu calls)\n", deps.num_edges(),
+              static_cast<unsigned long long>(deps.total_calls()));
+
+  const size_t top = static_cast<size_t>(Flag(argc, argv, "--top", 10));
+  if (top > 0 && !signatures.empty()) {
+    std::vector<std::pair<uint64_t, std::string>> ranked;
+    for (const auto& [sig, count] : signatures) {
+      ranked.emplace_back(count, sig);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("\ntop tree structures:\n");
+    for (size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+      std::printf("  %8llu x %s\n",
+                  static_cast<unsigned long long>(ranked[i].first),
+                  ranked[i].second.c_str());
+    }
+    std::printf("\nhottest service pairs:\n");
+    for (const auto& [edge, calls] : deps.HeaviestEdges(top)) {
+      std::printf("  %8llu x svc-%u -> svc-%u\n",
+                  static_cast<unsigned long long>(calls), edge.first, edge.second);
+    }
+  }
+  return 0;
+}

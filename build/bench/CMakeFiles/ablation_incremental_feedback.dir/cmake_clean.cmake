@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incremental_feedback.dir/ablation_incremental_feedback.cc.o"
+  "CMakeFiles/ablation_incremental_feedback.dir/ablation_incremental_feedback.cc.o.d"
+  "ablation_incremental_feedback"
+  "ablation_incremental_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incremental_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

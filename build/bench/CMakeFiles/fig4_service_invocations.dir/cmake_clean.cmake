@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_service_invocations.dir/fig4_service_invocations.cc.o"
+  "CMakeFiles/fig4_service_invocations.dir/fig4_service_invocations.cc.o.d"
+  "fig4_service_invocations"
+  "fig4_service_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_service_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sessionization_scaling.dir/fig5_sessionization_scaling.cc.o"
+  "CMakeFiles/fig5_sessionization_scaling.dir/fig5_sessionization_scaling.cc.o.d"
+  "fig5_sessionization_scaling"
+  "fig5_sessionization_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sessionization_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

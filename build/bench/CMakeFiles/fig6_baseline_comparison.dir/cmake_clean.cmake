@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_baseline_comparison.dir/fig6_baseline_comparison.cc.o"
+  "CMakeFiles/fig6_baseline_comparison.dir/fig6_baseline_comparison.cc.o.d"
+  "fig6_baseline_comparison"
+  "fig6_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_timeline.dir/fig7_latency_timeline.cc.o"
+  "CMakeFiles/fig7_latency_timeline.dir/fig7_latency_timeline.cc.o.d"
+  "fig7_latency_timeline"
+  "fig7_latency_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

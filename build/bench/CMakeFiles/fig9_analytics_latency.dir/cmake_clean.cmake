@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_analytics_latency.dir/fig9_analytics_latency.cc.o"
+  "CMakeFiles/fig9_analytics_latency.dir/fig9_analytics_latency.cc.o.d"
+  "fig9_analytics_latency"
+  "fig9_analytics_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_analytics_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

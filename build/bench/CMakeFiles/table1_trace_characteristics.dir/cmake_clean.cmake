@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trace_characteristics.dir/table1_trace_characteristics.cc.o"
+  "CMakeFiles/table1_trace_characteristics.dir/table1_trace_characteristics.cc.o.d"
+  "table1_trace_characteristics"
+  "table1_trace_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trace_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

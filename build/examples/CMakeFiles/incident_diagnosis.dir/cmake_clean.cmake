@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_diagnosis.dir/incident_diagnosis.cpp.o"
+  "CMakeFiles/incident_diagnosis.dir/incident_diagnosis.cpp.o.d"
+  "incident_diagnosis"
+  "incident_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_attribution.dir/resource_attribution.cpp.o"
+  "CMakeFiles/resource_attribution.dir/resource_attribution.cpp.o.d"
+  "resource_attribution"
+  "resource_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

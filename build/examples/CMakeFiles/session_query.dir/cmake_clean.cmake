@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_query.dir/session_query.cpp.o"
+  "CMakeFiles/session_query.dir/session_query.cpp.o.d"
+  "session_query"
+  "session_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/critical_path.cc" "src/analytics/CMakeFiles/ts_analytics.dir/critical_path.cc.o" "gcc" "src/analytics/CMakeFiles/ts_analytics.dir/critical_path.cc.o.d"
+  "/root/repo/src/analytics/dependency_graph.cc" "src/analytics/CMakeFiles/ts_analytics.dir/dependency_graph.cc.o" "gcc" "src/analytics/CMakeFiles/ts_analytics.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/analytics/session_store.cc" "src/analytics/CMakeFiles/ts_analytics.dir/session_store.cc.o" "gcc" "src/analytics/CMakeFiles/ts_analytics.dir/session_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timely/CMakeFiles/ts_timely.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/ts_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

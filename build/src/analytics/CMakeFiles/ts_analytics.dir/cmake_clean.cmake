@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_analytics.dir/critical_path.cc.o"
+  "CMakeFiles/ts_analytics.dir/critical_path.cc.o.d"
+  "CMakeFiles/ts_analytics.dir/dependency_graph.cc.o"
+  "CMakeFiles/ts_analytics.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/ts_analytics.dir/session_store.cc.o"
+  "CMakeFiles/ts_analytics.dir/session_store.cc.o.d"
+  "libts_analytics.a"
+  "libts_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

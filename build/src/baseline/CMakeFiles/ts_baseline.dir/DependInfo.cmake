@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/engine.cc" "src/baseline/CMakeFiles/ts_baseline.dir/engine.cc.o" "gcc" "src/baseline/CMakeFiles/ts_baseline.dir/engine.cc.o.d"
+  "/root/repo/src/baseline/row.cc" "src/baseline/CMakeFiles/ts_baseline.dir/row.cc.o" "gcc" "src/baseline/CMakeFiles/ts_baseline.dir/row.cc.o.d"
+  "/root/repo/src/baseline/session_window_job.cc" "src/baseline/CMakeFiles/ts_baseline.dir/session_window_job.cc.o" "gcc" "src/baseline/CMakeFiles/ts_baseline.dir/session_window_job.cc.o.d"
+  "/root/repo/src/baseline/window.cc" "src/baseline/CMakeFiles/ts_baseline.dir/window.cc.o" "gcc" "src/baseline/CMakeFiles/ts_baseline.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/log/CMakeFiles/ts_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_baseline.dir/engine.cc.o"
+  "CMakeFiles/ts_baseline.dir/engine.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/row.cc.o"
+  "CMakeFiles/ts_baseline.dir/row.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/session_window_job.cc.o"
+  "CMakeFiles/ts_baseline.dir/session_window_job.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/window.cc.o"
+  "CMakeFiles/ts_baseline.dir/window.cc.o.d"
+  "libts_baseline.a"
+  "libts_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

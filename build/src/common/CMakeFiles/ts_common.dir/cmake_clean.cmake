@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_common.dir/mem_probe.cc.o"
+  "CMakeFiles/ts_common.dir/mem_probe.cc.o.d"
+  "CMakeFiles/ts_common.dir/rng.cc.o"
+  "CMakeFiles/ts_common.dir/rng.cc.o.d"
+  "CMakeFiles/ts_common.dir/siphash.cc.o"
+  "CMakeFiles/ts_common.dir/siphash.cc.o.d"
+  "CMakeFiles/ts_common.dir/stats.cc.o"
+  "CMakeFiles/ts_common.dir/stats.cc.o.d"
+  "libts_common.a"
+  "libts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

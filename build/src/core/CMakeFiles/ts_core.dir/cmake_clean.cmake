@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/reorder_buffer.cc.o"
+  "CMakeFiles/ts_core.dir/reorder_buffer.cc.o.d"
+  "CMakeFiles/ts_core.dir/skew_estimator.cc.o"
+  "CMakeFiles/ts_core.dir/skew_estimator.cc.o.d"
+  "CMakeFiles/ts_core.dir/trace_tree.cc.o"
+  "CMakeFiles/ts_core.dir/trace_tree.cc.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/record.cc" "src/log/CMakeFiles/ts_log.dir/record.cc.o" "gcc" "src/log/CMakeFiles/ts_log.dir/record.cc.o.d"
+  "/root/repo/src/log/txn_id.cc" "src/log/CMakeFiles/ts_log.dir/txn_id.cc.o" "gcc" "src/log/CMakeFiles/ts_log.dir/txn_id.cc.o.d"
+  "/root/repo/src/log/wire_format.cc" "src/log/CMakeFiles/ts_log.dir/wire_format.cc.o" "gcc" "src/log/CMakeFiles/ts_log.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_log.dir/record.cc.o"
+  "CMakeFiles/ts_log.dir/record.cc.o.d"
+  "CMakeFiles/ts_log.dir/txn_id.cc.o"
+  "CMakeFiles/ts_log.dir/txn_id.cc.o.d"
+  "CMakeFiles/ts_log.dir/wire_format.cc.o"
+  "CMakeFiles/ts_log.dir/wire_format.cc.o.d"
+  "libts_log.a"
+  "libts_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_offline.dir/offline_sessionizer.cc.o"
+  "CMakeFiles/ts_offline.dir/offline_sessionizer.cc.o.d"
+  "libts_offline.a"
+  "libts_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_replay.dir/ingest_driver.cc.o"
+  "CMakeFiles/ts_replay.dir/ingest_driver.cc.o.d"
+  "CMakeFiles/ts_replay.dir/replayer.cc.o"
+  "CMakeFiles/ts_replay.dir/replayer.cc.o.d"
+  "libts_replay.a"
+  "libts_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timely/computation.cc" "src/timely/CMakeFiles/ts_timely.dir/computation.cc.o" "gcc" "src/timely/CMakeFiles/ts_timely.dir/computation.cc.o.d"
+  "/root/repo/src/timely/progress.cc" "src/timely/CMakeFiles/ts_timely.dir/progress.cc.o" "gcc" "src/timely/CMakeFiles/ts_timely.dir/progress.cc.o.d"
+  "/root/repo/src/timely/topology.cc" "src/timely/CMakeFiles/ts_timely.dir/topology.cc.o" "gcc" "src/timely/CMakeFiles/ts_timely.dir/topology.cc.o.d"
+  "/root/repo/src/timely/worker.cc" "src/timely/CMakeFiles/ts_timely.dir/worker.cc.o" "gcc" "src/timely/CMakeFiles/ts_timely.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_timely.dir/computation.cc.o"
+  "CMakeFiles/ts_timely.dir/computation.cc.o.d"
+  "CMakeFiles/ts_timely.dir/progress.cc.o"
+  "CMakeFiles/ts_timely.dir/progress.cc.o.d"
+  "CMakeFiles/ts_timely.dir/topology.cc.o"
+  "CMakeFiles/ts_timely.dir/topology.cc.o.d"
+  "CMakeFiles/ts_timely.dir/worker.cc.o"
+  "CMakeFiles/ts_timely.dir/worker.cc.o.d"
+  "libts_timely.a"
+  "libts_timely.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_timely.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

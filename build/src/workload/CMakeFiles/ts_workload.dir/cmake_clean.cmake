@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workload.dir/generator.cc.o"
+  "CMakeFiles/ts_workload.dir/generator.cc.o.d"
+  "libts_workload.a"
+  "libts_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_histogram_test.dir/binary_histogram_test.cc.o"
+  "CMakeFiles/binary_histogram_test.dir/binary_histogram_test.cc.o.d"
+  "binary_histogram_test"
+  "binary_histogram_test.pdb"
+  "binary_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_sessionize_test.dir/incremental_sessionize_test.cc.o"
+  "CMakeFiles/incremental_sessionize_test.dir/incremental_sessionize_test.cc.o.d"
+  "incremental_sessionize_test"
+  "incremental_sessionize_test.pdb"
+  "incremental_sessionize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_sessionize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

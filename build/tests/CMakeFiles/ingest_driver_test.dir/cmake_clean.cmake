@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_driver_test.dir/ingest_driver_test.cc.o"
+  "CMakeFiles/ingest_driver_test.dir/ingest_driver_test.cc.o.d"
+  "ingest_driver_test"
+  "ingest_driver_test.pdb"
+  "ingest_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_offline_equivalence_test.dir/online_offline_equivalence_test.cc.o"
+  "CMakeFiles/online_offline_equivalence_test.dir/online_offline_equivalence_test.cc.o.d"
+  "online_offline_equivalence_test"
+  "online_offline_equivalence_test.pdb"
+  "online_offline_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_offline_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

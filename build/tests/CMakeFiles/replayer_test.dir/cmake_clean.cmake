@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replayer_test.dir/replayer_test.cc.o"
+  "CMakeFiles/replayer_test.dir/replayer_test.cc.o.d"
+  "replayer_test"
+  "replayer_test.pdb"
+  "replayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/skew_estimator_test.cc" "tests/CMakeFiles/skew_estimator_test.dir/skew_estimator_test.cc.o" "gcc" "tests/CMakeFiles/skew_estimator_test.dir/skew_estimator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/ts_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ts_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/timely/CMakeFiles/ts_timely.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/ts_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_estimator_test.dir/skew_estimator_test.cc.o"
+  "CMakeFiles/skew_estimator_test.dir/skew_estimator_test.cc.o.d"
+  "skew_estimator_test"
+  "skew_estimator_test.pdb"
+  "skew_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_edge_test.dir/timely_edge_test.cc.o"
+  "CMakeFiles/timely_edge_test.dir/timely_edge_test.cc.o.d"
+  "timely_edge_test"
+  "timely_edge_test.pdb"
+  "timely_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_progress_test.dir/timely_progress_test.cc.o"
+  "CMakeFiles/timely_progress_test.dir/timely_progress_test.cc.o.d"
+  "timely_progress_test"
+  "timely_progress_test.pdb"
+  "timely_progress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_progress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

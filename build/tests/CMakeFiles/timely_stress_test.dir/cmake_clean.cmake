@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_stress_test.dir/timely_stress_test.cc.o"
+  "CMakeFiles/timely_stress_test.dir/timely_stress_test.cc.o.d"
+  "timely_stress_test"
+  "timely_stress_test.pdb"
+  "timely_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

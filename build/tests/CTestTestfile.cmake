@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_progress_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/reorder_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/sessionize_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/replayer_test[1]_include.cmake")
+include("/root/repo/build/tests/ingest_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/offline_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/skew_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_sessionize_test[1]_include.cmake")
+include("/root/repo/build/tests/critical_path_test[1]_include.cmake")
+include("/root/repo/build/tests/session_store_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_format_property_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/online_offline_equivalence_test[1]_include.cmake")

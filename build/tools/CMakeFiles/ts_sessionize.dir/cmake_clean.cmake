@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_sessionize.dir/ts_sessionize.cc.o"
+  "CMakeFiles/ts_sessionize.dir/ts_sessionize.cc.o.d"
+  "ts_sessionize"
+  "ts_sessionize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_sessionize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

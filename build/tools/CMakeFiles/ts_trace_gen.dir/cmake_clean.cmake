@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_trace_gen.dir/ts_trace_gen.cc.o"
+  "CMakeFiles/ts_trace_gen.dir/ts_trace_gen.cc.o.d"
+  "ts_trace_gen"
+  "ts_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,11 +3,17 @@
 // construction, signatures, and exchange-hub transfers.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <thread>
+
 #include "src/common/rng.h"
 #include "src/common/siphash.h"
 #include "src/core/reorder_buffer.h"
 #include "src/core/trace_tree.h"
 #include "src/log/wire_format.h"
+#include "src/net/frame_reader.h"
+#include "src/net/log_server.h"
+#include "src/net/socket_ingest.h"
 #include "src/offline/offline_sessionizer.h"
 #include "src/timely/runtime.h"
 #include "src/workload/generator.h"
@@ -175,6 +181,112 @@ void BM_GeneratorThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneratorThroughput)->Unit(benchmark::kMillisecond);
+
+// --- Socket ingest path (ts_net): transport + framing + parse vs the
+// in-memory arrival path over the same wire lines. The gap between these
+// benches is the cost the paper pays for replaying "in their original text
+// format over a TCP socket" rather than handing batches through memory.
+
+std::shared_ptr<const std::vector<std::string>> SampleArchive(size_t n) {
+  const auto records = SampleRecords(n);
+  auto lines = std::make_shared<std::vector<std::string>>();
+  for (const auto& r : records) {
+    lines->push_back(ToWireFormat(r));
+  }
+  return lines;
+}
+
+// Baseline: parse wire lines already resident in memory (what the replayer's
+// as_text mode hands to the driver).
+void BM_InMemoryArrivalParse(benchmark::State& state) {
+  const auto archive = SampleArchive(8192);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    uint64_t parsed_count = 0;
+    for (const auto& line : *archive) {
+      auto parsed = ParseWireFormat(line);
+      parsed_count += parsed.has_value();
+      bytes += static_cast<int64_t>(line.size());
+      benchmark::DoNotOptimize(parsed);
+    }
+    benchmark::DoNotOptimize(parsed_count);
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(archive->size()));
+}
+BENCHMARK(BM_InMemoryArrivalParse)->Unit(benchmark::kMillisecond);
+
+// Full loopback hop: LogServer -> TCP -> newline framing -> parse.
+void BM_SocketIngestLoopback(benchmark::State& state) {
+  const auto archive = SampleArchive(8192);
+  int64_t bytes = 0;
+  uint64_t stalls = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    LogServerOptions options;
+    LogServer server(options, archive);
+    if (!server.Start()) {
+      state.SkipWithError("cannot start loopback server");
+      return;
+    }
+    std::thread thread([&server] { server.Run(); });
+    SocketIngestOptions copts;
+    copts.port = server.port();
+    SocketIngestSource client(copts);
+    std::vector<std::string> lines;
+    lines.reserve(archive->size());
+    state.ResumeTiming();
+
+    client.ReadAll(&lines);
+    uint64_t parsed_count = 0;
+    for (const auto& line : lines) {
+      auto parsed = ParseWireFormat(line);
+      parsed_count += parsed.has_value();
+      benchmark::DoNotOptimize(parsed);
+    }
+
+    state.PauseTiming();
+    bytes += static_cast<int64_t>(client.stats().Snapshot().bytes_in);
+    stalls += server.stats().Snapshot().backpressure_stalls;
+    server.Stop();
+    thread.join();
+    if (parsed_count != archive->size()) {
+      state.SkipWithError("socket ingest lost records");
+      return;
+    }
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(archive->size()));
+  state.counters["backpressure_stalls"] = static_cast<double>(stalls);
+}
+BENCHMARK(BM_SocketIngestLoopback)->Unit(benchmark::kMillisecond);
+
+// Framing alone: split a large wire buffer into TCP-sized chunks.
+void BM_LineFramerThroughput(benchmark::State& state) {
+  const auto archive = SampleArchive(8192);
+  std::string wire;
+  for (const auto& line : *archive) {
+    wire += line;
+    wire += '\n';
+  }
+  const size_t kChunk = 16 << 10;
+  for (auto _ : state) {
+    LineFramer framer;
+    std::vector<std::string> lines;
+    lines.reserve(archive->size());
+    for (size_t off = 0; off < wire.size(); off += kChunk) {
+      framer.Feed(std::string_view(wire).substr(off, kChunk), &lines);
+    }
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(wire.size()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(archive->size()));
+}
+BENCHMARK(BM_LineFramerThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ts

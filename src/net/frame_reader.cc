@@ -1,0 +1,67 @@
+#include "src/net/frame_reader.h"
+
+namespace ts {
+namespace {
+
+// Strips one optional trailing '\r' (the wire format is '\n'-terminated, but a
+// tolerant reader accepts CRLF producers).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+}  // namespace
+
+size_t LineFramer::Feed(std::string_view data, std::vector<std::string>* lines) {
+  size_t emitted = 0;
+  while (!data.empty()) {
+    const size_t nl = data.find('\n');
+    if (nl == std::string_view::npos) {
+      if (discarding_) {
+        return emitted;  // Still inside the oversized line; drop the bytes.
+      }
+      if (partial_.size() + data.size() > options_.max_line_bytes) {
+        ++frame_errors_;
+        discarding_ = true;
+        partial_.clear();
+        return emitted;
+      }
+      partial_.append(data);
+      return emitted;
+    }
+
+    const std::string_view head = data.substr(0, nl);
+    data.remove_prefix(nl + 1);
+    if (discarding_) {
+      discarding_ = false;  // The oversized line ends here; skip it whole.
+      continue;
+    }
+    if (partial_.size() + head.size() > options_.max_line_bytes) {
+      ++frame_errors_;
+      partial_.clear();
+      continue;
+    }
+    if (partial_.empty()) {
+      lines->emplace_back(StripCr(head));
+    } else {
+      partial_.append(head);
+      std::string_view whole = StripCr(partial_);
+      partial_.resize(whole.size());
+      lines->push_back(std::move(partial_));
+      partial_.clear();
+    }
+    ++emitted;
+  }
+  return emitted;
+}
+
+bool LineFramer::Reset() {
+  const bool had_partial = !partial_.empty() || discarding_;
+  partial_.clear();
+  discarding_ = false;
+  return had_partial;
+}
+
+}  // namespace ts

@@ -1,0 +1,50 @@
+// Incremental newline framing for the text wire format.
+//
+// TCP delivers a byte stream, not records: a read() may end mid-line, and one
+// read may span many lines. LineFramer accumulates partial data across Feed()
+// calls and emits each complete line exactly once, with the trailing '\n' (and
+// any '\r' before it) stripped. A line longer than max_line_bytes is dropped
+// and counted as a frame error — one corrupt or hostile writer must not make
+// the reader buffer unboundedly.
+#ifndef SRC_NET_FRAME_READER_H_
+#define SRC_NET_FRAME_READER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ts {
+
+class LineFramer {
+ public:
+  struct Options {
+    size_t max_line_bytes = 1 << 20;  // 1 MiB; wire lines are ~100 bytes.
+  };
+
+  LineFramer() : LineFramer(Options{}) {}
+  explicit LineFramer(const Options& options) : options_(options) {}
+
+  // Consumes `data`, appending every newly completed line to `lines`.
+  // Returns the number of lines appended.
+  size_t Feed(std::string_view data, std::vector<std::string>* lines);
+
+  // Discards any buffered partial line (e.g. after a connection drop: the
+  // truncated tail of the last record must not be glued to the first line of
+  // the resumed stream). Returns true if a partial line was discarded.
+  bool Reset();
+
+  // Bytes of the current incomplete line held in the buffer.
+  size_t pending_bytes() const { return partial_.size(); }
+  uint64_t frame_errors() const { return frame_errors_; }
+
+ private:
+  Options options_;
+  std::string partial_;
+  bool discarding_ = false;  // Inside an oversized line, skipping to '\n'.
+  uint64_t frame_errors_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_NET_FRAME_READER_H_

@@ -1,0 +1,306 @@
+#include "src/net/log_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ts {
+namespace {
+
+constexpr char kEosLine[] = "#EOS\n";
+
+// Parses "TS1 <stream> <offset>". Returns false on malformed hellos.
+bool ParseHello(const std::string& line, size_t num_streams, size_t* stream,
+                size_t* offset) {
+  unsigned long long s = 0;
+  unsigned long long off = 0;
+  if (std::sscanf(line.c_str(), "TS1 %llu %llu", &s, &off) != 2) {
+    return false;
+  }
+  if (s >= num_streams) {
+    return false;
+  }
+  *stream = static_cast<size_t>(s);
+  *offset = static_cast<size_t>(off);
+  return true;
+}
+
+}  // namespace
+
+LogServer::LogServer(const LogServerOptions& options,
+                     std::shared_ptr<const std::vector<std::string>> lines)
+    : options_(options), lines_(std::move(lines)) {
+  if (options_.num_streams == 0) {
+    options_.num_streams = 1;
+  }
+}
+
+LogServer::~LogServer() = default;
+
+bool LogServer::Start() {
+  listen_fd_ = FdGuard(ListenTcp(options_.host, options_.port, &port_));
+  if (!listen_fd_.valid()) {
+    return false;
+  }
+  epoll_fd_ = FdGuard(epoll_create1(0));
+  wake_fd_ = FdGuard(eventfd(0, EFD_NONBLOCK));
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_.get();
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) != 0) {
+    return false;
+  }
+  ev.data.fd = wake_fd_.get();
+  return epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) == 0;
+}
+
+void LogServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_.valid()) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+}
+
+void LogServer::Run() {
+  while (PollOnce(/*timeout_ms=*/200)) {
+  }
+  // Drop every connection abruptly — clients see a peer reset, not #EOS.
+  connections_.clear();
+}
+
+bool LogServer::PollOnce(int timeout_ms) {
+  if (stop_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+  if (n < 0 && errno != EINTR) {
+    return false;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      uint64_t drained;
+      [[maybe_unused]] ssize_t r = ::read(wake_fd_.get(), &drained, sizeof(drained));
+      continue;
+    }
+    if (fd == listen_fd_.get()) {
+      Accept();
+      continue;
+    }
+    Connection* conn = nullptr;
+    for (auto& c : connections_) {
+      if (c->fd.get() == fd) {
+        conn = c.get();
+        break;
+      }
+    }
+    if (conn == nullptr) {
+      continue;  // Closed earlier in this batch.
+    }
+    if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+      CloseConnection(fd);
+      continue;
+    }
+    if ((events[i].events & EPOLLIN) != 0) {
+      if (!conn->hello_done) {
+        HandleHello(conn);
+      } else if (!DrainInput(conn)) {
+        continue;  // Peer closed or went away.
+      }
+      // HandleHello may close the connection on a malformed hello.
+      bool alive = false;
+      for (auto& c : connections_) {
+        alive = alive || c->fd.get() == fd;
+      }
+      if (!alive) {
+        continue;
+      }
+    }
+    if ((events[i].events & EPOLLOUT) != 0 && conn->hello_done) {
+      Fill(conn);
+      if (!Flush(conn)) {
+        continue;
+      }
+      Fill(conn);  // Refill what the flush drained so the buffer stays warm.
+    }
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (options_.exit_after_serving && accepted_any_ && connections_.empty()) {
+    return false;
+  }
+  return true;
+}
+
+void LogServer::Accept() {
+  while (true) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or a transient error; epoll will re-arm.
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    stats_.IncAccepts();
+    accepted_any_ = true;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = FdGuard(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn destructor closes the fd.
+    }
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void LogServer::HandleHello(Connection* conn) {
+  char buf[256];
+  std::vector<std::string> lines;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.AddBytesIn(static_cast<uint64_t>(n));
+      conn->hello_framer.Feed(std::string_view(buf, static_cast<size_t>(n)),
+                              &lines);
+      if (!lines.empty()) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+      CloseConnection(conn->fd.get());  // Peer vanished before the hello.
+      return;
+    }
+    return;  // Partial hello; wait for more bytes.
+  }
+
+  size_t stream = 0;
+  size_t offset = 0;
+  if (!ParseHello(lines.front(), options_.num_streams, &stream, &offset)) {
+    stats_.IncFrameErrors();
+    CloseConnection(conn->fd.get());
+    return;
+  }
+  conn->hello_done = true;
+  conn->stream = stream;
+  // Record k of stream s lives at archive index s + k * num_streams.
+  conn->next_index = stream + offset * options_.num_streams;
+  if (offset > 0) {
+    stats_.IncResumes();
+  }
+  UpdateInterest(conn);
+}
+
+bool LogServer::DrainInput(Connection* conn) {
+  // After the hello the client sends nothing; bytes here are either protocol
+  // misuse (discard) or a read()==0 EOF marking that the peer closed early.
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.AddBytesIn(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;
+    }
+    CloseConnection(conn->fd.get());
+    return false;
+  }
+}
+
+void LogServer::Fill(Connection* conn) {
+  const auto& archive = *lines_;
+  const size_t cap = options_.max_conn_buffer_bytes;
+  size_t pending = conn->send_buf.size() - conn->send_off;
+  bool wanted_more = false;
+  while (!conn->eos_queued) {
+    if (conn->next_index >= archive.size()) {
+      conn->send_buf.append(kEosLine);
+      conn->eos_queued = true;
+      break;
+    }
+    const std::string& line = archive[conn->next_index];
+    if (pending + line.size() + 1 > cap) {
+      wanted_more = true;  // Buffer full with records left: backpressure.
+      break;
+    }
+    conn->send_buf.append(line);
+    conn->send_buf.push_back('\n');
+    pending += line.size() + 1;
+    conn->next_index += options_.num_streams;
+    stats_.AddRecordsOut(1);
+  }
+  if (wanted_more && !conn->stalled) {
+    conn->stalled = true;
+    stats_.IncBackpressureStalls();
+  } else if (!wanted_more) {
+    conn->stalled = false;
+  }
+}
+
+bool LogServer::Flush(Connection* conn) {
+  while (conn->send_off < conn->send_buf.size()) {
+    const ssize_t n =
+        ::send(conn->fd.get(), conn->send_buf.data() + conn->send_off,
+               conn->send_buf.size() - conn->send_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      stats_.AddBytesOut(static_cast<uint64_t>(n));
+      conn->send_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;  // Socket buffer full; epoll will tell us when to resume.
+    }
+    CloseConnection(conn->fd.get());  // EPIPE / ECONNRESET: consumer is gone.
+    return false;
+  }
+  if (conn->send_off == conn->send_buf.size()) {
+    conn->send_buf.clear();
+    conn->send_off = 0;
+    if (conn->eos_queued) {
+      // Everything including #EOS is on the wire: graceful shutdown.
+      ::shutdown(conn->fd.get(), SHUT_WR);
+      connections_completed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn->fd.get());
+      return false;
+    }
+  } else if (conn->send_off > (options_.max_conn_buffer_bytes >> 1)) {
+    conn->send_buf.erase(0, conn->send_off);  // Compact the consumed prefix.
+    conn->send_off = 0;
+  }
+  return true;
+}
+
+void LogServer::UpdateInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = conn->fd.get();
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+}
+
+void LogServer::CloseConnection(int fd) {
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i]->fd.get() == fd) {
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace ts

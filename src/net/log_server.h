@@ -1,0 +1,120 @@
+// LogServer: serves archived wire-format log lines over real TCP sockets,
+// reproducing the paper's log-server side of the pipeline (§5: 42 log servers
+// stream records "in their original text format over a TCP socket").
+//
+// Protocol (all text, '\n'-framed):
+//   client -> server   TS1 <stream> <offset>\n     (one hello line)
+//   server -> client   <wire line>\n ... #EOS\n    then the server closes.
+//
+// The archive is partitioned round-robin into `num_streams` interleaved
+// streams (record i belongs to stream i % num_streams), mirroring how the
+// replayer deals logging processes to workers. <offset> is the count of
+// records of that stream the client has already consumed, so a client that
+// lost its connection mid-stream reconnects and resumes without duplicates.
+//
+// Each connection owns a bounded send buffer. When a consumer drains slower
+// than the server fills, the buffer caps out and the server simply stops
+// copying records in — the stream stalls instead of growing server memory,
+// the exact failure mode (unbounded buffering → OOM) Figure 6 attributes to
+// the generic-engine baseline. Stalls are counted in TransportStats.
+//
+// Single-threaded, non-blocking, epoll-driven. Run() loops until Stop() —
+// callable from another thread — or, with exit_after_serving, until every
+// accepted connection has been served to EOS and closed.
+#ifndef SRC_NET_LOG_SERVER_H_
+#define SRC_NET_LOG_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/frame_reader.h"
+#include "src/net/net_util.h"
+#include "src/net/transport_stats.h"
+
+namespace ts {
+
+struct LogServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port from port().
+  size_t num_streams = 1;
+  // Per-connection send-buffer cap. Small enough that a stalled consumer
+  // costs ~nothing; large enough to keep the pipe full on loopback.
+  size_t max_conn_buffer_bytes = 256 << 10;
+  // When true, Run() returns once at least one connection was accepted and
+  // all accepted connections have been served to EOS (or dropped).
+  bool exit_after_serving = false;
+};
+
+class LogServer {
+ public:
+  // `lines` holds the archive, one wire-format record per element, no
+  // trailing newline. Shared so several servers (tests) can serve one copy.
+  LogServer(const LogServerOptions& options,
+            std::shared_ptr<const std::vector<std::string>> lines);
+  ~LogServer();
+  LogServer(const LogServer&) = delete;
+  LogServer& operator=(const LogServer&) = delete;
+
+  // Binds, listens, and sets up epoll. Returns false on any socket error.
+  bool Start();
+
+  uint16_t port() const { return port_; }
+
+  // Serves until Stop() (or exit_after_serving triggers). Closes all
+  // connections abruptly on exit — from the client's point of view a Stop()
+  // mid-stream is indistinguishable from a crashed log server.
+  void Run();
+
+  // One epoll iteration; returns false once the server should exit.
+  bool PollOnce(int timeout_ms);
+
+  // Thread-safe: wakes the loop and makes Run() return.
+  void Stop();
+
+  const TransportStats& stats() const { return stats_; }
+  uint64_t connections_completed() const {
+    return connections_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    FdGuard fd;
+    LineFramer hello_framer;
+    bool hello_done = false;
+    bool eos_queued = false;
+    bool stalled = false;
+    size_t stream = 0;
+    size_t next_index = 0;  // Global index into *lines_ of the next record.
+    size_t send_off = 0;    // Consumed prefix of send_buf.
+    std::string send_buf;
+  };
+
+  void Accept();
+  void HandleHello(Connection* conn);
+  bool DrainInput(Connection* conn);
+  void Fill(Connection* conn);
+  // Returns false if the connection died and was removed.
+  bool Flush(Connection* conn);
+  void CloseConnection(int fd);
+  void UpdateInterest(Connection* conn);
+
+  LogServerOptions options_;
+  std::shared_ptr<const std::vector<std::string>> lines_;
+  uint16_t port_ = 0;
+  FdGuard listen_fd_;
+  FdGuard epoll_fd_;
+  FdGuard wake_fd_;  // eventfd; written by Stop().
+  std::atomic<bool> stop_{false};
+  bool accepted_any_ = false;
+  std::atomic<uint64_t> connections_completed_{0};
+  // A handful of live connections at most; linear scan by fd is fine.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  TransportStats stats_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_NET_LOG_SERVER_H_

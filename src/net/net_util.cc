@@ -1,0 +1,112 @@
+#include "src/net/net_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace ts {
+namespace {
+
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  *addr = sockaddr_in{};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* node = host.empty() ? "127.0.0.1" : host.c_str();
+  if (host == "0.0.0.0" || host == "*") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  return inet_pton(AF_INET, node, &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+void FdGuard::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool SetNoDelay(int fd) {
+  int one = 1;
+  return setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    return -1;
+  }
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd.get(), SOMAXCONN) != 0 || !SetNonBlocking(fd.get())) {
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      return -1;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd.Release();
+}
+
+int ConnectTcpNonBlocking(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    return -1;
+  }
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid() || !SetNonBlocking(fd.get())) {
+    return -1;
+  }
+  SetNoDelay(fd.get());
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return -1;
+  }
+  return fd.Release();
+}
+
+bool ParseHostPort(const std::string& spec, std::string* host, uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  if (port_str.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1 || value > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  if (host->empty()) {
+    *host = "127.0.0.1";
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace ts

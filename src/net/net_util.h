@@ -1,0 +1,66 @@
+// Small POSIX socket helpers shared by the log server and the ingest client:
+// RAII fd ownership, non-blocking mode, listener setup with ephemeral-port
+// discovery, and host:port parsing. IPv4 only — the paper's log servers sit on
+// a flat datacenter network and every deployment knob here is an address.
+#ifndef SRC_NET_NET_UTIL_H_
+#define SRC_NET_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ts {
+
+// Owns a file descriptor; closes on destruction.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { Close(); }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  FdGuard(FdGuard&& other) noexcept : fd_(other.Release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Puts `fd` into O_NONBLOCK mode. Returns false on error.
+bool SetNonBlocking(int fd);
+
+// Disables Nagle batching; the transport does its own batching via the send
+// buffer, and the latency benches care about per-epoch delivery times.
+bool SetNoDelay(int fd);
+
+// Binds and listens on host:port (port 0 picks an ephemeral port). On success
+// returns the listening fd (non-blocking, SO_REUSEADDR) and stores the actual
+// port in *bound_port. Returns -1 on failure.
+int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port);
+
+// Starts a non-blocking connect to host:port. Returns the fd (connect may
+// still be in progress: poll for writability, then check SO_ERROR), or -1.
+int ConnectTcpNonBlocking(const std::string& host, uint16_t port);
+
+// Splits "host:port" (host may be empty → "127.0.0.1"). Returns false if the
+// port is missing or not a number in [1, 65535].
+bool ParseHostPort(const std::string& spec, std::string* host, uint16_t* port);
+
+}  // namespace ts
+
+#endif  // SRC_NET_NET_UTIL_H_

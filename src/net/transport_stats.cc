@@ -1,0 +1,28 @@
+#include "src/net/transport_stats.h"
+
+#include <cstdio>
+
+namespace ts {
+
+std::string TransportStatsSnapshot::Format() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "bytes_in=%llu bytes_out=%llu records_in=%llu records_out=%llu "
+                "connects=%llu accepts=%llu reconnects=%llu "
+                "backpressure_stalls=%llu frame_errors=%llu parse_errors=%llu "
+                "resumes=%llu",
+                static_cast<unsigned long long>(bytes_in),
+                static_cast<unsigned long long>(bytes_out),
+                static_cast<unsigned long long>(records_in),
+                static_cast<unsigned long long>(records_out),
+                static_cast<unsigned long long>(connects),
+                static_cast<unsigned long long>(accepts),
+                static_cast<unsigned long long>(reconnects),
+                static_cast<unsigned long long>(backpressure_stalls),
+                static_cast<unsigned long long>(frame_errors),
+                static_cast<unsigned long long>(parse_errors),
+                static_cast<unsigned long long>(resumes));
+  return std::string(buf);
+}
+
+}  // namespace ts

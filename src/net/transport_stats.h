@@ -1,0 +1,87 @@
+// Transport-layer counters shared by the log server and the socket ingest
+// source. The paper's pipeline moves records "in their original text format
+// over a TCP socket" (§5); these counters make that path observable in the
+// bench reports: how many bytes/records crossed the wire, how often a slow
+// consumer stalled the stream (the backpressure behaviour Figure 6 contrasts
+// with the baseline's OOM), and how often the client had to reconnect.
+//
+// Counters are relaxed atomics: the server mutates them from its event-loop
+// thread while tests and bench harnesses snapshot them from another thread.
+#ifndef SRC_NET_TRANSPORT_STATS_H_
+#define SRC_NET_TRANSPORT_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ts {
+
+// Plain-value copy of the counters, safe to pass around and format.
+struct TransportStatsSnapshot {
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t records_in = 0;        // Complete framed lines received.
+  uint64_t records_out = 0;       // Complete lines queued onto the wire.
+  uint64_t connects = 0;          // Successful outbound connects.
+  uint64_t accepts = 0;           // Inbound connections accepted.
+  uint64_t reconnects = 0;        // Outbound re-connects after a drop.
+  uint64_t backpressure_stalls = 0;  // Send-buffer-full transitions.
+  uint64_t frame_errors = 0;      // Oversized / truncated wire lines dropped.
+  uint64_t parse_errors = 0;      // Framed lines ParseWireFormat rejected.
+  uint64_t resumes = 0;           // RESUME offsets honoured (server side).
+
+  std::string Format() const;
+};
+
+class TransportStats {
+ public:
+  TransportStats() = default;
+  TransportStats(const TransportStats&) = delete;
+  TransportStats& operator=(const TransportStats&) = delete;
+
+  void AddBytesIn(uint64_t n) { bytes_in_.fetch_add(n, kRelaxed); }
+  void AddBytesOut(uint64_t n) { bytes_out_.fetch_add(n, kRelaxed); }
+  void AddRecordsIn(uint64_t n) { records_in_.fetch_add(n, kRelaxed); }
+  void AddRecordsOut(uint64_t n) { records_out_.fetch_add(n, kRelaxed); }
+  void IncConnects() { connects_.fetch_add(1, kRelaxed); }
+  void IncAccepts() { accepts_.fetch_add(1, kRelaxed); }
+  void IncReconnects() { reconnects_.fetch_add(1, kRelaxed); }
+  void IncBackpressureStalls() { backpressure_stalls_.fetch_add(1, kRelaxed); }
+  void IncFrameErrors() { frame_errors_.fetch_add(1, kRelaxed); }
+  void IncParseErrors() { parse_errors_.fetch_add(1, kRelaxed); }
+  void IncResumes() { resumes_.fetch_add(1, kRelaxed); }
+
+  TransportStatsSnapshot Snapshot() const {
+    TransportStatsSnapshot s;
+    s.bytes_in = bytes_in_.load(kRelaxed);
+    s.bytes_out = bytes_out_.load(kRelaxed);
+    s.records_in = records_in_.load(kRelaxed);
+    s.records_out = records_out_.load(kRelaxed);
+    s.connects = connects_.load(kRelaxed);
+    s.accepts = accepts_.load(kRelaxed);
+    s.reconnects = reconnects_.load(kRelaxed);
+    s.backpressure_stalls = backpressure_stalls_.load(kRelaxed);
+    s.frame_errors = frame_errors_.load(kRelaxed);
+    s.parse_errors = parse_errors_.load(kRelaxed);
+    s.resumes = resumes_.load(kRelaxed);
+    return s;
+  }
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> records_in_{0};
+  std::atomic<uint64_t> records_out_{0};
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> resumes_{0};
+};
+
+}  // namespace ts
+
+#endif  // SRC_NET_TRANSPORT_STATS_H_

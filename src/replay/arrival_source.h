@@ -1,0 +1,52 @@
+// The ingestion boundary: one interface behind which a timely worker's
+// IngestDriver consumes its arrival stream, whether the records come from the
+// in-process replayer (the seed's substitution for the paper's log servers)
+// or from a live TCP socket (src/net). The driver neither knows nor cares —
+// exactly the property §5 relies on when it swaps archived-file replay in for
+// the production socket feed.
+#ifndef SRC_REPLAY_ARRIVAL_SOURCE_H_
+#define SRC_REPLAY_ARRIVAL_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time_util.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+// One record as it reaches a TS worker: either a parsed record or a wire-format
+// text line (the paper replays "in their original text format", so TS pays the
+// parse cost on ingest — part of Figure 7b's input fraction).
+struct Arrival {
+  EventTime arrival_ns = 0;  // When the record reaches TS.
+  LogRecord record;          // Populated when !as_text.
+  std::string line;          // Populated when as_text.
+};
+
+class ArrivalSource {
+ public:
+  enum class Fetch {
+    kOk,           // `out` holds this worker's arrivals for the epoch.
+    kEndOfStream,  // No arrivals at or beyond this epoch will ever exist.
+  };
+
+  virtual ~ArrivalSource() = default;
+
+  // Fetches (and removes) the arrivals for `worker` in arrival epoch `epoch`,
+  // sorted by arrival time. Each (worker, epoch) may be fetched once.
+  virtual Fetch ArrivalsFor(size_t worker, Epoch epoch,
+                            std::vector<Arrival>* out) = 0;
+
+  // Paced sources (the replayer) bucket arrivals into wall-clock epochs, so
+  // the driver can flush its re-order buffer up to `arrival_epoch - slack`.
+  // Unpaced sources (a live socket drained as fast as it delivers) carry no
+  // such clock; the driver instead flushes behind the maximum event time seen
+  // — the watermark discipline of §4.1 — which tolerates exactly the same
+  // lateness window.
+  virtual bool paced() const { return true; }
+};
+
+}  // namespace ts
+
+#endif  // SRC_REPLAY_ARRIVAL_SOURCE_H_

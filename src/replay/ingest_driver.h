@@ -42,8 +42,12 @@ class IngestDriver {
     uint64_t records = 0;
   };
 
-  IngestDriver(Replayer* replayer, size_t worker, InputSession<LogRecord> input,
-               const Options& options);
+  // `source` is any ArrivalSource: the in-memory Replayer or a live
+  // SocketArrivalSource (src/replay/socket_source.h). For unpaced sources the
+  // driver switches from arrival-clock flushing to event-time watermark
+  // flushing (see ArrivalSource::paced()).
+  IngestDriver(ArrivalSource* source, size_t worker,
+               InputSession<LogRecord> input, const Options& options);
 
   // Enables gating on a downstream probe (must belong to the same worker).
   void SetGate(ProbeHandle probe) {
@@ -67,7 +71,7 @@ class IngestDriver {
   void Feed(std::vector<LogRecord>& ready);
   void AttributeCpu(Epoch epoch, int64_t cpu_ns);
 
-  Replayer* replayer_;
+  ArrivalSource* source_;
   const size_t worker_;
   InputSession<LogRecord> input_;
   Options options_;
@@ -76,6 +80,8 @@ class IngestDriver {
   ProbeHandle gate_probe_;
   bool gated_ = false;
   bool finished_ = false;
+  const bool paced_;
+  EventTime max_event_ns_ = 0;  // Watermark basis for unpaced sources.
   Epoch next_arrival_epoch_ = 0;
   std::vector<Arrival> arrivals_;
   std::vector<LogRecord> ready_;

@@ -23,18 +23,10 @@
 #include "src/common/rng.h"
 #include "src/common/time_util.h"
 #include "src/log/record.h"
+#include "src/replay/arrival_source.h"
 #include "src/workload/generator.h"
 
 namespace ts {
-
-// One record as it reaches a TS worker: either a parsed record or a wire-format
-// text line (the paper replays "in their original text format", so TS pays the
-// parse cost on ingest — part of Figure 7b's input fraction).
-struct Arrival {
-  EventTime arrival_ns = 0;  // When the record reaches TS.
-  LogRecord record;          // Populated when !as_text.
-  std::string line;          // Populated when as_text.
-};
 
 struct ReplayerConfig {
   size_t num_servers = 42;
@@ -73,19 +65,17 @@ struct ReplayerStats {
 // Thread-safe coordinator: worker drivers fetch their arrival stream epoch by
 // epoch; generation happens lazily under a lock, one event-time epoch at a
 // time, so memory stays bounded by the in-flight window.
-class Replayer {
+class Replayer : public ArrivalSource {
  public:
-  enum class Fetch {
-    kOk,           // `out` holds this worker's arrivals for the epoch.
-    kEndOfStream,  // No arrivals at or beyond this epoch will ever exist.
-  };
+  using Fetch = ArrivalSource::Fetch;
 
   Replayer(const ReplayerConfig& config, const GeneratorConfig& gen_config);
 
   // Fetches (and removes) the arrivals for `worker` with arrival time in
   // [epoch, epoch+1), sorted by arrival time. Each (worker, epoch) may be
   // fetched once.
-  Fetch ArrivalsFor(size_t worker, Epoch epoch, std::vector<Arrival>* out);
+  Fetch ArrivalsFor(size_t worker, Epoch epoch,
+                    std::vector<Arrival>* out) override;
 
   const ReplayerStats& stats() const { return stats_; }
   const GeneratorStats& generator_stats() const { return generator_.stats(); }

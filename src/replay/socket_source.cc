@@ -1,0 +1,29 @@
+#include "src/replay/socket_source.h"
+
+namespace ts {
+
+ArrivalSource::Fetch SocketArrivalSource::ArrivalsFor(size_t /*worker*/,
+                                                      Epoch /*epoch*/,
+                                                      std::vector<Arrival>* out) {
+  lines_.clear();
+  const SocketIngestSource::Poll poll =
+      source_.PollLines(&lines_, options_.poll_timeout_ms);
+  for (auto& line : lines_) {
+    Arrival a;
+    a.line = std::move(line);
+    out->push_back(std::move(a));
+  }
+  switch (poll) {
+    case SocketIngestSource::Poll::kRecords:
+    case SocketIngestSource::Poll::kIdle:
+      return Fetch::kOk;
+    case SocketIngestSource::Poll::kFailed:
+      failed_ = true;
+      return Fetch::kEndOfStream;
+    case SocketIngestSource::Poll::kEndOfStream:
+      return Fetch::kEndOfStream;
+  }
+  return Fetch::kEndOfStream;
+}
+
+}  // namespace ts

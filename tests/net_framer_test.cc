@@ -1,0 +1,122 @@
+// LineFramer tests: TCP delivers arbitrary byte fragments, so framing must be
+// invariant to where the reads split — including splits inside a record,
+// inside a CRLF pair, and across oversized hostile lines.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/frame_reader.h"
+
+namespace ts {
+namespace {
+
+std::vector<std::string> SampleLines() {
+  return {
+      "599859123|XKSHSKCBA53U088FXGE7LD8|26-3-11-5-1|svc-204|h-17|ANNOT|q=BOS",
+      "1|S|1|svc-0|h-0|START|",
+      "2|S|1-1|svc-1|h-0|END|payload with spaces",
+      "a line that is not wire format at all",
+      "",
+      "trailing",
+  };
+}
+
+std::string Joined(const std::vector<std::string>& lines) {
+  std::string wire;
+  for (const auto& l : lines) {
+    wire += l;
+    wire += '\n';
+  }
+  return wire;
+}
+
+// Feeding the whole buffer at once yields exactly the input lines.
+TEST(LineFramer, WholeBufferRoundTrip) {
+  const auto expected = SampleLines();
+  LineFramer framer;
+  std::vector<std::string> got;
+  framer.Feed(Joined(expected), &got);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+  EXPECT_EQ(framer.frame_errors(), 0u);
+}
+
+// Every fixed chunk size from 1 byte up must produce identical framing.
+TEST(LineFramer, InvariantToFixedChunkSizes) {
+  const auto expected = SampleLines();
+  const std::string wire = Joined(expected);
+  for (size_t chunk = 1; chunk <= 17; ++chunk) {
+    LineFramer framer;
+    std::vector<std::string> got;
+    for (size_t off = 0; off < wire.size(); off += chunk) {
+      framer.Feed(std::string_view(wire).substr(off, chunk), &got);
+    }
+    EXPECT_EQ(got, expected) << "chunk size " << chunk;
+  }
+}
+
+// Random split points (seeded — deterministic) across a larger corpus.
+TEST(LineFramer, InvariantToRandomSplits) {
+  std::vector<std::string> expected;
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const size_t len = rng.NextBelow(120);
+    for (size_t j = 0; j < len; ++j) {
+      line.push_back(static_cast<char>('A' + rng.NextBelow(26)));
+    }
+    expected.push_back(std::move(line));
+  }
+  const std::string wire = Joined(expected);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng splits(seed + 1);
+    LineFramer framer;
+    std::vector<std::string> got;
+    size_t off = 0;
+    while (off < wire.size()) {
+      const size_t n = 1 + splits.NextBelow(97);
+      framer.Feed(std::string_view(wire).substr(off, n), &got);
+      off += n;
+    }
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST(LineFramer, StripsCrlfAcrossSplitBoundary) {
+  LineFramer framer;
+  std::vector<std::string> got;
+  framer.Feed("abc\r", &got);
+  EXPECT_TRUE(got.empty());  // The '\r' might be mid-line data; wait for '\n'.
+  framer.Feed("\ndef\r\n", &got);
+  EXPECT_EQ(got, (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(LineFramer, OversizedLineDroppedNeighborsSurvive) {
+  LineFramer framer(LineFramer::Options{/*max_line_bytes=*/16});
+  std::vector<std::string> got;
+  const std::string huge(100, 'x');
+  // Deliver: good line, huge line (in pieces), good line.
+  framer.Feed("ok-1\n", &got);
+  framer.Feed(huge, &got);
+  framer.Feed(huge, &got);
+  framer.Feed("\nok-2\n", &got);
+  EXPECT_EQ(got, (std::vector<std::string>{"ok-1", "ok-2"}));
+  EXPECT_EQ(framer.frame_errors(), 1u);
+}
+
+TEST(LineFramer, ResetDiscardsPartial) {
+  LineFramer framer;
+  std::vector<std::string> got;
+  framer.Feed("truncated-by-a-crash", &got);
+  EXPECT_EQ(framer.pending_bytes(), 20u);
+  EXPECT_TRUE(framer.Reset());
+  EXPECT_FALSE(framer.Reset());  // Idempotent; nothing left to discard.
+  // The next stream starts clean: no gluing to the discarded tail.
+  framer.Feed("fresh\n", &got);
+  EXPECT_EQ(got, (std::vector<std::string>{"fresh"}));
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,157 @@
+// ts_log_server: serves a wire-format log trace over real TCP — the log-server
+// half of the paper's pipeline (§5: archived logs replayed "in their original
+// text format over a TCP socket"). Pairs with `ts_sessionize --connect` or any
+// SocketIngestSource client.
+//
+// The trace is either an archived file (--in=path, e.g. from ts_trace_gen) or
+// generated in-process with the same knobs as ts_trace_gen. It is partitioned
+// round-robin into --streams interleaved streams; each client's hello line
+// picks a stream and a resume offset.
+//
+// Usage:
+//   ts_log_server [--port=0] [--host=127.0.0.1] [--streams=1]
+//                 [--in=path | --rate=50000 --seconds=10 --seed=42]
+//                 [--buffer_kb=256] [--once] [--quiet]
+//
+//   --port=0      bind an ephemeral port; the bound port is printed first,
+//                 alone on a line, so scripts and tests can capture it
+//   --once        exit after every accepted connection has been served to EOS
+//   --quiet       suppress the final transport-stats report
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/log/wire_format.h"
+#include "src/net/log_server.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+ts::LogServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) {
+    g_server->Stop();
+  }
+}
+
+double Flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Loads one wire line per element, newline stripped.
+bool LoadArchive(const char* path, std::vector<std::string>* lines) {
+  FILE* in = std::fopen(path, "r");
+  if (in == nullptr) {
+    return false;
+  }
+  char* line = nullptr;
+  size_t capacity = 0;
+  ssize_t len;
+  while ((len = getline(&line, &capacity, in)) >= 0) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      --len;
+    }
+    if (len > 0) {
+      lines->emplace_back(line, static_cast<size_t>(len));
+    }
+  }
+  free(line);
+  std::fclose(in);
+  return true;
+}
+
+void GenerateArchive(int argc, char** argv, std::vector<std::string>* lines) {
+  ts::GeneratorConfig config;
+  config.seed = static_cast<uint64_t>(Flag(argc, argv, "--seed", 42));
+  config.duration_ns = static_cast<ts::EventTime>(
+      Flag(argc, argv, "--seconds", 10) * ts::kNanosPerSecond);
+  config.target_records_per_sec = Flag(argc, argv, "--rate", 50'000);
+  ts::TraceGenerator gen(config);
+  ts::Epoch epoch = 0;
+  std::vector<ts::LogRecord> records;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      lines->push_back(ts::ToWireFormat(r));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  auto lines = std::make_shared<std::vector<std::string>>();
+  if (const char* path = FlagStr(argc, argv, "--in")) {
+    if (!LoadArchive(path, lines.get())) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+  } else {
+    GenerateArchive(argc, argv, lines.get());
+  }
+
+  LogServerOptions options;
+  if (const char* host = FlagStr(argc, argv, "--host")) {
+    options.host = host;
+  }
+  options.port = static_cast<uint16_t>(Flag(argc, argv, "--port", 0));
+  options.num_streams = static_cast<size_t>(Flag(argc, argv, "--streams", 1));
+  options.max_conn_buffer_bytes =
+      static_cast<size_t>(Flag(argc, argv, "--buffer_kb", 256)) << 10;
+  options.exit_after_serving = HasFlag(argc, argv, "--once");
+
+  LogServer server(options, lines);
+  if (!server.Start()) {
+    std::fprintf(stderr, "cannot listen on %s:%u\n", options.host.c_str(),
+                 options.port);
+    return 1;
+  }
+  // The bound port, first and alone on a line: `--port=0` callers parse this.
+  std::printf("%u\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "serving %zu records as %zu stream(s) on %s:%u\n",
+               lines->size(), options.num_streams, options.host.c_str(),
+               server.port());
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  server.Run();
+
+  if (!HasFlag(argc, argv, "--quiet")) {
+    const auto stats = server.stats().Snapshot();
+    std::fprintf(stderr, "transport: %s\n", stats.Format().c_str());
+    std::fprintf(stderr, "connections completed: %llu\n",
+                 static_cast<unsigned long long>(server.connections_completed()));
+  }
+  return 0;
+}

@@ -1,11 +1,17 @@
-// ts_sessionize: reads wire-format log records from a file (or stdin),
-// reconstructs sessions and trace trees, and prints a summary report — the
-// offline companion to the streaming system, handy for inspecting archived
-// logs produced by ts_trace_gen or exported from a real pipeline.
+// ts_sessionize: reads wire-format log records from a file, stdin, or a live
+// ts_log_server TCP stream, reconstructs sessions and trace trees, and prints
+// a summary report — the offline companion to the streaming system, handy for
+// inspecting archived logs produced by ts_trace_gen or exported from a real
+// pipeline.
 //
 // Usage:
-//   ts_sessionize [--in=path] [--inactivity_s=0] [--top=10] [--trees]
+//   ts_sessionize [--in=path | --connect=host:port] [--stream=0 --streams=1]
+//                 [--inactivity_s=0] [--top=10] [--trees]
 //
+//   --connect=H:P     consume a live log-server stream instead of a file
+//                     (reconnects with backoff and resumes if the server
+//                     drops mid-stream)
+//   --stream/--streams  which partition of the server's archive to consume
 //   --inactivity_s=N  also split sessions at idle gaps > N seconds
 //   --top=K           print the K most frequent tree signatures and
 //                     communicating service pairs
@@ -20,6 +26,8 @@
 #include "src/analytics/dependency_graph.h"
 #include "src/core/trace_tree.h"
 #include "src/log/wire_format.h"
+#include "src/net/net_util.h"
+#include "src/net/socket_ingest.h"
 #include "src/offline/offline_sessionizer.h"
 
 namespace {
@@ -57,18 +65,45 @@ bool HasFlag(int argc, char** argv, const char* name) {
 
 int main(int argc, char** argv) {
   using namespace ts;
-  FILE* in = stdin;
-  if (const char* path = FlagStr(argc, argv, "--in")) {
-    in = std::fopen(path, "r");
-    if (in == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", path);
-      return 1;
-    }
-  }
-
   std::vector<LogRecord> records;
   uint64_t parse_failures = 0;
-  {
+
+  if (const char* spec = FlagStr(argc, argv, "--connect")) {
+    SocketIngestOptions options;
+    if (!ParseHostPort(spec, &options.host, &options.port)) {
+      std::fprintf(stderr, "bad --connect spec %s (want host:port)\n", spec);
+      return 1;
+    }
+    options.stream = static_cast<size_t>(Flag(argc, argv, "--stream", 0));
+    options.num_streams = static_cast<size_t>(Flag(argc, argv, "--streams", 1));
+    SocketIngestSource source(options);
+    std::vector<std::string> lines;
+    const bool graceful = source.ReadAll(&lines);
+    for (const auto& l : lines) {
+      auto parsed = ParseWireFormat(l);
+      if (parsed) {
+        records.push_back(std::move(*parsed));
+      } else {
+        ++parse_failures;
+      }
+    }
+    std::fprintf(stderr, "transport: %s\n",
+                 source.stats().Snapshot().Format().c_str());
+    if (!graceful) {
+      std::fprintf(stderr,
+                   "transport failed before end of stream (%llu records in)\n",
+                   static_cast<unsigned long long>(source.records_received()));
+      return 1;
+    }
+  } else {
+    FILE* in = stdin;
+    if (const char* path = FlagStr(argc, argv, "--in")) {
+      in = std::fopen(path, "r");
+      if (in == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+      }
+    }
     char* line = nullptr;
     size_t capacity = 0;
     ssize_t len;
@@ -84,9 +119,9 @@ int main(int argc, char** argv) {
       }
     }
     free(line);
-  }
-  if (in != stdin) {
-    std::fclose(in);
+    if (in != stdin) {
+      std::fclose(in);
+    }
   }
 
   OfflineOptions options;

@@ -1,0 +1,238 @@
+// Serving-path micro-benchmark: what the ts_query subsystem adds on top of
+// the in-process SessionStore. Measures (a) point-lookup round-trip latency
+// and throughput over loopback TCP versus the in-process call, (b) scan
+// (SERVICE limit) throughput, and (c) SUBSCRIBE fan-out: sustained
+// sessions/sec delivered to N concurrent live-tail subscribers — the
+// "millions of users" serving direction of the ROADMAP north star, sized
+// down to a laptop.
+//
+// Usage: query_serving [--sessions=20000] [--queries=5000] [--subscribers=4]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analytics/session_store.h"
+#include "src/query/query_client.h"
+#include "src/query/query_server.h"
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+ts::Session MakeSession(uint64_t n, size_t records) {
+  ts::Session s;
+  s.id = "BENCH" + std::to_string(n);
+  const ts::EventTime base = static_cast<ts::EventTime>(n) * 1000;
+  for (size_t i = 0; i < records; ++i) {
+    ts::LogRecord r;
+    r.time = base + static_cast<ts::EventTime>(i);
+    r.session_id = s.id;
+    r.txn_id = *ts::TxnId::Parse("1-2");
+    r.service = static_cast<uint32_t>((n + i) % 64);
+    r.host = r.service;
+    r.payload = "k=v&step=" + std::to_string(i);
+    s.records.push_back(std::move(r));
+  }
+  s.first_epoch = base / ts::kNanosPerSecond;
+  s.last_epoch = s.first_epoch;
+  s.closed_at = s.last_epoch;
+  return s;
+}
+
+struct LatencySummary {
+  double p50_us = 0;
+  double p99_us = 0;
+  double qps = 0;
+};
+
+LatencySummary Summarize(std::vector<int64_t>& latencies_ns,
+                         int64_t elapsed_ns) {
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  LatencySummary s;
+  if (latencies_ns.empty()) {
+    return s;
+  }
+  s.p50_us =
+      static_cast<double>(latencies_ns[latencies_ns.size() / 2]) / 1e3;
+  s.p99_us =
+      static_cast<double>(latencies_ns[latencies_ns.size() * 99 / 100]) / 1e3;
+  s.qps = static_cast<double>(latencies_ns.size()) * 1e9 /
+          static_cast<double>(elapsed_ns);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  const size_t num_sessions =
+      static_cast<size_t>(Flag(argc, argv, "--sessions", 20'000));
+  const size_t num_queries =
+      static_cast<size_t>(Flag(argc, argv, "--queries", 5'000));
+  const size_t num_subscribers =
+      static_cast<size_t>(Flag(argc, argv, "--subscribers", 4));
+
+  auto store = std::make_shared<SessionStore>();
+  for (size_t n = 0; n < num_sessions; ++n) {
+    store->Insert(MakeSession(n, /*records=*/8));
+  }
+
+  QueryServerOptions options;
+  QueryServer server(options, store);
+  if (!server.Start()) {
+    std::fprintf(stderr, "cannot start server\n");
+    return 1;
+  }
+  std::thread server_thread([&server] { server.Run(); });
+
+  QueryClientOptions client_options;
+  client_options.port = server.port();
+  QueryClient client(client_options);
+  if (!client.Connect()) {
+    std::fprintf(stderr, "cannot connect\n");
+    return 1;
+  }
+
+  std::printf("store: %zu sessions, %.1f MiB\n", store->stats().sessions,
+              static_cast<double>(store->stats().bytes) / (1 << 20));
+
+  // (a) in-process baseline vs wire round trip, point lookups.
+  {
+    std::vector<int64_t> lat;
+    lat.reserve(num_queries);
+    const int64_t t0 = NowNs();
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int64_t s = NowNs();
+      auto hit = store->GetById("BENCH" + std::to_string(q % num_sessions));
+      lat.push_back(NowNs() - s);
+      if (!hit.has_value()) {
+        std::fprintf(stderr, "miss!\n");
+        return 1;
+      }
+    }
+    const auto sum = Summarize(lat, NowNs() - t0);
+    std::printf("GET in-process : %9.0f ops/s  p50 %6.1fus  p99 %6.1fus\n",
+                sum.qps, sum.p50_us, sum.p99_us);
+  }
+  {
+    std::vector<int64_t> lat;
+    lat.reserve(num_queries);
+    const int64_t t0 = NowNs();
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int64_t s = NowNs();
+      auto response = client.Get("BENCH" + std::to_string(q % num_sessions));
+      lat.push_back(NowNs() - s);
+      if (!response.ok || response.sessions.size() != 1) {
+        std::fprintf(stderr, "wire miss!\n");
+        return 1;
+      }
+    }
+    const auto sum = Summarize(lat, NowNs() - t0);
+    std::printf("GET over wire  : %9.0f ops/s  p50 %6.1fus  p99 %6.1fus\n",
+                sum.qps, sum.p50_us, sum.p99_us);
+  }
+
+  // (b) bounded scans.
+  {
+    std::vector<int64_t> lat;
+    const size_t scans = std::max<size_t>(1, num_queries / 10);
+    lat.reserve(scans);
+    const int64_t t0 = NowNs();
+    uint64_t fetched = 0;
+    for (size_t q = 0; q < scans; ++q) {
+      const int64_t s = NowNs();
+      auto response = client.ByService(static_cast<uint32_t>(q % 64), 20);
+      lat.push_back(NowNs() - s);
+      fetched += response.count;
+    }
+    const auto sum = Summarize(lat, NowNs() - t0);
+    std::printf(
+        "SERVICE scan 20: %9.0f ops/s  p50 %6.1fus  p99 %6.1fus  "
+        "(%.1f sessions/scan)\n",
+        sum.qps, sum.p50_us, sum.p99_us,
+        static_cast<double>(fetched) / static_cast<double>(scans));
+  }
+
+  // (c) subscription fan-out: N tailing subscribers, one inserter.
+  {
+    std::atomic<uint64_t> delivered{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> tails;
+    for (size_t i = 0; i < num_subscribers; ++i) {
+      tails.emplace_back([&, i] {
+        QueryClient sub(client_options);
+        if (!sub.Connect() || !sub.Subscribe()) {
+          std::fprintf(stderr, "subscriber %zu failed\n", i);
+          return;
+        }
+        Session session;
+        while (!stop.load(std::memory_order_acquire)) {
+          if (sub.Next(&session, nullptr, 50) ==
+              QueryClient::Event::kSession) {
+            delivered.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Give subscribers time to attach before measuring.
+    while (server.subscriber_count() < num_subscribers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const size_t inserts = num_sessions / 4;
+    const int64_t t0 = NowNs();
+    for (size_t n = 0; n < inserts; ++n) {
+      store->Insert(MakeSession(num_sessions + n, /*records=*/8));
+    }
+    const uint64_t expected =
+        static_cast<uint64_t>(inserts) * num_subscribers;
+    const int64_t deadline = NowNs() + 20ll * 1000 * 1000 * 1000;
+    const auto counters_settled = [&] {
+      const auto c = server.counters();
+      return c.sessions_streamed + c.sessions_dropped >= expected;
+    };
+    while (delivered.load() + server.counters().sessions_dropped < expected &&
+           NowNs() < deadline && !counters_settled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Let tails drain whatever is still buffered.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const int64_t elapsed = NowNs() - t0;
+    stop.store(true, std::memory_order_release);
+    for (auto& t : tails) {
+      t.join();
+    }
+    const auto counters = server.counters();
+    std::printf(
+        "SUBSCRIBE x%zu  : %9.0f sessions/s delivered  "
+        "(%llu delivered, %llu dropped on slow tails)\n",
+        num_subscribers,
+        static_cast<double>(delivered.load()) * 1e9 /
+            static_cast<double>(elapsed),
+        static_cast<unsigned long long>(counters.sessions_streamed),
+        static_cast<unsigned long long>(counters.sessions_dropped));
+  }
+
+  server.Stop();
+  server_thread.join();
+  return 0;
+}

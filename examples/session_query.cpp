@@ -6,15 +6,45 @@
 //   * "recent sessions touching svc X"  -> QueryByService
 //   * "what ran between t1 and t2"      -> QueryByTimeRange
 //   * "why was this request slow"       -> critical path over its trace trees
+//
+// Each query then runs a second time over the ts_query wire protocol — the
+// same store served by a QueryServer on loopback, queried through
+// QueryClient — and the example checks the wire answer is byte-equivalent
+// to the in-process one. This is the embedded version of the three-process
+// pipeline (ts_log_server | ts_sessionize --serve | ts_query).
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "src/analytics/critical_path.h"
 #include "src/analytics/session_store.h"
 #include "src/core/sessionize.h"
 #include "src/core/trace_tree.h"
+#include "src/query/query_client.h"
+#include "src/query/query_protocol.h"
+#include "src/query/query_server.h"
 #include "src/replay/ingest_driver.h"
 #include "src/timely/timely.h"
+
+namespace {
+
+// True iff the sessions a wire query returned re-encode to the same bytes as
+// the sessions the in-process call returned.
+bool WireMatches(const std::vector<ts::Session>& local,
+                 const ts::QueryResponse& response) {
+  if (!response.ok || response.sessions.size() != local.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < local.size(); ++i) {
+    if (ts::EncodeSessionBlock(local[i]) !=
+        ts::EncodeSessionBlock(response.sessions[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ts;
@@ -62,6 +92,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.inserted),
               static_cast<unsigned long long>(stats.evicted));
 
+  // Serve the same store over loopback TCP and query it through the wire
+  // client as well — every answer below is checked against the in-process
+  // call byte-for-byte.
+  QueryServerOptions server_options;
+  QueryServer server(server_options, store);
+  if (!server.Start()) {
+    std::fprintf(stderr, "cannot start query server\n");
+    return 1;
+  }
+  std::thread server_thread([&server] { server.Run(); });
+  QueryClientOptions client_options;
+  client_options.port = server.port();
+  QueryClient client(client_options);
+  if (!client.Connect()) {
+    std::fprintf(stderr, "cannot connect to query server\n");
+    return 1;
+  }
+  std::printf("Query server on 127.0.0.1:%u, wire client connected\n\n",
+              server.port());
+
   // Query 1: time range — the second second of the trace.
   auto in_window =
       store->QueryByTimeRange(1 * kNanosPerSecond, 2 * kNanosPerSecond, 5);
@@ -74,6 +124,12 @@ int main(int argc, char** argv) {
   if (in_window.empty()) {
     std::printf("    (none)\n");
   }
+  std::printf("    wire RANGE matches in-process: %s\n",
+              WireMatches(in_window,
+                          client.ByRange(1 * kNanosPerSecond,
+                                         2 * kNanosPerSecond, 5))
+                  ? "yes"
+                  : "NO");
 
   // Query 2: drill into the largest of those sessions.
   const Session* biggest = nullptr;
@@ -87,6 +143,11 @@ int main(int argc, char** argv) {
     std::printf("\nQ2: GetById(%s) -> %s\n", biggest->id.c_str(),
                 fetched ? "hit" : "miss");
     if (fetched) {
+      std::printf("    wire GET matches in-process: %s\n",
+                  WireMatches({*fetched},
+                              client.Get(biggest->id, biggest->fragment_index))
+                      ? "yes"
+                      : "NO");
       auto trees = TraceTree::FromSession(*fetched);
       std::printf("    %zu trace tree(s)\n", trees.size());
       // Query 4 rolled in: why slow? Critical path of the slowest tree.
@@ -116,7 +177,17 @@ int main(int argc, char** argv) {
       for (const auto& p : peers) {
         std::printf("    %s (%zu records)\n", p.id.c_str(), p.records.size());
       }
+      std::printf("    wire SERVICE matches in-process: %s\n",
+                  WireMatches(peers, client.ByService(svc, 3)) ? "yes" : "NO");
     }
   }
+
+  // The server also exports store + serving gauges over the wire.
+  auto wire_stats = client.Stats();
+  std::printf("\nWire STATS: %zu gauges (store_sessions, store_bytes, ...)\n",
+              wire_stats.stats.size());
+
+  server.Stop();
+  server_thread.join();
   return 0;
 }

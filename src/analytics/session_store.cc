@@ -1,7 +1,6 @@
 #include "src/analytics/session_store.h"
 
 #include <algorithm>
-#include <set>
 
 namespace ts {
 
@@ -12,16 +11,20 @@ void SessionStore::Insert(Session session) {
   entry.min_time = session.MinTime();
   entry.max_time = session.MaxTime();
   entry.seq = next_seq_++;
+  entry.services.reserve(session.records.size());
+  for (const auto& r : session.records) {
+    entry.services.push_back(r.service);
+  }
+  std::sort(entry.services.begin(), entry.services.end());
+  entry.services.erase(
+      std::unique(entry.services.begin(), entry.services.end()),
+      entry.services.end());
   entry.session = std::move(session);
 
   entries_.push_back(std::move(entry));
   auto it = std::prev(entries_.end());
   by_id_[{it->session.id, it->session.fragment_index}] = it;
-  std::set<uint32_t> services;
-  for (const auto& r : it->session.records) {
-    services.insert(r.service);
-  }
-  for (uint32_t s : services) {
+  for (uint32_t s : it->services) {
     by_service_[s].push_back(it);
   }
   by_time_.emplace(it->min_time, it);
@@ -30,12 +33,31 @@ void SessionStore::Insert(Session session) {
   ++stats_.sessions;
   ++stats_.inserted;
   EvictIfNeeded();
+  // `it` survives eviction: EvictIfNeeded never removes the newest entry.
+  for (const auto& [token, observer] : observers_) {
+    observer(it->session);
+  }
 }
 
 void SessionStore::Unindex(EntryList::iterator it) {
   by_id_.erase({it->session.id, it->session.fragment_index});
-  // Service index entries are cleaned lazily at query time (they hold list
-  // iterators which become invalid); mark via the seq set below.
+  // The entry's service set is recorded at insert, so each service index is
+  // trimmed directly — no scan over unrelated services. Eviction order is
+  // insertion order, hence the victim is at (or near) the vector front.
+  for (uint32_t s : it->services) {
+    auto by_service = by_service_.find(s);
+    if (by_service == by_service_.end()) {
+      continue;
+    }
+    auto& list = by_service->second;
+    auto pos = std::find(list.begin(), list.end(), it);
+    if (pos != list.end()) {
+      list.erase(pos);
+    }
+    if (list.empty()) {
+      by_service_.erase(by_service);  // Keep dead services from accumulating.
+    }
+  }
   auto range = by_time_.equal_range(it->min_time);
   for (auto t = range.first; t != range.second; ++t) {
     if (t->second == it) {
@@ -52,10 +74,6 @@ void SessionStore::EvictIfNeeded() {
     --stats_.sessions;
     ++stats_.evicted;
     Unindex(oldest);
-    // Purge dangling service-index references to this entry.
-    for (auto& [service, list] : by_service_) {
-      list.erase(std::remove(list.begin(), list.end(), oldest), list.end());
-    }
     entries_.erase(oldest);
   }
 }
@@ -91,10 +109,10 @@ std::vector<Session> SessionStore::QueryByService(uint32_t service,
   }
   // Newest first.
   for (auto entry = it->second.rbegin(); entry != it->second.rend(); ++entry) {
-    out.push_back((*entry)->session);
-    if (out.size() == limit) {
+    if (out.size() >= limit) {
       break;
     }
+    out.push_back((*entry)->session);
   }
   return out;
 }
@@ -103,11 +121,16 @@ std::vector<Session> SessionStore::QueryByTimeRange(EventTime lo, EventTime hi,
                                                     size_t limit) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Session> out;
-  // Entries starting before `hi`; intersect if their max_time >= lo.
+  if (limit == 0) {
+    return out;
+  }
+  // by_time_ is ordered by start time, so results come out start-ordered and
+  // the scan stops at the first entry starting at/after `hi` — or as soon as
+  // `limit` intersecting sessions are found.
   for (auto it = by_time_.begin(); it != by_time_.end() && it->first < hi; ++it) {
     if (it->second->max_time >= lo) {
       out.push_back(it->second->session);
-      if (out.size() == limit) {
+      if (out.size() >= limit) {
         break;
       }
     }
@@ -115,9 +138,44 @@ std::vector<Session> SessionStore::QueryByTimeRange(EventTime lo, EventTime hi,
   return out;
 }
 
+std::vector<std::pair<uint32_t, size_t>> SessionStore::TopServices(
+    size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint32_t, size_t>> ranked;
+  ranked.reserve(by_service_.size());
+  for (const auto& [service, list] : by_service_) {
+    ranked.emplace_back(service, list.size());
+  }
+  const size_t keep = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second > b.second ||
+                             (a.second == b.second && a.first < b.first);
+                    });
+  ranked.resize(keep);
+  return ranked;
+}
+
 SessionStore::Stats SessionStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+uint64_t SessionStore::AddInsertObserver(InsertObserver fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_observer_token_++;
+  observers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void SessionStore::RemoveInsertObserver(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < observers_.size(); ++i) {
+    if (observers_[i].first == token) {
+      observers_.erase(observers_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 }  // namespace ts

@@ -9,6 +9,7 @@
 #define SRC_ANALYTICS_SESSION_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/session.h"
@@ -53,11 +55,25 @@ class SessionStore {
   std::vector<Session> QueryByService(uint32_t service, size_t limit) const;
 
   // Sessions whose event-time extent intersects [lo, hi), up to `limit`,
-  // ordered by start time.
+  // ordered by start time. limit == 0 returns nothing.
   std::vector<Session> QueryByTimeRange(EventTime lo, EventTime hi,
                                         size_t limit) const;
 
+  // The `k` services touched by the most live (non-evicted) sessions, as
+  // (service, session count) descending by count, ties broken by service id.
+  // Feeds the query protocol's TOPK verb.
+  std::vector<std::pair<uint32_t, size_t>> TopServices(size_t k) const;
+
   Stats stats() const;
+
+  // Subscription hook: `fn` runs synchronously inside Insert, after the
+  // session is indexed, for every future insert. Observers are invoked under
+  // the store lock — they must be fast and must not call back into the store
+  // (the query server's observer just serializes the session and enqueues it
+  // for its event loop). Returns a token for RemoveInsertObserver.
+  using InsertObserver = std::function<void(const Session&)>;
+  uint64_t AddInsertObserver(InsertObserver fn);
+  void RemoveInsertObserver(uint64_t token);
 
  private:
   struct Entry {
@@ -65,7 +81,8 @@ class SessionStore {
     size_t bytes = 0;
     EventTime min_time = 0;
     EventTime max_time = 0;
-    uint64_t seq = 0;  // Insertion order.
+    uint64_t seq = 0;                // Insertion order.
+    std::vector<uint32_t> services;  // Sorted, unique; mirrors by_service_.
   };
   using EntryList = std::list<Entry>;
 
@@ -77,13 +94,16 @@ class SessionStore {
   EntryList entries_;  // Insertion (close) order: front = oldest.
   // (id, fragment) -> entry.
   std::map<std::pair<std::string, uint32_t>, EntryList::iterator> by_id_;
-  // service -> entries that touched it (insertion order preserved via list
-  // iterators; vector per service with lazy cleanup on eviction).
+  // service -> entries that touched it, insertion order preserved. Eviction
+  // unindexes an entry from exactly the services in Entry::services; since
+  // eviction is oldest-first, the victim sits at the front of each vector.
   std::unordered_map<uint32_t, std::vector<EntryList::iterator>> by_service_;
   // start time -> entry.
   std::multimap<EventTime, EntryList::iterator> by_time_;
   Stats stats_;
   uint64_t next_seq_ = 0;
+  std::vector<std::pair<uint64_t, InsertObserver>> observers_;
+  uint64_t next_observer_token_ = 0;
 };
 
 // Attaches a sink that feeds every session of `stream` into `store`.

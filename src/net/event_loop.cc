@@ -1,0 +1,69 @@
+#include "src/net/event_loop.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace ts {
+
+bool EventLoop::Init() {
+  epoll_fd_ = FdGuard(epoll_create1(0));
+  wake_fd_ = FdGuard(eventfd(0, EFD_NONBLOCK));
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+    return false;
+  }
+  return Add(wake_fd_.get(), EPOLLIN);
+}
+
+bool EventLoop::Add(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::Del(int fd) {
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::Poll(int timeout_ms, std::vector<epoll_event>* events) {
+  epoll_event ready[64];
+  const int n = epoll_wait(epoll_fd_.get(), ready, 64, timeout_ms);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  int real = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ready[i].data.fd == wake_fd_.get()) {
+      uint64_t drained;
+      [[maybe_unused]] ssize_t r =
+          ::read(wake_fd_.get(), &drained, sizeof(drained));
+      continue;
+    }
+    events->push_back(ready[i]);
+    ++real;
+  }
+  return real;
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_.valid()) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+}
+
+void EventLoop::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+}
+
+}  // namespace ts

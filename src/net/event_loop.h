@@ -1,0 +1,60 @@
+// EventLoop: the epoll + wake-eventfd core shared by every non-blocking
+// server in the transport layer (LogServer on the ingest side, QueryServer on
+// the serving side). Owns the epoll instance and a wake eventfd so another
+// thread can interrupt a blocked wait; fd registration and the per-fd state
+// machine stay with the caller — this class is deliberately just the
+// readiness plumbing, not a framework.
+//
+// Single-threaded except Wake()/stop_requested(), which are thread-safe.
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/net_util.h"
+
+namespace ts {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Creates the epoll instance and the wake eventfd. Returns false on error.
+  bool Init();
+  bool valid() const { return epoll_fd_.valid() && wake_fd_.valid(); }
+
+  // fd registration. Events is an EPOLLIN/EPOLLOUT/... mask.
+  bool Add(int fd, uint32_t events);
+  bool Mod(int fd, uint32_t events);
+  void Del(int fd);
+
+  // Waits up to timeout_ms and appends ready (fd, events) pairs to *events.
+  // Wake-eventfd readiness is consumed internally and never reported.
+  // Returns the number of real events, 0 on timeout, -1 on a non-EINTR error.
+  int Poll(int timeout_ms, std::vector<epoll_event>* events);
+
+  // Thread-safe: interrupts a concurrent Poll().
+  void Wake();
+
+  // Thread-safe stop flag, conventionally checked by the caller's run loop.
+  // RequestStop() also wakes the loop.
+  void RequestStop();
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  FdGuard epoll_fd_;
+  FdGuard wake_fd_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ts
+
+#endif  // SRC_NET_EVENT_LOOP_H_

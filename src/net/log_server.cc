@@ -1,7 +1,5 @@
 #include "src/net/log_server.h"
 
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -48,28 +46,13 @@ bool LogServer::Start() {
   if (!listen_fd_.valid()) {
     return false;
   }
-  epoll_fd_ = FdGuard(epoll_create1(0));
-  wake_fd_ = FdGuard(eventfd(0, EFD_NONBLOCK));
-  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+  if (!loop_.Init()) {
     return false;
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_.get();
-  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) != 0) {
-    return false;
-  }
-  ev.data.fd = wake_fd_.get();
-  return epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) == 0;
+  return loop_.Add(listen_fd_.get(), EPOLLIN);
 }
 
-void LogServer::Stop() {
-  stop_.store(true, std::memory_order_release);
-  if (wake_fd_.valid()) {
-    uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
-  }
-}
+void LogServer::Stop() { loop_.RequestStop(); }
 
 void LogServer::Run() {
   while (PollOnce(/*timeout_ms=*/200)) {
@@ -79,21 +62,15 @@ void LogServer::Run() {
 }
 
 bool LogServer::PollOnce(int timeout_ms) {
-  if (stop_.load(std::memory_order_acquire)) {
+  if (loop_.stop_requested()) {
     return false;
   }
-  epoll_event events[64];
-  const int n = epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
-  if (n < 0 && errno != EINTR) {
+  std::vector<epoll_event> events;
+  if (loop_.Poll(timeout_ms, &events) < 0) {
     return false;
   }
-  for (int i = 0; i < n; ++i) {
-    const int fd = events[i].data.fd;
-    if (fd == wake_fd_.get()) {
-      uint64_t drained;
-      [[maybe_unused]] ssize_t r = ::read(wake_fd_.get(), &drained, sizeof(drained));
-      continue;
-    }
+  for (const auto& event : events) {
+    const int fd = event.data.fd;
     if (fd == listen_fd_.get()) {
       Accept();
       continue;
@@ -108,11 +85,11 @@ bool LogServer::PollOnce(int timeout_ms) {
     if (conn == nullptr) {
       continue;  // Closed earlier in this batch.
     }
-    if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+    if ((event.events & (EPOLLHUP | EPOLLERR)) != 0) {
       CloseConnection(fd);
       continue;
     }
-    if ((events[i].events & EPOLLIN) != 0) {
+    if ((event.events & EPOLLIN) != 0) {
       if (!conn->hello_done) {
         HandleHello(conn);
       } else if (!DrainInput(conn)) {
@@ -127,7 +104,7 @@ bool LogServer::PollOnce(int timeout_ms) {
         continue;
       }
     }
-    if ((events[i].events & EPOLLOUT) != 0 && conn->hello_done) {
+    if ((event.events & EPOLLOUT) != 0 && conn->hello_done) {
       Fill(conn);
       if (!Flush(conn)) {
         continue;
@@ -135,7 +112,7 @@ bool LogServer::PollOnce(int timeout_ms) {
       Fill(conn);  // Refill what the flush drained so the buffer stays warm.
     }
   }
-  if (stop_.load(std::memory_order_acquire)) {
+  if (loop_.stop_requested()) {
     return false;
   }
   if (options_.exit_after_serving && accepted_any_ && connections_.empty()) {
@@ -154,12 +131,9 @@ void LogServer::Accept() {
     SetNoDelay(fd);
     stats_.IncAccepts();
     accepted_any_ = true;
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_unique<Connection>(options_.max_conn_buffer_bytes);
     conn->fd = FdGuard(fd);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (!loop_.Add(fd, EPOLLIN)) {
       continue;  // conn destructor closes the fd.
     }
     connections_.push_back(std::move(conn));
@@ -224,23 +198,20 @@ bool LogServer::DrainInput(Connection* conn) {
 
 void LogServer::Fill(Connection* conn) {
   const auto& archive = *lines_;
-  const size_t cap = options_.max_conn_buffer_bytes;
-  size_t pending = conn->send_buf.size() - conn->send_off;
   bool wanted_more = false;
   while (!conn->eos_queued) {
     if (conn->next_index >= archive.size()) {
-      conn->send_buf.append(kEosLine);
+      conn->send.Append(kEosLine);
       conn->eos_queued = true;
       break;
     }
     const std::string& line = archive[conn->next_index];
-    if (pending + line.size() + 1 > cap) {
+    if (!conn->send.Fits(line.size() + 1)) {
       wanted_more = true;  // Buffer full with records left: backpressure.
       break;
     }
-    conn->send_buf.append(line);
-    conn->send_buf.push_back('\n');
-    pending += line.size() + 1;
+    conn->send.Append(line);
+    conn->send.Append('\n');
     conn->next_index += options_.num_streams;
     stats_.AddRecordsOut(1);
   }
@@ -253,47 +224,31 @@ void LogServer::Fill(Connection* conn) {
 }
 
 bool LogServer::Flush(Connection* conn) {
-  while (conn->send_off < conn->send_buf.size()) {
-    const ssize_t n =
-        ::send(conn->fd.get(), conn->send_buf.data() + conn->send_off,
-               conn->send_buf.size() - conn->send_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      stats_.AddBytesOut(static_cast<uint64_t>(n));
-      conn->send_off += static_cast<size_t>(n);
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      break;  // Socket buffer full; epoll will tell us when to resume.
-    }
-    CloseConnection(conn->fd.get());  // EPIPE / ECONNRESET: consumer is gone.
-    return false;
-  }
-  if (conn->send_off == conn->send_buf.size()) {
-    conn->send_buf.clear();
-    conn->send_off = 0;
-    if (conn->eos_queued) {
-      // Everything including #EOS is on the wire: graceful shutdown.
-      ::shutdown(conn->fd.get(), SHUT_WR);
-      connections_completed_.fetch_add(1, std::memory_order_relaxed);
-      CloseConnection(conn->fd.get());
+  switch (conn->send.Flush(conn->fd.get(), &stats_)) {
+    case SendBuffer::FlushResult::kBlocked:
+      return true;  // Socket buffer full; epoll will tell us when to resume.
+    case SendBuffer::FlushResult::kError:
+      CloseConnection(conn->fd.get());  // EPIPE/ECONNRESET: consumer is gone.
       return false;
-    }
-  } else if (conn->send_off > (options_.max_conn_buffer_bytes >> 1)) {
-    conn->send_buf.erase(0, conn->send_off);  // Compact the consumed prefix.
-    conn->send_off = 0;
+    case SendBuffer::FlushResult::kDrained:
+      break;
+  }
+  if (conn->eos_queued) {
+    // Everything including #EOS is on the wire: graceful shutdown.
+    ::shutdown(conn->fd.get(), SHUT_WR);
+    connections_completed_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn->fd.get());
+    return false;
   }
   return true;
 }
 
 void LogServer::UpdateInterest(Connection* conn) {
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLOUT;
-  ev.data.fd = conn->fd.get();
-  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+  loop_.Mod(conn->fd.get(), EPOLLIN | EPOLLOUT);
 }
 
 void LogServer::CloseConnection(int fd) {
-  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  loop_.Del(fd);
   for (size_t i = 0; i < connections_.size(); ++i) {
     if (connections_[i]->fd.get() == fd) {
       connections_[i] = std::move(connections_.back());

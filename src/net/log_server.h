@@ -18,9 +18,10 @@
 // the exact failure mode (unbounded buffering → OOM) Figure 6 attributes to
 // the generic-engine baseline. Stalls are counted in TransportStats.
 //
-// Single-threaded, non-blocking, epoll-driven. Run() loops until Stop() —
-// callable from another thread — or, with exit_after_serving, until every
-// accepted connection has been served to EOS and closed.
+// Single-threaded, non-blocking, driven by the shared EventLoop (epoll +
+// wake eventfd). Run() loops until Stop() — callable from another thread —
+// or, with exit_after_serving, until every accepted connection has been
+// served to EOS and closed.
 #ifndef SRC_NET_LOG_SERVER_H_
 #define SRC_NET_LOG_SERVER_H_
 
@@ -30,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "src/net/event_loop.h"
 #include "src/net/frame_reader.h"
 #include "src/net/net_util.h"
+#include "src/net/send_buffer.h"
 #include "src/net/transport_stats.h"
 
 namespace ts {
@@ -58,7 +61,8 @@ class LogServer {
   LogServer(const LogServer&) = delete;
   LogServer& operator=(const LogServer&) = delete;
 
-  // Binds, listens, and sets up epoll. Returns false on any socket error.
+  // Binds, listens, and sets up the event loop. Returns false on any socket
+  // error.
   bool Start();
 
   uint16_t port() const { return port_; }
@@ -68,7 +72,7 @@ class LogServer {
   // mid-stream is indistinguishable from a crashed log server.
   void Run();
 
-  // One epoll iteration; returns false once the server should exit.
+  // One event-loop iteration; returns false once the server should exit.
   bool PollOnce(int timeout_ms);
 
   // Thread-safe: wakes the loop and makes Run() return.
@@ -81,6 +85,7 @@ class LogServer {
 
  private:
   struct Connection {
+    explicit Connection(size_t send_cap) : send(send_cap) {}
     FdGuard fd;
     LineFramer hello_framer;
     bool hello_done = false;
@@ -88,8 +93,7 @@ class LogServer {
     bool stalled = false;
     size_t stream = 0;
     size_t next_index = 0;  // Global index into *lines_ of the next record.
-    size_t send_off = 0;    // Consumed prefix of send_buf.
-    std::string send_buf;
+    SendBuffer send;
   };
 
   void Accept();
@@ -105,9 +109,7 @@ class LogServer {
   std::shared_ptr<const std::vector<std::string>> lines_;
   uint16_t port_ = 0;
   FdGuard listen_fd_;
-  FdGuard epoll_fd_;
-  FdGuard wake_fd_;  // eventfd; written by Stop().
-  std::atomic<bool> stop_{false};
+  EventLoop loop_;
   bool accepted_any_ = false;
   std::atomic<uint64_t> connections_completed_{0};
   // A handful of live connections at most; linear scan by fd is fine.

@@ -1,0 +1,34 @@
+#include "src/net/send_buffer.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace ts {
+
+SendBuffer::FlushResult SendBuffer::Flush(int fd, TransportStats* stats) {
+  while (off_ < buf_.size()) {
+    const ssize_t n =
+        ::send(fd, buf_.data() + off_, buf_.size() - off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      if (stats != nullptr) {
+        stats->AddBytesOut(static_cast<uint64_t>(n));
+      }
+      off_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (off_ > (cap_ >> 1)) {
+        buf_.erase(0, off_);  // Compact the consumed prefix.
+        off_ = 0;
+      }
+      return FlushResult::kBlocked;
+    }
+    return FlushResult::kError;
+  }
+  buf_.clear();
+  off_ = 0;
+  return FlushResult::kDrained;
+}
+
+}  // namespace ts

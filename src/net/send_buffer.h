@@ -1,0 +1,52 @@
+// SendBuffer: a bounded, compacting per-connection output buffer for
+// non-blocking sockets. Both transport servers use it — LogServer to stage
+// archive lines, QueryServer to stage query responses and subscription
+// pushes. The cap is a fill policy, not an allocation guard: callers ask
+// Fits() before appending and decide what to do when the answer is no
+// (LogServer stalls the stream; QueryServer drops the push and counts it).
+// Flush() writes as much as the socket accepts and compacts the consumed
+// prefix once it crosses half the cap.
+#ifndef SRC_NET_SEND_BUFFER_H_
+#define SRC_NET_SEND_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/net/transport_stats.h"
+
+namespace ts {
+
+class SendBuffer {
+ public:
+  explicit SendBuffer(size_t cap_bytes) : cap_(cap_bytes) {}
+
+  size_t cap() const { return cap_; }
+  // Unsent bytes currently staged.
+  size_t pending() const { return buf_.size() - off_; }
+  bool empty() const { return off_ == buf_.size(); }
+  // Would appending n more bytes stay within the cap?
+  bool Fits(size_t n) const { return pending() + n <= cap_; }
+
+  void Append(std::string_view data) { buf_.append(data); }
+  void Append(char c) { buf_.push_back(c); }
+
+  enum class FlushResult {
+    kDrained,  // Everything staged is on the wire.
+    kBlocked,  // Socket buffer full; wait for EPOLLOUT.
+    kError,    // EPIPE/ECONNRESET: the peer is gone.
+  };
+
+  // Writes pending bytes to `fd` until drained or the socket blocks. Bytes
+  // written are added to stats->bytes_out when stats is non-null.
+  FlushResult Flush(int fd, TransportStats* stats);
+
+ private:
+  size_t cap_;
+  std::string buf_;
+  size_t off_ = 0;  // Consumed prefix of buf_.
+};
+
+}  // namespace ts
+
+#endif  // SRC_NET_SEND_BUFFER_H_

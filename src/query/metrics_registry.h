@@ -1,0 +1,50 @@
+// MetricsRegistry: the small named-gauge registry the query server dumps on
+// STATS. The host process registers whatever it wants operators to see next
+// to the store counters — transport stats from the ingest side, per-epoch
+// sessionization latency, reorder-buffer drops. Gauges are sampled at STATS
+// time on the server's event-loop thread, so callbacks must be thread-safe
+// (reading relaxed atomics or snapshotting under their own lock) and cheap.
+#ifndef SRC_QUERY_METRICS_REGISTRY_H_
+#define SRC_QUERY_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ts {
+
+class MetricsRegistry {
+ public:
+  using Gauge = std::function<int64_t()>;
+
+  void Register(std::string name, Gauge gauge) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.emplace_back(std::move(name), std::move(gauge));
+  }
+
+  // Samples every gauge, in registration order.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const {
+    std::vector<std::pair<std::string, Gauge>> gauges;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gauges = gauges_;
+    }
+    std::vector<std::pair<std::string, int64_t>> out;
+    out.reserve(gauges.size());
+    for (const auto& [name, gauge] : gauges) {
+      out.emplace_back(name, gauge());
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Gauge>> gauges_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_QUERY_METRICS_REGISTRY_H_

@@ -1,0 +1,279 @@
+#include "src/query/query_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ts {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryClient::QueryClient(const QueryClientOptions& options)
+    : options_(options) {}
+
+bool QueryClient::Connect() {
+  if (fd_.valid()) {
+    return true;
+  }
+  const int fd = ConnectTcpNonBlocking(options_.host, options_.port);
+  if (fd < 0) {
+    return false;
+  }
+  FdGuard guard(fd);
+  pollfd pfd{fd, POLLOUT, 0};
+  const int ready = ::poll(&pfd, 1, options_.connect_timeout_ms);
+  if (ready <= 0) {
+    return false;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+      so_error != 0) {
+    return false;
+  }
+  SetNoDelay(fd);
+  fd_ = std::move(guard);
+  closed_ = false;
+  return true;
+}
+
+void QueryClient::Close() {
+  fd_ = FdGuard();
+  lines_.clear();
+  framer_.Reset();
+  closed_ = true;
+}
+
+bool QueryClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_.get(), POLLOUT, 0};
+      if (::poll(&pfd, 1, options_.io_timeout_ms) <= 0) {
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    Close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> QueryClient::ReadLine(int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  while (true) {
+    if (!lines_.empty()) {
+      std::string line = std::move(lines_.front());
+      lines_.pop_front();
+      return line;
+    }
+    if (!fd_.valid()) {
+      return std::nullopt;
+    }
+    const int64_t remaining = deadline - NowMs();
+    if (remaining < 0) {
+      return std::nullopt;
+    }
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready == 0) {
+      return std::nullopt;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      Close();
+      return std::nullopt;
+    }
+    char buf[64 << 10];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::vector<std::string> fresh;
+      framer_.Feed(std::string_view(buf, static_cast<size_t>(n)), &fresh);
+      for (auto& line : fresh) {
+        lines_.push_back(std::move(line));
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    Close();  // Peer closed (n == 0) or hard error.
+    return std::nullopt;
+  }
+}
+
+bool QueryClient::Execute(const std::string& request_line,
+                          QueryResponse* response) {
+  *response = QueryResponse{};
+  if (!fd_.valid()) {
+    response->error = "not connected";
+    return false;
+  }
+  if (!SendAll(request_line + "\n")) {
+    response->error = "send failed";
+    return false;
+  }
+  SessionBlockParser parser;
+  const int64_t deadline = NowMs() + options_.io_timeout_ms;
+  while (true) {
+    const int64_t remaining = deadline - NowMs();
+    auto line = ReadLine(remaining < 0 ? 0 : static_cast<int>(remaining));
+    if (!line.has_value()) {
+      response->error = closed_ ? "connection closed" : "response timeout";
+      return !closed_;
+    }
+    Session session;
+    switch (parser.Feed(*line, &session)) {
+      case SessionBlockParser::Result::kNeedMore:
+        continue;
+      case SessionBlockParser::Result::kSession:
+        response->sessions.push_back(std::move(session));
+        continue;
+      case SessionBlockParser::Result::kError:
+        response->error = "malformed session block";
+        return true;
+      case SessionBlockParser::Result::kNotBlock:
+        break;
+    }
+    if (auto count = ParseOk(*line)) {
+      response->ok = true;
+      response->count = *count;
+      return true;
+    }
+    if (line->rfind(kErrPrefix, 0) == 0) {
+      const size_t skip = sizeof(kErrPrefix);  // "#ERR" + the space.
+      response->error = line->size() > skip ? line->substr(skip) : "error";
+      return true;
+    }
+    if (*line == kTruncatedLine) {
+      response->truncated = true;
+      continue;
+    }
+    unsigned long long value = 0;
+    char name[128];
+    if (std::sscanf(line->c_str(), "STAT %127s %llu", name, &value) == 2) {
+      response->stats.emplace_back(name, static_cast<int64_t>(value));
+      continue;
+    }
+    unsigned service = 0;
+    if (std::sscanf(line->c_str(), "TOP %u %llu", &service, &value) == 2) {
+      response->top.emplace_back(service, static_cast<uint64_t>(value));
+      continue;
+    }
+    // Unknown control line: tolerate (forward compatibility).
+  }
+}
+
+QueryResponse QueryClient::Get(const std::string& id, uint32_t fragment) {
+  QueryResponse r;
+  Execute("GET " + id + " " + std::to_string(fragment), &r);
+  return r;
+}
+
+QueryResponse QueryClient::Fragments(const std::string& id) {
+  QueryResponse r;
+  Execute("FRAGMENTS " + id, &r);
+  return r;
+}
+
+QueryResponse QueryClient::ByService(uint32_t service, size_t limit) {
+  QueryResponse r;
+  Execute("SERVICE " + std::to_string(service) + " " + std::to_string(limit),
+          &r);
+  return r;
+}
+
+QueryResponse QueryClient::ByRange(EventTime lo, EventTime hi, size_t limit) {
+  QueryResponse r;
+  Execute("RANGE " + std::to_string(lo) + " " + std::to_string(hi) + " " +
+              std::to_string(limit),
+          &r);
+  return r;
+}
+
+QueryResponse QueryClient::Stats() {
+  QueryResponse r;
+  Execute("STATS", &r);
+  return r;
+}
+
+QueryResponse QueryClient::TopK(size_t k) {
+  QueryResponse r;
+  Execute("TOPK " + std::to_string(k), &r);
+  return r;
+}
+
+bool QueryClient::Subscribe(std::optional<uint32_t> filter_service) {
+  if (!fd_.valid()) {
+    return false;
+  }
+  std::string request = "SUBSCRIBE";
+  if (filter_service.has_value()) {
+    request += " service=" + std::to_string(*filter_service);
+  }
+  if (!SendAll(request + "\n")) {
+    return false;
+  }
+  auto line = ReadLine(options_.io_timeout_ms);
+  return line.has_value() && *line == kSubscribedLine;
+}
+
+QueryClient::Event QueryClient::Next(Session* session, uint64_t* dropped,
+                                     int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  while (true) {
+    const int64_t remaining = deadline - NowMs();
+    auto line = ReadLine(remaining < 0 ? 0 : static_cast<int>(remaining));
+    if (!line.has_value()) {
+      // sub_parser_ keeps any partial block across calls, so a timeout
+      // mid-block resumes cleanly on the next Next().
+      return closed_ ? Event::kClosed : Event::kTimeout;
+    }
+    Session s;
+    switch (sub_parser_.Feed(*line, &s)) {
+      case SessionBlockParser::Result::kNeedMore:
+        continue;
+      case SessionBlockParser::Result::kSession:
+        *session = std::move(s);
+        return Event::kSession;
+      case SessionBlockParser::Result::kError:
+        return Event::kError;
+      case SessionBlockParser::Result::kNotBlock:
+        break;
+    }
+    if (auto count = ParseDropped(*line)) {
+      total_dropped_ += *count;
+      if (dropped != nullptr) {
+        *dropped = *count;
+      }
+      return Event::kDropped;
+    }
+    // Ignore any other control line.
+  }
+}
+
+}  // namespace ts

@@ -1,0 +1,107 @@
+// QueryClient: the blocking counterpart of QueryServer — what dashboards,
+// the ts_query CLI, and the loopback tests speak. One TCP connection, one
+// request line out, framed response lines in, decoded back into Sessions via
+// the same SessionBlockParser the protocol defines. After Subscribe() the
+// connection switches to streaming mode and Next() yields sessions (and
+// #DROPPED notices) as the server pushes them.
+//
+// Blocking with poll(2) timeouts; single-threaded (one client per thread).
+#ifndef SRC_QUERY_QUERY_CLIENT_H_
+#define SRC_QUERY_QUERY_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/net/frame_reader.h"
+#include "src/net/net_util.h"
+#include "src/query/query_protocol.h"
+
+namespace ts {
+
+struct QueryClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 5000;
+  // Default wait for a response line before Execute() gives up.
+  int io_timeout_ms = 10000;
+};
+
+// One request's decoded response.
+struct QueryResponse {
+  bool ok = false;          // #OK terminated (false: #ERR, timeout, or drop).
+  uint64_t count = 0;       // The #OK count.
+  bool truncated = false;   // Server cut a multi-session response short.
+  std::string error;        // #ERR message or local failure description.
+  std::vector<Session> sessions;
+  std::vector<std::pair<std::string, int64_t>> stats;  // STAT lines.
+  std::vector<std::pair<uint32_t, uint64_t>> top;      // TOP lines.
+};
+
+class QueryClient {
+ public:
+  explicit QueryClient(const QueryClientOptions& options);
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  // Connects (once). Returns false on refusal/timeout.
+  bool Connect();
+  bool connected() const { return fd_.valid(); }
+  void Close();
+
+  // Sends `request_line` (no trailing newline) and reads until #OK / #ERR.
+  // Returns false only on transport failure; protocol errors land in
+  // response->error with ok == false.
+  bool Execute(const std::string& request_line, QueryResponse* response);
+
+  // Convenience wrappers over Execute().
+  QueryResponse Get(const std::string& id, uint32_t fragment = 0);
+  QueryResponse Fragments(const std::string& id);
+  QueryResponse ByService(uint32_t service, size_t limit = 100);
+  QueryResponse ByRange(EventTime lo, EventTime hi, size_t limit = 100);
+  QueryResponse Stats();
+  QueryResponse TopK(size_t k = 10);
+
+  // Switches the connection to streaming mode. `filter_service`, when set,
+  // subscribes to sessions touching that service only. After this, only
+  // Next() is valid on the connection.
+  bool Subscribe(std::optional<uint32_t> filter_service = std::nullopt);
+
+  enum class Event {
+    kSession,  // *session holds the next pushed session.
+    kDropped,  // The server discarded *dropped sessions for this subscriber.
+    kTimeout,  // Nothing arrived within timeout_ms.
+    kClosed,   // Server closed the connection.
+    kError,    // Malformed push (protocol violation).
+  };
+  // Waits up to timeout_ms for the next subscription event.
+  Event Next(Session* session, uint64_t* dropped, int timeout_ms);
+
+  // Sum of all #DROPPED counts seen on this subscription.
+  uint64_t total_dropped() const { return total_dropped_; }
+
+ private:
+  // Blocking send of the whole buffer (handles partial writes / EAGAIN).
+  bool SendAll(const std::string& data);
+  // Returns the next framed line, waiting up to timeout_ms; nullopt on
+  // timeout or connection loss (closed_ distinguishes the two).
+  std::optional<std::string> ReadLine(int timeout_ms);
+
+  QueryClientOptions options_;
+  FdGuard fd_;
+  LineFramer framer_;
+  std::deque<std::string> lines_;  // Framed but unconsumed lines.
+  SessionBlockParser sub_parser_;  // Persists across Next() calls.
+  bool closed_ = false;
+  uint64_t total_dropped_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_QUERY_QUERY_CLIENT_H_

@@ -1,0 +1,121 @@
+// The ts_query wire protocol: the serving-side counterpart of the ts_net
+// ingest protocol. Figure 2 of the paper feeds sessionization output into a
+// "UI: Query interface, Live visualization" box; this protocol is that box's
+// transport. Everything is text, one '\n'-framed line at a time, so the same
+// LineFramer that frames log records frames queries.
+//
+// Requests (client -> server, one line each):
+//   GET <id> [fragment]          exact session lookup (fragment defaults 0)
+//   FRAGMENTS <id>               every stored fragment of an id, oldest first
+//   SERVICE <service> [limit]    recent sessions touching a service
+//   RANGE <lo_ns> <hi_ns> [limit]  sessions intersecting [lo, hi), by start
+//   STATS                        store + server + registered metrics
+//   TOPK [k]                     services by live session count
+//   SUBSCRIBE [service=<n>]      switch to streaming: live-tail every session
+//                                closed (inserted) after this point
+//
+// Responses (server -> client). Session results arrive as blocks:
+//   #SESSION <fragment> <first_epoch> <last_epoch> <closed_at> <nrec> <id>
+//   <nrec record lines in the src/log wire format>
+//   #END
+// Record lines start with a decimal timestamp, so they can never collide
+// with '#'-prefixed control lines. Every request is terminated by exactly
+// one of:
+//   #OK <count>                  count = sessions / stat lines / top entries
+//   #ERR <message>
+// Other control lines:
+//   STAT <name> <value>          one per metric, before STATS' #OK
+//   TOP <service> <sessions>     one per entry, before TOPK's #OK
+//   #SUBSCRIBED                  acknowledges SUBSCRIBE; session blocks and
+//                                #DROPPED notices follow until disconnect
+//   #DROPPED <n>                 n sessions were discarded for this (slow)
+//                                subscriber since the previous notice
+#ifndef SRC_QUERY_QUERY_PROTOCOL_H_
+#define SRC_QUERY_QUERY_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/session.h"
+
+namespace ts {
+
+inline constexpr char kSessionHeaderPrefix[] = "#SESSION ";
+inline constexpr char kSessionEnd[] = "#END";
+inline constexpr char kOkPrefix[] = "#OK";
+inline constexpr char kErrPrefix[] = "#ERR";
+inline constexpr char kSubscribedLine[] = "#SUBSCRIBED";
+inline constexpr char kDroppedPrefix[] = "#DROPPED";
+// Emitted before #OK when a multi-session response was cut short by the
+// connection's output budget.
+inline constexpr char kTruncatedLine[] = "#TRUNCATED";
+
+struct QueryRequest {
+  enum class Verb {
+    kGet,
+    kFragments,
+    kService,
+    kRange,
+    kStats,
+    kTopK,
+    kSubscribe,
+  };
+  Verb verb = Verb::kStats;
+  std::string id;            // GET / FRAGMENTS.
+  uint32_t fragment = 0;     // GET.
+  uint32_t service = 0;      // SERVICE.
+  EventTime lo = 0;          // RANGE.
+  EventTime hi = 0;          // RANGE.
+  size_t limit = 100;        // SERVICE / RANGE.
+  size_t k = 10;             // TOPK.
+  bool filter_by_service = false;  // SUBSCRIBE service=<n>.
+  uint32_t filter_service = 0;
+};
+
+// Parses one request line. On failure returns false and fills *error with a
+// short message suitable for an #ERR response.
+bool ParseQueryRequest(const std::string& line, QueryRequest* request,
+                       std::string* error);
+
+// Serializes `session` as one wire block (header, records, #END), appending
+// to *out, every line '\n'-terminated. This is the canonical serialization:
+// the loopback tests assert that bytes served for a session equal
+// EncodeSessionBlock of the same session read from the store in-process.
+void AppendSessionBlock(const Session& session, std::string* out);
+std::string EncodeSessionBlock(const Session& session);
+
+// Incremental decoder for session blocks, fed one framed line at a time
+// (newline already stripped). Lines that are not part of a session block are
+// reported as kNotBlock so the caller can interpret them as control lines.
+class SessionBlockParser {
+ public:
+  enum class Result {
+    kNeedMore,  // Line consumed; the block is still incomplete.
+    kSession,   // Line completed a block; *out holds the session.
+    kNotBlock,  // Line is not part of a session block (caller interprets).
+    kError,     // Malformed block (bad header, bad record, count mismatch).
+  };
+
+  Result Feed(const std::string& line, Session* out);
+  bool in_block() const { return in_block_; }
+
+ private:
+  bool in_block_ = false;
+  size_t expected_records_ = 0;
+  Session pending_;
+};
+
+// Formats / parses the tiny control lines.
+std::string FormatOk(uint64_t count);
+std::string FormatErr(const std::string& message);
+std::string FormatDropped(uint64_t count);
+// Returns the count from an "#OK <count>" line, or nullopt if not an #OK.
+std::optional<uint64_t> ParseOk(const std::string& line);
+// Returns the count from a "#DROPPED <n>" line, or nullopt if not one.
+std::optional<uint64_t> ParseDropped(const std::string& line);
+
+}  // namespace ts
+
+#endif  // SRC_QUERY_QUERY_PROTOCOL_H_

@@ -1,0 +1,400 @@
+#include "src/query/query_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace ts {
+
+QueryServer::QueryServer(const QueryServerOptions& options,
+                         std::shared_ptr<SessionStore> store,
+                         std::shared_ptr<MetricsRegistry> metrics)
+    : options_(options), store_(std::move(store)), metrics_(std::move(metrics)) {}
+
+QueryServer::~QueryServer() {
+  if (observer_installed_) {
+    store_->RemoveInsertObserver(observer_token_);
+  }
+}
+
+bool QueryServer::Start() {
+  listen_fd_ = FdGuard(ListenTcp(options_.host, options_.port, &port_));
+  if (!listen_fd_.valid()) {
+    return false;
+  }
+  if (!loop_.Init() || !loop_.Add(listen_fd_.get(), EPOLLIN)) {
+    return false;
+  }
+  observer_token_ = store_->AddInsertObserver(
+      [this](const Session& session) { OnSessionInserted(session); });
+  observer_installed_ = true;
+  return true;
+}
+
+void QueryServer::Stop() { loop_.RequestStop(); }
+
+void QueryServer::Run() {
+  while (PollOnce(/*timeout_ms=*/200)) {
+  }
+  connections_.clear();
+}
+
+bool QueryServer::PollOnce(int timeout_ms) {
+  if (loop_.stop_requested()) {
+    return false;
+  }
+  std::vector<epoll_event> events;
+  if (loop_.Poll(timeout_ms, &events) < 0) {
+    return false;
+  }
+  for (const auto& event : events) {
+    const int fd = event.data.fd;
+    if (fd == listen_fd_.get()) {
+      Accept();
+      continue;
+    }
+    Connection* conn = nullptr;
+    for (auto& c : connections_) {
+      if (c->fd.get() == fd) {
+        conn = c.get();
+        break;
+      }
+    }
+    if (conn == nullptr) {
+      continue;  // Closed earlier in this batch.
+    }
+    if ((event.events & (EPOLLHUP | EPOLLERR)) != 0) {
+      CloseConnection(fd);
+      continue;
+    }
+    if ((event.events & EPOLLIN) != 0 && !HandleReadable(conn)) {
+      continue;
+    }
+    if ((event.events & EPOLLOUT) != 0 && !FlushConnection(conn)) {
+      continue;
+    }
+    UpdateInterest(conn);
+  }
+  DeliverPending();
+  return !loop_.stop_requested();
+}
+
+void QueryServer::Accept() {
+  while (true) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or a transient error; epoll will re-arm.
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    stats_.IncAccepts();
+    auto conn = std::make_unique<Connection>(options_.max_conn_buffer_bytes);
+    conn->fd = FdGuard(fd);
+    if (!loop_.Add(fd, EPOLLIN)) {
+      continue;  // conn destructor closes the fd.
+    }
+    connections_.push_back(std::move(conn));
+  }
+}
+
+bool QueryServer::HandleReadable(Connection* conn) {
+  char buf[64 << 10];
+  std::vector<std::string> lines;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.AddBytesIn(static_cast<uint64_t>(n));
+      conn->framer.Feed(std::string_view(buf, static_cast<size_t>(n)), &lines);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    CloseConnection(conn->fd.get());  // Peer closed or reset.
+    return false;
+  }
+  for (const auto& line : lines) {
+    HandleRequest(conn, line);
+  }
+  if (!lines.empty()) {
+    return FlushConnection(conn);
+  }
+  return true;
+}
+
+void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
+  auto reply_err = [&](const std::string& message) {
+    conn->send.Append(FormatErr(message));
+    conn->send.Append('\n');
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (conn->subscribed) {
+    reply_err("connection is in subscribe mode");
+    return;
+  }
+  QueryRequest request;
+  std::string error;
+  if (!ParseQueryRequest(line, &request, &error)) {
+    reply_err(error);
+    return;
+  }
+
+  // Appends session blocks within the connection's output budget. The first
+  // block always goes out (a response must make progress even if one session
+  // outweighs the whole budget); once the budget is exceeded the response is
+  // cut short and flagged with #TRUNCATED.
+  auto append_sessions = [&](const std::vector<Session>& sessions) {
+    uint64_t appended = 0;
+    bool truncated = false;
+    std::string block;
+    for (const auto& session : sessions) {
+      block.clear();
+      AppendSessionBlock(session, &block);
+      if (appended > 0 && !conn->send.Fits(block.size())) {
+        truncated = true;
+        break;
+      }
+      conn->send.Append(block);
+      ++appended;
+    }
+    if (truncated) {
+      conn->send.Append(kTruncatedLine);
+      conn->send.Append('\n');
+    }
+    return appended;
+  };
+  auto reply_ok = [&](uint64_t count) {
+    conn->send.Append(FormatOk(count));
+    conn->send.Append('\n');
+    queries_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  switch (request.verb) {
+    case QueryRequest::Verb::kGet: {
+      auto session = store_->GetById(request.id, request.fragment);
+      uint64_t count = 0;
+      if (session.has_value()) {
+        std::string block;
+        AppendSessionBlock(*session, &block);
+        conn->send.Append(block);
+        count = 1;
+      }
+      reply_ok(count);
+      break;
+    }
+    case QueryRequest::Verb::kFragments:
+      reply_ok(append_sessions(store_->GetAllFragments(request.id)));
+      break;
+    case QueryRequest::Verb::kService:
+      reply_ok(append_sessions(store_->QueryByService(
+          request.service,
+          std::min(request.limit, options_.max_query_limit))));
+      break;
+    case QueryRequest::Verb::kRange:
+      reply_ok(append_sessions(store_->QueryByTimeRange(
+          request.lo, request.hi,
+          std::min(request.limit, options_.max_query_limit))));
+      break;
+    case QueryRequest::Verb::kStats: {
+      uint64_t lines_out = 0;
+      AppendStats(conn, &lines_out);
+      reply_ok(lines_out);
+      break;
+    }
+    case QueryRequest::Verb::kTopK: {
+      const auto top = store_->TopServices(request.k);
+      for (const auto& [service, count] : top) {
+        conn->send.Append("TOP " + std::to_string(service) + " " +
+                          std::to_string(count));
+        conn->send.Append('\n');
+      }
+      reply_ok(top.size());
+      break;
+    }
+    case QueryRequest::Verb::kSubscribe:
+      conn->subscribed = true;
+      conn->filter_by_service = request.filter_by_service;
+      conn->filter_service = request.filter_service;
+      subscriber_count_.fetch_add(1);
+      subscribers_attached_.fetch_add(1, std::memory_order_relaxed);
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      conn->send.Append(kSubscribedLine);
+      conn->send.Append('\n');
+      break;
+  }
+}
+
+void QueryServer::AppendStats(Connection* conn, uint64_t* lines) {
+  auto stat = [&](const std::string& name, uint64_t value) {
+    conn->send.Append("STAT " + name + " " + std::to_string(value));
+    conn->send.Append('\n');
+    ++*lines;
+  };
+  const auto store_stats = store_->stats();
+  stat("store_sessions", store_stats.sessions);
+  stat("store_bytes", store_stats.bytes);
+  stat("store_inserted", store_stats.inserted);
+  stat("store_evicted", store_stats.evicted);
+  const auto transport = stats_.Snapshot();
+  stat("server_accepts", transport.accepts);
+  stat("server_bytes_in", transport.bytes_in);
+  stat("server_bytes_out", transport.bytes_out);
+  stat("server_queries", queries_.load(std::memory_order_relaxed));
+  stat("server_errors", errors_.load(std::memory_order_relaxed));
+  stat("server_subscribers", subscriber_count_.load());
+  stat("server_subscribers_attached",
+       subscribers_attached_.load(std::memory_order_relaxed));
+  stat("server_sessions_streamed",
+       sessions_streamed_.load(std::memory_order_relaxed));
+  stat("server_sessions_dropped",
+       sessions_dropped_.load(std::memory_order_relaxed));
+  if (metrics_ != nullptr) {
+    for (const auto& [name, value] : metrics_->Snapshot()) {
+      conn->send.Append("STAT " + name + " " + std::to_string(value));
+      conn->send.Append('\n');
+      ++*lines;
+    }
+  }
+}
+
+void QueryServer::OnSessionInserted(const Session& session) {
+  if (subscriber_count_.load() == 0) {
+    return;  // Nobody listening: skip the serialization entirely.
+  }
+  PendingPush push;
+  AppendSessionBlock(session, &push.block);
+  push.services.reserve(session.records.size());
+  for (const auto& r : session.records) {
+    push.services.push_back(r.service);
+  }
+  std::sort(push.services.begin(), push.services.end());
+  push.services.erase(
+      std::unique(push.services.begin(), push.services.end()),
+      push.services.end());
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(std::move(push));
+  }
+  loop_.Wake();
+}
+
+void QueryServer::DeliverPending() {
+  std::vector<PendingPush> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    batch.swap(pending_);
+  }
+  if (batch.empty() && subscriber_count_.load() == 0) {
+    return;
+  }
+  // Iterate over fds, not connection pointers: a flush may close and remove
+  // a connection, invalidating raw pointers into connections_.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& c : connections_) {
+    if (c->subscribed) {
+      fds.push_back(c->fd.get());
+    }
+  }
+  for (int fd : fds) {
+    Connection* conn = nullptr;
+    for (auto& c : connections_) {
+      if (c->fd.get() == fd) {
+        conn = c.get();
+        break;
+      }
+    }
+    if (conn == nullptr) {
+      continue;
+    }
+    for (const auto& push : batch) {
+      if (conn->filter_by_service &&
+          !std::binary_search(push.services.begin(), push.services.end(),
+                              conn->filter_service)) {
+        continue;
+      }
+      MaybeEmitDropNotice(conn);
+      if (conn->dropped_pending == 0 && conn->send.Fits(push.block.size())) {
+        conn->send.Append(push.block);
+        sessions_streamed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Slow consumer: drop, count, and tell them once space frees. The
+        // subscriber's cost to the server stays capped at its send buffer.
+        ++conn->dropped_pending;
+        sessions_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (FlushConnection(conn)) {
+      UpdateInterest(conn);
+    }
+  }
+}
+
+void QueryServer::MaybeEmitDropNotice(Connection* conn) {
+  if (conn->dropped_pending == 0) {
+    return;
+  }
+  const std::string notice = FormatDropped(conn->dropped_pending);
+  if (conn->send.Fits(notice.size() + 1)) {
+    conn->send.Append(notice);
+    conn->send.Append('\n');
+    conn->dropped_pending = 0;
+  }
+}
+
+bool QueryServer::FlushConnection(Connection* conn) {
+  switch (conn->send.Flush(conn->fd.get(), &stats_)) {
+    case SendBuffer::FlushResult::kError:
+      CloseConnection(conn->fd.get());
+      return false;
+    case SendBuffer::FlushResult::kDrained:
+      // Space freed: a trailing drop notice can go out even if no further
+      // session ever arrives.
+      MaybeEmitDropNotice(conn);
+      if (!conn->send.empty()) {
+        return conn->send.Flush(conn->fd.get(), &stats_) !=
+                       SendBuffer::FlushResult::kError
+                   ? true
+                   : (CloseConnection(conn->fd.get()), false);
+      }
+      return true;
+    case SendBuffer::FlushResult::kBlocked:
+      return true;
+  }
+  return true;
+}
+
+void QueryServer::UpdateInterest(Connection* conn) {
+  const uint32_t events =
+      EPOLLIN | (conn->send.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  loop_.Mod(conn->fd.get(), events);
+}
+
+void QueryServer::CloseConnection(int fd) {
+  loop_.Del(fd);
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i]->fd.get() == fd) {
+      if (connections_[i]->subscribed) {
+        subscriber_count_.fetch_sub(1);
+      }
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+      return;
+    }
+  }
+}
+
+QueryServerCounters QueryServer::counters() const {
+  QueryServerCounters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.subscribers_attached = subscribers_attached_.load(std::memory_order_relaxed);
+  c.sessions_streamed = sessions_streamed_.load(std::memory_order_relaxed);
+  c.sessions_dropped = sessions_dropped_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace ts

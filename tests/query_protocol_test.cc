@@ -1,0 +1,227 @@
+// Tests for the ts_query wire protocol: request parsing, the canonical
+// session-block serialization, and the incremental block decoder. The
+// encode -> line-by-line decode round trip here is the contract the
+// query-server loopback tests build on.
+#include <gtest/gtest.h>
+
+#include "src/log/wire_format.h"
+#include "src/query/query_protocol.h"
+
+namespace ts {
+namespace {
+
+LogRecord MakeRecord(EventTime t, const std::string& id, uint32_t service,
+                     const std::string& payload = "p=1") {
+  LogRecord r;
+  r.time = t;
+  r.session_id = id;
+  r.txn_id = *TxnId::Parse("1-2");
+  r.service = service;
+  r.host = service + 100;
+  r.kind = EventKind::kAnnotation;
+  r.payload = payload;
+  return r;
+}
+
+Session MakeSession(const std::string& id, size_t records,
+                    uint32_t fragment = 0) {
+  Session s;
+  s.id = id;
+  s.fragment_index = fragment;
+  s.first_epoch = 3;
+  s.last_epoch = 7;
+  s.closed_at = 9;
+  for (size_t i = 0; i < records; ++i) {
+    s.records.push_back(
+        MakeRecord(static_cast<EventTime>(1000 + i), id,
+                   static_cast<uint32_t>(i % 5), "k=" + std::to_string(i)));
+  }
+  return s;
+}
+
+// Feeds a multi-line wire buffer through the parser one line at a time.
+std::vector<Session> DecodeAll(const std::string& wire,
+                               SessionBlockParser* parser, bool* error) {
+  std::vector<Session> out;
+  *error = false;
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    const size_t nl = wire.find('\n', pos);
+    const std::string line = wire.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? wire.size() : nl + 1;
+    Session s;
+    switch (parser->Feed(line, &s)) {
+      case SessionBlockParser::Result::kSession:
+        out.push_back(std::move(s));
+        break;
+      case SessionBlockParser::Result::kError:
+        *error = true;
+        return out;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+void ExpectSessionsEqual(const Session& a, const Session& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.fragment_index, b.fragment_index);
+  EXPECT_EQ(a.first_epoch, b.first_epoch);
+  EXPECT_EQ(a.last_epoch, b.last_epoch);
+  EXPECT_EQ(a.closed_at, b.closed_at);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(ToWireFormat(a.records[i]), ToWireFormat(b.records[i]));
+  }
+}
+
+TEST(ParseQueryRequest, AcceptsEveryVerbWithDefaults) {
+  QueryRequest r;
+  std::string error;
+  ASSERT_TRUE(ParseQueryRequest("GET abc", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kGet);
+  EXPECT_EQ(r.id, "abc");
+  EXPECT_EQ(r.fragment, 0u);
+
+  ASSERT_TRUE(ParseQueryRequest("GET abc 2", &r, &error));
+  EXPECT_EQ(r.fragment, 2u);
+
+  ASSERT_TRUE(ParseQueryRequest("FRAGMENTS abc", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kFragments);
+
+  ASSERT_TRUE(ParseQueryRequest("SERVICE 17", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kService);
+  EXPECT_EQ(r.service, 17u);
+  EXPECT_EQ(r.limit, 100u);
+
+  ASSERT_TRUE(ParseQueryRequest("SERVICE 17 5", &r, &error));
+  EXPECT_EQ(r.limit, 5u);
+
+  ASSERT_TRUE(ParseQueryRequest("RANGE 100 200 7", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kRange);
+  EXPECT_EQ(r.lo, 100);
+  EXPECT_EQ(r.hi, 200);
+  EXPECT_EQ(r.limit, 7u);
+
+  ASSERT_TRUE(ParseQueryRequest("STATS", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kStats);
+
+  ASSERT_TRUE(ParseQueryRequest("TOPK 3", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kTopK);
+  EXPECT_EQ(r.k, 3u);
+
+  ASSERT_TRUE(ParseQueryRequest("SUBSCRIBE", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kSubscribe);
+  EXPECT_FALSE(r.filter_by_service);
+
+  ASSERT_TRUE(ParseQueryRequest("SUBSCRIBE service=42", &r, &error));
+  EXPECT_TRUE(r.filter_by_service);
+  EXPECT_EQ(r.filter_service, 42u);
+}
+
+TEST(ParseQueryRequest, RejectsMalformedRequests) {
+  QueryRequest r;
+  std::string error;
+  const char* bad[] = {
+      "",
+      "   ",
+      "NOPE x",
+      "GET",
+      "GET id frag extra",
+      "GET id notanumber",
+      "FRAGMENTS",
+      "SERVICE",
+      "SERVICE abc",
+      "SERVICE 1 xyz",
+      "RANGE 1",
+      "RANGE 1 b",
+      "RANGE 1 2 3 4",
+      "STATS now",
+      "TOPK 1 2",
+      "TOPK k",
+      "SUBSCRIBE svc=1",
+      "SUBSCRIBE service=x",
+      "SUBSCRIBE service=1 extra",
+  };
+  for (const char* request : bad) {
+    EXPECT_FALSE(ParseQueryRequest(request, &r, &error)) << request;
+    EXPECT_FALSE(error.empty()) << request;
+  }
+}
+
+TEST(SessionBlock, EncodeDecodeRoundTrip) {
+  const Session original = MakeSession("RT1", 13);
+  SessionBlockParser parser;
+  bool error = false;
+  auto decoded = DecodeAll(EncodeSessionBlock(original), &parser, &error);
+  EXPECT_FALSE(error);
+  ASSERT_EQ(decoded.size(), 1u);
+  ExpectSessionsEqual(original, decoded[0]);
+  EXPECT_FALSE(parser.in_block());
+}
+
+TEST(SessionBlock, EmptySessionAndBackToBackBlocks) {
+  std::string wire = EncodeSessionBlock(MakeSession("A", 0));
+  wire += EncodeSessionBlock(MakeSession("B", 2, /*fragment=*/4));
+  SessionBlockParser parser;
+  bool error = false;
+  auto decoded = DecodeAll(wire, &parser, &error);
+  EXPECT_FALSE(error);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].id, "A");
+  EXPECT_TRUE(decoded[0].records.empty());
+  EXPECT_EQ(decoded[1].id, "B");
+  EXPECT_EQ(decoded[1].fragment_index, 4u);
+}
+
+TEST(SessionBlock, ControlLinesPassThroughAsNotBlock) {
+  SessionBlockParser parser;
+  Session s;
+  EXPECT_EQ(parser.Feed("#OK 3", &s), SessionBlockParser::Result::kNotBlock);
+  EXPECT_EQ(parser.Feed("#DROPPED 9", &s),
+            SessionBlockParser::Result::kNotBlock);
+  EXPECT_EQ(parser.Feed("STAT x 1", &s), SessionBlockParser::Result::kNotBlock);
+}
+
+TEST(SessionBlock, RecordCountMismatchIsError) {
+  // Header claims 2 records but the block ends after 1.
+  const Session session = MakeSession("M", 2);
+  std::string wire = EncodeSessionBlock(session);
+  // Drop the second record line (third line of the block).
+  size_t first_nl = wire.find('\n');
+  size_t second_nl = wire.find('\n', first_nl + 1);
+  size_t third_nl = wire.find('\n', second_nl + 1);
+  wire.erase(second_nl + 1, third_nl - second_nl);
+  SessionBlockParser parser;
+  bool error = false;
+  DecodeAll(wire, &parser, &error);
+  EXPECT_TRUE(error);
+  EXPECT_FALSE(parser.in_block());  // Parser resets after an error.
+}
+
+TEST(SessionBlock, MalformedHeaderAndRecordAreErrors) {
+  SessionBlockParser parser;
+  Session s;
+  EXPECT_EQ(parser.Feed("#SESSION nonsense", &s),
+            SessionBlockParser::Result::kError);
+  // Valid header, then garbage instead of a record.
+  EXPECT_EQ(parser.Feed("#SESSION 0 1 2 3 1 X", &s),
+            SessionBlockParser::Result::kNeedMore);
+  EXPECT_EQ(parser.Feed("not a record", &s),
+            SessionBlockParser::Result::kError);
+  EXPECT_FALSE(parser.in_block());
+}
+
+TEST(ControlLines, FormatAndParseRoundTrip) {
+  EXPECT_EQ(FormatOk(12), "#OK 12");
+  EXPECT_EQ(FormatErr("boom"), "#ERR boom");
+  EXPECT_EQ(FormatDropped(7), "#DROPPED 7");
+  EXPECT_EQ(ParseOk("#OK 12"), std::optional<uint64_t>(12));
+  EXPECT_EQ(ParseOk("#ERR x"), std::nullopt);
+  EXPECT_EQ(ParseDropped("#DROPPED 7"), std::optional<uint64_t>(7));
+  EXPECT_EQ(ParseDropped("#OK 7"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ts

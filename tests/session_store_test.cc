@@ -1,5 +1,8 @@
 // Tests for the bounded session store behind the query interface (Figure 2).
+#include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -102,6 +105,147 @@ TEST(SessionStore, EvictsOldestWhenOverBudget) {
   // Indexes stay consistent after eviction.
   auto by_service = store.QueryByService(2, 1000);
   EXPECT_EQ(by_service.size(), stats.sessions);
+}
+
+TEST(SessionStore, TimeRangeOrderedByStartWithIntersectSemantics) {
+  SessionStore store;
+  // Inserted out of start-time order on purpose: results must come back
+  // ordered by start time, not insertion order.
+  store.Insert(MakeSession("C", 30, 40, {1}));
+  store.Insert(MakeSession("A", 0, 10, {1}));
+  store.Insert(MakeSession("B", 5, 25, {1}));
+
+  // [lo, hi) intersect semantics against the closed extent [min, max]:
+  //   * a session starting exactly at hi is excluded;
+  //   * a session ending exactly at lo is included.
+  auto hits = store.QueryByTimeRange(10 * kNanosPerMilli, 30 * kNanosPerMilli,
+                                     10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, "A");  // Ends exactly at lo: included, and first.
+  EXPECT_EQ(hits[1].id, "B");
+  // C starts exactly at hi: excluded.
+
+  // limit cuts the scan short but preserves start-time order.
+  auto limited =
+      store.QueryByTimeRange(0, 100 * kNanosPerMilli, /*limit=*/2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0].id, "A");
+  EXPECT_EQ(limited[1].id, "B");
+  EXPECT_TRUE(store.QueryByTimeRange(0, 100 * kNanosPerMilli, 0).empty());
+}
+
+TEST(SessionStore, TopServicesRankedWithTieBreakAndEviction) {
+  SessionStore store;
+  store.Insert(MakeSession("A", 0, 10, {1, 2}));
+  store.Insert(MakeSession("B", 10, 20, {2, 3}));
+  store.Insert(MakeSession("C", 20, 30, {2, 3}));
+  auto top = store.TopServices(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (std::pair<uint32_t, size_t>{2, 3}));
+  EXPECT_EQ(top[1], (std::pair<uint32_t, size_t>{3, 2}));  // Tie with 1:
+  EXPECT_EQ(top[2], (std::pair<uint32_t, size_t>{1, 1}));  // lower id first.
+  EXPECT_EQ(store.TopServices(1).size(), 1u);
+  EXPECT_TRUE(SessionStore().TopServices(5).empty());
+}
+
+TEST(SessionStore, EvictionUnindexesExactServiceSet) {
+  SessionStore::Options options;
+  options.max_bytes = 2048;
+  SessionStore store(options);
+  // The first session is the only one touching service 999; eviction must
+  // remove it from that index (and leave the shared service 1 consistent).
+  store.Insert(MakeSession("OLD", 0, 5, {1, 999}));
+  for (int i = 0; i < 50; ++i) {
+    store.Insert(MakeSession("N" + std::to_string(i), i * 10, i * 10 + 5, {1}));
+  }
+  ASSERT_GT(store.stats().evicted, 0u);
+  ASSERT_FALSE(store.GetById("OLD").has_value());
+  EXPECT_TRUE(store.QueryByService(999, 10).empty());
+  EXPECT_EQ(store.QueryByService(1, 1000).size(), store.stats().sessions);
+  // Repeated insert of a duplicate service in one session stays consistent.
+  store.Insert(MakeSession("DUP", 600, 610, {4, 4, 4}));
+  EXPECT_EQ(store.QueryByService(4, 10).size(), 1u);
+}
+
+TEST(SessionStore, InsertObserversFireUntilRemoved) {
+  SessionStore store;
+  std::vector<std::string> seen_a;
+  std::vector<std::string> seen_b;
+  const uint64_t a =
+      store.AddInsertObserver([&](const Session& s) { seen_a.push_back(s.id); });
+  const uint64_t b =
+      store.AddInsertObserver([&](const Session& s) { seen_b.push_back(s.id); });
+  store.Insert(MakeSession("X", 0, 1, {1}));
+  store.RemoveInsertObserver(a);
+  store.Insert(MakeSession("Y", 1, 2, {1}));
+  store.RemoveInsertObserver(b);
+  store.Insert(MakeSession("Z", 2, 3, {1}));
+  EXPECT_EQ(seen_a, (std::vector<std::string>{"X"}));
+  EXPECT_EQ(seen_b, (std::vector<std::string>{"X", "Y"}));
+}
+
+// Concurrent insert/evict/query stress: run under TSan/ASan, this pins the
+// absence of dangling service-index reads while eviction churns the store.
+TEST(SessionStore, ConcurrentInsertEvictQueryStress) {
+  SessionStore::Options options;
+  options.max_bytes = 64 << 10;  // Small: constant eviction under load.
+  SessionStore store(options);
+  std::atomic<uint64_t> observed{0};
+  store.AddInsertObserver([&](const Session&) {
+    observed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int kPerWriter = 400;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        store.Insert(MakeSession("W" + std::to_string(w) + "-" +
+                                     std::to_string(i),
+                                 i, i + 2,
+                                 {static_cast<uint32_t>(i % 7),
+                                  static_cast<uint32_t>(w)}));
+      }
+    });
+  }
+  std::atomic<bool> done{false};
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&store, &done, r] {
+      size_t spins = 0;
+      while (!done.load(std::memory_order_acquire) || spins < 100) {
+        ++spins;
+        for (const auto& s :
+             store.QueryByService(static_cast<uint32_t>(spins % 7), 8)) {
+          // Touch the payload: a dangling entry blows up under sanitizers.
+          ASSERT_FALSE(s.id.empty());
+        }
+        (void)store.QueryByTimeRange(0, 500 * kNanosPerMilli, 8);
+        (void)store.TopServices(4);
+        (void)store.GetAllFragments("W" + std::to_string(r) + "-5");
+        (void)store.stats();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads[static_cast<size_t>(w)].join();
+  }
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.inserted, static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(observed.load(), stats.inserted);
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_EQ(stats.sessions, stats.inserted - stats.evicted);
+  // Post-churn index consistency.
+  size_t by_service_total = 0;
+  for (uint32_t svc = 0; svc < 7; ++svc) {
+    by_service_total += store.QueryByService(svc, 10'000).size();
+  }
+  EXPECT_GE(by_service_total, stats.sessions);  // Sessions touch >= 1 svc.
 }
 
 TEST(SessionStore, ConcurrentInsertAndQuery) {

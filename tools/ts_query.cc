@@ -1,0 +1,214 @@
+// ts_query: command-line client for a live QueryServer — the operator-facing
+// end of the three-process pipeline:
+//
+//   ts_log_server --addr=:9000 &
+//   ts_sessionize --connect=:9000 --serve=9100 &
+//   ts_query --connect=:9100 STATS
+//
+// Usage:
+//   ts_query --connect=host:port [--raw] [--timeout_ms=N] [REQUEST...]
+//
+//   REQUEST           one protocol request, e.g. `GET <id>`, `FRAGMENTS <id>`,
+//                     `SERVICE <n> [limit]`, `RANGE <lo> <hi> [limit]`,
+//                     `STATS`, `TOPK [k]`, or `SUBSCRIBE [service=<n>]`.
+//                     With no request, reads request lines from stdin.
+//   --raw             print sessions as canonical wire blocks (re-parseable
+//                     by ts_sessionize) instead of one-line summaries
+//   --timeout_ms=N    per-response wait (default 10000)
+//
+// SUBSCRIBE switches to tail mode: sessions stream until the server exits or
+// the tool is interrupted; server-side drops surface as `#DROPPED <n>` lines.
+// Exit status: 0 if every request got #OK, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/net/net_util.h"
+#include "src/query/query_client.h"
+#include "src/query/query_protocol.h"
+
+namespace {
+
+const char* FlagStr(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintSession(const ts::Session& s, bool raw) {
+  if (raw) {
+    std::fputs(ts::EncodeSessionBlock(s).c_str(), stdout);
+    return;
+  }
+  std::printf("%s frag=%u records=%zu span=[%.3fs..%.3fs] epochs=[%llu..%llu]\n",
+              s.id.c_str(), s.fragment_index, s.records.size(),
+              static_cast<double>(s.MinTime()) / 1e9,
+              static_cast<double>(s.MaxTime()) / 1e9,
+              static_cast<unsigned long long>(s.first_epoch),
+              static_cast<unsigned long long>(s.last_epoch));
+}
+
+// Returns true if the response was #OK.
+bool PrintResponse(const ts::QueryResponse& response, bool raw) {
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s\n",
+                 response.error.empty() ? "unknown" : response.error.c_str());
+    return false;
+  }
+  for (const auto& s : response.sessions) {
+    PrintSession(s, raw);
+  }
+  for (const auto& [name, value] : response.stats) {
+    std::printf("%s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [service, count] : response.top) {
+    std::printf("svc-%u %llu\n", service,
+                static_cast<unsigned long long>(count));
+  }
+  if (response.truncated) {
+    std::fprintf(stderr, "(response truncated by server output budget)\n");
+  }
+  return true;
+}
+
+int RunSubscribe(ts::QueryClient& client, const std::string& request, bool raw) {
+  // Re-parse the request to recover the optional service filter.
+  ts::QueryRequest parsed;
+  std::string error;
+  if (!ts::ParseQueryRequest(request, &parsed, &error) ||
+      parsed.verb != ts::QueryRequest::Verb::kSubscribe) {
+    std::fprintf(stderr, "bad subscribe request: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<uint32_t> filter;
+  if (parsed.filter_by_service) {
+    filter = parsed.filter_service;
+  }
+  if (!client.Subscribe(filter)) {
+    std::fprintf(stderr, "subscribe failed\n");
+    return 1;
+  }
+  std::fprintf(stderr, "subscribed; tailing closed sessions...\n");
+  while (true) {
+    ts::Session session;
+    uint64_t dropped = 0;
+    switch (client.Next(&session, &dropped, /*timeout_ms=*/1000)) {
+      case ts::QueryClient::Event::kSession:
+        PrintSession(session, raw);
+        std::fflush(stdout);
+        break;
+      case ts::QueryClient::Event::kDropped:
+        std::printf("#DROPPED %llu\n", static_cast<unsigned long long>(dropped));
+        std::fflush(stdout);
+        break;
+      case ts::QueryClient::Event::kTimeout:
+        break;  // Keep tailing.
+      case ts::QueryClient::Event::kClosed:
+        std::fprintf(stderr, "server closed the stream (dropped total: %llu)\n",
+                     static_cast<unsigned long long>(client.total_dropped()));
+        return 0;
+      case ts::QueryClient::Event::kError:
+        std::fprintf(stderr, "protocol error in subscription stream\n");
+        return 1;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  const char* spec = FlagStr(argc, argv, "--connect");
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "usage: ts_query --connect=host:port [--raw] "
+                 "[--timeout_ms=N] [REQUEST...]\n");
+    return 1;
+  }
+  QueryClientOptions options;
+  if (!ParseHostPort(spec, &options.host, &options.port)) {
+    std::fprintf(stderr, "bad --connect spec %s (want host:port)\n", spec);
+    return 1;
+  }
+  if (const char* t = FlagStr(argc, argv, "--timeout_ms")) {
+    options.io_timeout_ms = std::atoi(t);
+  }
+  const bool raw = HasFlag(argc, argv, "--raw");
+
+  // Everything after the flags forms one request line.
+  std::string request;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      continue;
+    }
+    if (!request.empty()) {
+      request += ' ';
+    }
+    request += argv[i];
+  }
+
+  QueryClient client(options);
+  if (!client.Connect()) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", options.host.c_str(),
+                 options.port);
+    return 1;
+  }
+
+  if (!request.empty()) {
+    if (request.rfind("SUBSCRIBE", 0) == 0) {
+      return RunSubscribe(client, request, raw);
+    }
+    QueryResponse response;
+    if (!client.Execute(request, &response)) {
+      std::fprintf(stderr, "transport error: %s\n", response.error.c_str());
+      return 1;
+    }
+    return PrintResponse(response, raw) ? 0 : 1;
+  }
+
+  // REPL: one request per stdin line.
+  int status = 0;
+  char* line = nullptr;
+  size_t capacity = 0;
+  ssize_t len;
+  while ((len = getline(&line, &capacity, stdin)) >= 0) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len == 0) {
+      continue;
+    }
+    const std::string one(line, static_cast<size_t>(len));
+    if (one.rfind("SUBSCRIBE", 0) == 0) {
+      free(line);
+      return RunSubscribe(client, one, raw);
+    }
+    QueryResponse response;
+    if (!client.Execute(one, &response)) {
+      std::fprintf(stderr, "transport error: %s\n", response.error.c_str());
+      free(line);
+      return 1;
+    }
+    if (!PrintResponse(response, raw)) {
+      status = 1;
+    }
+    std::fflush(stdout);
+  }
+  free(line);
+  return status;
+}

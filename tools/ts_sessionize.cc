@@ -2,11 +2,17 @@
 // ts_log_server TCP stream, reconstructs sessions and trace trees, and prints
 // a summary report — the offline companion to the streaming system, handy for
 // inspecting archived logs produced by ts_trace_gen or exported from a real
-// pipeline.
+// pipeline. With --serve it additionally keeps the reconstructed sessions in
+// a bounded SessionStore and answers the ts_query wire protocol, turning the
+// tool into the middle process of the paper's Figure 2 pipeline:
+//
+//   ts_log_server --addr=:9000 | ts_sessionize --connect=:9000 --serve=9100
+//                              | ts_query --connect=:9100
 //
 // Usage:
 //   ts_sessionize [--in=path | --connect=host:port] [--stream=0 --streams=1]
 //                 [--inactivity_s=0] [--top=10] [--trees]
+//                 [--serve=port] [--store_mb=256]
 //
 //   --connect=H:P     consume a live log-server stream instead of a file
 //                     (reconnects with backoff and resumes if the server
@@ -16,19 +22,35 @@
 //   --top=K           print the K most frequent tree signatures and
 //                     communicating service pairs
 //   --trees           dump every trace tree (verbose)
+//   --serve=PORT      run a ts_query QueryServer on 127.0.0.1:PORT attached
+//                     to a live SessionStore; with --connect, sessions are
+//                     closed incrementally by event-time watermark as the
+//                     stream flows (subscribers live-tail them), and the
+//                     process keeps serving after end of stream until
+//                     SIGINT/SIGTERM
+//   --store_mb=N      SessionStore eviction budget (default 256 MiB)
+#include <csignal>
 #include <cstdio>
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analytics/dependency_graph.h"
+#include "src/analytics/session_store.h"
 #include "src/core/trace_tree.h"
 #include "src/log/wire_format.h"
 #include "src/net/net_util.h"
 #include "src/net/socket_ingest.h"
 #include "src/offline/offline_sessionizer.h"
+#include "src/query/metrics_registry.h"
+#include "src/query/query_server.h"
 
 namespace {
 
@@ -61,12 +83,141 @@ bool HasFlag(int argc, char** argv, const char* name) {
   return false;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+// Watermark-driven sessionization for the live --connect --serve path: a
+// session closes once the stream's maximum event time has advanced
+// `inactivity_ns` past the session's last record — the streaming analogue of
+// OfflineSessionizer's gap splitting (identical output on an in-order
+// stream). Epoch fields are derived exactly as the offline path derives them.
+class LiveCloser {
+ public:
+  explicit LiveCloser(ts::EventTime inactivity_ns)
+      : inactivity_ns_(inactivity_ns) {}
+
+  void Feed(ts::LogRecord record) {
+    watermark_ = std::max(watermark_, record.time);
+    auto& open = open_[record.session_id];
+    open.last_time = std::max(open.last_time, record.time);
+    open.records.push_back(std::move(record));
+  }
+
+  // Moves every session idle past the watermark into *closed.
+  void CloseExpired(std::vector<ts::Session>* closed) {
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (it->second.last_time + inactivity_ns_ <= watermark_) {
+        Emit(it->first, std::move(it->second), closed);
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void FlushAll(std::vector<ts::Session>* closed) {
+    for (auto& [id, open] : open_) {
+      Emit(id, std::move(open), closed);
+    }
+    open_.clear();
+  }
+
+  size_t open_sessions() const { return open_.size(); }
+  ts::EventTime watermark() const { return watermark_; }
+
+ private:
+  struct Open {
+    std::vector<ts::LogRecord> records;
+    ts::EventTime last_time = 0;
+  };
+
+  void Emit(const std::string& id, Open open, std::vector<ts::Session>* closed) {
+    std::stable_sort(open.records.begin(), open.records.end(),
+                     [](const ts::LogRecord& a, const ts::LogRecord& b) {
+                       return a.time < b.time;
+                     });
+    ts::Session s;
+    s.id = id;
+    s.fragment_index = next_fragment_[id]++;
+    s.records = std::move(open.records);
+    s.first_epoch =
+        static_cast<ts::Epoch>(s.records.front().time / ts::kNanosPerSecond);
+    s.last_epoch =
+        static_cast<ts::Epoch>(s.records.back().time / ts::kNanosPerSecond);
+    s.closed_at = s.last_epoch;
+    closed->push_back(std::move(s));
+  }
+
+  ts::EventTime inactivity_ns_;
+  ts::EventTime watermark_ = 0;
+  std::unordered_map<std::string, Open> open_;
+  std::unordered_map<std::string, uint32_t> next_fragment_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ts;
+
+  // --serve: stand up the store and the query server before ingesting, so
+  // subscribers attached early see every session close.
+  const char* serve_spec = FlagStr(argc, argv, "--serve");
+  std::shared_ptr<SessionStore> store;
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<QueryServer> server;
+  std::thread server_thread;
+  // Gauges shared with the ingest loop (which outlives nothing: the server
+  // thread samples them at STATS time, so they must outlive the loop too).
+  auto ingest_records = std::make_shared<std::atomic<int64_t>>(0);
+  auto ingest_parse_failures = std::make_shared<std::atomic<int64_t>>(0);
+  auto open_sessions = std::make_shared<std::atomic<int64_t>>(0);
+  auto watermark_ms = std::make_shared<std::atomic<int64_t>>(0);
+  if (serve_spec != nullptr) {
+    SessionStore::Options store_options;
+    store_options.max_bytes =
+        static_cast<size_t>(Flag(argc, argv, "--store_mb", 256)) << 20;
+    store = std::make_shared<SessionStore>(store_options);
+    metrics = std::make_shared<MetricsRegistry>();
+    metrics->Register("ingest_records",
+                      [ingest_records] { return ingest_records->load(); });
+    metrics->Register("ingest_parse_failures", [ingest_parse_failures] {
+      return ingest_parse_failures->load();
+    });
+    metrics->Register("sessionize_open_sessions",
+                      [open_sessions] { return open_sessions->load(); });
+    metrics->Register("sessionize_watermark_ms",
+                      [watermark_ms] { return watermark_ms->load(); });
+    QueryServerOptions server_options;
+    if (std::strchr(serve_spec, ':') != nullptr) {
+      if (!ParseHostPort(serve_spec, &server_options.host,
+                         &server_options.port)) {
+        std::fprintf(stderr, "bad --serve spec %s\n", serve_spec);
+        return 1;
+      }
+    } else {
+      server_options.port = static_cast<uint16_t>(std::atoi(serve_spec));
+    }
+    server = std::make_unique<QueryServer>(server_options, store, metrics);
+    if (!server->Start()) {
+      std::fprintf(stderr, "cannot serve on %s\n", serve_spec);
+      return 1;
+    }
+    std::fprintf(stderr, "query server listening on %s:%u\n",
+                 server_options.host.c_str(), server->port());
+    server_thread = std::thread([&server] { server->Run(); });
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+  }
+
+  const EventTime inactivity_ns = static_cast<EventTime>(
+      Flag(argc, argv, "--inactivity_s", 0) * kNanosPerSecond);
+
   std::vector<LogRecord> records;
+  std::vector<Session> sessions;
+  size_t record_count = 0;
   uint64_t parse_failures = 0;
+  bool transport_failed = false;
+  bool sessions_ready = false;  // Live path fills `sessions` itself.
 
   if (const char* spec = FlagStr(argc, argv, "--connect")) {
     SocketIngestOptions options;
@@ -77,22 +228,72 @@ int main(int argc, char** argv) {
     options.stream = static_cast<size_t>(Flag(argc, argv, "--stream", 0));
     options.num_streams = static_cast<size_t>(Flag(argc, argv, "--streams", 1));
     SocketIngestSource source(options);
-    std::vector<std::string> lines;
-    const bool graceful = source.ReadAll(&lines);
-    for (const auto& l : lines) {
-      auto parsed = ParseWireFormat(l);
-      if (parsed) {
-        records.push_back(std::move(*parsed));
-      } else {
-        ++parse_failures;
+    if (server != nullptr) {
+      // Live path: close sessions incrementally as the watermark advances,
+      // inserting each into the store the moment it closes. Inactivity
+      // defaults to 5s here — a watermark close needs a window.
+      LiveCloser closer(inactivity_ns > 0 ? inactivity_ns
+                                          : 5 * kNanosPerSecond);
+      std::vector<std::string> lines;
+      std::vector<Session> closed;
+      bool done = false;
+      while (!done && g_stop == 0) {
+        lines.clear();
+        const auto poll = source.PollLines(&lines, /*timeout_ms=*/200);
+        for (const auto& l : lines) {
+          auto parsed = ParseWireFormat(l);
+          if (parsed) {
+            closer.Feed(std::move(*parsed));
+            ++record_count;
+          } else {
+            ++parse_failures;
+          }
+        }
+        if (poll == SocketIngestSource::Poll::kEndOfStream) {
+          closer.FlushAll(&closed);
+          done = true;
+        } else if (poll == SocketIngestSource::Poll::kFailed) {
+          closer.FlushAll(&closed);
+          transport_failed = true;
+          done = true;
+        } else {
+          closer.CloseExpired(&closed);
+        }
+        for (auto& s : closed) {
+          store->Insert(s);  // Copy: the report below still needs it.
+          sessions.push_back(std::move(s));
+        }
+        closed.clear();
+        ingest_records->store(static_cast<int64_t>(record_count));
+        ingest_parse_failures->store(static_cast<int64_t>(parse_failures));
+        open_sessions->store(static_cast<int64_t>(closer.open_sessions()));
+        watermark_ms->store(
+            static_cast<int64_t>(closer.watermark() / kNanosPerMilli));
       }
+      sessions_ready = true;
+    } else {
+      std::vector<std::string> lines;
+      const bool graceful = source.ReadAll(&lines);
+      for (const auto& l : lines) {
+        auto parsed = ParseWireFormat(l);
+        if (parsed) {
+          records.push_back(std::move(*parsed));
+        } else {
+          ++parse_failures;
+        }
+      }
+      transport_failed = !graceful;
     }
     std::fprintf(stderr, "transport: %s\n",
                  source.stats().Snapshot().Format().c_str());
-    if (!graceful) {
+    if (transport_failed) {
       std::fprintf(stderr,
                    "transport failed before end of stream (%llu records in)\n",
                    static_cast<unsigned long long>(source.records_received()));
+      if (server != nullptr) {
+        server->Stop();
+        server_thread.join();
+      }
       return 1;
     }
   } else {
@@ -124,11 +325,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  OfflineOptions options;
-  options.inactivity_split_ns = static_cast<EventTime>(
-      Flag(argc, argv, "--inactivity_s", 0) * kNanosPerSecond);
-  const size_t record_count = records.size();
-  auto sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+  if (!sessions_ready) {
+    OfflineOptions options;
+    options.inactivity_split_ns = inactivity_ns;
+    record_count = records.size();
+    sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+    if (store != nullptr) {
+      for (const auto& s : sessions) {
+        store->Insert(s);
+      }
+    }
+  }
 
   uint64_t trees = 0;
   uint64_t spans = 0;
@@ -181,6 +388,17 @@ int main(int argc, char** argv) {
       std::printf("  %8llu x svc-%u -> svc-%u\n",
                   static_cast<unsigned long long>(calls), edge.first, edge.second);
     }
+  }
+
+  if (server != nullptr) {
+    std::fflush(stdout);
+    std::fprintf(stderr, "serving %zu sessions on port %u (SIGINT to exit)\n",
+                 store->stats().sessions, server->port());
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server->Stop();
+    server_thread.join();
   }
   return 0;
 }

@@ -1,0 +1,290 @@
+// Figure 5, live-path edition: ingest throughput of the *serving* pipeline
+// (LivePipeline: tag/route -> shard parse -> LiveCloser -> SessionStore) at
+// 1/2/4/8 shard workers, on the same simulated 42-server/1263-process arrival
+// stream the offline fig5 bench replays. This is the bench the CI bench-smoke
+// lane tracks: it writes a machine-readable JSON row per worker count and
+// fails (exit 1) unless the closed-session output and the store's query
+// answers are byte-identical across every worker count.
+//
+// This container has one CPU core, so wall-clock throughput cannot show
+// scaling; threads timeshare the core. As with every scaling bench in this
+// repo (bench_common.h, DESIGN.md §3) we therefore report critical-path
+// throughput: records / max over threads of attributed thread-CPU time —
+// the throughput the run would achieve with one core per thread, which is
+// what the paper's Fig. 5 measures on real multicore hosts. Both series are
+// printed and emitted in the JSON ("records_per_s" = critical-path,
+// "records_per_s_wall" = wall clock).
+//
+// Flags: --rate (records/s), --seconds (trace length), --max_workers,
+//        --quick (small CI preset), --json=PATH (write BENCH JSON).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/analytics/session_store.h"
+#include "src/core/live_pipeline.h"
+#include "src/log/wire_format.h"
+#include "src/replay/replayer.h"
+
+namespace {
+
+using namespace ts;
+using namespace ts::bench;
+
+// Order-independent digest of a session multiset: sessions are hashed
+// individually (canonical bytes) and combined by XOR, so concurrent sink
+// order across shards cannot affect the result.
+uint64_t SessionDigest(const Session& s, std::string* scratch) {
+  scratch->clear();
+  scratch->append(s.id);
+  scratch->push_back('#');
+  scratch->append(std::to_string(s.fragment_index));
+  scratch->push_back('@');
+  scratch->append(std::to_string(s.first_epoch));
+  scratch->push_back('-');
+  scratch->append(std::to_string(s.last_epoch));
+  scratch->push_back(':');
+  scratch->append(std::to_string(s.closed_at));
+  for (const auto& r : s.records) {
+    scratch->push_back('\n');
+    AppendWireFormat(r, scratch);
+  }
+  return SipHash24(*scratch);
+}
+
+struct RunStats {
+  size_t workers = 0;
+  uint64_t records = 0;
+  uint64_t sessions = 0;
+  uint64_t parse_failures = 0;
+  uint64_t backpressure_stalls = 0;
+  double wall_s = 0;
+  double critical_path_s = 0;
+  double ingest_cpu_s = 0;
+  double max_shard_cpu_s = 0;
+  double p50_close_ms = 0;
+  double p99_close_ms = 0;
+  uint64_t session_digest = 0;  // XOR of per-session digests.
+  uint64_t store_digest = 0;    // Digest of canonical store query answers.
+
+  double RecordsPerSecCp() const {
+    return critical_path_s > 0 ? static_cast<double>(records) / critical_path_s
+                               : 0;
+  }
+  double RecordsPerSecWall() const {
+    return wall_s > 0 ? static_cast<double>(records) / wall_s : 0;
+  }
+};
+
+RunStats RunOnce(const std::vector<std::string>& lines, size_t workers) {
+  RunStats stats;
+  stats.workers = workers;
+
+  SessionStore::Options store_options;
+  store_options.max_bytes = 1ull << 30;  // No eviction: digests need all.
+  auto store = std::make_shared<SessionStore>(store_options);
+  std::mutex digest_mu;
+  uint64_t session_digest = 0;
+  std::set<std::string> ids;
+
+  LivePipelineOptions options;
+  options.workers = workers;
+  options.inactivity_ns = 5 * kNanosPerSecond;
+  options.record_close_latency = true;
+  LivePipeline pipeline(options, [&](Session&& s) {
+    thread_local std::string scratch;
+    const uint64_t d = SessionDigest(s, &scratch);
+    {
+      std::lock_guard<std::mutex> lock(digest_mu);
+      session_digest ^= d;
+      ids.insert(s.id);
+    }
+    store->Insert(std::move(s));
+  });
+
+  const int64_t ingest_cpu_start = ThreadCpuNanos();
+  Stopwatch wall;
+  size_t fed = 0;
+  for (const auto& l : lines) {
+    pipeline.FeedLine(l);
+    if (++fed % 4096 == 0) {
+      pipeline.Flush();  // Poll-loop cadence of the real tool.
+    }
+  }
+  pipeline.Finish();
+  stats.wall_s = static_cast<double>(wall.ElapsedNanos()) / 1e9;
+  stats.ingest_cpu_s =
+      static_cast<double>(ThreadCpuNanos() - ingest_cpu_start) / 1e9;
+
+  stats.records = pipeline.records();
+  stats.sessions = pipeline.sessions_closed();
+  stats.parse_failures = pipeline.parse_failures();
+  stats.backpressure_stalls = pipeline.backpressure_stalls();
+  for (size_t i = 0; i < pipeline.workers(); ++i) {
+    stats.max_shard_cpu_s =
+        std::max(stats.max_shard_cpu_s,
+                 static_cast<double>(pipeline.shard(i).cpu_ns) / 1e9);
+  }
+  stats.critical_path_s = std::max(stats.ingest_cpu_s, stats.max_shard_cpu_s);
+  stats.session_digest = session_digest;
+
+  SampleSet latencies;
+  for (double ms : pipeline.CloseLatenciesMs()) {
+    latencies.Add(ms);
+  }
+  if (!latencies.empty()) {
+    stats.p50_close_ms = latencies.Quantile(0.5);
+    stats.p99_close_ms = latencies.Quantile(0.99);
+  }
+
+  // Store-query byte-equality: replay every session id (deterministic sorted
+  // order) through GetAllFragments and hash the serialized answers — the
+  // bytes a ts_query client would receive must not depend on worker count.
+  std::string canon;
+  uint64_t store_digest = 0;
+  for (const auto& id : ids) {
+    for (const auto& s : store->GetAllFragments(id)) {
+      store_digest ^= SessionDigest(s, &canon);
+      store_digest = SipHash24(store_digest);  // Order within an id matters.
+    }
+  }
+  stats.store_digest = store_digest;
+  return stats;
+}
+
+double Speedup(const std::vector<RunStats>& rows, size_t workers) {
+  double base = 0, at = 0;
+  for (const auto& r : rows) {
+    if (r.workers == 1) {
+      base = r.RecordsPerSecCp();
+    }
+    if (r.workers == workers) {
+      at = r.RecordsPerSecCp();
+    }
+  }
+  return base > 0 ? at / base : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = [&] {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  const double rate = FlagDouble(argc, argv, "--rate", quick ? 15'000 : 40'000);
+  const int64_t seconds = FlagInt(argc, argv, "--seconds", quick ? 6 : 12);
+  const int64_t max_workers = FlagInt(argc, argv, "--max_workers", 8);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  std::printf("=== Fig 5 (live path): sharded serving-pipeline ingest scaling ===\n");
+  std::printf("trace: %llds at %.0f records/s, 1263 streams / 42 servers\n\n",
+              static_cast<long long>(seconds), rate);
+
+  // Materialize the arrival stream once, in arrival order, exactly as a
+  // single log-server connection would deliver it.
+  std::vector<std::string> lines;
+  {
+    ReplayerConfig replay_config;
+    replay_config.num_workers = 1;
+    replay_config.as_text = true;
+    replay_config.seed = 7;
+    GeneratorConfig gen;
+    gen.seed = 42;
+    gen.duration_ns = seconds * kNanosPerSecond;
+    gen.target_records_per_sec = rate;
+    Replayer replayer(replay_config, gen);
+    std::vector<Arrival> arrivals;
+    for (Epoch e = 0;; ++e) {
+      if (replayer.ArrivalsFor(0, e, &arrivals) ==
+          ArrivalSource::Fetch::kEndOfStream) {
+        break;
+      }
+      for (auto& a : arrivals) {
+        lines.push_back(std::move(a.line));
+      }
+    }
+  }
+  std::printf("arrival stream: %zu records\n\n", lines.size());
+
+  std::vector<RunStats> rows;
+  for (size_t w = 1; w <= static_cast<size_t>(max_workers); w *= 2) {
+    rows.push_back(RunOnce(lines, w));
+    const RunStats& r = rows.back();
+    std::printf(
+        "workers=%zu: %10.0f rec/s critical-path (%8.0f wall), "
+        "%llu sessions, close p50=%.1fms p99=%.1fms, stalls=%llu\n",
+        r.workers, r.RecordsPerSecCp(), r.RecordsPerSecWall(),
+        static_cast<unsigned long long>(r.sessions), r.p50_close_ms,
+        r.p99_close_ms, static_cast<unsigned long long>(r.backpressure_stalls));
+  }
+
+  bool identical = true;
+  for (const auto& r : rows) {
+    if (r.session_digest != rows[0].session_digest ||
+        r.store_digest != rows[0].store_digest ||
+        r.sessions != rows[0].sessions || r.records != rows[0].records) {
+      identical = false;
+      std::printf("MISMATCH at workers=%zu: sessions=%llu digest=%016llx "
+                  "store=%016llx (baseline %llu/%016llx/%016llx)\n",
+                  r.workers, static_cast<unsigned long long>(r.sessions),
+                  static_cast<unsigned long long>(r.session_digest),
+                  static_cast<unsigned long long>(r.store_digest),
+                  static_cast<unsigned long long>(rows[0].sessions),
+                  static_cast<unsigned long long>(rows[0].session_digest),
+                  static_cast<unsigned long long>(rows[0].store_digest));
+    }
+  }
+  std::printf("\nresults across worker counts: %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+  std::printf("speedup vs 1 worker (critical-path): 2w=%.2fx 4w=%.2fx\n",
+              Speedup(rows, 2), Speedup(rows, 4));
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"live_scaling\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"rate\": %.0f,\n  \"seconds\": %lld,\n", rate,
+                 static_cast<long long>(seconds));
+    std::fprintf(f, "  \"identical\": %s,\n", identical ? "true" : "false");
+    std::fprintf(f, "  \"speedup_4w\": %.3f,\n", Speedup(rows, 4));
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RunStats& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"workers\": %zu, \"records_per_s\": %.0f, "
+          "\"records_per_s_wall\": %.0f, \"p50_close_ms\": %.3f, "
+          "\"p99_close_ms\": %.3f, \"sessions\": %llu, "
+          "\"backpressure_stalls\": %llu}%s\n",
+          r.workers, r.RecordsPerSecCp(), r.RecordsPerSecWall(),
+          r.p50_close_ms, r.p99_close_ms,
+          static_cast<unsigned long long>(r.sessions),
+          static_cast<unsigned long long>(r.backpressure_stalls),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}

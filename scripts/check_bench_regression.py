@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate CI on live-pipeline bench results.
+
+Compares a fresh BENCH_live_scaling.json (written by bench/fig5_live_scaling
+--json=...) against the checked-in baseline and fails when:
+
+  * critical-path throughput for any worker count regressed more than
+    --tolerance (default 0.30, the ">30% regression" CI contract),
+  * the run was not byte-identical across worker counts, or
+  * the 4-worker speedup fell below the baseline's min_speedup_4w floor.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance=0.30]
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 0.30
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+
+    current = load(args[0])
+    baseline = load(args[1])
+    failures = []
+
+    if not current.get("identical", False):
+        failures.append(
+            "results were NOT byte-identical across worker counts")
+
+    baseline_rows = {row["workers"]: row for row in baseline.get("rows", [])}
+    current_rows = {row["workers"]: row for row in current.get("rows", [])}
+
+    print(f"{'workers':>8} {'baseline rec/s':>15} {'current rec/s':>15} "
+          f"{'floor':>12} {'status':>8}")
+    for workers, base_row in sorted(baseline_rows.items()):
+        cur_row = current_rows.get(workers)
+        if cur_row is None:
+            failures.append(f"workers={workers}: missing from current run")
+            continue
+        base_tput = float(base_row["records_per_s"])
+        cur_tput = float(cur_row["records_per_s"])
+        floor = base_tput * (1.0 - tolerance)
+        ok = cur_tput >= floor
+        print(f"{workers:>8} {base_tput:>15.0f} {cur_tput:>15.0f} "
+              f"{floor:>12.0f} {'ok' if ok else 'FAIL':>8}")
+        if not ok:
+            failures.append(
+                f"workers={workers}: {cur_tput:.0f} rec/s is "
+                f"{100 * (1 - cur_tput / base_tput):.1f}% below baseline "
+                f"{base_tput:.0f} (tolerance {100 * tolerance:.0f}%)")
+
+    min_speedup = baseline.get("min_speedup_4w")
+    if min_speedup is not None:
+        speedup = float(current.get("speedup_4w", 0.0))
+        print(f"speedup_4w: {speedup:.2f}x (floor {min_speedup:.2f}x)")
+        if speedup < float(min_speedup):
+            failures.append(
+                f"4-worker speedup {speedup:.2f}x below floor "
+                f"{min_speedup:.2f}x")
+
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

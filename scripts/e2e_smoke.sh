@@ -28,8 +28,9 @@ done
 [ -n "$PORT" ] || { echo "FAIL: log server reported no port"; exit 1; }
 
 # 2. Sessionizer consuming the stream, serving ts_query on an ephemeral port.
+# --workers=2 exercises the sharded live path (hash-partitioned LivePipeline).
 "$TOOLS/ts_sessionize" --connect=127.0.0.1:"$PORT" --serve=0 \
-  --inactivity_s=1 >"$WORK/sess.out" 2>"$WORK/sess.err" &
+  --inactivity_s=1 --workers=2 >"$WORK/sess.out" 2>"$WORK/sess.err" &
 SESS_PID=$!
 QPORT=""
 for _ in $(seq 100); do

@@ -1,11 +1,15 @@
 // MetricsRegistry: the small named-gauge registry the query server dumps on
 // STATS. The host process registers whatever it wants operators to see next
 // to the store counters — transport stats from the ingest side, per-epoch
-// sessionization latency, reorder-buffer drops. Gauges are sampled at STATS
-// time on the server's event-loop thread, so callbacks must be thread-safe
-// (reading relaxed atomics or snapshotting under their own lock) and cheap.
-#ifndef SRC_QUERY_METRICS_REGISTRY_H_
-#define SRC_QUERY_METRICS_REGISTRY_H_
+// sessionization latency, reorder-buffer drops, per-shard live-pipeline
+// gauges. Gauges are sampled at STATS time on the server's event-loop thread,
+// so callbacks must be thread-safe (reading relaxed atomics or snapshotting
+// under their own lock) and cheap.
+//
+// Lives in src/common so producers anywhere in the stack (core pipeline,
+// net transport) can register gauges without depending on src/query.
+#ifndef SRC_COMMON_METRICS_REGISTRY_H_
+#define SRC_COMMON_METRICS_REGISTRY_H_
 
 #include <cstdint>
 #include <functional>
@@ -47,4 +51,4 @@ class MetricsRegistry {
 
 }  // namespace ts
 
-#endif  // SRC_QUERY_METRICS_REGISTRY_H_
+#endif  // SRC_COMMON_METRICS_REGISTRY_H_

@@ -1,0 +1,69 @@
+#include "src/core/live_closer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ts {
+
+void LiveCloser::Feed(LogRecord record, std::vector<Session>* closed) {
+  ObserveWatermark(record.time);
+  auto [it, inserted] = open_.try_emplace(record.session_id);
+  Open& open = it->second;
+  if (!inserted && !open.records.empty() &&
+      open.last_time + inactivity_ns_ <= watermark_) {
+    // The open fragment expired before this record arrived: emit it and start
+    // the next fragment. Doing this here, at record granularity, is what keeps
+    // fragment boundaries independent of CloseExpired cadence and shard count.
+    Emit(it->first, std::move(open), closed);
+    open = Open{};
+  }
+  open.last_time = std::max(open.last_time, record.time);
+  open_bytes_ += record.MemoryFootprint();
+  open.records.push_back(std::move(record));
+}
+
+void LiveCloser::CloseExpired(std::vector<Session>* closed) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.last_time + inactivity_ns_ <= watermark_) {
+      Emit(it->first, std::move(it->second), closed);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LiveCloser::FlushAll(std::vector<Session>* closed) {
+  for (auto& [id, open] : open_) {
+    Emit(id, std::move(open), closed);
+  }
+  open_.clear();
+}
+
+void LiveCloser::Emit(const std::string& id, Open open,
+                      std::vector<Session>* closed) {
+  // Stable sort by event time: ties keep arrival order, matching the offline
+  // sessionizer's record ordering on the same input.
+  std::stable_sort(open.records.begin(), open.records.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.time < b.time;
+                   });
+  Session s;
+  s.id = id;
+  s.fragment_index = next_fragment_[id]++;
+  s.records = std::move(open.records);
+  s.first_epoch =
+      static_cast<Epoch>(s.records.front().time / kNanosPerSecond);
+  s.last_epoch =
+      static_cast<Epoch>(s.records.back().time / kNanosPerSecond);
+  s.closed_at = s.last_epoch;
+  size_t bytes = 0;
+  for (const auto& r : s.records) {
+    bytes += r.MemoryFootprint();
+  }
+  open_bytes_ = bytes >= open_bytes_ ? 0 : open_bytes_ - bytes;
+  ++sessions_emitted_;
+  closed->push_back(std::move(s));
+}
+
+}  // namespace ts

@@ -1,0 +1,75 @@
+// LiveCloser: watermark-driven sessionization state for the live
+// (--connect --serve) path — the streaming analogue of OfflineSessionizer's
+// inactivity-gap splitting. A session fragment closes once the watermark has
+// advanced `inactivity_ns` past the fragment's last record.
+//
+// Determinism contract (what makes sharded output byte-identical): the caller
+// supplies the watermark explicitly, as the prefix-maximum event time of the
+// arrival stream *in arrival order* (ObserveWatermark before each Feed). Close
+// decisions for the session a record touches are made at Feed time against
+// that watermark, so the fragment boundaries of a session are a pure function
+// of (the session's own record subsequence, the watermark tag attached to each
+// record) — independent of how often CloseExpired runs, of wall-clock poll
+// timing, and of how many shards the stream is partitioned across.
+// CloseExpired/FlushAll only affect *when* an already-determined fragment is
+// emitted, never its contents.
+#ifndef SRC_CORE_LIVE_CLOSER_H_
+#define SRC_CORE_LIVE_CLOSER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time_util.h"
+#include "src/core/session.h"
+#include "src/log/record.h"
+
+namespace ts {
+
+class LiveCloser {
+ public:
+  explicit LiveCloser(EventTime inactivity_ns)
+      : inactivity_ns_(inactivity_ns) {}
+
+  // Raises the watermark (monotone; stale values are ignored).
+  void ObserveWatermark(EventTime watermark) {
+    watermark_ = watermark > watermark_ ? watermark : watermark_;
+  }
+
+  // Feeds one record. If the record's session has an open fragment that is
+  // already expired at the current watermark, that fragment is emitted to
+  // *closed first and the record starts the next fragment. Callers that track
+  // a global watermark must ObserveWatermark(tag) before each Feed.
+  void Feed(LogRecord record, std::vector<Session>* closed);
+
+  // Moves every session idle past the watermark into *closed.
+  void CloseExpired(std::vector<Session>* closed);
+
+  // Emits every still-open fragment (end of stream).
+  void FlushAll(std::vector<Session>* closed);
+
+  size_t open_sessions() const { return open_.size(); }
+  EventTime watermark() const { return watermark_; }
+  uint64_t sessions_emitted() const { return sessions_emitted_; }
+  size_t open_bytes() const { return open_bytes_; }
+
+ private:
+  struct Open {
+    std::vector<LogRecord> records;
+    EventTime last_time = 0;
+  };
+
+  void Emit(const std::string& id, Open open, std::vector<Session>* closed);
+
+  EventTime inactivity_ns_;
+  EventTime watermark_ = 0;
+  uint64_t sessions_emitted_ = 0;
+  size_t open_bytes_ = 0;
+  std::unordered_map<std::string, Open> open_;
+  std::unordered_map<std::string, uint32_t> next_fragment_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_CORE_LIVE_CLOSER_H_

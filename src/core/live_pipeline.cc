@@ -1,0 +1,317 @@
+#include "src/core/live_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/common/siphash.h"
+#include "src/common/thread_timer.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Extracts the first two '|'-delimited fields of a wire line without a full
+// parse: the event time (all-digits) and the session id. Returns false when
+// the line is malformed enough that neither is trustworthy — the caller then
+// routes by a hash of the whole line and leaves the watermark alone; the
+// owning shard's full parse records the failure.
+bool ExtractRouteKey(std::string_view line, EventTime* time,
+                     std::string_view* session_id) {
+  const size_t p0 = line.find('|');
+  if (p0 == std::string_view::npos || p0 == 0) {
+    return false;
+  }
+  const size_t p1 = line.find('|', p0 + 1);
+  if (p1 == std::string_view::npos || p1 == p0 + 1) {
+    return false;
+  }
+  EventTime t = 0;
+  for (size_t i = 0; i < p0; ++i) {
+    const char c = line[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    t = t * 10 + (c - '0');
+  }
+  *time = t;
+  *session_id = line.substr(p0 + 1, p1 - p0 - 1);
+  return true;
+}
+
+}  // namespace
+
+LivePipeline::LivePipeline(const LivePipelineOptions& options, SessionSink sink)
+    : options_(options), sink_(std::move(sink)) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  options_.max_batch_records = std::max<size_t>(1, options_.max_batch_records);
+  shards_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity,
+                                              options_.inactivity_ns));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+LivePipeline::~LivePipeline() { Finish(); }
+
+void LivePipeline::FeedLine(std::string line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  if (line.empty()) {
+    // Framing artifact, not a corrupt record: skipped everywhere, counted
+    // nowhere near parse_failures (see ISSUE: blank-line unification).
+    blank_lines_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  EventTime time = 0;
+  std::string_view session_id;
+  size_t shard_index;
+  if (ExtractRouteKey(line, &time, &session_id)) {
+    ingest_watermark_ = std::max(ingest_watermark_, time);
+    shard_index = SipHash24(session_id) % shards_.size();
+  } else {
+    shard_index = SipHash24(std::string_view(line)) % shards_.size();
+  }
+  Item item;
+  item.line = std::move(line);
+  item.watermark = ingest_watermark_;
+  Route(std::move(item), shard_index);
+}
+
+void LivePipeline::FeedRecord(LogRecord record) {
+  ingest_watermark_ = std::max(ingest_watermark_, record.time);
+  const size_t shard_index = SipHash24(record.session_id) % shards_.size();
+  Item item;
+  item.record = std::move(record);
+  item.parsed = true;
+  item.watermark = ingest_watermark_;
+  Route(std::move(item), shard_index);
+}
+
+void LivePipeline::Route(Item item, size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  shard.pending.items.push_back(std::move(item));
+  if (shard.pending.items.size() >= options_.max_batch_records) {
+    SealAndPush(shard);
+  }
+}
+
+void LivePipeline::SealAndPush(Shard& shard) {
+  Batch batch = std::move(shard.pending);
+  shard.pending = Batch{};
+  batch.watermark_end = ingest_watermark_;
+  if (options_.record_close_latency) {
+    batch.enqueue_steady_ns = SteadyNowNanos();
+  }
+  shard.last_tick_watermark = batch.watermark_end;
+  // Full shard queue: this is the back-pressure moment — Push below blocks,
+  // the stalled ingest thread stops draining its socket, and TCP flow
+  // control propagates the stall to the log server. (TryPush would consume
+  // the batch on failure, so probe with size(); as the queue's only
+  // producer we can at worst under- or over-count a racing pop.)
+  if (shard.queue.size() >= options_.queue_capacity) {
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.queue.Push(std::move(batch));
+}
+
+void LivePipeline::Flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (!shard.pending.items.empty()) {
+      SealAndPush(shard);
+    } else if (shard.last_tick_watermark != ingest_watermark_) {
+      // Watermark-only tick so shards with no recent records still close
+      // their idle sessions. Skipped while the watermark is unchanged.
+      SealAndPush(shard);
+    }
+  }
+}
+
+void LivePipeline::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.pending.flush_all = true;
+    SealAndPush(shard);
+    shard.queue.Close();
+  }
+  for (auto& shard_ptr : shards_) {
+    if (shard_ptr->worker.joinable()) {
+      shard_ptr->worker.join();
+    }
+  }
+}
+
+void LivePipeline::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  LiveCloser& closer = shard.closer;
+  std::vector<Session> closed;
+  uint64_t records = 0;
+  uint64_t parse_failures = 0;
+  while (auto batch = shard.queue.Pop()) {
+    for (Item& item : batch->items) {
+      closer.ObserveWatermark(item.watermark);
+      if (item.parsed) {
+        closer.Feed(std::move(item.record), &closed);
+        ++records;
+      } else if (auto parsed = ParseWireFormat(item.line)) {
+        closer.Feed(std::move(*parsed), &closed);
+        ++records;
+      } else {
+        ++parse_failures;
+      }
+    }
+    closer.ObserveWatermark(batch->watermark_end);
+    closer.CloseExpired(&closed);
+    if (batch->flush_all) {
+      closer.FlushAll(&closed);
+    }
+    if (!closed.empty()) {
+      for (Session& s : closed) {
+        if (options_.record_close_latency && batch->enqueue_steady_ns > 0) {
+          shard.close_latencies_ms.push_back(
+              static_cast<double>(SteadyNowNanos() - batch->enqueue_steady_ns) /
+              1e6);
+        }
+        sink_(std::move(s));
+      }
+      shard.sessions_closed.fetch_add(closed.size(),
+                                      std::memory_order_relaxed);
+      closed.clear();
+    }
+    shard.records.store(records, std::memory_order_relaxed);
+    shard.parse_failures.store(parse_failures, std::memory_order_relaxed);
+    shard.open_sessions.store(closer.open_sessions(),
+                              std::memory_order_relaxed);
+    shard.open_bytes.store(closer.open_bytes(), std::memory_order_relaxed);
+    shard.watermark.store(closer.watermark(), std::memory_order_relaxed);
+    shard.cpu_ns.store(ThreadCpuNanos(), std::memory_order_relaxed);
+  }
+}
+
+uint64_t LivePipeline::records() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->records.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::parse_failures() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->parse_failures.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::sessions_closed() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->sessions_closed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t LivePipeline::open_sessions() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->open_sessions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+EventTime LivePipeline::watermark() const {
+  EventTime min_wm = 0;
+  bool first = true;
+  for (const auto& s : shards_) {
+    const EventTime wm = s->watermark.load(std::memory_order_relaxed);
+    min_wm = first ? wm : std::min(min_wm, wm);
+    first = false;
+  }
+  return min_wm;
+}
+
+LiveShardSnapshot LivePipeline::shard(size_t i) const {
+  const Shard& s = *shards_[i];
+  LiveShardSnapshot snap;
+  snap.records = s.records.load(std::memory_order_relaxed);
+  snap.parse_failures = s.parse_failures.load(std::memory_order_relaxed);
+  snap.sessions_closed = s.sessions_closed.load(std::memory_order_relaxed);
+  snap.open_sessions = s.open_sessions.load(std::memory_order_relaxed);
+  snap.open_bytes = s.open_bytes.load(std::memory_order_relaxed);
+  snap.queue_depth = s.queue.size();
+  snap.watermark = s.watermark.load(std::memory_order_relaxed);
+  snap.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LivePipeline::RegisterMetrics(MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->Register(prefix + "records", [this] {
+    return static_cast<int64_t>(records());
+  });
+  registry->Register(prefix + "parse_failures", [this] {
+    return static_cast<int64_t>(parse_failures());
+  });
+  registry->Register(prefix + "blank_lines", [this] {
+    return static_cast<int64_t>(blank_lines());
+  });
+  registry->Register(prefix + "open_sessions", [this] {
+    return static_cast<int64_t>(open_sessions());
+  });
+  registry->Register(prefix + "sessions_closed", [this] {
+    return static_cast<int64_t>(sessions_closed());
+  });
+  registry->Register(prefix + "watermark_ms", [this] {
+    return static_cast<int64_t>(watermark() / kNanosPerMilli);
+  });
+  registry->Register(prefix + "backpressure_stalls", [this] {
+    return static_cast<int64_t>(backpressure_stalls());
+  });
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string shard_prefix = prefix + "shard" + std::to_string(i) + "_";
+    registry->Register(shard_prefix + "records", [this, i] {
+      return static_cast<int64_t>(shard(i).records);
+    });
+    registry->Register(shard_prefix + "parse_failures", [this, i] {
+      return static_cast<int64_t>(shard(i).parse_failures);
+    });
+    registry->Register(shard_prefix + "open_sessions", [this, i] {
+      return static_cast<int64_t>(shard(i).open_sessions);
+    });
+    registry->Register(shard_prefix + "queue_depth", [this, i] {
+      return static_cast<int64_t>(shard(i).queue_depth);
+    });
+  }
+}
+
+std::vector<double> LivePipeline::CloseLatenciesMs() const {
+  std::vector<double> all;
+  if (!finished_) {
+    return all;  // Worker-owned until the workers join.
+  }
+  for (const auto& s : shards_) {
+    all.insert(all.end(), s->close_latencies_ms.begin(),
+               s->close_latencies_ms.end());
+  }
+  return all;
+}
+
+}  // namespace ts

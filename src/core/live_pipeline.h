@@ -1,0 +1,188 @@
+// LivePipeline: the sharded live sessionization hot path (paper §4.2's
+// Exchange PACT applied to the serving pipeline).
+//
+//                       ┌─ queue[0] ─ shard 0: parse → LiveCloser ─┐
+//   ingest thread ──────┼─ queue[1] ─ shard 1: parse → LiveCloser ─┼──► sink
+//   (tag + route by     ├─ queue[2] ─ shard 2: parse → LiveCloser ─┤  (store
+//    SipHash(id) % N)   └─ queue[3] ─ shard 3: parse → LiveCloser ─┘  insert)
+//
+// The single ingest thread does only the cheap part of each line: extract the
+// event time and session-id fields (two '|' scans, no full parse), advance the
+// global watermark (prefix max of event time in arrival order), tag the line
+// with that watermark, and route it by SipHash-2-4(session id) % N — the same
+// exchange hash SessionHash() uses for the timely engine. Everything expensive
+// (full wire parse, LiveCloser state, session emission) runs on the shard
+// workers, in parallel.
+//
+// Determinism: all records of a session land on one shard, in arrival order,
+// each carrying the global watermark at its position in the arrival stream.
+// Fragment boundaries are decided per record against that tag (see
+// live_closer.h), so the set of closed sessions is byte-identical for every
+// worker count — only emission timing varies. The batch-end watermark
+// broadcast (Flush) lets shards that received no recent records close their
+// idle sessions; it can only emit fragments the per-record rule has already
+// fixed.
+//
+// Back-pressure: each shard queue holds at most queue_capacity batches. When
+// the target shard's queue is full, Feed* blocks the ingest thread
+// (backpressure_stalls() counts those events). A caller draining a
+// SocketIngestSource therefore stops polling, the kernel socket buffer fills,
+// and TCP flow control pushes back on the log server — the same mechanism the
+// transport layer documents for max_records_per_poll.
+//
+// Watermark merge rule: watermark() is the minimum across shards of the last
+// watermark each shard has fully processed — the "safe" frontier: every
+// session that can close at or below it has been handed to the sink.
+#ifndef SRC_CORE_LIVE_PIPELINE_H_
+#define SRC_CORE_LIVE_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fixed_queue.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/time_util.h"
+#include "src/core/live_closer.h"
+#include "src/core/session.h"
+
+namespace ts {
+
+struct LivePipelineOptions {
+  size_t workers = 1;          // Number of shards (>=1).
+  EventTime inactivity_ns = 5 * kNanosPerSecond;
+  size_t queue_capacity = 64;  // Batches per shard queue (back-pressure bound).
+  size_t max_batch_records = 512;  // Ingest-side batching per shard.
+  // Collect per-session close latency (sink time − enqueue time of the batch
+  // that triggered the close). Costs one steady_clock read per batch plus a
+  // vector push per session; benches enable it, the tool does not.
+  bool record_close_latency = false;
+};
+
+// A point-in-time view of one shard, for gauges and benches.
+struct LiveShardSnapshot {
+  uint64_t records = 0;
+  uint64_t parse_failures = 0;
+  uint64_t sessions_closed = 0;
+  size_t open_sessions = 0;
+  size_t open_bytes = 0;
+  size_t queue_depth = 0;  // Batches waiting.
+  EventTime watermark = 0;
+  int64_t cpu_ns = 0;  // Thread CPU consumed by this shard's worker.
+};
+
+class LivePipeline {
+ public:
+  // Called on shard worker threads, possibly concurrently from different
+  // shards; must be thread-safe (SessionStore::Insert is).
+  using SessionSink = std::function<void(Session&&)>;
+
+  LivePipeline(const LivePipelineOptions& options, SessionSink sink);
+  ~LivePipeline();  // Implies Finish() if not yet called.
+
+  LivePipeline(const LivePipeline&) = delete;
+  LivePipeline& operator=(const LivePipeline&) = delete;
+
+  // --- Ingest-thread API (single producer) ---
+
+  // Feeds one wire-format line (trailing \r already stripped by the framer;
+  // a stray one is tolerated). Blank lines are skipped — they are framing
+  // artifacts, not corrupt records, and must not count as parse failures.
+  // Lines whose time/session-id fields cannot be extracted are still routed
+  // (by a hash of the whole line) so the owning shard counts the parse
+  // failure. Blocks when the target shard's queue is full.
+  void FeedLine(std::string line);
+
+  // Feeds an already-parsed record (in-process producers).
+  void FeedRecord(LogRecord record);
+
+  // Pushes partial batches and broadcasts the current global watermark to
+  // every shard so idle sessions close. Call once per poll iteration.
+  void Flush();
+
+  // Flushes, signals end of stream (shards FlushAll into the sink), and joins
+  // the workers. Idempotent.
+  void Finish();
+
+  // --- Observability (any thread) ---
+
+  size_t workers() const { return shards_.size(); }
+  uint64_t records() const;           // Sum of shard records.
+  uint64_t parse_failures() const;    // Sum of shard parse failures.
+  uint64_t blank_lines() const { return blank_lines_.load(std::memory_order_relaxed); }
+  uint64_t sessions_closed() const;   // Sum of shard emissions.
+  size_t open_sessions() const;       // Sum of shard open maps.
+  uint64_t backpressure_stalls() const {
+    return backpressure_stalls_.load(std::memory_order_relaxed);
+  }
+  // Min-across-shards processed watermark (0 until every shard has seen one).
+  EventTime watermark() const;
+  // Global ingest-side watermark (prefix max of event time).
+  EventTime ingest_watermark() const { return ingest_watermark_; }
+
+  LiveShardSnapshot shard(size_t i) const;
+
+  // Registers merged + per-shard gauges: <prefix>records, <prefix>parse_failures,
+  // <prefix>open_sessions, <prefix>watermark_ms, <prefix>backpressure_stalls,
+  // <prefix>blank_lines and per shard k: <prefix>shard<k>_open_sessions,
+  // <prefix>shard<k>_records, <prefix>shard<k>_parse_failures,
+  // <prefix>shard<k>_queue_depth. The registry must not outlive the pipeline.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "live_") const;
+
+  // Close-latency samples (ms), concatenated across shards. Call after
+  // Finish(); only populated when record_close_latency is set.
+  std::vector<double> CloseLatenciesMs() const;
+
+ private:
+  struct Item {
+    std::string line;       // Wire text; empty when `parsed`.
+    LogRecord record;       // Populated when `parsed`.
+    bool parsed = false;
+    EventTime watermark = 0;  // Global prefix-max tag at this item's position.
+  };
+  struct Batch {
+    std::vector<Item> items;
+    EventTime watermark_end = 0;  // Global watermark when the batch was sealed.
+    int64_t enqueue_steady_ns = 0;
+    bool flush_all = false;  // End of stream: FlushAll after processing items.
+  };
+  struct Shard {
+    explicit Shard(size_t queue_capacity, EventTime inactivity_ns)
+        : queue(queue_capacity), closer(inactivity_ns) {}
+    FixedQueue<Batch> queue;
+    LiveCloser closer;  // Worker-thread-owned after Start.
+    std::thread worker;
+    // Published by the worker, read by gauges.
+    std::atomic<uint64_t> records{0};
+    std::atomic<uint64_t> parse_failures{0};
+    std::atomic<uint64_t> sessions_closed{0};
+    std::atomic<size_t> open_sessions{0};
+    std::atomic<size_t> open_bytes{0};
+    std::atomic<int64_t> watermark{0};
+    std::atomic<int64_t> cpu_ns{0};
+    std::vector<double> close_latencies_ms;  // Worker-owned until join.
+    Batch pending;  // Ingest-thread-owned accumulation buffer.
+    EventTime last_tick_watermark = -1;
+  };
+
+  void Route(Item item, size_t shard_index);
+  void SealAndPush(Shard& shard);
+  void WorkerLoop(size_t shard_index);
+
+  LivePipelineOptions options_;
+  SessionSink sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  EventTime ingest_watermark_ = 0;  // Ingest thread only.
+  std::atomic<uint64_t> blank_lines_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
+  bool finished_ = false;
+};
+
+}  // namespace ts
+
+#endif  // SRC_CORE_LIVE_PIPELINE_H_

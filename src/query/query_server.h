@@ -39,7 +39,7 @@
 #include "src/net/net_util.h"
 #include "src/net/send_buffer.h"
 #include "src/net/transport_stats.h"
-#include "src/query/metrics_registry.h"
+#include "src/common/metrics_registry.h"
 #include "src/query/query_protocol.h"
 
 namespace ts {

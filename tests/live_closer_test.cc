@@ -1,0 +1,171 @@
+// LiveCloser: watermark-driven fragment closing for the live serving path.
+// The load-bearing property is the determinism contract documented in
+// live_closer.h — fragment boundaries depend only on each record's watermark
+// tag, never on CloseExpired cadence.
+#include "src/core/live_closer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+constexpr EventTime kSec = kNanosPerSecond;
+
+LogRecord Rec(const std::string& id, EventTime t, uint32_t service = 1) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = id;
+  r.txn_id = *TxnId::Parse("1");
+  r.service = service;
+  r.host = service;
+  r.kind = EventKind::kAnnotation;
+  r.payload = "p";
+  return r;
+}
+
+std::string Canonical(std::vector<Session> sessions) {
+  std::vector<std::string> blocks;
+  for (const auto& s : sessions) {
+    std::string b = s.id + "#" + std::to_string(s.fragment_index) + "@" +
+                    std::to_string(s.first_epoch) + "-" +
+                    std::to_string(s.last_epoch) + ":" +
+                    std::to_string(s.closed_at);
+    for (const auto& r : s.records) {
+      b += "\n" + ToWireFormat(r);
+    }
+    blocks.push_back(std::move(b));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::string out;
+  for (const auto& b : blocks) {
+    out += b + "\n---\n";
+  }
+  return out;
+}
+
+TEST(LiveCloserTest, OutOfOrderRecordsSortedOnEmit) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  closer.Feed(Rec("S", 3 * kSec), &closed);
+  closer.Feed(Rec("S", 1 * kSec), &closed);
+  closer.Feed(Rec("S", 2 * kSec), &closed);
+  EXPECT_TRUE(closed.empty());  // Within slack: late records join, no split.
+  closer.FlushAll(&closed);
+  ASSERT_EQ(closed.size(), 1u);
+  ASSERT_EQ(closed[0].records.size(), 3u);
+  EXPECT_EQ(closed[0].records[0].time, 1 * kSec);
+  EXPECT_EQ(closed[0].records[1].time, 2 * kSec);
+  EXPECT_EQ(closed[0].records[2].time, 3 * kSec);
+  EXPECT_EQ(closed[0].first_epoch, 1u);
+  EXPECT_EQ(closed[0].last_epoch, 3u);
+}
+
+TEST(LiveCloserTest, WatermarkDrivenCloseOrder) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  closer.Feed(Rec("A", 1 * kSec), &closed);
+  closer.Feed(Rec("B", 3 * kSec), &closed);
+  // Watermark is 3s: A (last 1s) is expired, B (last 3s) is not.
+  closer.CloseExpired(&closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].id, "A");
+  EXPECT_EQ(closed[0].fragment_index, 0u);
+  EXPECT_EQ(closer.open_sessions(), 1u);
+
+  closed.clear();
+  closer.ObserveWatermark(5 * kSec);
+  closer.CloseExpired(&closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].id, "B");
+  EXPECT_EQ(closer.open_sessions(), 0u);
+}
+
+TEST(LiveCloserTest, FragmentRenumberingOnIdleGap) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  closer.Feed(Rec("S", 0), &closed);
+  // Another session's traffic advances the watermark past S's close point.
+  closer.Feed(Rec("T", 10 * kSec), &closed);
+  // S resumes: the expired fragment is emitted at Feed time, the record
+  // starts fragment 1.
+  closer.Feed(Rec("S", 10 * kSec + 1), &closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].id, "S");
+  EXPECT_EQ(closed[0].fragment_index, 0u);
+  ASSERT_EQ(closed[0].records.size(), 1u);
+  EXPECT_EQ(closed[0].records[0].time, 0);
+
+  closed.clear();
+  closer.FlushAll(&closed);
+  ASSERT_EQ(closed.size(), 2u);
+  uint32_t s_fragment = 0;
+  for (const auto& s : closed) {
+    if (s.id == "S") {
+      s_fragment = s.fragment_index;
+      ASSERT_EQ(s.records.size(), 1u);
+      EXPECT_EQ(s.records[0].time, 10 * kSec + 1);
+    }
+  }
+  EXPECT_EQ(s_fragment, 1u);
+}
+
+TEST(LiveCloserTest, SingleSessionGapSplitsWithoutOtherTraffic) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  closer.Feed(Rec("S", 0), &closed);
+  closer.Feed(Rec("S", 5 * kSec), &closed);  // Gap > inactivity.
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].fragment_index, 0u);
+  closer.FlushAll(&closed);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[1].fragment_index, 1u);
+}
+
+// The same record/watermark sequence must produce identical fragments no
+// matter how often CloseExpired runs — this is what makes sharded output
+// byte-identical across worker counts.
+TEST(LiveCloserTest, FragmentsIndependentOfCloseExpiredCadence) {
+  const std::vector<LogRecord> input = {
+      Rec("A", 1 * kSec),          Rec("B", 1 * kSec + 5),
+      Rec("A", 2 * kSec),          Rec("C", 6 * kSec),
+      Rec("A", 6 * kSec + 1),      Rec("B", 6 * kSec + 2),
+      Rec("C", 7 * kSec),          Rec("A", 20 * kSec),
+      Rec("B", 20 * kSec + 1),     Rec("A", 20 * kSec + 2),
+  };
+
+  std::vector<Session> eager_closed;
+  LiveCloser eager(2 * kSec);
+  for (const auto& r : input) {
+    eager.Feed(r, &eager_closed);
+    eager.CloseExpired(&eager_closed);  // After every record.
+  }
+  eager.FlushAll(&eager_closed);
+
+  std::vector<Session> lazy_closed;
+  LiveCloser lazy(2 * kSec);
+  for (const auto& r : input) {
+    lazy.Feed(r, &lazy_closed);  // Never CloseExpired until the end.
+  }
+  lazy.FlushAll(&lazy_closed);
+
+  EXPECT_EQ(Canonical(std::move(eager_closed)),
+            Canonical(std::move(lazy_closed)));
+}
+
+TEST(LiveCloserTest, OpenBytesTracksState) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  EXPECT_EQ(closer.open_bytes(), 0u);
+  closer.Feed(Rec("S", 0), &closed);
+  EXPECT_GT(closer.open_bytes(), 0u);
+  closer.FlushAll(&closed);
+  EXPECT_EQ(closer.open_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ts

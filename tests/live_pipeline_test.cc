@@ -1,0 +1,295 @@
+// LivePipeline: the sharded live sessionization hot path. Covers the
+// acceptance property (closed-session output is byte-identical for every
+// worker count), blank-line/parse-failure accounting, fragment renumbering
+// across shards, back-pressure, the merged watermark, metrics registration,
+// and a multi-worker ingest stress intended for the TSan CI lane.
+#include "src/core/live_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/metrics_registry.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+constexpr EventTime kSec = kNanosPerSecond;
+
+LogRecord Rec(const std::string& id, EventTime t, uint32_t service = 1) {
+  LogRecord r;
+  r.time = t;
+  r.session_id = id;
+  r.txn_id = *TxnId::Parse("1");
+  r.service = service;
+  r.host = service;
+  r.kind = EventKind::kAnnotation;
+  r.payload = "p";
+  return r;
+}
+
+// A deterministic arrival stream: many interleaved sessions, mild
+// out-of-order arrivals (within the inactivity slack), and idle gaps that
+// force mid-stream fragment splits.
+std::vector<std::string> MakeLines(size_t sessions, size_t rounds) {
+  std::vector<std::string> lines;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (size_t round = 0; round < rounds; ++round) {
+    // Rounds 0..2 are a burst, round 3 starts after a long idle gap so every
+    // session splits into a second fragment.
+    const EventTime base =
+        static_cast<EventTime>(round) * kSec + (round >= 3 ? 60 * kSec : 0);
+    for (size_t s = 0; s < sessions; ++s) {
+      const std::string id = "SESS" + std::to_string(s);
+      // Jitter keeps arrival order != event-time order within a round.
+      const EventTime jitter = static_cast<EventTime>(next() % kNanosPerMilli);
+      lines.push_back(ToWireFormat(
+          Rec(id, base + jitter, static_cast<uint32_t>(s % 7))));
+    }
+  }
+  return lines;
+}
+
+struct Collected {
+  std::mutex mu;
+  std::vector<Session> sessions;
+  void Add(Session&& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    sessions.push_back(std::move(s));
+  }
+};
+
+std::string Canonical(const std::vector<Session>& sessions) {
+  std::vector<std::string> blocks;
+  for (const auto& s : sessions) {
+    std::string b = s.id + "#" + std::to_string(s.fragment_index) + "@" +
+                    std::to_string(s.first_epoch) + "-" +
+                    std::to_string(s.last_epoch) + ":" +
+                    std::to_string(s.closed_at);
+    for (const auto& r : s.records) {
+      b += "\n" + ToWireFormat(r);
+    }
+    blocks.push_back(std::move(b));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::string out;
+  for (const auto& b : blocks) {
+    out += b + "\n---\n";
+  }
+  return out;
+}
+
+std::string RunPipeline(const std::vector<std::string>& lines, size_t workers,
+                        size_t flush_every = 64) {
+  Collected collected;
+  LivePipelineOptions options;
+  options.workers = workers;
+  options.inactivity_ns = 2 * kSec;
+  LivePipeline pipeline(options,
+                        [&](Session&& s) { collected.Add(std::move(s)); });
+  size_t fed = 0;
+  for (const auto& l : lines) {
+    pipeline.FeedLine(l);
+    if (++fed % flush_every == 0) {
+      pipeline.Flush();
+    }
+  }
+  pipeline.Finish();
+  EXPECT_EQ(pipeline.records(), lines.size());
+  EXPECT_EQ(pipeline.parse_failures(), 0u);
+  EXPECT_EQ(pipeline.sessions_closed(), collected.sessions.size());
+  return Canonical(collected.sessions);
+}
+
+TEST(LivePipelineTest, ByteIdenticalAcrossWorkerCounts) {
+  const auto lines = MakeLines(/*sessions=*/37, /*rounds=*/5);
+  const std::string one = RunPipeline(lines, 1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, RunPipeline(lines, 2));
+  EXPECT_EQ(one, RunPipeline(lines, 4));
+  // Flush cadence must not change the output either.
+  EXPECT_EQ(one, RunPipeline(lines, 4, /*flush_every=*/7));
+}
+
+TEST(LivePipelineTest, BlankLinesAreSkippedNotFailures) {
+  Collected collected;
+  LivePipelineOptions options;
+  options.workers = 2;
+  LivePipeline pipeline(options,
+                        [&](Session&& s) { collected.Add(std::move(s)); });
+  pipeline.FeedLine(ToWireFormat(Rec("S", kSec)));
+  pipeline.FeedLine("");            // Blank.
+  pipeline.FeedLine("\r\n");        // Blank after stripping.
+  pipeline.FeedLine("not|a|record");  // Malformed: a real parse failure.
+  pipeline.FeedLine("corrupt");       // No separators at all.
+  pipeline.Finish();
+  EXPECT_EQ(pipeline.records(), 1u);
+  EXPECT_EQ(pipeline.blank_lines(), 2u);
+  EXPECT_EQ(pipeline.parse_failures(), 2u);
+  EXPECT_EQ(collected.sessions.size(), 1u);
+}
+
+TEST(LivePipelineTest, FragmentRenumberingAcrossShards) {
+  const auto lines = MakeLines(/*sessions=*/23, /*rounds=*/5);
+  Collected collected;
+  LivePipelineOptions options;
+  options.workers = 4;
+  options.inactivity_ns = 2 * kSec;
+  LivePipeline pipeline(options,
+                        [&](Session&& s) { collected.Add(std::move(s)); });
+  for (const auto& l : lines) {
+    pipeline.FeedLine(l);
+  }
+  pipeline.Finish();
+
+  // Every session split at the round-3 idle gap: each id must have fragments
+  // numbered 0..k-1 exactly once, even though different ids live on
+  // different shards.
+  std::unordered_map<std::string, std::vector<uint32_t>> fragments;
+  for (const auto& s : collected.sessions) {
+    fragments[s.id].push_back(s.fragment_index);
+  }
+  EXPECT_EQ(fragments.size(), 23u);
+  for (auto& [id, indices] : fragments) {
+    std::sort(indices.begin(), indices.end());
+    ASSERT_EQ(indices.size(), 2u) << id;
+    EXPECT_EQ(indices[0], 0u) << id;
+    EXPECT_EQ(indices[1], 1u) << id;
+  }
+}
+
+TEST(LivePipelineTest, BackpressureStallsIngestAndDeliversEverything) {
+  std::atomic<size_t> delivered{0};
+  LivePipelineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.max_batch_records = 1;
+  options.inactivity_ns = kSec;
+  LivePipeline pipeline(options, [&](Session&& s) {
+    (void)s;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    delivered.fetch_add(1);
+  });
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) {
+    // Distinct sessions far apart in time: every record closes the previous
+    // session, so the slow sink throttles the whole shard.
+    pipeline.FeedLine(
+        ToWireFormat(Rec("S" + std::to_string(i),
+                         static_cast<EventTime>(i) * 10 * kSec)));
+  }
+  pipeline.Finish();
+  EXPECT_EQ(pipeline.records(), n);
+  EXPECT_EQ(delivered.load(), n);
+  EXPECT_GT(pipeline.backpressure_stalls(), 0u);
+}
+
+TEST(LivePipelineTest, MergedWatermarkIsMinAcrossShards) {
+  LivePipelineOptions options;
+  options.workers = 4;
+  LivePipeline pipeline(options, [](Session&&) {});
+  EXPECT_EQ(pipeline.watermark(), 0);  // Nothing processed anywhere yet.
+  pipeline.FeedRecord(Rec("A", 7 * kSec));
+  pipeline.FeedRecord(Rec("B", 9 * kSec));
+  EXPECT_EQ(pipeline.ingest_watermark(), 9 * kSec);
+  pipeline.Finish();
+  // Finish broadcasts the final watermark to every shard, so the merged
+  // (min-across-shards) watermark converges to the ingest watermark.
+  EXPECT_EQ(pipeline.watermark(), 9 * kSec);
+}
+
+TEST(LivePipelineTest, MetricsRegistrationExposesShardGauges) {
+  MetricsRegistry registry;
+  LivePipelineOptions options;
+  options.workers = 2;
+  LivePipeline pipeline(options, [](Session&&) {});
+  pipeline.RegisterMetrics(&registry, "live_");
+  pipeline.FeedRecord(Rec("A", kSec));
+  pipeline.Finish();
+
+  bool saw_records = false, saw_shard1_queue = false, saw_stalls = false;
+  int64_t live_records = -1;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    if (name == "live_records") {
+      saw_records = true;
+      live_records = value;
+    }
+    if (name == "live_shard1_queue_depth") {
+      saw_shard1_queue = true;
+    }
+    if (name == "live_backpressure_stalls") {
+      saw_stalls = true;
+    }
+  }
+  EXPECT_TRUE(saw_records);
+  EXPECT_TRUE(saw_shard1_queue);
+  EXPECT_TRUE(saw_stalls);
+  EXPECT_EQ(live_records, 1);
+}
+
+// Multi-worker ingest stress: 4 shard workers drain a fast producer while a
+// reader thread hammers every cross-thread accessor. Run under TSan in CI
+// (the tsan lane's -R filter matches "Stress").
+TEST(LivePipelineTest, StressConcurrentIngestAndMetricsReads) {
+  const auto lines = MakeLines(/*sessions=*/101, /*rounds=*/40);
+  std::atomic<uint64_t> delivered{0};
+  MetricsRegistry registry;
+  LivePipelineOptions options;
+  options.workers = 4;
+  options.inactivity_ns = 2 * kSec;
+  options.queue_capacity = 8;
+  options.max_batch_records = 64;
+  LivePipeline pipeline(options, [&](Session&& s) {
+    delivered.fetch_add(1 + s.records.size(), std::memory_order_relaxed);
+  });
+  pipeline.RegisterMetrics(&registry);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.Snapshot();
+      (void)pipeline.watermark();
+      (void)pipeline.open_sessions();
+      for (size_t i = 0; i < pipeline.workers(); ++i) {
+        (void)pipeline.shard(i);
+      }
+    }
+  });
+
+  size_t fed = 0;
+  for (const auto& l : lines) {
+    pipeline.FeedLine(l);
+    if (++fed % 97 == 0) {
+      pipeline.Flush();
+    }
+  }
+  pipeline.Finish();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(pipeline.records(), lines.size());
+  EXPECT_EQ(pipeline.parse_failures(), 0u);
+  EXPECT_GT(delivered.load(), 0u);
+  // Conservation: every fed record ends up in exactly one closed session.
+  uint64_t records_in_sessions = 0;
+  for (size_t i = 0; i < pipeline.workers(); ++i) {
+    records_in_sessions += pipeline.shard(i).records;
+  }
+  EXPECT_EQ(records_in_sessions, lines.size());
+}
+
+}  // namespace
+}  // namespace ts

@@ -12,7 +12,7 @@
 // Usage:
 //   ts_sessionize [--in=path | --connect=host:port] [--stream=0 --streams=1]
 //                 [--inactivity_s=0] [--top=10] [--trees]
-//                 [--serve=port] [--store_mb=256]
+//                 [--serve=port] [--store_mb=256] [--workers=N]
 //
 //   --connect=H:P     consume a live log-server stream instead of a file
 //                     (reconnects with backoff and resumes if the server
@@ -29,6 +29,10 @@
 //                     process keeps serving after end of stream until
 //                     SIGINT/SIGTERM
 //   --store_mb=N      SessionStore eviction budget (default 256 MiB)
+//   --workers=N       shard the live (--connect --serve) hot path across N
+//                     worker threads, hash-partitioned by SipHash(session id)
+//                     — the paper's Exchange PACT (default: hardware threads).
+//                     Closed-session output is byte-identical for every N.
 #include <csignal>
 #include <cstdio>
 #include <algorithm>
@@ -37,19 +41,20 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "src/analytics/dependency_graph.h"
 #include "src/analytics/session_store.h"
+#include "src/common/metrics_registry.h"
+#include "src/core/live_pipeline.h"
 #include "src/core/trace_tree.h"
 #include "src/log/wire_format.h"
 #include "src/net/net_util.h"
 #include "src/net/socket_ingest.h"
 #include "src/offline/offline_sessionizer.h"
-#include "src/query/metrics_registry.h"
 #include "src/query/query_server.h"
 
 namespace {
@@ -86,72 +91,77 @@ bool HasFlag(int argc, char** argv, const char* name) {
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
-// Watermark-driven sessionization for the live --connect --serve path: a
-// session closes once the stream's maximum event time has advanced
-// `inactivity_ns` past the session's last record — the streaming analogue of
-// OfflineSessionizer's gap splitting (identical output on an in-order
-// stream). Epoch fields are derived exactly as the offline path derives them.
-class LiveCloser {
+// Aggregates the end-of-run report incrementally, one closed session at a
+// time, so the live path never retains closed sessions (the old loop kept
+// every one in a vector — unbounded memory on a long-running stream).
+// Thread-safe: live-path shard workers call Add concurrently.
+class ReportAccumulator {
  public:
-  explicit LiveCloser(ts::EventTime inactivity_ns)
-      : inactivity_ns_(inactivity_ns) {}
+  explicit ReportAccumulator(bool dump_trees) : dump_trees_(dump_trees) {}
 
-  void Feed(ts::LogRecord record) {
-    watermark_ = std::max(watermark_, record.time);
-    auto& open = open_[record.session_id];
-    open.last_time = std::max(open.last_time, record.time);
-    open.records.push_back(std::move(record));
-  }
-
-  // Moves every session idle past the watermark into *closed.
-  void CloseExpired(std::vector<ts::Session>* closed) {
-    for (auto it = open_.begin(); it != open_.end();) {
-      if (it->second.last_time + inactivity_ns_ <= watermark_) {
-        Emit(it->first, std::move(it->second), closed);
-        it = open_.erase(it);
-      } else {
-        ++it;
+  void Add(const ts::Session& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sessions_;
+    for (const auto& tree : ts::TraceTree::FromSession(s)) {
+      ++trees_;
+      spans_ += tree.num_spans();
+      inferred_ += tree.num_inferred();
+      ++signatures_[tree.SignatureKey()];
+      deps_.AddTree(tree);
+      if (dump_trees_) {
+        std::printf("%s root=%s spans=%zu records=%u duration=%.2fms sig=%s\n",
+                    s.id.c_str(), tree.root().id.ToString().c_str(),
+                    tree.num_spans(), tree.total_records(),
+                    static_cast<double>(tree.Duration()) / 1e6,
+                    tree.SignatureKey().c_str());
       }
     }
   }
 
-  void FlushAll(std::vector<ts::Session>* closed) {
-    for (auto& [id, open] : open_) {
-      Emit(id, std::move(open), closed);
-    }
-    open_.clear();
-  }
+  void Print(size_t record_count, uint64_t parse_failures, size_t top) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::printf("records:        %zu (%llu unparseable lines skipped)\n",
+                record_count, static_cast<unsigned long long>(parse_failures));
+    std::printf("sessions:       %llu\n",
+                static_cast<unsigned long long>(sessions_));
+    std::printf("trace trees:    %llu\n",
+                static_cast<unsigned long long>(trees_));
+    std::printf("spans:          %llu (%llu inferred from descendants)\n",
+                static_cast<unsigned long long>(spans_),
+                static_cast<unsigned long long>(inferred_));
+    std::printf("service edges:  %zu (%llu calls)\n", deps_.num_edges(),
+                static_cast<unsigned long long>(deps_.total_calls()));
 
-  size_t open_sessions() const { return open_.size(); }
-  ts::EventTime watermark() const { return watermark_; }
+    if (top > 0 && !signatures_.empty()) {
+      std::vector<std::pair<uint64_t, std::string>> ranked;
+      for (const auto& [sig, count] : signatures_) {
+        ranked.emplace_back(count, sig);
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::printf("\ntop tree structures:\n");
+      for (size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+        std::printf("  %8llu x %s\n",
+                    static_cast<unsigned long long>(ranked[i].first),
+                    ranked[i].second.c_str());
+      }
+      std::printf("\nhottest service pairs:\n");
+      for (const auto& [edge, calls] : deps_.HeaviestEdges(top)) {
+        std::printf("  %8llu x svc-%u -> svc-%u\n",
+                    static_cast<unsigned long long>(calls), edge.first,
+                    edge.second);
+      }
+    }
+  }
 
  private:
-  struct Open {
-    std::vector<ts::LogRecord> records;
-    ts::EventTime last_time = 0;
-  };
-
-  void Emit(const std::string& id, Open open, std::vector<ts::Session>* closed) {
-    std::stable_sort(open.records.begin(), open.records.end(),
-                     [](const ts::LogRecord& a, const ts::LogRecord& b) {
-                       return a.time < b.time;
-                     });
-    ts::Session s;
-    s.id = id;
-    s.fragment_index = next_fragment_[id]++;
-    s.records = std::move(open.records);
-    s.first_epoch =
-        static_cast<ts::Epoch>(s.records.front().time / ts::kNanosPerSecond);
-    s.last_epoch =
-        static_cast<ts::Epoch>(s.records.back().time / ts::kNanosPerSecond);
-    s.closed_at = s.last_epoch;
-    closed->push_back(std::move(s));
-  }
-
-  ts::EventTime inactivity_ns_;
-  ts::EventTime watermark_ = 0;
-  std::unordered_map<std::string, Open> open_;
-  std::unordered_map<std::string, uint32_t> next_fragment_;
+  mutable std::mutex mu_;
+  const bool dump_trees_;
+  uint64_t sessions_ = 0;
+  uint64_t trees_ = 0;
+  uint64_t spans_ = 0;
+  uint64_t inferred_ = 0;
+  std::map<std::string, uint64_t> signatures_;
+  ts::DependencyGraph deps_;
 };
 
 }  // namespace
@@ -166,27 +176,12 @@ int main(int argc, char** argv) {
   std::shared_ptr<MetricsRegistry> metrics;
   std::unique_ptr<QueryServer> server;
   std::thread server_thread;
-  // Gauges shared with the ingest loop (which outlives nothing: the server
-  // thread samples them at STATS time, so they must outlive the loop too).
-  auto ingest_records = std::make_shared<std::atomic<int64_t>>(0);
-  auto ingest_parse_failures = std::make_shared<std::atomic<int64_t>>(0);
-  auto open_sessions = std::make_shared<std::atomic<int64_t>>(0);
-  auto watermark_ms = std::make_shared<std::atomic<int64_t>>(0);
   if (serve_spec != nullptr) {
     SessionStore::Options store_options;
     store_options.max_bytes =
         static_cast<size_t>(Flag(argc, argv, "--store_mb", 256)) << 20;
     store = std::make_shared<SessionStore>(store_options);
     metrics = std::make_shared<MetricsRegistry>();
-    metrics->Register("ingest_records",
-                      [ingest_records] { return ingest_records->load(); });
-    metrics->Register("ingest_parse_failures", [ingest_parse_failures] {
-      return ingest_parse_failures->load();
-    });
-    metrics->Register("sessionize_open_sessions",
-                      [open_sessions] { return open_sessions->load(); });
-    metrics->Register("sessionize_watermark_ms",
-                      [watermark_ms] { return watermark_ms->load(); });
     QueryServerOptions server_options;
     if (std::strchr(serve_spec, ':') != nullptr) {
       if (!ParseHostPort(serve_spec, &server_options.host,
@@ -211,13 +206,16 @@ int main(int argc, char** argv) {
 
   const EventTime inactivity_ns = static_cast<EventTime>(
       Flag(argc, argv, "--inactivity_s", 0) * kNanosPerSecond);
+  const size_t top = static_cast<size_t>(Flag(argc, argv, "--top", 10));
+  ReportAccumulator report(HasFlag(argc, argv, "--trees"));
 
   std::vector<LogRecord> records;
-  std::vector<Session> sessions;
   size_t record_count = 0;
   uint64_t parse_failures = 0;
   bool transport_failed = false;
-  bool sessions_ready = false;  // Live path fills `sessions` itself.
+  bool sessions_ready = false;  // Live path feeds `report` itself.
+  // Outlives the ingest loop: the query server samples its gauges until exit.
+  std::unique_ptr<LivePipeline> pipeline;
 
   if (const char* spec = FlagStr(argc, argv, "--connect")) {
     SocketIngestOptions options;
@@ -227,54 +225,72 @@ int main(int argc, char** argv) {
     }
     options.stream = static_cast<size_t>(Flag(argc, argv, "--stream", 0));
     options.num_streams = static_cast<size_t>(Flag(argc, argv, "--streams", 1));
+    // Bound the batch one poll may deliver so a stalled shard queue
+    // back-pressures the server via TCP instead of ballooning `lines`.
+    options.max_records_per_poll = 16 << 10;
     SocketIngestSource source(options);
     if (server != nullptr) {
-      // Live path: close sessions incrementally as the watermark advances,
-      // inserting each into the store the moment it closes. Inactivity
-      // defaults to 5s here — a watermark close needs a window.
-      LiveCloser closer(inactivity_ns > 0 ? inactivity_ns
-                                          : 5 * kNanosPerSecond);
+      // Live path: parse + sessionize sharded across --workers threads,
+      // hash-partitioned by session id; sessions close incrementally as the
+      // watermark advances and are inserted into the store the moment they
+      // close. Inactivity defaults to 5s here — a watermark close needs a
+      // window.
+      const unsigned hw = std::thread::hardware_concurrency();
+      LivePipelineOptions pipe_options;
+      pipe_options.workers = static_cast<size_t>(
+          Flag(argc, argv, "--workers", hw > 0 ? hw : 1));
+      pipe_options.inactivity_ns =
+          inactivity_ns > 0 ? inactivity_ns : 5 * kNanosPerSecond;
+      pipeline =
+          std::make_unique<LivePipeline>(pipe_options, [&](Session&& s) {
+            report.Add(s);
+            store->Insert(std::move(s));
+          });
+      pipeline->RegisterMetrics(metrics.get());
+      // Legacy gauge names, kept stable for operators and the e2e smoke.
+      LivePipeline* pipe = pipeline.get();
+      metrics->Register("ingest_records", [pipe] {
+        return static_cast<int64_t>(pipe->records());
+      });
+      metrics->Register("ingest_parse_failures", [pipe] {
+        return static_cast<int64_t>(pipe->parse_failures());
+      });
+      metrics->Register("sessionize_open_sessions", [pipe] {
+        return static_cast<int64_t>(pipe->open_sessions());
+      });
+      metrics->Register("sessionize_watermark_ms", [pipe] {
+        return static_cast<int64_t>(pipe->watermark() / kNanosPerMilli);
+      });
+      std::fprintf(stderr, "live pipeline: %zu shard worker(s)\n",
+                   pipeline->workers());
       std::vector<std::string> lines;
-      std::vector<Session> closed;
       bool done = false;
       while (!done && g_stop == 0) {
         lines.clear();
         const auto poll = source.PollLines(&lines, /*timeout_ms=*/200);
-        for (const auto& l : lines) {
-          auto parsed = ParseWireFormat(l);
-          if (parsed) {
-            closer.Feed(std::move(*parsed));
-            ++record_count;
-          } else {
-            ++parse_failures;
-          }
+        for (auto& l : lines) {
+          pipeline->FeedLine(std::move(l));
         }
         if (poll == SocketIngestSource::Poll::kEndOfStream) {
-          closer.FlushAll(&closed);
           done = true;
         } else if (poll == SocketIngestSource::Poll::kFailed) {
-          closer.FlushAll(&closed);
           transport_failed = true;
           done = true;
         } else {
-          closer.CloseExpired(&closed);
+          pipeline->Flush();
         }
-        for (auto& s : closed) {
-          store->Insert(s);  // Copy: the report below still needs it.
-          sessions.push_back(std::move(s));
-        }
-        closed.clear();
-        ingest_records->store(static_cast<int64_t>(record_count));
-        ingest_parse_failures->store(static_cast<int64_t>(parse_failures));
-        open_sessions->store(static_cast<int64_t>(closer.open_sessions()));
-        watermark_ms->store(
-            static_cast<int64_t>(closer.watermark() / kNanosPerMilli));
       }
+      pipeline->Finish();
+      record_count = pipeline->records();
+      parse_failures = pipeline->parse_failures();
       sessions_ready = true;
     } else {
       std::vector<std::string> lines;
       const bool graceful = source.ReadAll(&lines);
       for (const auto& l : lines) {
+        if (l.empty()) {
+          continue;  // Blank lines are framing artifacts, not parse failures.
+        }
         auto parsed = ParseWireFormat(l);
         if (parsed) {
           records.push_back(std::move(*parsed));
@@ -312,10 +328,13 @@ int main(int argc, char** argv) {
       while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
         --len;
       }
+      if (len == 0) {
+        continue;  // Blank lines skipped, same as the socket paths.
+      }
       auto parsed = ParseWireFormat(std::string_view(line, static_cast<size_t>(len)));
       if (parsed) {
         records.push_back(std::move(*parsed));
-      } else if (len > 0) {
+      } else {
         ++parse_failures;
       }
     }
@@ -329,66 +348,16 @@ int main(int argc, char** argv) {
     OfflineOptions options;
     options.inactivity_split_ns = inactivity_ns;
     record_count = records.size();
-    sessions = OfflineSessionizer::Sessionize(std::move(records), options);
-    if (store != nullptr) {
-      for (const auto& s : sessions) {
-        store->Insert(s);
+    auto sessions = OfflineSessionizer::Sessionize(std::move(records), options);
+    for (auto& s : sessions) {
+      report.Add(s);
+      if (store != nullptr) {
+        store->Insert(std::move(s));
       }
     }
   }
 
-  uint64_t trees = 0;
-  uint64_t spans = 0;
-  uint64_t inferred = 0;
-  std::map<std::string, uint64_t> signatures;
-  DependencyGraph deps;
-  const bool dump_trees = HasFlag(argc, argv, "--trees");
-  for (const auto& s : sessions) {
-    for (const auto& tree : TraceTree::FromSession(s)) {
-      ++trees;
-      spans += tree.num_spans();
-      inferred += tree.num_inferred();
-      ++signatures[tree.SignatureKey()];
-      deps.AddTree(tree);
-      if (dump_trees) {
-        std::printf("%s root=%s spans=%zu records=%u duration=%.2fms sig=%s\n",
-                    s.id.c_str(), tree.root().id.ToString().c_str(),
-                    tree.num_spans(), tree.total_records(),
-                    static_cast<double>(tree.Duration()) / 1e6,
-                    tree.SignatureKey().c_str());
-      }
-    }
-  }
-
-  std::printf("records:        %zu (%llu unparseable lines skipped)\n",
-              record_count, static_cast<unsigned long long>(parse_failures));
-  std::printf("sessions:       %zu\n", sessions.size());
-  std::printf("trace trees:    %llu\n", static_cast<unsigned long long>(trees));
-  std::printf("spans:          %llu (%llu inferred from descendants)\n",
-              static_cast<unsigned long long>(spans),
-              static_cast<unsigned long long>(inferred));
-  std::printf("service edges:  %zu (%llu calls)\n", deps.num_edges(),
-              static_cast<unsigned long long>(deps.total_calls()));
-
-  const size_t top = static_cast<size_t>(Flag(argc, argv, "--top", 10));
-  if (top > 0 && !signatures.empty()) {
-    std::vector<std::pair<uint64_t, std::string>> ranked;
-    for (const auto& [sig, count] : signatures) {
-      ranked.emplace_back(count, sig);
-    }
-    std::sort(ranked.rbegin(), ranked.rend());
-    std::printf("\ntop tree structures:\n");
-    for (size_t i = 0; i < std::min(top, ranked.size()); ++i) {
-      std::printf("  %8llu x %s\n",
-                  static_cast<unsigned long long>(ranked[i].first),
-                  ranked[i].second.c_str());
-    }
-    std::printf("\nhottest service pairs:\n");
-    for (const auto& [edge, calls] : deps.HeaviestEdges(top)) {
-      std::printf("  %8llu x svc-%u -> svc-%u\n",
-                  static_cast<unsigned long long>(calls), edge.first, edge.second);
-    }
-  }
+  report.Print(record_count, parse_failures, top);
 
   if (server != nullptr) {
     std::fflush(stdout);

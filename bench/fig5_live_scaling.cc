@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/analytics/session_digest.h"
 #include "src/analytics/session_store.h"
 #include "src/core/live_pipeline.h"
 #include "src/log/wire_format.h"
@@ -36,27 +37,6 @@ namespace {
 
 using namespace ts;
 using namespace ts::bench;
-
-// Order-independent digest of a session multiset: sessions are hashed
-// individually (canonical bytes) and combined by XOR, so concurrent sink
-// order across shards cannot affect the result.
-uint64_t SessionDigest(const Session& s, std::string* scratch) {
-  scratch->clear();
-  scratch->append(s.id);
-  scratch->push_back('#');
-  scratch->append(std::to_string(s.fragment_index));
-  scratch->push_back('@');
-  scratch->append(std::to_string(s.first_epoch));
-  scratch->push_back('-');
-  scratch->append(std::to_string(s.last_epoch));
-  scratch->push_back(':');
-  scratch->append(std::to_string(s.closed_at));
-  for (const auto& r : s.records) {
-    scratch->push_back('\n');
-    AppendWireFormat(r, scratch);
-  }
-  return SipHash24(*scratch);
-}
 
 struct RunStats {
   size_t workers = 0;
@@ -143,18 +123,9 @@ RunStats RunOnce(const std::vector<std::string>& lines, size_t workers) {
     stats.p99_close_ms = latencies.Quantile(0.99);
   }
 
-  // Store-query byte-equality: replay every session id (deterministic sorted
-  // order) through GetAllFragments and hash the serialized answers — the
-  // bytes a ts_query client would receive must not depend on worker count.
-  std::string canon;
-  uint64_t store_digest = 0;
-  for (const auto& id : ids) {
-    for (const auto& s : store->GetAllFragments(id)) {
-      store_digest ^= SessionDigest(s, &canon);
-      store_digest = SipHash24(store_digest);  // Order within an id matters.
-    }
-  }
-  stats.store_digest = store_digest;
+  // Store-query byte-equality: the bytes a ts_query client would receive
+  // must not depend on worker count.
+  stats.store_digest = ChainedStoreDigest(*store, ids);
   return stats;
 }
 

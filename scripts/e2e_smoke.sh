@@ -4,10 +4,24 @@
 #   ts_log_server  ->  ts_sessionize --connect --serve  ->  ts_query
 #
 # Asserts a non-empty STATS and a GET wire round trip against the live
-# query server. Usage: scripts/e2e_smoke.sh [build-dir]
+# query server. With --chaos, the same stream then runs a second time
+# through the ts_chaos fault-injecting proxy (seeded kills + stalls) and
+# the chaos run must converge to exactly the fault-free ingest and store
+# counts — the shell-level version of the fault conformance suite.
+#
+# Usage: scripts/e2e_smoke.sh [build-dir] [--chaos]
+#   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
+#                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) CHAOS=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 TOOLS="$BUILD_DIR/tools"
 WORK="$(mktemp -d)"
 cleanup() {
@@ -16,41 +30,100 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Both runs must see the identical archive: same seed, rate, and duration.
+GEN_ARGS=(--rate=20000 --seconds=3 --seed=11 --quiet)
+
+# Reads the ephemeral port a tool prints first, alone on a line.
+wait_port_file() {
+  local port=""
+  for _ in $(seq 100); do
+    port="$(head -n1 "$1" 2>/dev/null || true)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+
+# stat_gauge <query-port> <gauge> — one STATS gauge value, empty on error.
+stat_gauge() {
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$1" STATS 2>/dev/null \
+    | awk -v g="$2" '$1==g{print $2}'
+}
+
+# start_sessionize <upstream-port> <tag> — sets SESS_PID and QPORT.
+start_sessionize() {
+  "$TOOLS/ts_sessionize" --connect=127.0.0.1:"$1" --serve=0 \
+    --inactivity_s=1 --workers=2 >"$WORK/$2.out" 2>"$WORK/$2.err" &
+  SESS_PID=$!
+  QPORT=""
+  for _ in $(seq 100); do
+    QPORT="$(sed -n 's/.*query server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+      "$WORK/$2.err" | head -n1)"
+    [ -n "$QPORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$QPORT" ] || {
+    echo "FAIL: $2 sessionizer reported no query port"
+    cat "$WORK/$2.err"
+    exit 1
+  }
+}
+
+# settle_counts <query-port> — waits for the ingest to drain and the store to
+# stop moving (5 consecutive identical polls); sets RECORDS and SESSIONS.
+settle_counts() {
+  local last="" cur="" stable=0
+  RECORDS=""
+  SESSIONS=""
+  for _ in $(seq 300); do
+    RECORDS="$(stat_gauge "$1" ingest_records || true)"
+    SESSIONS="$(stat_gauge "$1" store_sessions || true)"
+    cur="$RECORDS/$SESSIONS"
+    if [ -n "$RECORDS" ] && [ "$RECORDS" -gt 0 ] && [ "$cur" = "$last" ]; then
+      stable=$((stable + 1))
+      [ "$stable" -ge 5 ] && return 0
+    else
+      stable=0
+    fi
+    last="$cur"
+    sleep 0.2
+  done
+  return 1
+}
+
+# ---- Fault-free run ---------------------------------------------------------
+
 # 1. Log server on an ephemeral port (printed first, alone on a line).
-"$TOOLS/ts_log_server" --port=0 --rate=20000 --seconds=3 --seed=11 \
-  --quiet --once >"$WORK/ls.out" 2>"$WORK/ls.err" &
-PORT=""
-for _ in $(seq 100); do
-  PORT="$(head -n1 "$WORK/ls.out" 2>/dev/null || true)"
-  [ -n "$PORT" ] && break
-  sleep 0.1
-done
+"$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" --once \
+  >"$WORK/ls.out" 2>"$WORK/ls.err" &
+PORT="$(wait_port_file "$WORK/ls.out")"
 [ -n "$PORT" ] || { echo "FAIL: log server reported no port"; exit 1; }
 
 # 2. Sessionizer consuming the stream, serving ts_query on an ephemeral port.
 # --workers=2 exercises the sharded live path (hash-partitioned LivePipeline).
-"$TOOLS/ts_sessionize" --connect=127.0.0.1:"$PORT" --serve=0 \
-  --inactivity_s=1 --workers=2 >"$WORK/sess.out" 2>"$WORK/sess.err" &
-SESS_PID=$!
-QPORT=""
-for _ in $(seq 100); do
-  QPORT="$(sed -n 's/.*query server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
-    "$WORK/sess.err" | head -n1)"
-  [ -n "$QPORT" ] && break
-  sleep 0.1
-done
-[ -n "$QPORT" ] || { echo "FAIL: sessionizer reported no query port"; cat "$WORK/sess.err"; exit 1; }
+start_sessionize "$PORT" sess
 
 # 3. STATS round trip, non-empty once the stream drains.
 COUNT=0
 for _ in $(seq 150); do
-  COUNT="$("$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" STATS \
-    | awk '$1=="store_sessions"{print $2}')"
+  COUNT="$(stat_gauge "$QPORT" store_sessions || true)"
   [ -n "$COUNT" ] && [ "$COUNT" -gt 0 ] && break
   sleep 0.2
 done
 [ -n "$COUNT" ] && [ "$COUNT" -gt 0 ] || {
   echo "FAIL: store stayed empty"; cat "$WORK/sess.err"; exit 1; }
+
+# In chaos mode the fault-free totals are the reference: wait for the full
+# drain, not just the first session.
+BASE_RECORDS=""
+BASE_SESSIONS=""
+if [ "$CHAOS" -eq 1 ]; then
+  settle_counts "$QPORT" || {
+    echo "FAIL: fault-free run never settled"; cat "$WORK/sess.err"; exit 1; }
+  BASE_RECORDS="$RECORDS"
+  BASE_SESSIONS="$SESSIONS"
+  COUNT="$BASE_SESSIONS"
+fi
 
 # 4. GET round trip: pick any served session id, fetch it as a wire block.
 # Capture to files before grepping: piping ts_query into an early-exiting
@@ -66,3 +139,59 @@ grep -q '^#SESSION ' "$WORK/get.out" || {
 kill -INT "$SESS_PID" 2>/dev/null || true
 wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
+
+[ "$CHAOS" -eq 1 ] || exit 0
+
+# ---- Chaos run: the same stream through a fault-injecting proxy -------------
+
+CHAOS_SEED="${CHAOS_SEED:-7}"
+
+# Fresh log server, same archive. No --once here: injected kills sever its
+# accepted connection and the ingest client reconnects (through the proxy) to
+# resume — with --once the first kill would end the server instead.
+"$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" \
+  >"$WORK/ls2.out" 2>"$WORK/ls2.err" &
+UPORT="$(wait_port_file "$WORK/ls2.out")"
+[ -n "$UPORT" ] || { echo "FAIL: chaos log server reported no port"; exit 1; }
+
+# The proxy draws a seeded plan; --stream_kb spreads the fault offsets over
+# roughly the archive's wire volume so kills land mid-stream, not just early.
+"$TOOLS/ts_chaos" --upstream=127.0.0.1:"$UPORT" --port=0 \
+  --seed="$CHAOS_SEED" --profile=mild --stream_kb=3000 \
+  >"$WORK/chaos.out" 2>"$WORK/chaos.err" &
+CHAOS_PID=$!
+CPORT="$(wait_port_file "$WORK/chaos.out")"
+[ -n "$CPORT" ] || {
+  echo "FAIL: ts_chaos reported no port"; cat "$WORK/chaos.err"; exit 1; }
+
+start_sessionize "$CPORT" chaos_sess
+
+# The conformance assertion: despite kills and stalls, the pipeline must
+# converge to exactly the fault-free totals — same records in, same sessions.
+CONVERGED=0
+for _ in $(seq 300); do
+  REC="$(stat_gauge "$QPORT" ingest_records || true)"
+  SES="$(stat_gauge "$QPORT" store_sessions || true)"
+  if [ "$REC" = "$BASE_RECORDS" ] && [ "$SES" = "$BASE_SESSIONS" ]; then
+    CONVERGED=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$CONVERGED" -eq 1 ] || {
+  echo "FAIL: chaos run (seed $CHAOS_SEED) did not converge:" \
+       "records ${REC:-?}/${BASE_RECORDS} sessions ${SES:-?}/${BASE_SESSIONS}"
+  echo "-- chaos proxy (replay with CHAOS_SEED=$CHAOS_SEED):"
+  cat "$WORK/chaos.err"
+  echo "-- sessionizer:"
+  tail -20 "$WORK/chaos_sess.err"
+  exit 1
+}
+
+kill -INT "$SESS_PID" 2>/dev/null || true
+wait "$SESS_PID" 2>/dev/null || true
+kill -INT "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+FAULTS="$(sed -n 's/^chaos: //p' "$WORK/chaos.err" | head -n1)"
+echo "e2e chaos OK: seed $CHAOS_SEED converged to $BASE_SESSIONS sessions /" \
+     "$BASE_RECORDS records (${FAULTS:-no stats})"

@@ -1,0 +1,73 @@
+// Order-independent identity digests over closed-session output.
+//
+// The live pipeline's determinism contract (DESIGN.md, bench/fig5) says the
+// multiset of closed sessions — and the bytes a store query returns for each
+// id — are a pure function of the arrival stream: worker count, shard
+// interleaving, reconnects, and injected faults must not change them. These
+// helpers turn that contract into two comparable 64-bit values:
+//
+//   * SessionDigest(s): SipHash of a session's canonical bytes (id, fragment
+//     index, epochs, close time, every record re-serialized to wire format).
+//     XOR the per-session digests together and sink order drops out, so the
+//     combined value is a multiset identity usable across any concurrency.
+//   * ChainedStoreDigest(store, ids): replays each id through
+//     GetAllFragments in sorted-id order and chains the hashes, so fragment
+//     order *within* an id still matters — the bytes a ts_query client sees.
+//
+// Shared by bench/fig5_live_scaling (worker-count identity) and
+// tests/fault_conformance_test (fault-schedule identity).
+#ifndef SRC_ANALYTICS_SESSION_DIGEST_H_
+#define SRC_ANALYTICS_SESSION_DIGEST_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/analytics/session_store.h"
+#include "src/common/siphash.h"
+#include "src/core/session.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+
+// Digest of one closed session's canonical bytes. Callers XOR these across
+// sessions to get an order-independent multiset digest. `scratch` amortizes
+// the serialization buffer across calls.
+inline uint64_t SessionDigest(const Session& s, std::string* scratch) {
+  scratch->clear();
+  scratch->append(s.id);
+  scratch->push_back('#');
+  scratch->append(std::to_string(s.fragment_index));
+  scratch->push_back('@');
+  scratch->append(std::to_string(s.first_epoch));
+  scratch->push_back('-');
+  scratch->append(std::to_string(s.last_epoch));
+  scratch->push_back(':');
+  scratch->append(std::to_string(s.closed_at));
+  for (const auto& r : s.records) {
+    scratch->push_back('\n');
+    AppendWireFormat(r, scratch);
+  }
+  return SipHash24(*scratch);
+}
+
+// Store-query byte-equality: replays every session id (deterministic sorted
+// order) through GetAllFragments and hashes the serialized answers. The
+// chaining step makes fragment order within an id significant, because those
+// are the bytes a query client receives in that order.
+inline uint64_t ChainedStoreDigest(const SessionStore& store,
+                                   const std::set<std::string>& ids) {
+  std::string canon;
+  uint64_t digest = 0;
+  for (const auto& id : ids) {
+    for (const auto& s : store.GetAllFragments(id)) {
+      digest ^= SessionDigest(s, &canon);
+      digest = SipHash24(digest);
+    }
+  }
+  return digest;
+}
+
+}  // namespace ts
+
+#endif  // SRC_ANALYTICS_SESSION_DIGEST_H_

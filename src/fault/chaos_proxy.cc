@@ -1,0 +1,264 @@
+#include "src/fault/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ts {
+namespace {
+
+constexpr int kPollTickMs = 100;
+constexpr size_t kChunkBytes = 64 << 10;
+
+void SleepMs(uint64_t ms) {
+  if (ms > 0) {
+    ::poll(nullptr, 0, static_cast<int>(ms));
+  }
+}
+
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+}
+
+// Plain blocking connect; the proxy has nothing better to do while its
+// upstream is unreachable.
+int ConnectBlocking(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Deterministic byte corruption that never fabricates a frame boundary.
+char CorruptByte(char c) {
+  const char flipped = static_cast<char>(c ^ 0x20);
+  return flipped == '\n' ? 'N' : flipped;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(const ChaosProxyOptions& options) : options_(options) {}
+
+ChaosProxy::~ChaosProxy() = default;
+
+bool ChaosProxy::Start() {
+  listen_fd_ = FdGuard(ListenTcp(options_.listen_host, options_.listen_port,
+                                 &port_));
+  return listen_fd_.valid();
+}
+
+void ChaosProxy::Stop() { stop_.store(true, std::memory_order_release); }
+
+void ChaosProxy::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    if (::poll(&pfd, 1, kPollTickMs) <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    // Arm any refusal events scheduled before this point in the stream. A
+    // kill/truncate that came due right at the old connection's end lands
+    // here instead: sever the fresh connection before any traffic flows.
+    bool kill_now = false;
+    uint64_t drop = 0;
+    (void)ArmedBudget(0, &kill_now, &drop);
+    if (kill_now) {
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    if (refusals_left_ > 0) {
+      --refusals_left_;
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    SetBlocking(fd);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    ServeOne(fd);
+  }
+}
+
+void ChaosProxy::ServeOne(int client_fd) {
+  FdGuard client(client_fd);
+  FdGuard upstream(
+      ConnectBlocking(options_.upstream_host, options_.upstream_port));
+  if (!upstream.valid()) {
+    return;  // Client sees a drop and retries; maybe upstream comes back.
+  }
+  char buf[kChunkBytes];
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{client.get(), POLLIN, 0}, {upstream.get(), POLLIN, 0}};
+    const int r = ::poll(pfds, 2, kPollTickMs);
+    if (r < 0 && errno != EINTR) {
+      return;
+    }
+    if (r <= 0) {
+      continue;
+    }
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(client.get(), buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return;  // Client gone; drop upstream with it.
+      }
+      if (!WriteAll(upstream.get(), buf, static_cast<size_t>(n),
+                    /*downstream=*/false)) {
+        return;
+      }
+    }
+    if ((pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(upstream.get(), buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return;
+      }
+      if (n == 0) {
+        // Graceful upstream end (#EOS went through): pass the FIN along and
+        // wait for the client to hang up.
+        ::shutdown(client.get(), SHUT_WR);
+        pollfd done{client.get(), POLLIN, 0};
+        while (!stop_.load(std::memory_order_acquire)) {
+          if (::poll(&done, 1, kPollTickMs) > 0 &&
+              ::recv(client.get(), buf, sizeof(buf), 0) <= 0) {
+            break;
+          }
+        }
+        return;
+      }
+      if (!ForwardDownstream(client.get(), buf, static_cast<size_t>(n))) {
+        return;  // Killed by the plan: both FdGuards sever on return.
+      }
+    }
+  }
+}
+
+uint64_t ChaosProxy::ArmedBudget(size_t len, bool* kill_now,
+                                 uint64_t* drop_bytes) {
+  *kill_now = false;
+  *drop_bytes = 0;
+  while (next_event_ < options_.plan.events.size()) {
+    const FaultEvent& event = options_.plan.events[next_event_];
+    if (forwarded_ < event.at) {
+      // Deliver exactly up to a kill/truncate boundary before severing.
+      if ((event.type == FaultType::kKill ||
+           event.type == FaultType::kTruncate) &&
+          forwarded_ + len > event.at) {
+        return event.at - forwarded_;
+      }
+      return len;
+    }
+    ++next_event_;
+    switch (event.type) {
+      case FaultType::kKill:
+        *kill_now = true;
+        return 0;
+      case FaultType::kTruncate:
+        *kill_now = true;
+        *drop_bytes = std::max<uint64_t>(event.arg, 1);
+        return 0;
+      case FaultType::kStall:
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        SleepMs(event.arg);
+        break;
+      case FaultType::kPartial:
+        return std::min<uint64_t>(len, std::max<uint64_t>(event.arg, 1));
+      case FaultType::kEagain:
+      case FaultType::kEintr:
+        break;  // Host-local faults; meaningless on proxied traffic.
+      case FaultType::kRefuse:
+        refusals_left_ += event.arg;
+        break;
+      case FaultType::kCorrupt:
+        corrupt_left_ += event.arg;
+        break;
+    }
+  }
+  return len;
+}
+
+bool ChaosProxy::ForwardDownstream(int client_fd, char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    bool kill_now = false;
+    uint64_t drop = 0;
+    const uint64_t budget = ArmedBudget(len - off, &kill_now, &drop);
+    if (kill_now) {
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      bytes_dropped_.fetch_add(std::min<uint64_t>(drop, len - off),
+                               std::memory_order_relaxed);
+      return false;
+    }
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(budget, len - off));
+    for (size_t i = 0; corrupt_left_ > 0 && i < n; ++i, --corrupt_left_) {
+      data[off + i] = CorruptByte(data[off + i]);
+      bytes_corrupted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!WriteAll(client_fd, data + off, n, /*downstream=*/true)) {
+      return false;
+    }
+    forwarded_ += n;
+    off += n;
+  }
+  return true;
+}
+
+bool ChaosProxy::WriteAll(int fd, const char* data, size_t len,
+                          bool downstream) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  (downstream ? bytes_down_ : bytes_up_)
+      .fetch_add(len, std::memory_order_relaxed);
+  return true;
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.refused = refused_.load(std::memory_order_relaxed);
+  s.kills = kills_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.bytes_up = bytes_up_.load(std::memory_order_relaxed);
+  s.bytes_down = bytes_down_.load(std::memory_order_relaxed);
+  s.bytes_dropped = bytes_dropped_.load(std::memory_order_relaxed);
+  s.bytes_corrupted = bytes_corrupted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ts

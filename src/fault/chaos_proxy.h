@@ -1,0 +1,104 @@
+// ChaosProxy: a fault-injecting TCP proxy for attacking the live pipeline
+// end-to-end without recompiling either side.
+//
+//   ts_log_server  -->  ts_chaos (FaultPlan)  -->  ts_sessionize --connect
+//
+// The proxy accepts one downstream client at a time, opens its own upstream
+// connection, forwards the client's bytes upstream verbatim (the TS1 hello,
+// which carries the resume offset), and forwards upstream bytes downstream
+// through the FaultPlan: kills sever both sides byte-exactly, stalls sleep,
+// partials fragment writes, corrupts flip bytes, truncates silently drop
+// bytes and then sever (the only honest way to lose bytes over TCP), and
+// refusals close the next accepted connections before any traffic flows.
+// After a kill the client reconnects — to the proxy — and the resume
+// protocol picks up where the delivered stream left off, which is exactly
+// the recovery path the conformance suite certifies.
+//
+// Forwarding uses blocking writes on purpose: a slow downstream consumer
+// stops the proxy from reading upstream, so TCP backpressure propagates
+// through the proxy just as it would through a real middlebox.
+#ifndef SRC_FAULT_CHAOS_PROXY_H_
+#define SRC_FAULT_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/fault/fault_plan.h"
+#include "src/net/net_util.h"
+
+namespace ts {
+
+struct ChaosProxyOptions {
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = ephemeral; read the bound port from port().
+  std::string upstream_host = "127.0.0.1";
+  uint16_t upstream_port = 0;
+  FaultPlan plan;
+};
+
+// Counter snapshot; all counters monotone, sampled from any thread.
+struct ChaosProxyStats {
+  uint64_t connections = 0;        // Client connections proxied.
+  uint64_t refused = 0;            // Accepts closed by refusal events.
+  uint64_t kills = 0;              // Connections severed by the plan.
+  uint64_t stalls = 0;
+  uint64_t bytes_up = 0;           // client -> upstream (hello traffic).
+  uint64_t bytes_down = 0;         // upstream -> client, after faults.
+  uint64_t bytes_dropped = 0;      // Truncated away by the plan.
+  uint64_t bytes_corrupted = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(const ChaosProxyOptions& options);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  // Binds and listens. Returns false on any socket error.
+  bool Start();
+  uint16_t port() const { return port_; }
+
+  // Serves clients sequentially until Stop(). Safe to run on its own thread.
+  void Run();
+
+  // Thread-safe: makes Run() return after the current poll tick.
+  void Stop();
+
+  ChaosProxyStats stats() const;
+
+ private:
+  // Shuttles one client<->upstream pair until EOF, error, or a plan kill.
+  void ServeOne(int client_fd);
+  // Applies plan events to a chunk about to be forwarded downstream.
+  // Returns false when a kill fired (the connection must be severed).
+  bool ForwardDownstream(int client_fd, char* data, size_t len);
+  // Fires armed events. Returns the byte budget the next forward may use
+  // before the head kill/truncate boundary, and applies stalls/refusals.
+  uint64_t ArmedBudget(size_t len, bool* kill_now, uint64_t* drop_bytes);
+  bool WriteAll(int fd, const char* data, size_t len, bool downstream);
+
+  ChaosProxyOptions options_;
+  uint16_t port_ = 0;
+  FdGuard listen_fd_;
+  std::atomic<bool> stop_{false};
+
+  size_t next_event_ = 0;   // First plan event not yet consumed.
+  uint64_t forwarded_ = 0;  // Cumulative downstream bytes allowed through.
+  uint64_t refusals_left_ = 0;
+  uint64_t corrupt_left_ = 0;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> kills_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> bytes_up_{0};
+  std::atomic<uint64_t> bytes_down_{0};
+  std::atomic<uint64_t> bytes_dropped_{0};
+  std::atomic<uint64_t> bytes_corrupted_{0};
+};
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_CHAOS_PROXY_H_

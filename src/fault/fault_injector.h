@@ -1,0 +1,104 @@
+// FaultInjector: the seam through which ts_fault attacks the transport.
+//
+// The ts_net I/O paths (SendBuffer::Flush, SocketIngestSource's recv/connect
+// loop, LogServer's event loop) consult an optional FaultInjector immediately
+// before each syscall-shaped operation. The injector may let the operation
+// proceed, clamp it to fewer bytes (a partial write/read), fail it with a
+// chosen errno (EAGAIN/EINTR storms, ECONNRESET kills), or mutate received
+// bytes in place (payload corruption). Production code passes no injector:
+// every hook is a branch on a null pointer, so the disabled path costs
+// nothing measurable (see bench/fig5_live_scaling, tracked in CI).
+//
+// This header is interface-only on purpose: ts_net includes it without
+// linking ts_fault, and ts_fault (plans, scripted injectors, the chaos
+// proxy) links ts_net — no dependency cycle.
+//
+// Threading: an injector instance is consulted from exactly one thread (the
+// thread driving the socket it is wired into). Wire separate instances into
+// separate threads.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ts {
+
+// What the injector wants done to one I/O attempt.
+struct FaultAction {
+  enum class Kind {
+    kProceed,  // Run the syscall unmodified.
+    kClamp,    // Run it, but move at most max_bytes (partial write/read).
+    kFail,     // Skip the syscall; behave as if it failed with `error`.
+  };
+  Kind kind = Kind::kProceed;
+  size_t max_bytes = 0;  // kClamp only.
+  int error = 0;         // kFail only: EAGAIN, EINTR, ECONNRESET, ...
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Consulted before send()-shaped calls of `len` pending bytes.
+  virtual FaultAction OnSend(size_t len) {
+    (void)len;
+    return {};
+  }
+
+  // Consulted before recv()-shaped calls with a `len`-byte buffer.
+  virtual FaultAction OnRecv(size_t len) {
+    (void)len;
+    return {};
+  }
+
+  // Received bytes, before framing: the injector may flip bytes in place
+  // (payload corruption). It must not change `len`.
+  virtual void OnRecvData(char* data, size_t len) {
+    (void)data;
+    (void)len;
+  }
+
+  // Consulted before each outbound connect attempt. Returning false makes
+  // the attempt fail as if the listener refused it (a refusal window).
+  virtual bool OnConnect() { return true; }
+
+  // Event-loop hook, called once per poll iteration before waiting. A stall
+  // event sleeps here, starving the loop the way a wedged disk or a GC pause
+  // starves a real server.
+  virtual void OnPollTick() {}
+
+  // Bytes a hooked syscall actually moved; drives byte-offset triggers.
+  virtual void OnIoBytes(uint64_t n) { (void)n; }
+};
+
+// Hook helpers: branch-on-null wrappers so call sites stay one line and the
+// disabled path never takes a virtual call.
+inline FaultAction FaultOnSend(FaultInjector* f, size_t len) {
+  return f == nullptr ? FaultAction{} : f->OnSend(len);
+}
+inline FaultAction FaultOnRecv(FaultInjector* f, size_t len) {
+  return f == nullptr ? FaultAction{} : f->OnRecv(len);
+}
+inline void FaultOnRecvData(FaultInjector* f, char* data, size_t len) {
+  if (f != nullptr) {
+    f->OnRecvData(data, len);
+  }
+}
+inline bool FaultOnConnect(FaultInjector* f) {
+  return f == nullptr ? true : f->OnConnect();
+}
+inline void FaultOnPollTick(FaultInjector* f) {
+  if (f != nullptr) {
+    f->OnPollTick();
+  }
+}
+inline void FaultOnIoBytes(FaultInjector* f, uint64_t n) {
+  if (f != nullptr) {
+    f->OnIoBytes(n);
+  }
+}
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,201 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace ts {
+namespace {
+
+struct TypeName {
+  FaultType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {FaultType::kKill, "kill"},       {FaultType::kPartial, "partial"},
+    {FaultType::kStall, "stall"},     {FaultType::kEagain, "eagain"},
+    {FaultType::kEintr, "eintr"},     {FaultType::kRefuse, "refuse"},
+    {FaultType::kCorrupt, "corrupt"}, {FaultType::kTruncate, "truncate"},
+};
+
+bool TypeFromName(const std::string& name, FaultType* type) {
+  for (const auto& entry : kTypeNames) {
+    if (name == entry.name) {
+      *type = entry.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SortEvents(std::vector<FaultEvent>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+}  // namespace
+
+const char* FaultTypeName(FaultType type) {
+  for (const auto& entry : kTypeNames) {
+    if (entry.type == type) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::Mild(uint64_t stream_bytes) {
+  FaultProfile p;
+  p.stream_bytes = stream_bytes;
+  p.kills = 2;
+  p.partials = 0;
+  p.stalls = 2;
+  p.eagain_storms = 0;
+  p.eintr_storms = 0;
+  p.refusals = 0;
+  return p;
+}
+
+FaultProfile FaultProfile::Aggressive(uint64_t stream_bytes) {
+  FaultProfile p;
+  p.stream_bytes = stream_bytes;
+  p.kills = 4;
+  p.partials = 4;
+  p.stalls = 3;
+  p.eagain_storms = 2;
+  p.eintr_storms = 2;
+  p.refusals = 2;
+  return p;
+}
+
+FaultProfile FaultProfile::Corrupting(uint64_t stream_bytes) {
+  FaultProfile p = Aggressive(stream_bytes);
+  p.corrupts = 3;
+  return p;
+}
+
+bool FaultPlan::ResolveProfile(const std::string& name, uint64_t stream_bytes,
+                               FaultProfile* out) {
+  if (name == "mild") {
+    *out = FaultProfile::Mild(stream_bytes);
+  } else if (name == "aggressive") {
+    *out = FaultProfile::Aggressive(stream_bytes);
+  } else if (name == "corrupting") {
+    *out = FaultProfile::Corrupting(stream_bytes);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, const std::string& profile_name,
+                              const FaultProfile& profile) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.profile = profile_name;
+  Rng rng(seed ^ 0x7473666175ull);  // "tsfau": decorrelate from other users.
+  const uint64_t span = std::max<uint64_t>(profile.stream_bytes, 1);
+  auto at = [&] { return rng.NextBelow(span); };
+  auto arg_in = [&](uint64_t max) { return 1 + rng.NextBelow(std::max<uint64_t>(max, 1)); };
+  auto add = [&](FaultType type, int count, uint64_t max_arg) {
+    for (int i = 0; i < count; ++i) {
+      plan.events.push_back(
+          {type, at(), max_arg == 0 ? 0 : arg_in(max_arg)});
+    }
+  };
+  add(FaultType::kKill, profile.kills, 0);
+  add(FaultType::kPartial, profile.partials, profile.max_partial_bytes);
+  add(FaultType::kStall, profile.stalls, profile.max_stall_ms);
+  add(FaultType::kEagain, profile.eagain_storms, profile.max_storm_len);
+  add(FaultType::kEintr, profile.eintr_storms, profile.max_storm_len);
+  add(FaultType::kRefuse, profile.refusals, 2);
+  add(FaultType::kCorrupt, profile.corrupts, profile.max_corrupt_bytes);
+  add(FaultType::kTruncate, profile.truncates, profile.max_partial_bytes);
+  SortEvents(&plan.events);
+  return plan;
+}
+
+std::string FaultPlan::ToText() const {
+  std::string out = "# ts_fault plan v1\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "profile " + profile + "\n";
+  for (const auto& event : events) {
+    out += FaultTypeName(event.type);
+    out += " at=" + std::to_string(event.at);
+    if (event.arg != 0) {
+      out += " arg=" + std::to_string(event.arg);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
+                      std::string* error) {
+  *plan = FaultPlan{};
+  plan->profile = "manual";
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+    if (head == "seed") {
+      if (!(fields >> plan->seed)) {
+        return fail("seed wants a number");
+      }
+      continue;
+    }
+    if (head == "profile") {
+      if (!(fields >> plan->profile)) {
+        return fail("profile wants a name");
+      }
+      continue;
+    }
+    FaultEvent event;
+    if (!TypeFromName(head, &event.type)) {
+      return fail("unknown event type '" + head + "'");
+    }
+    std::string field;
+    bool have_at = false;
+    while (fields >> field) {
+      unsigned long long value = 0;
+      if (std::sscanf(field.c_str(), "at=%llu", &value) == 1) {
+        event.at = value;
+        have_at = true;
+      } else if (std::sscanf(field.c_str(), "arg=%llu", &value) == 1) {
+        event.arg = value;
+      } else {
+        return fail("unknown field '" + field + "'");
+      }
+    }
+    if (!have_at) {
+      return fail("event without at=");
+    }
+    plan->events.push_back(event);
+  }
+  SortEvents(&plan->events);
+  return true;
+}
+
+}  // namespace ts

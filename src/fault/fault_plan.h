@@ -1,0 +1,100 @@
+// FaultPlan: a seeded, fully deterministic schedule of transport faults.
+//
+// A plan is an ordered list of fault events, each anchored at a cumulative
+// byte offset of the stream it attacks: "once `at` bytes have crossed this
+// hook, fire". Events model the ways a real datacenter network and its
+// endpoints misbehave: connections severed mid-record, writes cut short,
+// stalls, EAGAIN/EINTR storms, connect-refusal windows, payload corruption
+// and truncation. The same plan drives both the in-process ScriptedInjector
+// (wired into ts_net via FaultInjector) and the ts_chaos proxy (attacking
+// real TCP traffic between unmodified processes).
+//
+// Determinism and replay are the point: plans are generated from a seed by
+// xoshiro256** (src/common/rng.h) and round-trip through a line-oriented
+// text form, so any failing conformance run prints a plan that reproduces
+// the exact fault schedule (docs/FAULT_TESTING.md).
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ts {
+
+enum class FaultType {
+  kKill,     // Sever the connection once `at` bytes have been allowed.
+  kPartial,  // Clamp the next I/O after `at` bytes to `arg` bytes.
+  kStall,    // Sleep `arg` ms at the next hook after `at` bytes.
+  kEagain,   // The next `arg` I/O attempts fail with EAGAIN.
+  kEintr,    // The next `arg` I/O attempts fail with EINTR.
+  kRefuse,   // The next `arg` connect attempts are refused.
+  kCorrupt,  // XOR-flip `arg` received bytes (proxy: forwarded bytes).
+  kTruncate,  // Proxy only: silently drop `arg` bytes, then sever. Dropping
+              // bytes without severing is unrepresentable over TCP, and the
+              // sever is what lets the resume protocol recover.
+};
+
+struct FaultEvent {
+  FaultType type = FaultType::kKill;
+  uint64_t at = 0;   // Cumulative allowed-byte offset that arms the event.
+  uint64_t arg = 0;  // Per-type meaning above; 0 where unused (kKill).
+};
+
+// Knobs for seeded plan generation. Event offsets are drawn uniformly over
+// [0, stream_bytes); counts say how many events of each type to draw.
+struct FaultProfile {
+  uint64_t stream_bytes = 1 << 20;
+  int kills = 2;
+  int partials = 2;
+  int stalls = 2;
+  int eagain_storms = 1;
+  int eintr_storms = 1;
+  int refusals = 1;
+  int corrupts = 0;   // Off by default: corruption breaks digest identity.
+  int truncates = 0;  // Proxy-only events, off by default.
+  uint64_t max_stall_ms = 5;
+  uint64_t max_storm_len = 6;
+  uint64_t max_partial_bytes = 7;
+  uint64_t max_corrupt_bytes = 4;
+
+  // Canned presets used by the conformance suite and ts_chaos.
+  static FaultProfile Mild(uint64_t stream_bytes);        // Kills + stalls.
+  static FaultProfile Aggressive(uint64_t stream_bytes);  // Everything safe.
+  static FaultProfile Corrupting(uint64_t stream_bytes);  // Adds corruption.
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::string profile = "manual";
+  std::vector<FaultEvent> events;  // Sorted by `at`, stable on ties.
+
+  // Draws a plan from the profile with xoshiro256**(seed). Same seed and
+  // profile, same plan — byte for byte.
+  static FaultPlan FromSeed(uint64_t seed, const std::string& profile_name,
+                            const FaultProfile& profile);
+
+  // Resolves "mild" / "aggressive" / "corrupting" to a preset. Returns false
+  // on an unknown name.
+  static bool ResolveProfile(const std::string& name, uint64_t stream_bytes,
+                             FaultProfile* out);
+
+  // Line-oriented text form:
+  //   # ts_fault plan v1
+  //   seed 42
+  //   profile mild
+  //   kill at=4096
+  //   partial at=8192 arg=3
+  // Parse() accepts exactly what ToText() emits (plus blank lines and #
+  // comments) and returns false with a message on anything else.
+  std::string ToText() const;
+  static bool Parse(const std::string& text, FaultPlan* plan,
+                    std::string* error);
+};
+
+// Stable names for serialization and failure reports ("kill", "stall", ...).
+const char* FaultTypeName(FaultType type);
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

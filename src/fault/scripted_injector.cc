@@ -1,0 +1,176 @@
+#include "src/fault/scripted_injector.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace ts {
+namespace {
+
+void SleepMs(uint64_t ms) {
+  if (ms > 0) {
+    ::poll(nullptr, 0, static_cast<int>(ms));
+  }
+}
+
+FaultAction Fail(int error) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kFail;
+  action.error = error;
+  return action;
+}
+
+FaultAction Clamp(size_t max_bytes) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kClamp;
+  action.max_bytes = max_bytes;
+  return action;
+}
+
+}  // namespace
+
+ScriptedInjector::ScriptedInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void ScriptedInjector::OnIoBytes(uint64_t n) { bytes_ += n; }
+
+FaultAction ScriptedInjector::OnIo(size_t len) {
+  while (true) {
+    if (eagain_left_ > 0) {
+      --eagain_left_;
+      eagains_.fetch_add(1, std::memory_order_relaxed);
+      return Fail(EAGAIN);
+    }
+    if (eintr_left_ > 0) {
+      --eintr_left_;
+      eintrs_.fetch_add(1, std::memory_order_relaxed);
+      return Fail(EINTR);
+    }
+    if (next_ >= plan_.events.size()) {
+      return {};
+    }
+    const FaultEvent& event = plan_.events[next_];
+    if (bytes_ < event.at) {
+      // Byte-exact kills: never let an I/O cross the kill offset; clamp it
+      // to end exactly there so the *next* attempt dies on the boundary.
+      if (event.type == FaultType::kKill && bytes_ + len > event.at) {
+        return Clamp(static_cast<size_t>(event.at - bytes_));
+      }
+      return {};
+    }
+    ++next_;
+    switch (event.type) {
+      case FaultType::kKill:
+        kills_.fetch_add(1, std::memory_order_relaxed);
+        return Fail(ECONNRESET);
+      case FaultType::kPartial:
+        partials_.fetch_add(1, std::memory_order_relaxed);
+        return Clamp(static_cast<size_t>(
+            event.arg == 0 ? 1 : std::min<uint64_t>(event.arg, len)));
+      case FaultType::kStall:
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        SleepMs(event.arg);
+        continue;
+      case FaultType::kEagain:
+        eagain_left_ = event.arg;
+        continue;
+      case FaultType::kEintr:
+        eintr_left_ = event.arg;
+        continue;
+      case FaultType::kRefuse:
+        refusals_left_ += event.arg;
+        continue;
+      case FaultType::kCorrupt:
+        corrupt_left_ += event.arg;
+        continue;
+      case FaultType::kTruncate:
+        continue;  // Proxy-only; a scripted injector cannot un-receive bytes.
+    }
+  }
+}
+
+FaultAction ScriptedInjector::OnSend(size_t len) { return OnIo(len); }
+
+FaultAction ScriptedInjector::OnRecv(size_t len) { return OnIo(len); }
+
+void ScriptedInjector::OnRecvData(char* data, size_t len) {
+  while (corrupt_left_ > 0 && len > 0) {
+    // Flip a bit, but never fabricate a frame boundary: corruption must
+    // mangle records, not invent new ones.
+    const char flipped = static_cast<char>(*data ^ 0x20);
+    *data = flipped == '\n' ? 'N' : flipped;
+    ++data;
+    --len;
+    --corrupt_left_;
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ScriptedInjector::DrainNonIoEvents() {
+  while (next_ < plan_.events.size()) {
+    const FaultEvent& event = plan_.events[next_];
+    if (bytes_ < event.at) {
+      return;
+    }
+    switch (event.type) {
+      case FaultType::kStall:
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        SleepMs(event.arg);
+        break;
+      case FaultType::kRefuse:
+        refusals_left_ += event.arg;
+        break;
+      case FaultType::kCorrupt:
+        corrupt_left_ += event.arg;
+        break;
+      case FaultType::kTruncate:
+        break;
+      default:
+        return;  // I/O-shaped events wait for the next OnSend/OnRecv.
+    }
+    ++next_;
+  }
+}
+
+bool ScriptedInjector::OnConnect() {
+  DrainNonIoEvents();
+  if (refusals_left_ > 0) {
+    --refusals_left_;
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ScriptedInjector::OnPollTick() { DrainNonIoEvents(); }
+
+FaultCountersSnapshot ScriptedInjector::counters() const {
+  FaultCountersSnapshot s;
+  s.kills = kills_.load(std::memory_order_relaxed);
+  s.partials = partials_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.eagain_failures = eagains_.load(std::memory_order_relaxed);
+  s.eintr_failures = eintrs_.load(std::memory_order_relaxed);
+  s.refusals = refused_.load(std::memory_order_relaxed);
+  s.corrupted_bytes = corrupted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ScriptedInjector::RegisterMetrics(MetricsRegistry* registry,
+                                       const std::string& prefix) const {
+  auto gauge = [registry, &prefix](const std::string& name,
+                                   const std::atomic<uint64_t>* counter) {
+    registry->Register(prefix + name, [counter] {
+      return static_cast<int64_t>(counter->load(std::memory_order_relaxed));
+    });
+  };
+  gauge("kills", &kills_);
+  gauge("partials", &partials_);
+  gauge("stalls", &stalls_);
+  gauge("eagain_failures", &eagains_);
+  gauge("eintr_failures", &eintrs_);
+  gauge("refusals", &refused_);
+  gauge("corrupted_bytes", &corrupted_);
+}
+
+}  // namespace ts

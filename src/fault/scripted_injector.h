@@ -1,0 +1,95 @@
+// ScriptedInjector: executes a FaultPlan through the FaultInjector hooks.
+//
+// The injector tracks the cumulative bytes its hooks have allowed through
+// (fed back by OnIoBytes) and fires each plan event once that counter
+// reaches the event's `at` offset. Kill events are byte-exact: an I/O that
+// would cross the kill offset is first clamped to end exactly on it, and the
+// next attempt fails with ECONNRESET — so a test can sever a connection
+// precisely on a record boundary, or precisely mid-record, and replay that
+// severing from the plan text forever.
+//
+// Storm events (EAGAIN/EINTR) fail the next `arg` attempts; refusal events
+// veto the next `arg` connect attempts; stall events sleep at whichever hook
+// first observes them armed (I/O, connect, or the event-loop tick); corrupt
+// events XOR-flip the first `arg` bytes of the next received chunk.
+// kTruncate events are proxy-only and ignored here — see fault_plan.h.
+//
+// Single-threaded, like every FaultInjector. Fault counters are relaxed
+// atomics so a MetricsRegistry on another thread may sample them.
+#ifndef SRC_FAULT_SCRIPTED_INJECTOR_H_
+#define SRC_FAULT_SCRIPTED_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/metrics_registry.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+
+namespace ts {
+
+// Plain-value snapshot of the faults actually delivered.
+struct FaultCountersSnapshot {
+  uint64_t kills = 0;
+  uint64_t partials = 0;
+  uint64_t stalls = 0;
+  uint64_t eagain_failures = 0;
+  uint64_t eintr_failures = 0;
+  uint64_t refusals = 0;
+  uint64_t corrupted_bytes = 0;
+  uint64_t total() const {
+    return kills + partials + stalls + eagain_failures + eintr_failures +
+           refusals + corrupted_bytes;
+  }
+};
+
+class ScriptedInjector : public FaultInjector {
+ public:
+  explicit ScriptedInjector(FaultPlan plan);
+
+  FaultAction OnSend(size_t len) override;
+  FaultAction OnRecv(size_t len) override;
+  void OnRecvData(char* data, size_t len) override;
+  bool OnConnect() override;
+  void OnPollTick() override;
+  void OnIoBytes(uint64_t n) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t bytes_allowed() const { return bytes_; }
+  // Events consumed so far (fired or armed into storm/refusal state).
+  size_t events_fired() const { return next_; }
+  FaultCountersSnapshot counters() const;
+
+  // Registers <prefix>kills, <prefix>stalls, ... gauges (thread-safe reads).
+  // The registry must not outlive the injector.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "fault_") const;
+
+ private:
+  // Shared body of OnSend/OnRecv.
+  FaultAction OnIo(size_t len);
+  // Fires armed non-I/O events (stalls, refusal/corruption arming). Stops at
+  // the first armed event that must fail or clamp an I/O attempt.
+  void DrainNonIoEvents();
+
+  FaultPlan plan_;
+  size_t next_ = 0;      // First plan event not yet consumed.
+  uint64_t bytes_ = 0;   // Cumulative bytes allowed through the hooks.
+  uint64_t eagain_left_ = 0;
+  uint64_t eintr_left_ = 0;
+  uint64_t refusals_left_ = 0;
+  uint64_t corrupt_left_ = 0;
+
+  std::atomic<uint64_t> kills_{0};
+  std::atomic<uint64_t> partials_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> eagains_{0};
+  std::atomic<uint64_t> eintrs_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> corrupted_{0};
+};
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_SCRIPTED_INJECTOR_H_

@@ -35,6 +35,7 @@ void EventLoop::Del(int fd) {
 }
 
 int EventLoop::Poll(int timeout_ms, std::vector<epoll_event>* events) {
+  FaultOnPollTick(injector_);  // Scheduled stalls starve the loop here.
   epoll_event ready[64];
   const int n = epoll_wait(epoll_fd_.get(), ready, 64, timeout_ms);
   if (n < 0) {

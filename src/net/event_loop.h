@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/net_util.h"
 
 namespace ts {
@@ -49,9 +50,15 @@ class EventLoop {
     return stop_.load(std::memory_order_acquire);
   }
 
+  // ts_fault seam: when set, the injector's OnPollTick() hook runs before
+  // every wait, which is where scheduled stalls starve the loop. Must be set
+  // before the loop starts and from the loop's own thread's point of view.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   FdGuard epoll_fd_;
   FdGuard wake_fd_;
+  FaultInjector* injector_ = nullptr;
   std::atomic<bool> stop_{false};
 };
 

@@ -49,6 +49,7 @@ bool LogServer::Start() {
   if (!loop_.Init()) {
     return false;
   }
+  loop_.set_fault_injector(options_.fault_injector);
   return loop_.Add(listen_fd_.get(), EPOLLIN);
 }
 
@@ -224,7 +225,8 @@ void LogServer::Fill(Connection* conn) {
 }
 
 bool LogServer::Flush(Connection* conn) {
-  switch (conn->send.Flush(conn->fd.get(), &stats_)) {
+  switch (conn->send.Flush(conn->fd.get(), &stats_,
+                           options_.fault_injector)) {
     case SendBuffer::FlushResult::kBlocked:
       return true;  // Socket buffer full; epoll will tell us when to resume.
     case SendBuffer::FlushResult::kError:

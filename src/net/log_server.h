@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/event_loop.h"
 #include "src/net/frame_reader.h"
 #include "src/net/net_util.h"
@@ -49,6 +50,9 @@ struct LogServerOptions {
   // When true, Run() returns once at least one connection was accepted and
   // all accepted connections have been served to EOS (or dropped).
   bool exit_after_serving = false;
+  // ts_fault seam: may clamp or fail outbound writes and stall the event
+  // loop. Null (the default) costs one untaken branch per syscall.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class LogServer {

@@ -44,6 +44,20 @@ bool SetNoDelay(int fd) {
   return setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
 }
 
+bool SetSendBufferSize(int fd, int bytes) {
+  if (bytes <= 0) {
+    return true;
+  }
+  return setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) == 0;
+}
+
+bool SetRecvBufferSize(int fd, int bytes) {
+  if (bytes <= 0) {
+    return true;
+  }
+  return setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) == 0;
+}
+
 int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port) {
   sockaddr_in addr;
   if (!FillAddr(host, port, &addr)) {

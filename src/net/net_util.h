@@ -48,6 +48,14 @@ bool SetNonBlocking(int fd);
 // buffer, and the latency benches care about per-epoch delivery times.
 bool SetNoDelay(int fd);
 
+// Pins SO_SNDBUF / SO_RCVBUF to `bytes` (the kernel roughly doubles the
+// value for bookkeeping). An explicit size also switches off kernel buffer
+// auto-tuning, which is the point: it makes the transport's application-level
+// buffer bounds the real end-to-end bound instead of letting the kernel grow
+// a multi-megabyte cushion underneath them. 0 or negative is a no-op.
+bool SetSendBufferSize(int fd, int bytes);
+bool SetRecvBufferSize(int fd, int bytes);
+
 // Binds and listens on host:port (port 0 picks an ephemeral port). On success
 // returns the listening fd (non-blocking, SO_REUSEADDR) and stores the actual
 // port in *bound_port. Returns -1 on failure.

@@ -2,15 +2,35 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 
 namespace ts {
 
-SendBuffer::FlushResult SendBuffer::Flush(int fd, TransportStats* stats) {
+SendBuffer::FlushResult SendBuffer::Flush(int fd, TransportStats* stats,
+                                          FaultInjector* injector) {
   while (off_ < buf_.size()) {
-    const ssize_t n =
-        ::send(fd, buf_.data() + off_, buf_.size() - off_, MSG_NOSIGNAL);
+    size_t want = buf_.size() - off_;
+    const FaultAction fault = FaultOnSend(injector, want);
+    if (fault.kind == FaultAction::Kind::kFail) {
+      if (fault.error == EINTR) {
+        continue;  // A real EINTR would be retried by the loop too.
+      }
+      if (fault.error == EAGAIN || fault.error == EWOULDBLOCK) {
+        if (off_ > (cap_ >> 1)) {
+          buf_.erase(0, off_);
+          off_ = 0;
+        }
+        return FlushResult::kBlocked;
+      }
+      return FlushResult::kError;  // Injected kill: treat as peer reset.
+    }
+    if (fault.kind == FaultAction::Kind::kClamp) {
+      want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+    }
+    const ssize_t n = ::send(fd, buf_.data() + off_, want, MSG_NOSIGNAL);
     if (n > 0) {
+      FaultOnIoBytes(injector, static_cast<uint64_t>(n));
       if (stats != nullptr) {
         stats->AddBytesOut(static_cast<uint64_t>(n));
       }

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/transport_stats.h"
 
 namespace ts {
@@ -38,8 +39,11 @@ class SendBuffer {
   };
 
   // Writes pending bytes to `fd` until drained or the socket blocks. Bytes
-  // written are added to stats->bytes_out when stats is non-null.
-  FlushResult Flush(int fd, TransportStats* stats);
+  // written are added to stats->bytes_out when stats is non-null. An
+  // injector, when given, may clamp or fail individual writes (ts_fault);
+  // injected EAGAIN reports kBlocked, injected ECONNRESET reports kError.
+  FlushResult Flush(int fd, TransportStats* stats,
+                    FaultInjector* injector = nullptr);
 
  private:
   size_t cap_;

@@ -83,6 +83,10 @@ bool SocketIngestSource::EnsureConnected(int64_t deadline_ms) {
           return false;  // Deadline hit while still backing off.
         }
       }
+      if (!FaultOnConnect(options_.fault_injector)) {
+        ScheduleReconnect();  // Injected refusal window: back off and retry.
+        continue;
+      }
       const int fd = ConnectTcpNonBlocking(options_.host, options_.port);
       if (fd < 0) {
         ScheduleReconnect();
@@ -122,9 +126,25 @@ bool SocketIngestSource::EnsureConnected(int64_t deadline_ms) {
   }
 
   while (!hello_sent_) {
-    const ssize_t n = ::send(fd_.get(), hello_.data() + hello_off_,
-                             hello_.size() - hello_off_, MSG_NOSIGNAL);
+    size_t want = hello_.size() - hello_off_;
+    const FaultAction fault = FaultOnSend(options_.fault_injector, want);
+    if (fault.kind == FaultAction::Kind::kFail) {
+      if (fault.error == EINTR) {
+        continue;
+      }
+      if (fault.error == EAGAIN || fault.error == EWOULDBLOCK) {
+        return true;  // Retry on the next poll, like a real EAGAIN below.
+      }
+      ScheduleReconnect();  // Injected kill mid-hello.
+      return false;
+    }
+    if (fault.kind == FaultAction::Kind::kClamp) {
+      want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+    }
+    const ssize_t n =
+        ::send(fd_.get(), hello_.data() + hello_off_, want, MSG_NOSIGNAL);
     if (n > 0) {
+      FaultOnIoBytes(options_.fault_injector, static_cast<uint64_t>(n));
       stats_.AddBytesOut(static_cast<uint64_t>(n));
       hello_off_ += static_cast<size_t>(n);
       hello_sent_ = hello_off_ == hello_.size();
@@ -176,8 +196,26 @@ SocketIngestSource::Poll SocketIngestSource::PollLines(
 
     bool dropped = false;
     while (true) {
-      const ssize_t n = ::recv(fd_.get(), chunk.data(), chunk.size(), 0);
+      size_t want = chunk.size();
+      const FaultAction fault = FaultOnRecv(options_.fault_injector, want);
+      if (fault.kind == FaultAction::Kind::kFail) {
+        if (fault.error == EINTR) {
+          continue;
+        }
+        if (fault.error == EAGAIN || fault.error == EWOULDBLOCK) {
+          break;  // Behaves like a drained socket; poll again.
+        }
+        dropped = true;  // Injected kill: reconnect and resume.
+        break;
+      }
+      if (fault.kind == FaultAction::Kind::kClamp) {
+        want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+      }
+      const ssize_t n = ::recv(fd_.get(), chunk.data(), want, 0);
       if (n > 0) {
+        FaultOnIoBytes(options_.fault_injector, static_cast<uint64_t>(n));
+        FaultOnRecvData(options_.fault_injector, chunk.data(),
+                        static_cast<size_t>(n));
         stats_.AddBytesIn(static_cast<uint64_t>(n));
         framed.clear();
         framer_.Feed(std::string_view(chunk.data(), static_cast<size_t>(n)),

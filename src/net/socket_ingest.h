@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/frame_reader.h"
 #include "src/net/net_util.h"
 #include "src/net/transport_stats.h"
@@ -46,6 +47,9 @@ struct SocketIngestOptions {
   // control.
   size_t max_records_per_poll = 0;
   uint64_t jitter_seed = 1;  // Deterministic jitter for reproducible tests.
+  // ts_fault seam: may refuse connects, fail or clamp reads, and corrupt
+  // received bytes. Null (the default) costs one untaken branch per syscall.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class SocketIngestSource {

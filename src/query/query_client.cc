@@ -32,6 +32,7 @@ bool QueryClient::Connect() {
     return false;
   }
   FdGuard guard(fd);
+  SetRecvBufferSize(fd, options_.sock_buf_bytes);
   pollfd pfd{fd, POLLOUT, 0};
   const int ready = ::poll(&pfd, 1, options_.connect_timeout_ms);
   if (ready <= 0) {

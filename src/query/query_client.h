@@ -29,6 +29,10 @@ struct QueryClientOptions {
   int connect_timeout_ms = 5000;
   // Default wait for a response line before Execute() gives up.
   int io_timeout_ms = 10000;
+  // When > 0, pins SO_RCVBUF to this size (applied while the non-blocking
+  // connect is still in flight), disabling kernel receive auto-tuning. Lets
+  // tests and bandwidth-capped dashboards bound what a stalled reader absorbs.
+  int sock_buf_bytes = 0;
 };
 
 // One request's decoded response.

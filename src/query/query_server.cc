@@ -89,6 +89,8 @@ void QueryServer::Accept() {
     }
     SetNonBlocking(fd);
     SetNoDelay(fd);
+    SetSendBufferSize(fd, options_.conn_sock_buf_bytes);
+    SetRecvBufferSize(fd, options_.conn_sock_buf_bytes);
     stats_.IncAccepts();
     auto conn = std::make_unique<Connection>(options_.max_conn_buffer_bytes);
     conn->fd = FdGuard(fd);

@@ -49,6 +49,11 @@ struct QueryServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; read the bound port from port().
   // Per-connection staged-output budget (responses and subscription pushes).
   size_t max_conn_buffer_bytes = 256 << 10;
+  // When > 0, pins SO_SNDBUF/SO_RCVBUF on accepted connections to this size,
+  // disabling kernel buffer auto-tuning so max_conn_buffer_bytes is the real
+  // end-to-end bound on a slow subscriber (instead of the kernel silently
+  // growing a multi-megabyte cushion under it). 0 keeps the kernel default.
+  int conn_sock_buf_bytes = 0;
   // SERVICE/RANGE limits are clamped to this.
   size_t max_query_limit = 10'000;
 };

@@ -1,0 +1,412 @@
+// Crash/recovery conformance suite: the full live ingest path — LogServer
+// over real TCP -> SocketIngestSource -> LivePipeline (sharded) ->
+// SessionStore — run under hundreds of seeded fault schedules, asserting the
+// closed-session multiset digest and the chained store-query digest are
+// byte-identical to a fault-free run, and that every archive record arrived
+// exactly once (client records_in == archive size: no loss, no duplicates).
+//
+// Every schedule is a FaultPlan drawn from a seed; a failing run prints the
+// seed and both plan texts, which replay the exact schedule (see
+// docs/FAULT_TESTING.md). The exploratory lane reads TS_FAULT_SEED from the
+// environment (CI passes $GITHUB_RUN_ID) and writes the failing plan to
+// TS_FAULT_ARTIFACT so the run can be attached to a bug.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/session_digest.h"
+#include "src/analytics/session_store.h"
+#include "src/core/live_pipeline.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/scripted_injector.h"
+#include "src/log/wire_format.h"
+#include "src/net/log_server.h"
+#include "src/net/socket_ingest.h"
+#include "src/workload/generator.h"
+
+namespace ts {
+namespace {
+
+std::shared_ptr<std::vector<std::string>> MakeArchive(double records_per_sec,
+                                                      EventTime seconds) {
+  GeneratorConfig config;
+  config.seed = 99;
+  config.duration_ns = seconds * kNanosPerSecond;
+  config.target_records_per_sec = records_per_sec;
+  TraceGenerator gen(config);
+  auto lines = std::make_shared<std::vector<std::string>>();
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      lines->push_back(ToWireFormat(r));
+    }
+  }
+  return lines;
+}
+
+uint64_t WireBytes(const std::vector<std::string>& lines) {
+  uint64_t total = 0;
+  for (const auto& l : lines) {
+    total += l.size() + 1;
+  }
+  return total;
+}
+
+struct RunResult {
+  bool eos = false;
+  uint64_t records_in = 0;
+  uint64_t parse_failures = 0;
+  uint64_t sessions = 0;
+  uint64_t session_digest = 0;
+  uint64_t store_digest = 0;
+  uint64_t reconnects = 0;
+};
+
+// The determinism contract's reference point: the same lines fed straight
+// into the pipeline, no sockets, no faults.
+RunResult RunInMemory(const std::vector<std::string>& lines) {
+  RunResult result;
+  SessionStore::Options store_options;
+  store_options.max_bytes = 1ull << 30;
+  SessionStore store(store_options);
+  std::mutex mu;
+  std::set<std::string> ids;
+
+  LivePipelineOptions options;
+  options.workers = 2;
+  LivePipeline pipeline(options, [&](Session&& s) {
+    thread_local std::string scratch;
+    const uint64_t d = SessionDigest(s, &scratch);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result.session_digest ^= d;
+      ids.insert(s.id);
+    }
+    store.Insert(std::move(s));
+  });
+  for (const auto& l : lines) {
+    pipeline.FeedLine(l);
+  }
+  pipeline.Finish();
+
+  result.eos = true;
+  result.records_in = pipeline.records();
+  result.parse_failures = pipeline.parse_failures();
+  result.sessions = pipeline.sessions_closed();
+  result.store_digest = ChainedStoreDigest(store, ids);
+  return result;
+}
+
+// One conformance run: serve `lines` through a fault-injected LogServer,
+// consume through a fault-injected SocketIngestSource, sessionize, digest.
+RunResult RunOverFaultyTransport(
+    std::shared_ptr<const std::vector<std::string>> lines,
+    const FaultPlan& client_plan, const FaultPlan& server_plan) {
+  RunResult result;
+  ScriptedInjector client_injector(client_plan);
+  ScriptedInjector server_injector(server_plan);
+
+  LogServerOptions server_options;
+  server_options.fault_injector = &server_injector;
+  LogServer server(server_options, lines);
+  EXPECT_TRUE(server.Start());
+  std::thread server_thread([&server] { server.Run(); });
+
+  SessionStore::Options store_options;
+  store_options.max_bytes = 1ull << 30;
+  SessionStore store(store_options);
+  std::mutex mu;
+  std::set<std::string> ids;
+
+  LivePipelineOptions pipeline_options;
+  pipeline_options.workers = 2;
+  LivePipeline pipeline(pipeline_options, [&](Session&& s) {
+    thread_local std::string scratch;
+    const uint64_t d = SessionDigest(s, &scratch);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result.session_digest ^= d;
+      ids.insert(s.id);
+    }
+    store.Insert(std::move(s));
+  });
+
+  SocketIngestOptions client_options;
+  client_options.port = server.port();
+  client_options.backoff_base_ms = 1;
+  client_options.backoff_max_ms = 20;
+  client_options.attempt_limit = 0;  // The plan decides when connects work.
+  client_options.fault_injector = &client_injector;
+  SocketIngestSource client(client_options);
+
+  std::vector<std::string> batch;
+  while (true) {
+    batch.clear();
+    const auto poll = client.PollLines(&batch, /*timeout_ms=*/200);
+    for (auto& line : batch) {
+      pipeline.FeedLine(std::move(line));
+    }
+    pipeline.Flush();
+    if (poll == SocketIngestSource::Poll::kEndOfStream) {
+      result.eos = true;
+      break;
+    }
+    if (poll == SocketIngestSource::Poll::kFailed) {
+      break;
+    }
+  }
+  pipeline.Finish();
+  server.Stop();
+  server_thread.join();
+
+  result.records_in = client.stats().Snapshot().records_in;
+  result.reconnects = client.stats().Snapshot().reconnects;
+  result.parse_failures = pipeline.parse_failures();
+  result.sessions = pipeline.sessions_closed();
+  result.store_digest = ChainedStoreDigest(store, ids);
+  return result;
+}
+
+class FaultConformance : public ::testing::Test {
+ protected:
+  // One shared archive and fault-free baseline across all seeds: building
+  // them once keeps 200+ schedules inside the suite's time budget.
+  static void SetUpTestSuite() {
+    archive_ = new std::shared_ptr<std::vector<std::string>>(
+        MakeArchive(/*records_per_sec=*/2'000, /*seconds=*/2));
+    baseline_ = new RunResult(RunInMemory(**archive_));
+    ASSERT_GT((*archive_)->size(), 2'000u);
+    ASSERT_GT(baseline_->sessions, 0u);
+    ASSERT_EQ(baseline_->parse_failures, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete archive_;
+    delete baseline_;
+    archive_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  static const std::vector<std::string>& archive() { return **archive_; }
+  static std::shared_ptr<const std::vector<std::string>> archive_ptr() {
+    return *archive_;
+  }
+  static const RunResult& baseline() { return *baseline_; }
+
+  // Runs one seeded schedule and asserts full conformance: graceful end,
+  // exactly-once delivery, zero parse failures, identical digests.
+  void CheckSeed(uint64_t seed, const std::string& profile) {
+    FaultProfile resolved;
+    ASSERT_TRUE(
+        FaultPlan::ResolveProfile(profile, WireBytes(archive()), &resolved));
+    // Independent schedules for the two sides of the connection; both derive
+    // from `seed` so one number replays the pair.
+    const FaultPlan client_plan =
+        FaultPlan::FromSeed(seed * 2 + 1, profile, resolved);
+    const FaultPlan server_plan =
+        FaultPlan::FromSeed(seed * 2 + 2, profile, resolved);
+    const std::string replay = "seed " + std::to_string(seed) +
+                               " — replay with:\n--- client plan ---\n" +
+                               client_plan.ToText() + "--- server plan ---\n" +
+                               server_plan.ToText();
+
+    const RunResult run =
+        RunOverFaultyTransport(archive_ptr(), client_plan, server_plan);
+    ASSERT_TRUE(run.eos) << replay;
+    EXPECT_EQ(run.records_in, archive().size()) << replay;
+    EXPECT_EQ(run.parse_failures, 0u) << replay;
+    EXPECT_EQ(run.sessions, baseline().sessions) << replay;
+    EXPECT_EQ(run.session_digest, baseline().session_digest) << replay;
+    EXPECT_EQ(run.store_digest, baseline().store_digest) << replay;
+  }
+
+ private:
+  static std::shared_ptr<std::vector<std::string>>* archive_;
+  static RunResult* baseline_;
+};
+
+std::shared_ptr<std::vector<std::string>>* FaultConformance::archive_ = nullptr;
+RunResult* FaultConformance::baseline_ = nullptr;
+
+TEST_F(FaultConformance, FaultFreeTransportMatchesInMemory) {
+  // Schedule zero: empty plans. The socket path with injectors wired but
+  // firing nothing must already match the in-memory reference.
+  const RunResult run =
+      RunOverFaultyTransport(archive_ptr(), FaultPlan{}, FaultPlan{});
+  ASSERT_TRUE(run.eos);
+  EXPECT_EQ(run.records_in, archive().size());
+  EXPECT_EQ(run.reconnects, 0u);
+  EXPECT_EQ(run.session_digest, baseline().session_digest);
+  EXPECT_EQ(run.store_digest, baseline().store_digest);
+}
+
+TEST_F(FaultConformance, HundredMildSchedules) {
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    CheckSeed(seed, "mild");
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // The replay banner already names the seed.
+    }
+  }
+}
+
+TEST_F(FaultConformance, HundredAggressiveSchedules) {
+  for (uint64_t seed = 100; seed < 200; ++seed) {
+    CheckSeed(seed, "aggressive");
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST_F(FaultConformance, CorruptingSchedulesSurviveWithAccounting) {
+  // Corruption legitimately changes bytes, so digest identity is out; the
+  // contract here is weaker but still sharp: the pipeline neither crashes
+  // nor wedges, the stream still ends in #EOS, nothing is double-counted
+  // (records_in never exceeds the archive: corruption can only merge lines,
+  // the '\n' guard means it cannot split them), and every corrupted byte is
+  // visible in the injector's accounting.
+  for (uint64_t seed = 500; seed < 510; ++seed) {
+    FaultProfile resolved;
+    ASSERT_TRUE(FaultPlan::ResolveProfile("corrupting", WireBytes(archive()),
+                                          &resolved));
+    const FaultPlan client_plan =
+        FaultPlan::FromSeed(seed * 2 + 1, "corrupting", resolved);
+    const RunResult run = RunOverFaultyTransport(archive_ptr(), client_plan,
+                                                 FaultPlan{});
+    ASSERT_TRUE(run.eos) << "seed " << seed << "\n" << client_plan.ToText();
+    // Each corrupted byte can destroy at most one record framing (merging
+    // two lines by hitting their '\n') or damage one control line (a mangled
+    // #EOS is counted as a record), so the delivered count can drift from
+    // the archive by at most the corruption budget in either direction.
+    uint64_t corrupt_budget = 0;
+    for (const auto& event : client_plan.events) {
+      if (event.type == FaultType::kCorrupt) {
+        corrupt_budget += event.arg;
+      }
+    }
+    EXPECT_LE(run.records_in, archive().size() + corrupt_budget)
+        << "seed " << seed;
+    EXPECT_GE(run.records_in + corrupt_budget, archive().size())
+        << "seed " << seed;
+  }
+}
+
+// --- Deterministic severing (satellite S2) ---
+//
+// Server-side injector byte offsets count exactly the archive bytes written
+// to the socket (hellos arrive on the recv path, which is not hooked on the
+// server), so `at` offsets computed from line lengths sever the connection
+// precisely on — or precisely inside — a chosen record.
+
+class FaultBoundary : public ::testing::Test {
+ protected:
+  static uint64_t OffsetAfterRecords(const std::vector<std::string>& lines,
+                                     size_t n) {
+    uint64_t off = 0;
+    for (size_t i = 0; i < n && i < lines.size(); ++i) {
+      off += lines[i].size() + 1;
+    }
+    return off;
+  }
+
+  // Serves `lines` through a server whose plan kills at byte `kill_at`,
+  // returns what one client sees end-to-end.
+  static void RunWithServerKill(
+      std::shared_ptr<const std::vector<std::string>> lines, uint64_t kill_at,
+      size_t max_conn_buffer_bytes, std::vector<std::string>* received,
+      uint64_t* reconnects, uint64_t* resumes) {
+    FaultPlan plan;
+    plan.events.push_back({FaultType::kKill, kill_at, 0});
+    ScriptedInjector server_injector(plan);
+
+    LogServerOptions server_options;
+    server_options.fault_injector = &server_injector;
+    server_options.max_conn_buffer_bytes = max_conn_buffer_bytes;
+    LogServer server(server_options, lines);
+    ASSERT_TRUE(server.Start());
+    std::thread server_thread([&server] { server.Run(); });
+
+    SocketIngestOptions client_options;
+    client_options.port = server.port();
+    client_options.backoff_base_ms = 1;
+    client_options.backoff_max_ms = 20;
+    SocketIngestSource client(client_options);
+    ASSERT_TRUE(client.ReadAll(received));
+    server.Stop();
+    server_thread.join();
+
+    *reconnects = client.stats().Snapshot().reconnects;
+    *resumes = server.stats().Snapshot().resumes;
+    EXPECT_EQ(server_injector.counters().kills, 1u);
+  }
+};
+
+TEST_F(FaultBoundary, KillExactlyOnRecordBoundaryResumesExactlyOnce) {
+  auto archive = MakeArchive(2'000, 1);
+  ASSERT_GT(archive->size(), 100u);
+  // Sever after record 49's trailing newline: the framer holds no partial
+  // line, and the resume hello must ask for offset 50 exactly.
+  const uint64_t cut = OffsetAfterRecords(*archive, 50);
+
+  std::vector<std::string> received;
+  uint64_t reconnects = 0, resumes = 0;
+  RunWithServerKill(archive, cut, /*max_conn_buffer_bytes=*/256 << 10,
+                    &received, &reconnects, &resumes);
+  EXPECT_EQ(received, *archive);  // Exactly once, in order.
+  EXPECT_EQ(reconnects, 1u);
+  EXPECT_EQ(resumes, 1u);
+}
+
+TEST_F(FaultBoundary, KillMidRecordWithPartiallyFlushedBufferResumes) {
+  auto archive = MakeArchive(2'000, 1);
+  ASSERT_GT(archive->size(), 100u);
+  // Sever in the middle of record 50, with a tiny send buffer so the server
+  // is mid-flush (dozens of partial writes in flight) when the kill lands.
+  // The client's framer must drop the truncated tail and resume at 50.
+  const uint64_t cut =
+      OffsetAfterRecords(*archive, 50) + (*archive)[50].size() / 2;
+
+  std::vector<std::string> received;
+  uint64_t reconnects = 0, resumes = 0;
+  RunWithServerKill(archive, cut, /*max_conn_buffer_bytes=*/512, &received,
+                    &reconnects, &resumes);
+  EXPECT_EQ(received, *archive);  // The half-sent record arrives exactly once.
+  EXPECT_EQ(reconnects, 1u);
+  EXPECT_EQ(resumes, 1u);
+}
+
+// --- Exploratory lane (satellite S5) ---
+
+TEST_F(FaultConformance, ExploratorySeedFromEnvironment) {
+  const char* seed_text = std::getenv("TS_FAULT_SEED");
+  if (seed_text == nullptr || *seed_text == '\0') {
+    GTEST_SKIP() << "set TS_FAULT_SEED to run an exploratory schedule";
+  }
+  const uint64_t base = std::strtoull(seed_text, nullptr, 10);
+  // A handful of schedules derived from the environment seed, both profiles.
+  for (uint64_t i = 0; i < 8 && !HasFailure(); ++i) {
+    CheckSeed(base + i * 7919, i % 2 == 0 ? "mild" : "aggressive");
+  }
+  if (HasFailure()) {
+    if (const char* artifact = std::getenv("TS_FAULT_ARTIFACT")) {
+      // Persist enough to replay: failing base seed and derived schedule
+      // seeds. CheckSeed's assert output carries the full plan texts.
+      FILE* f = std::fopen(artifact, "w");
+      if (f != nullptr) {
+        std::fprintf(f, "# ts_fault exploratory failure\nTS_FAULT_SEED=%llu\n",
+                     static_cast<unsigned long long>(base));
+        std::fclose(f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,206 @@
+// FaultPlan and ScriptedInjector unit tests: seeded determinism, text
+// round-trips, parse diagnostics, and the byte-exact kill/storm/corruption
+// semantics the conformance suite leans on.
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics_registry.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/scripted_injector.h"
+
+namespace ts {
+namespace {
+
+FaultProfile TestProfile() {
+  FaultProfile p = FaultProfile::Aggressive(/*stream_bytes=*/1 << 16);
+  p.corrupts = 2;
+  p.truncates = 1;
+  return p;
+}
+
+TEST(FaultPlan, SameSeedSamePlanByteForByte) {
+  const FaultPlan a = FaultPlan::FromSeed(7, "aggressive", TestProfile());
+  const FaultPlan b = FaultPlan::FromSeed(7, "aggressive", TestProfile());
+  EXPECT_EQ(a.ToText(), b.ToText());
+  EXPECT_FALSE(a.events.empty());
+
+  const FaultPlan c = FaultPlan::FromSeed(8, "aggressive", TestProfile());
+  EXPECT_NE(a.ToText(), c.ToText());
+}
+
+TEST(FaultPlan, EventsSortedByOffset) {
+  const FaultPlan plan = FaultPlan::FromSeed(3, "aggressive", TestProfile());
+  for (size_t i = 1; i < plan.events.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+  }
+}
+
+TEST(FaultPlan, TextRoundTripsExactly) {
+  const FaultPlan plan = FaultPlan::FromSeed(42, "corrupting", TestProfile());
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(plan.ToText(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_EQ(parsed.profile, plan.profile);
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].type, plan.events[i].type) << i;
+    EXPECT_EQ(parsed.events[i].at, plan.events[i].at) << i;
+    EXPECT_EQ(parsed.events[i].arg, plan.events[i].arg) << i;
+  }
+  EXPECT_EQ(parsed.ToText(), plan.ToText());
+}
+
+TEST(FaultPlan, ParseAcceptsCommentsBlanksAndCrLf) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "# a comment\r\n\nseed 9\r\nprofile mild\nkill at=100\n"
+      "stall at=200 arg=3\n",
+      &plan, &error))
+      << error;
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_EQ(plan.profile, "mild");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].type, FaultType::kKill);
+  EXPECT_EQ(plan.events[1].arg, 3u);
+}
+
+TEST(FaultPlan, ParseRejectsGarbageWithLineNumbers) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("explode at=1\n", &plan, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("explode"), std::string::npos) << error;
+
+  EXPECT_FALSE(FaultPlan::Parse("seed 1\nkill arg=2\n", &plan, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("at="), std::string::npos) << error;
+
+  EXPECT_FALSE(FaultPlan::Parse("kill at=1 bogus=2\n", &plan, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+  EXPECT_FALSE(FaultPlan::Parse("seed banana\n", &plan, &error));
+}
+
+TEST(FaultPlan, ResolveProfilePresets) {
+  FaultProfile p;
+  ASSERT_TRUE(FaultPlan::ResolveProfile("mild", 1 << 20, &p));
+  EXPECT_EQ(p.stream_bytes, 1u << 20);
+  EXPECT_EQ(p.corrupts, 0);  // Identity-safe: no corruption.
+  ASSERT_TRUE(FaultPlan::ResolveProfile("aggressive", 1 << 20, &p));
+  EXPECT_EQ(p.corrupts, 0);
+  ASSERT_TRUE(FaultPlan::ResolveProfile("corrupting", 1 << 20, &p));
+  EXPECT_GT(p.corrupts, 0);
+  EXPECT_FALSE(FaultPlan::ResolveProfile("apocalyptic", 1 << 20, &p));
+}
+
+// --- ScriptedInjector semantics ---
+
+FaultPlan ManualPlan(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events = std::move(events);
+  return plan;
+}
+
+TEST(FaultInjectorUnit, KillIsByteExact) {
+  // Kill at offset 10: an 8-byte I/O proceeds, the next I/O is clamped to end
+  // exactly at byte 10, and the attempt after that dies with ECONNRESET.
+  ScriptedInjector injector(ManualPlan({{FaultType::kKill, 10, 0}}));
+
+  FaultAction a = injector.OnSend(8);
+  EXPECT_EQ(a.kind, FaultAction::Kind::kProceed);
+  injector.OnIoBytes(8);
+
+  a = injector.OnSend(8);  // Would cross the boundary: clamp to 2.
+  ASSERT_EQ(a.kind, FaultAction::Kind::kClamp);
+  EXPECT_EQ(a.max_bytes, 2u);
+  injector.OnIoBytes(2);
+
+  a = injector.OnSend(8);  // Exactly on the boundary: die.
+  ASSERT_EQ(a.kind, FaultAction::Kind::kFail);
+  EXPECT_EQ(a.error, ECONNRESET);
+  EXPECT_EQ(injector.counters().kills, 1u);
+  EXPECT_EQ(injector.bytes_allowed(), 10u);
+
+  a = injector.OnSend(8);  // Plan exhausted: back to normal.
+  EXPECT_EQ(a.kind, FaultAction::Kind::kProceed);
+}
+
+TEST(FaultInjectorUnit, StormsFailTheNextNAttempts) {
+  ScriptedInjector injector(ManualPlan(
+      {{FaultType::kEagain, 0, 2}, {FaultType::kEintr, 0, 1}}));
+  FaultAction a = injector.OnRecv(64);
+  ASSERT_EQ(a.kind, FaultAction::Kind::kFail);
+  EXPECT_EQ(a.error, EAGAIN);
+  a = injector.OnRecv(64);
+  ASSERT_EQ(a.kind, FaultAction::Kind::kFail);
+  EXPECT_EQ(a.error, EAGAIN);
+  a = injector.OnRecv(64);
+  ASSERT_EQ(a.kind, FaultAction::Kind::kFail);
+  EXPECT_EQ(a.error, EINTR);
+  a = injector.OnRecv(64);
+  EXPECT_EQ(a.kind, FaultAction::Kind::kProceed);
+  const FaultCountersSnapshot counters = injector.counters();
+  EXPECT_EQ(counters.eagain_failures, 2u);
+  EXPECT_EQ(counters.eintr_failures, 1u);
+}
+
+TEST(FaultInjectorUnit, PartialClampsOnce) {
+  ScriptedInjector injector(ManualPlan({{FaultType::kPartial, 0, 3}}));
+  FaultAction a = injector.OnSend(100);
+  ASSERT_EQ(a.kind, FaultAction::Kind::kClamp);
+  EXPECT_EQ(a.max_bytes, 3u);
+  injector.OnIoBytes(3);
+  EXPECT_EQ(injector.OnSend(100).kind, FaultAction::Kind::kProceed);
+}
+
+TEST(FaultInjectorUnit, RefusalWindowVetoesConnects) {
+  ScriptedInjector injector(ManualPlan({{FaultType::kRefuse, 0, 2}}));
+  EXPECT_FALSE(injector.OnConnect());
+  EXPECT_FALSE(injector.OnConnect());
+  EXPECT_TRUE(injector.OnConnect());
+  EXPECT_EQ(injector.counters().refusals, 2u);
+}
+
+TEST(FaultInjectorUnit, CorruptionNeverFabricatesNewlines) {
+  // '*' is 0x2A; a bare XOR 0x20 would turn it into '\n' (0x0A) and fabricate
+  // a frame boundary. The injector must detour to a printable byte instead.
+  ScriptedInjector injector(ManualPlan({{FaultType::kCorrupt, 0, 8}}));
+  EXPECT_EQ(injector.OnRecv(8).kind, FaultAction::Kind::kProceed);
+  char data[] = {'a', 'B', '*', '1', '|', 'x', 'y', 'z'};
+  injector.OnRecvData(data, sizeof(data));
+  for (char c : data) {
+    EXPECT_NE(c, '\n');
+  }
+  EXPECT_EQ(data[0], 'A');  // 'a' ^ 0x20
+  EXPECT_EQ(data[2], 'N');  // The '\n' guard.
+  EXPECT_EQ(injector.counters().corrupted_bytes, 8u);
+}
+
+TEST(FaultInjectorUnit, TruncateIsIgnoredInProcess) {
+  ScriptedInjector injector(ManualPlan({{FaultType::kTruncate, 0, 5}}));
+  EXPECT_EQ(injector.OnSend(10).kind, FaultAction::Kind::kProceed);
+  EXPECT_EQ(injector.counters().total(), 0u);
+}
+
+TEST(FaultInjectorUnit, MetricsGaugesExportCounters) {
+  ScriptedInjector injector(ManualPlan({{FaultType::kRefuse, 0, 1}}));
+  MetricsRegistry registry;
+  injector.RegisterMetrics(&registry);
+  EXPECT_FALSE(injector.OnConnect());
+  bool saw = false;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    if (name == "fault_refusals") {
+      saw = true;
+      EXPECT_EQ(value, 1);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace ts

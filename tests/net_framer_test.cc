@@ -1,13 +1,20 @@
 // LineFramer tests: TCP delivers arbitrary byte fragments, so framing must be
 // invariant to where the reads split — including splits inside a record,
-// inside a CRLF pair, and across oversized hostile lines.
+// inside a CRLF pair, and across oversized hostile lines. The property
+// section at the bottom runs a real generated wire corpus through every
+// single split point and through seeded multi-splits, checking parse-level
+// equivalence, plus a hostile corpus (embedded NULs, oversized lines,
+// malformed records) that must degrade without corrupting its neighbors.
+#include <optional>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/log/wire_format.h"
 #include "src/net/frame_reader.h"
+#include "src/workload/generator.h"
 
 namespace ts {
 namespace {
@@ -116,6 +123,136 @@ TEST(LineFramer, ResetDiscardsPartial) {
   // The next stream starts clean: no gluing to the discarded tail.
   framer.Feed("fresh\n", &got);
   EXPECT_EQ(got, (std::vector<std::string>{"fresh"}));
+}
+
+// --- Property section: real wire corpus, exhaustive and seeded splits ---
+
+// A corpus of genuine wire-format records, as a log server would frame them.
+std::vector<std::string> WireCorpus(size_t max_lines) {
+  GeneratorConfig config;
+  config.seed = 77;
+  config.duration_ns = 1 * kNanosPerSecond;
+  config.target_records_per_sec = 2'000;
+  TraceGenerator gen(config);
+  std::vector<std::string> lines;
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  while (lines.size() < max_lines && gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      lines.push_back(ToWireFormat(r));
+    }
+  }
+  if (lines.size() > max_lines) {
+    lines.resize(max_lines);
+  }
+  return lines;
+}
+
+// Canonical comparison at the parse level: framing is only correct if every
+// reassembled line still parses to the record the unsplit line parses to.
+void ExpectParseEquivalent(const std::vector<std::string>& got,
+                           const std::vector<std::string>& expected,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), expected.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << context << " line " << i;
+    const std::optional<LogRecord> a = ParseWireFormat(got[i]);
+    const std::optional<LogRecord> b = ParseWireFormat(expected[i]);
+    ASSERT_EQ(a.has_value(), b.has_value()) << context << " line " << i;
+    if (a.has_value()) {
+      EXPECT_EQ(a->time, b->time) << context << " line " << i;
+      EXPECT_EQ(a->session_id, b->session_id) << context << " line " << i;
+      EXPECT_EQ(a->payload, b->payload) << context << " line " << i;
+    }
+  }
+}
+
+// Exhaustive: every line of the corpus crosses every possible split point.
+// A sliding two-chunk window over the full stream visits each boundary once;
+// line i's bytes get split at every interior offset as the window passes.
+TEST(LineFramerProperty, EveryLineThroughEverySplitPoint) {
+  const auto expected = WireCorpus(/*max_lines=*/64);
+  ASSERT_GE(expected.size(), 32u);
+  const std::string wire = Joined(expected);
+  for (size_t split = 1; split < wire.size(); ++split) {
+    LineFramer framer;
+    std::vector<std::string> got;
+    framer.Feed(std::string_view(wire).substr(0, split), &got);
+    framer.Feed(std::string_view(wire).substr(split), &got);
+    if (got != expected) {  // Full check only on failure: keeps this O(n^2)
+      ExpectParseEquivalent(got, expected,  // sweep inside the time budget.
+                            "split at " + std::to_string(split));
+      return;
+    }
+  }
+  // One full parse-equivalence pass on an interesting boundary.
+  LineFramer framer;
+  std::vector<std::string> got;
+  const size_t mid = wire.size() / 2;
+  framer.Feed(std::string_view(wire).substr(0, mid), &got);
+  framer.Feed(std::string_view(wire).substr(mid), &got);
+  ExpectParseEquivalent(got, expected, "mid split");
+}
+
+// Seeded random multi-splits over a bigger corpus, including pathological
+// 1-byte reads; every schedule must reassemble parse-identically.
+TEST(LineFramerProperty, SeededMultiSplitSchedules) {
+  const auto expected = WireCorpus(/*max_lines=*/512);
+  const std::string wire = Joined(expected);
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed);
+    const size_t max_chunk = 1 + rng.NextBelow(256);
+    LineFramer framer;
+    std::vector<std::string> got;
+    size_t off = 0;
+    while (off < wire.size()) {
+      const size_t n = 1 + rng.NextBelow(max_chunk);
+      framer.Feed(std::string_view(wire).substr(off, n), &got);
+      off += n;
+    }
+    if (got != expected) {
+      ExpectParseEquivalent(got, expected, "seed " + std::to_string(seed));
+      return;
+    }
+  }
+}
+
+// Hostile corpus: embedded NUL bytes, malformed records, an oversized line,
+// and empty lines, interleaved with good records. The framer must deliver
+// the good records intact regardless of split schedule, count exactly one
+// frame error for the oversized line, and pass NUL-bearing lines through
+// byte-for-byte (they are data, not terminators).
+TEST(LineFramerProperty, HostileCorpusSurvivesAnySplit) {
+  std::string nul_line = "1|S|1|svc-0|h-0|ANNOT|nul=";
+  nul_line.push_back('\0');
+  nul_line += "tail";
+  const std::vector<std::string> expected = {
+      "1|S|1|svc-0|h-0|START|",
+      nul_line,
+      "not|a|wire|record",
+      "",
+      "||||||",
+      "2|S|1|svc-0|h-0|END|done",
+  };
+  const std::string oversized(4096, 'z');
+  std::string wire = Joined({expected[0], expected[1], expected[2]});
+  wire += oversized + "\n";  // Dropped: exceeds max_line_bytes below.
+  wire += Joined({expected[3], expected[4], expected[5]});
+
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    Rng rng(seed);
+    LineFramer framer(LineFramer::Options{/*max_line_bytes=*/1024});
+    std::vector<std::string> got;
+    size_t off = 0;
+    while (off < wire.size()) {
+      const size_t n = 1 + rng.NextBelow(64);
+      framer.Feed(std::string_view(wire).substr(off, n), &got);
+      off += n;
+    }
+    EXPECT_EQ(got, expected) << "seed " << seed;
+    EXPECT_EQ(framer.frame_errors(), 1u) << "seed " << seed;
+    EXPECT_EQ(framer.pending_bytes(), 0u) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -78,9 +78,10 @@ class ServerFixture {
     thread.join();
   }
 
-  QueryClient Client() {
+  QueryClient Client(int sock_buf_bytes = 0) {
     QueryClientOptions options;
     options.port = server->port();
+    options.sock_buf_bytes = sock_buf_bytes;
     QueryClient client(options);
     EXPECT_TRUE(client.Connect());
     return client;
@@ -310,9 +311,13 @@ TEST(QueryServerSubscribe, ServiceFilterSelectsMatchingSessionsOnly) {
 TEST(QueryServerSubscribe, SlowSubscriberIsBoundedWithExactDropAccounting) {
   QueryServerOptions options;
   options.max_conn_buffer_bytes = 8 << 10;  // Tiny: force drops quickly.
+  // Pin the socket buffers too: without this the kernel's auto-tuned TCP
+  // buffers (multi-megabyte on this host) can swallow the whole burst and no
+  // drop ever happens — the bound under test must be the application's.
+  options.conn_sock_buf_bytes = 16 << 10;
   ServerFixture fixture(options);
 
-  auto client = fixture.Client();
+  auto client = fixture.Client(/*sock_buf_bytes=*/16 << 10);
   ASSERT_TRUE(client.Subscribe());
 
   // Insert far more session bytes than the subscriber's budget while the
@@ -341,15 +346,21 @@ TEST(QueryServerSubscribe, SlowSubscriberIsBoundedWithExactDropAccounting) {
   EXPECT_GT(counters.sessions_dropped, 0u);  // The budget really was tiny.
 
   // Now drain: the subscriber gets every streamed session plus #DROPPED
-  // notices that account for every discarded one.
+  // notices that account for every discarded one. Timeouts are retried
+  // against a global deadline — under a loaded ctest run a single quiet
+  // 2s window is load jitter, not a verdict.
   uint64_t received = 0;
-  while (received + client.total_dropped() < kSessions) {
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received + client.total_dropped() < kSessions &&
+         std::chrono::steady_clock::now() < drain_deadline) {
     Session session;
     uint64_t dropped = 0;
-    const auto event = client.Next(&session, &dropped, /*timeout_ms=*/2000);
+    const auto event = client.Next(&session, &dropped, /*timeout_ms=*/500);
     if (event == QueryClient::Event::kSession) {
       ++received;
-    } else if (event != QueryClient::Event::kDropped) {
+    } else if (event == QueryClient::Event::kError ||
+               event == QueryClient::Event::kClosed) {
       break;
     }
   }
@@ -357,6 +368,108 @@ TEST(QueryServerSubscribe, SlowSubscriberIsBoundedWithExactDropAccounting) {
   EXPECT_EQ(client.total_dropped(), counters.sessions_dropped);
   EXPECT_EQ(received + client.total_dropped(),
             static_cast<uint64_t>(kSessions));
+}
+
+// One slow-consumer scenario: sessions are inserted in bursts while the
+// subscriber stalls and reads according to `schedule`; afterwards the drain
+// must recover every streamed session and a #DROPPED notice for every
+// discarded one — exact accounting, whatever the stall pattern.
+struct StallSchedule {
+  const char* name;
+  int rounds;          // Insert bursts.
+  int per_burst;       // Sessions inserted per burst (~1.3 KiB each).
+  int stall_ms;        // Consumer sleep after each burst.
+  int reads_per_round; // Events the consumer takes between bursts.
+};
+
+void RunStallSchedule(const StallSchedule& schedule) {
+  SCOPED_TRACE(schedule.name);
+  QueryServerOptions options;
+  options.max_conn_buffer_bytes = 8 << 10;  // Tiny: stalls must cost drops.
+  options.conn_sock_buf_bytes = 16 << 10;   // Defeat kernel buffer auto-tuning.
+  ServerFixture fixture(options);
+  auto client = fixture.Client(/*sock_buf_bytes=*/16 << 10);
+  ASSERT_TRUE(client.Subscribe());
+
+  const uint64_t total =
+      static_cast<uint64_t>(schedule.rounds) * schedule.per_burst;
+  uint64_t received = 0;
+  uint64_t inserted = 0;
+  for (int round = 0; round < schedule.rounds; ++round) {
+    for (int i = 0; i < schedule.per_burst; ++i) {
+      fixture.store->Insert(MakeSession("S" + std::to_string(inserted++), 0,
+                                        kNanosPerMilli, {1, 2, 3}, 0,
+                                        /*payload_bytes=*/100));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(schedule.stall_ms));
+    for (int r = 0; r < schedule.reads_per_round;) {
+      Session session;
+      uint64_t dropped = 0;
+      const auto event = client.Next(&session, &dropped, /*timeout_ms=*/50);
+      if (event == QueryClient::Event::kSession) {
+        ++received;
+        ++r;
+      } else if (event == QueryClient::Event::kTimeout) {
+        break;  // Buffer already drained below the read budget.
+      } else {
+        ASSERT_EQ(event, QueryClient::Event::kDropped);
+      }
+    }
+  }
+
+  // Let the fan-out settle: every insert is accounted exactly once, streamed
+  // into the bounded buffer or dropped.
+  QueryServerCounters counters;
+  const auto settle_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  do {
+    counters = fixture.server->counters();
+    if (counters.sessions_streamed + counters.sessions_dropped >= total) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < settle_deadline);
+  ASSERT_EQ(counters.sessions_streamed + counters.sessions_dropped, total);
+  EXPECT_GT(counters.sessions_dropped, 0u);   // The stall really cost drops.
+  EXPECT_GT(counters.sessions_streamed, 0u);  // But the stream kept flowing.
+
+  // Drain the rest with a global deadline; isolated timeouts are retried.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received + client.total_dropped() < total &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    Session session;
+    uint64_t dropped = 0;
+    const auto event = client.Next(&session, &dropped, /*timeout_ms=*/500);
+    if (event == QueryClient::Event::kSession) {
+      ++received;
+    } else if (event == QueryClient::Event::kError ||
+               event == QueryClient::Event::kClosed) {
+      break;
+    }
+  }
+  EXPECT_EQ(received, counters.sessions_streamed);
+  EXPECT_EQ(client.total_dropped(), counters.sessions_dropped);
+  EXPECT_EQ(received + client.total_dropped(), total);
+}
+
+TEST(QueryServerSubscribe, DropAccountingUnderSingleLongStall) {
+  RunStallSchedule({"one long stall, no reads until the drain",
+                    /*rounds=*/1, /*per_burst=*/240, /*stall_ms=*/50,
+                    /*reads_per_round=*/0});
+}
+
+TEST(QueryServerSubscribe, DropAccountingUnderInterleavedShortStalls) {
+  RunStallSchedule({"six bursts with short stalls and partial reads",
+                    /*rounds=*/6, /*per_burst=*/40, /*stall_ms=*/10,
+                    /*reads_per_round=*/10});
+}
+
+TEST(QueryServerSubscribe, DropAccountingUnderSlowDripReader) {
+  RunStallSchedule({"big bursts, a reader that takes one event per round",
+                    /*rounds=*/3, /*per_burst=*/80, /*stall_ms=*/5,
+                    /*reads_per_round=*/1});
 }
 
 TEST(QueryServerWire, OversizedMultiSessionResponseIsTruncated) {

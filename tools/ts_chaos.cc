@@ -1,0 +1,173 @@
+// ts_chaos: a fault-injecting TCP proxy between a log server and its client.
+//
+//   ts_log_server  -->  ts_chaos  -->  ts_sessionize --connect
+//
+// Applies a FaultPlan (src/fault/fault_plan.h) to real traffic: downstream
+// bytes pass through kills, stalls, partial writes, corruption, and silent
+// truncation at exact byte offsets; accepts can be refused. The plan comes
+// from a file (--plan=path, the text form ToText() emits) or is drawn from a
+// seed (--seed + --profile), and either way the effective plan is printed to
+// stderr so a failing run can be replayed byte-for-byte.
+//
+// Usage:
+//   ts_chaos --upstream=host:port [--port=0] [--host=127.0.0.1]
+//            [--plan=path | --seed=1 --profile=mild --stream_kb=1024]
+//            [--quiet]
+//
+//   --upstream    the real log server to proxy for (required)
+//   --port=0      bind an ephemeral port; the bound port is printed first,
+//                 alone on a line, so scripts and tests can capture it
+//   --profile     mild | aggressive | corrupting (see FaultProfile presets)
+//   --stream_kb   expected downstream volume; seeded event offsets are drawn
+//                 uniformly over this many KiB
+//   --quiet       suppress the plan echo and the final stats report
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/fault/chaos_proxy.h"
+#include "src/fault/fault_plan.h"
+
+namespace {
+
+ts::ChaosProxy* g_proxy = nullptr;
+
+void HandleSignal(int) {
+  if (g_proxy != nullptr) {
+    g_proxy->Stop();
+  }
+}
+
+double Flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Reads a whole file into *out; returns false if it cannot be opened.
+bool ReadFile(const char* path, std::string* out) {
+  FILE* in = std::fopen(path, "r");
+  if (in == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(in);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  const char* upstream = FlagStr(argc, argv, "--upstream");
+  if (upstream == nullptr) {
+    std::fprintf(stderr, "ts_chaos: --upstream=host:port is required\n");
+    return 1;
+  }
+  const std::string up = upstream;
+  const size_t colon = up.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= up.size()) {
+    std::fprintf(stderr, "ts_chaos: malformed --upstream=%s\n", upstream);
+    return 1;
+  }
+
+  ChaosProxyOptions options;
+  options.upstream_host = up.substr(0, colon);
+  options.upstream_port = static_cast<uint16_t>(std::stoul(up.substr(colon + 1)));
+  if (const char* host = FlagStr(argc, argv, "--host")) {
+    options.listen_host = host;
+  }
+  options.listen_port = static_cast<uint16_t>(Flag(argc, argv, "--port", 0));
+
+  if (const char* plan_path = FlagStr(argc, argv, "--plan")) {
+    std::string text;
+    if (!ReadFile(plan_path, &text)) {
+      std::fprintf(stderr, "ts_chaos: cannot open %s\n", plan_path);
+      return 1;
+    }
+    std::string error;
+    if (!FaultPlan::Parse(text, &options.plan, &error)) {
+      std::fprintf(stderr, "ts_chaos: bad plan %s: %s\n", plan_path,
+                   error.c_str());
+      return 1;
+    }
+  } else {
+    const uint64_t seed = static_cast<uint64_t>(Flag(argc, argv, "--seed", 1));
+    const char* profile_name = FlagStr(argc, argv, "--profile");
+    const std::string profile = profile_name != nullptr ? profile_name : "mild";
+    const uint64_t stream_bytes =
+        static_cast<uint64_t>(Flag(argc, argv, "--stream_kb", 1024)) << 10;
+    FaultProfile resolved;
+    if (!FaultPlan::ResolveProfile(profile, stream_bytes, &resolved)) {
+      std::fprintf(stderr, "ts_chaos: unknown --profile=%s\n", profile.c_str());
+      return 1;
+    }
+    options.plan = FaultPlan::FromSeed(seed, profile, resolved);
+  }
+
+  ChaosProxy proxy(options);
+  if (!proxy.Start()) {
+    std::fprintf(stderr, "ts_chaos: cannot listen on %s:%u\n",
+                 options.listen_host.c_str(), options.listen_port);
+    return 1;
+  }
+  // The bound port, first and alone on a line: `--port=0` callers parse this.
+  std::printf("%u\n", proxy.port());
+  std::fflush(stdout);
+
+  const bool quiet = HasFlag(argc, argv, "--quiet");
+  if (!quiet) {
+    std::fprintf(stderr, "proxying %s:%u -> :%u with plan:\n%s",
+                 options.upstream_host.c_str(), options.upstream_port,
+                 proxy.port(), options.plan.ToText().c_str());
+  }
+
+  g_proxy = &proxy;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  proxy.Run();
+
+  if (!quiet) {
+    const ChaosProxyStats stats = proxy.stats();
+    std::fprintf(stderr,
+                 "chaos: conns=%llu refused=%llu kills=%llu stalls=%llu "
+                 "up=%llu down=%llu dropped=%llu corrupted=%llu\n",
+                 static_cast<unsigned long long>(stats.connections),
+                 static_cast<unsigned long long>(stats.refused),
+                 static_cast<unsigned long long>(stats.kills),
+                 static_cast<unsigned long long>(stats.stalls),
+                 static_cast<unsigned long long>(stats.bytes_up),
+                 static_cast<unsigned long long>(stats.bytes_down),
+                 static_cast<unsigned long long>(stats.bytes_dropped),
+                 static_cast<unsigned long long>(stats.bytes_corrupted));
+  }
+  return 0;
+}

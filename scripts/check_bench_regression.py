@@ -70,6 +70,19 @@ def main(argv):
                 f"4-worker speedup {speedup:.2f}x below floor "
                 f"{min_speedup:.2f}x")
 
+    max_ckpt_overhead = baseline.get("max_ckpt_overhead")
+    if max_ckpt_overhead is not None:
+        if "ckpt_overhead" not in current:
+            failures.append("current run emitted no ckpt_overhead")
+        else:
+            overhead = float(current["ckpt_overhead"])
+            print(f"ckpt_overhead: {100 * overhead:.1f}% "
+                  f"(cap {100 * float(max_ckpt_overhead):.0f}%)")
+            if overhead > float(max_ckpt_overhead):
+                failures.append(
+                    f"checkpoint overhead {100 * overhead:.1f}% exceeds cap "
+                    f"{100 * float(max_ckpt_overhead):.0f}%")
+
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)
         for f in failures:

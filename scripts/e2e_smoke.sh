@@ -9,16 +9,24 @@
 # the chaos run must converge to exactly the fault-free ingest and store
 # counts — the shell-level version of the fault conformance suite.
 #
-# Usage: scripts/e2e_smoke.sh [build-dir] [--chaos]
+# With --crash, the stream runs a third time with --checkpoint-dir: the
+# sessionizer is kill -9'd mid-stream, restarted against the same directory,
+# and must recover from its snapshot and converge to exactly the fault-free
+# ingest and store counts — the shell-level version of the CrashRecovery
+# conformance suite (see docs/RECOVERY.md).
+#
+# Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash]
 #   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
 #                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
 
 BUILD_DIR="build"
 CHAOS=0
+CRASH=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
+    --crash) CRASH=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -50,21 +58,24 @@ stat_gauge() {
     | awk -v g="$2" '$1==g{print $2}'
 }
 
-# start_sessionize <upstream-port> <tag> — sets SESS_PID and QPORT.
+# start_sessionize <upstream-port> <tag> [extra flags...] — sets SESS_PID and
+# QPORT.
 start_sessionize() {
-  "$TOOLS/ts_sessionize" --connect=127.0.0.1:"$1" --serve=0 \
-    --inactivity_s=1 --workers=2 >"$WORK/$2.out" 2>"$WORK/$2.err" &
+  local port="$1" tag="$2"
+  shift 2
+  "$TOOLS/ts_sessionize" --connect=127.0.0.1:"$port" --serve=0 \
+    --inactivity_s=1 --workers=2 "$@" >"$WORK/$tag.out" 2>"$WORK/$tag.err" &
   SESS_PID=$!
   QPORT=""
   for _ in $(seq 100); do
     QPORT="$(sed -n 's/.*query server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
-      "$WORK/$2.err" | head -n1)"
+      "$WORK/$tag.err" | head -n1)"
     [ -n "$QPORT" ] && break
     sleep 0.1
   done
   [ -n "$QPORT" ] || {
-    echo "FAIL: $2 sessionizer reported no query port"
-    cat "$WORK/$2.err"
+    echo "FAIL: $tag sessionizer reported no query port"
+    cat "$WORK/$tag.err"
     exit 1
   }
 }
@@ -113,11 +124,11 @@ done
 [ -n "$COUNT" ] && [ "$COUNT" -gt 0 ] || {
   echo "FAIL: store stayed empty"; cat "$WORK/sess.err"; exit 1; }
 
-# In chaos mode the fault-free totals are the reference: wait for the full
-# drain, not just the first session.
+# In chaos/crash mode the fault-free totals are the reference: wait for the
+# full drain, not just the first session.
 BASE_RECORDS=""
 BASE_SESSIONS=""
-if [ "$CHAOS" -eq 1 ]; then
+if [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ]; then
   settle_counts "$QPORT" || {
     echo "FAIL: fault-free run never settled"; cat "$WORK/sess.err"; exit 1; }
   BASE_RECORDS="$RECORDS"
@@ -139,6 +150,87 @@ grep -q '^#SESSION ' "$WORK/get.out" || {
 kill -INT "$SESS_PID" 2>/dev/null || true
 wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
+
+[ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || exit 0
+
+# ---- Crash run: kill -9 mid-stream, restart from the checkpoint dir ---------
+
+if [ "$CRASH" -eq 1 ]; then
+  CKPT_DIR="$WORK/ckpt"
+
+  # Fresh log server, same archive. No --once: the killed client's severed
+  # connection must not end the server before the restart replays the tail.
+  "$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" \
+    >"$WORK/ls3.out" 2>"$WORK/ls3.err" &
+  KPORT="$(wait_port_file "$WORK/ls3.out")"
+  [ -n "$KPORT" ] || { echo "FAIL: crash log server reported no port"; exit 1; }
+
+  start_sessionize "$KPORT" crash1 \
+    --checkpoint-dir="$CKPT_DIR" --ckpt_interval_s=0.05
+
+  # SIGKILL the instant the first snapshot lands — typically mid-stream, and
+  # never with any chance for a shutdown checkpoint.
+  SNAPPED=0
+  for _ in $(seq 200); do
+    SNAPS="$(stat_gauge "$QPORT" ckpt_snapshots || true)"
+    if [ -n "$SNAPS" ] && [ "$SNAPS" -ge 1 ]; then SNAPPED=1; break; fi
+    sleep 0.05
+  done
+  [ "$SNAPPED" -eq 1 ] || {
+    echo "FAIL: no snapshot before kill"; cat "$WORK/crash1.err"; exit 1; }
+  KILL_RECORDS="$(stat_gauge "$QPORT" ingest_records || true)"
+  kill -9 "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+
+  # Restart against the same directory: it must restore a snapshot, resume
+  # the stream at its offset, and converge to exactly the fault-free totals.
+  start_sessionize "$KPORT" crash2 \
+    --checkpoint-dir="$CKPT_DIR" --ckpt_interval_s=0.05
+  # The restore banner prints after the query-server banner; give it a beat.
+  RESTORED=0
+  for _ in $(seq 100); do
+    if grep -q "restored $CKPT_DIR/" "$WORK/crash2.err"; then
+      RESTORED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$RESTORED" -eq 1 ] || {
+    echo "FAIL: restart restored no snapshot"; cat "$WORK/crash2.err"; exit 1; }
+
+  CONVERGED=0
+  for _ in $(seq 300); do
+    REC="$(stat_gauge "$QPORT" ingest_records || true)"
+    SES="$(stat_gauge "$QPORT" store_sessions || true)"
+    if [ "$REC" = "$BASE_RECORDS" ] && [ "$SES" = "$BASE_SESSIONS" ]; then
+      CONVERGED=1
+      break
+    fi
+    sleep 0.2
+  done
+  [ "$CONVERGED" -eq 1 ] || {
+    echo "FAIL: crash recovery did not converge:" \
+         "records ${REC:-?}/${BASE_RECORDS} sessions ${SES:-?}/${BASE_SESSIONS}"
+    echo "-- first incarnation (killed at ${KILL_RECORDS:-?} records):"
+    tail -20 "$WORK/crash1.err"
+    echo "-- restarted incarnation:"
+    tail -20 "$WORK/crash2.err"
+    exit 1
+  }
+
+  # Graceful shutdown: SIGTERM stops serving after a final checkpoint.
+  kill -TERM "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  grep -q "final checkpoint" "$WORK/crash2.err" || {
+    echo "FAIL: restarted sessionizer wrote no final checkpoint"
+    tail -20 "$WORK/crash2.err"
+    exit 1
+  }
+
+  echo "e2e crash OK: killed at ${KILL_RECORDS:-?}/$BASE_RECORDS records," \
+       "recovered and converged to $BASE_SESSIONS sessions /" \
+       "$BASE_RECORDS records"
+fi
 
 [ "$CHAOS" -eq 1 ] || exit 0
 

@@ -4,8 +4,7 @@
 
 namespace ts {
 
-void SessionStore::Insert(Session session) {
-  std::lock_guard<std::mutex> lock(mu_);
+SessionStore::EntryList::iterator SessionStore::InsertLocked(Session session) {
   Entry entry;
   entry.bytes = session.MemoryFootprint();
   entry.min_time = session.MinTime();
@@ -32,6 +31,12 @@ void SessionStore::Insert(Session session) {
   stats_.bytes += it->bytes;
   ++stats_.sessions;
   ++stats_.inserted;
+  return it;
+}
+
+void SessionStore::Insert(Session session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = InsertLocked(std::move(session));
   EvictIfNeeded();
   // `it` survives eviction: EvictIfNeeded never removes the newest entry.
   for (const auto& [token, observer] : observers_) {
@@ -154,6 +159,48 @@ std::vector<std::pair<uint32_t, size_t>> SessionStore::TopServices(
                     });
   ranked.resize(keep);
   return ranked;
+}
+
+bool SessionStore::Contains(const std::string& id, uint32_t fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.find({id, fragment}) != by_id_.end();
+}
+
+void SessionStore::ForEachSession(
+    const std::function<void(const Session&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    fn(entry.session);
+  }
+}
+
+SessionStore::SeqWindow SessionStore::ForEachSessionSince(
+    uint64_t min_seq, const std::function<void(const Session&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SeqWindow window;
+  window.next = next_seq_;
+  window.oldest = entries_.empty() ? next_seq_ : entries_.front().seq;
+  auto it = entries_.end();
+  while (it != entries_.begin() && std::prev(it)->seq >= min_seq) {
+    --it;
+  }
+  for (; it != entries_.end(); ++it) {
+    fn(it->session);
+  }
+  return window;
+}
+
+void SessionStore::ImportSnapshot(std::vector<Session> sessions,
+                                  uint64_t inserted, uint64_t evicted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& session : sessions) {
+    InsertLocked(std::move(session));
+  }
+  EvictIfNeeded();
+  // Lifetime counters continue from the snapshot, not from the rebuild: the
+  // rebuild itself is not an insert the pre-crash run didn't already count.
+  stats_.inserted = inserted;
+  stats_.evicted = evicted;
 }
 
 SessionStore::Stats SessionStore::stats() const {

@@ -64,7 +64,41 @@ class SessionStore {
   // Feeds the query protocol's TOPK verb.
   std::vector<std::pair<uint32_t, size_t>> TopServices(size_t k) const;
 
+  // True when (id, fragment) is currently stored — the ts_ckpt restore path's
+  // replay-window dedupe guard.
+  bool Contains(const std::string& id, uint32_t fragment) const;
+
   Stats stats() const;
+
+  // --- Snapshot support (ts_ckpt) ---
+
+  // Iterates every live entry oldest-inserted-first under mu_, handing each
+  // session to `fn`. `fn` must not call back into the store. The callback
+  // form lets the checkpointer serialize straight out of the store without
+  // materializing a second copy of every session.
+  void ForEachSession(const std::function<void(const Session&)>& fn) const;
+
+  // Delta scan for the incremental checkpointer: like ForEachSession but only
+  // entries whose process-local insertion seq is >= min_seq. Returns the live
+  // seq window [oldest, next): seqs are consecutive (every insert appends,
+  // eviction pops the front), so a frame cache keyed by seq drops exactly
+  // `oldest - previous_oldest` entries from its front and appends the ones
+  // this call visited. Seqs restart at 0 in each process (ImportSnapshot
+  // renumbers), unlike the lifetime inserted/evicted counters.
+  struct SeqWindow {
+    uint64_t oldest = 0;  // Seq of the oldest live entry (== next if empty).
+    uint64_t next = 0;    // One past the newest live entry's seq.
+  };
+  SeqWindow ForEachSessionSince(
+      uint64_t min_seq, const std::function<void(const Session&)>& fn) const;
+
+  // Rebuilds the store from snapshot sessions (vector order becomes insertion
+  // order, i.e. eviction order) and restores the lifetime counters. Insert
+  // observers are NOT invoked — restored sessions were already published to
+  // subscribers by the pre-crash process. Intended for a freshly constructed
+  // store; existing entries are kept (restore into an empty store).
+  void ImportSnapshot(std::vector<Session> sessions, uint64_t inserted,
+                      uint64_t evicted);
 
   // Subscription hook: `fn` runs synchronously inside Insert, after the
   // session is indexed, for every future insert. Observers are invoked under
@@ -88,6 +122,7 @@ class SessionStore {
 
   void EvictIfNeeded();  // Caller holds mu_.
   void Unindex(EntryList::iterator it);
+  EntryList::iterator InsertLocked(Session session);  // Caller holds mu_.
 
   Options options_;
   mutable std::mutex mu_;

@@ -1,0 +1,153 @@
+#include "src/ckpt/async_checkpointer.h"
+
+#include <utility>
+
+#include "src/ckpt/live_checkpoint.h"
+
+namespace ts {
+
+AsyncCheckpointer::AsyncCheckpointer(Checkpointer* checkpointer,
+                                     LivePipeline* pipeline,
+                                     const SessionStore* store,
+                                     const Options& options)
+    : checkpointer_(checkpointer),
+      pipeline_(pipeline),
+      store_(store),
+      options_(options) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+AsyncCheckpointer::~AsyncCheckpointer() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !in_flight_; });
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) {
+    writer_.join();
+  }
+}
+
+bool AsyncCheckpointer::MaybeCheckpoint(uint64_t resume_offset) {
+  if (!checkpointer_->ShouldCheckpoint()) {
+    return false;
+  }
+  return RequestCheckpoint(resume_offset);
+}
+
+bool AsyncCheckpointer::RequestCheckpoint(uint64_t resume_offset) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_) {
+      ++skipped_busy_;
+      return false;
+    }
+  }
+  // BeginCheckpoint outside mu_: it is ingest-thread-only API and the writer
+  // never touches the pipeline before it receives a ticket.
+  LivePipeline::CheckpointTicket ticket = pipeline_->BeginCheckpoint();
+  if (ticket == nullptr) {
+    return false;  // Pipeline already finished.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket_ = std::move(ticket);
+    ticket_resume_offset_ = resume_offset;
+    in_flight_ = true;
+  }
+  ++started_;
+  cv_.notify_all();
+  return true;
+}
+
+void AsyncCheckpointer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !in_flight_; });
+}
+
+void AsyncCheckpointer::WriterLoop() {
+  for (;;) {
+    LivePipeline::CheckpointTicket ticket;
+    uint64_t resume_offset = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || ticket_ != nullptr; });
+      if (ticket_ == nullptr) {
+        return;  // stop_ with nothing pending; Drain guarantees this order.
+      }
+      ticket = std::move(ticket_);
+      resume_offset = ticket_resume_offset_;
+    }
+    CheckpointState state;
+    state.resume_offset = resume_offset;
+    state.stream = options_.stream;
+    open_frames_.clear();  // Keeps capacity from the previous snapshot.
+    uint64_t open_count = 0;
+    PipelineCheckpoint pipeline_state = pipeline_->CollectCheckpoint(
+        ticket,
+        [this, &state] {
+          // Shards are paused: bring the incremental store-frame cache up to
+          // the barrier. Only sessions inserted since the previous snapshot
+          // get serialized (stored sessions are immutable and insertion seqs
+          // are consecutive, so cached frames stay valid forever); evicted
+          // ones fall off the cache front. Amortized cost per snapshot is
+          // O(new sessions), not O(store).
+          const SessionStore::Stats stats = store_->stats();
+          state.store_inserted = stats.inserted;
+          state.store_evicted = stats.evicted;
+          const SessionStore::SeqWindow window = store_->ForEachSessionSince(
+              cached_next_seq_, [this](const Session& s) {
+                const size_t before = cached_frames_.size();
+                store_encoder_.Append(s, &cached_frames_);
+                cached_frame_sizes_.push_back(
+                    static_cast<uint32_t>(cached_frames_.size() - before));
+              });
+          // Drop frames for entries evicted since the last snapshot. Only
+          // seqs below the previous cache end ever had frames — an entry both
+          // inserted and evicted between snapshots never entered the cache —
+          // so the drop is bounded by it, not by window.oldest alone.
+          const uint64_t drop_to = std::min(window.oldest, cached_next_seq_);
+          while (cached_oldest_seq_ < drop_to &&
+                 !cached_frame_sizes_.empty()) {
+            cached_front_ += cached_frame_sizes_.front();
+            cached_frame_sizes_.pop_front();
+            ++cached_oldest_seq_;
+          }
+          cached_oldest_seq_ = window.oldest;
+          cached_next_seq_ = window.next;
+        },
+        // Open fragments mutate between snapshots, so they cannot be cached
+        // like store frames — but the visitor serializes each one exactly
+        // once, straight into the output buffer, skipping the deep copy (and
+        // its per-fragment allocations) ExportState would make.
+        [this, &open_count](const std::string& id, EventTime last_time,
+                            const std::vector<LogRecord>& records) {
+          open_encoder_.Append(id, last_time, records, &open_frames_);
+          ++open_count;
+        });
+    FillFromPipelineCheckpoint(std::move(pipeline_state), &state);
+    state.records += options_.base_records;
+    state.parse_failures += options_.base_parse_failures;
+    // Reclaim the dead prefix once it dominates the buffer; outside the
+    // pause, so the memmove races nothing.
+    if (cached_front_ > (1u << 20) && cached_front_ > cached_frames_.size() / 2) {
+      cached_frames_.erase(0, cached_front_);
+      cached_front_ = 0;
+    }
+    // Shards are running again; framing CRCs were paid incrementally at cache
+    // append time, and the cached section streams straight to the file —
+    // fsync + rotation happen here, concurrently with normal processing.
+    checkpointer_->Write(
+        state, open_frames_, open_count,
+        std::string_view(cached_frames_).substr(cached_front_),
+        cached_frame_sizes_.size());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ts

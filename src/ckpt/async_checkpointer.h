@@ -1,0 +1,124 @@
+// AsyncCheckpointer: keeps periodic snapshots off the ingest hot path.
+//
+// A synchronous CaptureLiveCheckpoint + Checkpointer::Write costs O(live
+// state) on the ingest thread — deep-copying the SessionStore, wire-
+// serializing every record, CRC-framing and fsyncing the file — which makes
+// the ingest thread the pipeline's critical path the moment snapshots are
+// enabled (fig5_live_scaling measured >90% throughput loss at a 16k-record
+// cadence). This class splits the work along LivePipeline's two-phase
+// barrier instead:
+//
+//   ingest thread   MaybeCheckpoint(): one BeginCheckpoint (seals a barrier
+//                   batch per shard, no waiting) and a hand-off — microseconds.
+//   shard workers   pause at the barrier while the writer brings its state up
+//                   to the barrier (blocked, not spinning; queued batches
+//                   drain afterwards).
+//   writer thread   CollectCheckpoint(): waits for the pause, then (a)
+//                   serializes the open fragments straight into framed 'O'
+//                   bytes via the zero-copy visitor — one pass, no deep copy
+//                   of the usually-dominant open section — and (b) advances
+//                   an incremental cache of encoded store frames: only
+//                   sessions inserted since the previous snapshot are
+//                   serialized (store entries are immutable, so cached frames
+//                   never go stale; evicted ones fall off the cache front).
+//                   After releasing the shards it streams header + sections +
+//                   footer to disk, so the O(state) work left per snapshot is
+//                   a single file write, and none of it touches the measured
+//                   threads.
+//
+// At most one snapshot is in flight; cadence ticks that land while one is
+// being written are skipped and counted (the next due tick retakes them).
+// Drain() blocks until in-flight work is durable and MUST be called before
+// LivePipeline::Finish(): an uncollected ticket would leave the shard
+// workers paused forever. The destructor drains and joins.
+#ifndef SRC_CKPT_ASYNC_CHECKPOINTER_H_
+#define SRC_CKPT_ASYNC_CHECKPOINTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/analytics/session_store.h"
+#include "src/ckpt/checkpointer.h"
+#include "src/core/live_pipeline.h"
+
+namespace ts {
+
+class AsyncCheckpointer {
+ public:
+  struct Options {
+    uint64_t stream = 0;
+    uint64_t base_records = 0;         // Counters carried over from the
+    uint64_t base_parse_failures = 0;  // snapshot this process restored.
+  };
+
+  // All pointees must outlive this object. The Checkpointer must not be
+  // written to by any other thread between construction and Drain().
+  AsyncCheckpointer(Checkpointer* checkpointer, LivePipeline* pipeline,
+                    const SessionStore* store, const Options& options);
+  ~AsyncCheckpointer();  // Drains and joins.
+
+  AsyncCheckpointer(const AsyncCheckpointer&) = delete;
+  AsyncCheckpointer& operator=(const AsyncCheckpointer&) = delete;
+
+  // Ingest thread. Starts a snapshot when the Checkpointer's interval is due
+  // and none is in flight; `resume_offset` is the count of records fed so far
+  // (SocketIngestSource::records_received(), after the polled batch has been
+  // fully fed and flushed). Returns true if one started.
+  bool MaybeCheckpoint(uint64_t resume_offset);
+
+  // Like MaybeCheckpoint but ignores the timer — for callers with their own
+  // cadence (benches, tests). Still skips when a snapshot is in flight.
+  bool RequestCheckpoint(uint64_t resume_offset);
+
+  // Blocks until no snapshot is in flight (the last Write has returned).
+  void Drain();
+
+  // Ingest-thread accessors (same thread that calls MaybeCheckpoint).
+  uint64_t snapshots_started() const { return started_; }
+  uint64_t snapshots_skipped_busy() const { return skipped_busy_; }
+
+ private:
+  void WriterLoop();
+
+  Checkpointer* const checkpointer_;
+  LivePipeline* const pipeline_;
+  const SessionStore* const store_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  LivePipeline::CheckpointTicket ticket_;  // Pending hand-off to the writer.
+  uint64_t ticket_resume_offset_ = 0;
+  bool in_flight_ = false;  // Begin happened, Write not yet returned.
+  bool stop_ = false;
+  uint64_t started_ = 0;       // Ingest-thread-owned.
+  uint64_t skipped_busy_ = 0;  // Ingest-thread-owned.
+
+  // Open-section buffer (writer-thread-owned): framed 'O' bytes of the
+  // current snapshot, refilled during each pause. Members (with the encoders)
+  // so their capacity survives across snapshots — steady state allocates
+  // nothing proportional to the open set.
+  std::string open_frames_;
+  OpenFrameEncoder open_encoder_;
+  StoreFrameEncoder store_encoder_;
+
+  // Incremental store-frame cache (writer-thread-owned): encoded 'S' frames
+  // for the live entries with insertion seq in [cached_oldest_seq_,
+  // cached_next_seq_), stored at [cached_front_, size) of cached_frames_ with
+  // one size per frame in cached_frame_sizes_.
+  std::string cached_frames_;
+  std::deque<uint32_t> cached_frame_sizes_;
+  size_t cached_front_ = 0;
+  uint64_t cached_oldest_seq_ = 0;
+  uint64_t cached_next_seq_ = 0;
+
+  std::thread writer_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_CKPT_ASYNC_CHECKPOINTER_H_

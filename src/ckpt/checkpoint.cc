@@ -1,0 +1,252 @@
+#include "src/ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/ckpt/snapshot_io.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+constexpr char kMagic[] = "TSCKPT";  // 6 bytes, no NUL.
+constexpr size_t kMagicLen = 6;
+constexpr char kTagHeader = 'H';
+constexpr char kTagOpen = 'O';
+constexpr char kTagCounters = 'C';
+constexpr char kTagStore = 'S';
+constexpr char kTagFooter = 'E';
+constexpr size_t kCounterChunk = 4096;  // Counter entries per 'C' frame.
+
+void AppendRecords(const std::vector<LogRecord>& records, std::string* payload,
+                   std::string* scratch) {
+  PutU32(payload, static_cast<uint32_t>(records.size()));
+  for (const auto& r : records) {
+    scratch->clear();
+    AppendWireFormat(r, scratch);
+    PutBytes(payload, *scratch);
+  }
+}
+
+bool ParseRecords(ByteCursor* cursor, std::vector<LogRecord>* records) {
+  uint32_t n = 0;
+  if (!cursor->GetU32(&n)) {
+    return false;
+  }
+  records->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view line;
+    if (!cursor->GetBytes(&line)) {
+      return false;
+    }
+    auto parsed = ParseWireFormat(line);
+    if (!parsed) {
+      return false;  // A record that no longer parses is damage, not input.
+    }
+    records->push_back(std::move(*parsed));
+  }
+  return true;
+}
+
+}  // namespace
+
+void StoreFrameEncoder::Append(const Session& session, std::string* out) {
+  payload_.clear();
+  payload_.push_back(kTagStore);
+  PutBytes(&payload_, session.id);
+  PutU32(&payload_, session.fragment_index);
+  PutU64(&payload_, session.first_epoch);
+  PutU64(&payload_, session.last_epoch);
+  PutU64(&payload_, session.closed_at);
+  AppendRecords(session.records, &payload_, &scratch_);
+  AppendFrame(out, payload_);
+}
+
+void OpenFrameEncoder::Append(std::string_view id, EventTime last_time,
+                              const std::vector<LogRecord>& records,
+                              std::string* out) {
+  payload_.clear();
+  payload_.push_back(kTagOpen);
+  PutBytes(&payload_, id);
+  PutU64(&payload_, static_cast<uint64_t>(last_time));
+  AppendRecords(records, &payload_, &scratch_);
+  AppendFrame(out, payload_);
+}
+
+void EncodeSnapshotParts(const CheckpointState& state, uint64_t open_count,
+                         uint64_t store_count, std::string* head,
+                         std::string* tail) {
+  head->clear();
+  tail->clear();
+  std::string payload;
+  std::string scratch;
+  uint64_t frames = 0;
+
+  payload.push_back(kTagHeader);
+  payload.append(kMagic, kMagicLen);
+  PutU32(&payload, kCheckpointVersion);
+  PutU64(&payload, state.resume_offset);
+  PutU64(&payload, state.stream);
+  PutU64(&payload, static_cast<uint64_t>(state.ingest_watermark));
+  PutU64(&payload, state.records);
+  PutU64(&payload, state.parse_failures);
+  PutU64(&payload, state.store_inserted);
+  PutU64(&payload, state.store_evicted);
+  PutU64(&payload, state.closers.open.size() + open_count);
+  PutU64(&payload, state.closers.next_fragment.size());
+  PutU64(&payload, state.store_sessions.size() + store_count);
+  AppendFrame(head, payload);
+  ++frames;
+
+  for (const auto& fragment : state.closers.open) {
+    payload.clear();
+    payload.push_back(kTagOpen);
+    PutBytes(&payload, fragment.id);
+    PutU64(&payload, static_cast<uint64_t>(fragment.last_time));
+    AppendRecords(fragment.records, &payload, &scratch);
+    AppendFrame(head, payload);
+    ++frames;
+  }
+
+  for (size_t base = 0; base < state.closers.next_fragment.size();
+       base += kCounterChunk) {
+    const size_t n =
+        std::min(kCounterChunk, state.closers.next_fragment.size() - base);
+    payload.clear();
+    payload.push_back(kTagCounters);
+    PutU32(&payload, static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [id, next] = state.closers.next_fragment[base + i];
+      PutBytes(&payload, id);
+      PutU32(&payload, next);
+    }
+    AppendFrame(head, payload);
+    ++frames;
+  }
+
+  StoreFrameEncoder store_encoder;
+  for (const auto& session : state.store_sessions) {
+    store_encoder.Append(session, head);
+    ++frames;
+  }
+  frames += open_count + store_count;
+
+  payload.clear();
+  payload.push_back(kTagFooter);
+  PutU64(&payload, frames);
+  AppendFrame(tail, payload);
+}
+
+std::string EncodeSnapshot(const CheckpointState& state) {
+  std::string head;
+  std::string tail;
+  EncodeSnapshotParts(state, 0, 0, &head, &tail);
+  head.append(tail);
+  return head;
+}
+
+bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
+  FrameParser parser(bytes);
+  std::string_view payload;
+
+  if (!parser.Next(&payload) || payload.empty() ||
+      payload[0] != kTagHeader) {
+    return false;
+  }
+  ByteCursor header{payload, 1};
+  if (header.remaining() < kMagicLen ||
+      payload.compare(header.pos, kMagicLen, kMagic) != 0) {
+    return false;
+  }
+  header.pos += kMagicLen;
+  uint32_t version = 0;
+  uint64_t watermark = 0, n_open = 0, n_counters = 0, n_store = 0;
+  if (!header.GetU32(&version) || version != kCheckpointVersion ||
+      !header.GetU64(&state->resume_offset) || !header.GetU64(&state->stream) ||
+      !header.GetU64(&watermark) || !header.GetU64(&state->records) ||
+      !header.GetU64(&state->parse_failures) ||
+      !header.GetU64(&state->store_inserted) ||
+      !header.GetU64(&state->store_evicted) || !header.GetU64(&n_open) ||
+      !header.GetU64(&n_counters) || !header.GetU64(&n_store) ||
+      header.remaining() != 0) {
+    return false;
+  }
+  state->ingest_watermark = static_cast<EventTime>(watermark);
+
+  uint64_t frames = 1;
+  bool footer_seen = false;
+  uint64_t footer_frames = 0;
+  while (parser.Next(&payload)) {
+    if (footer_seen || payload.empty()) {
+      return false;  // Frames after the footer, or an empty payload.
+    }
+    ByteCursor cursor{payload, 1};
+    switch (payload[0]) {
+      case kTagOpen: {
+        LiveCloserState::OpenFragment fragment;
+        std::string_view id;
+        uint64_t last_time = 0;
+        if (!cursor.GetBytes(&id) || !cursor.GetU64(&last_time) ||
+            !ParseRecords(&cursor, &fragment.records) ||
+            cursor.remaining() != 0) {
+          return false;
+        }
+        fragment.id = std::string(id);
+        fragment.last_time = static_cast<EventTime>(last_time);
+        state->closers.open.push_back(std::move(fragment));
+        break;
+      }
+      case kTagCounters: {
+        uint32_t n = 0;
+        if (!cursor.GetU32(&n)) {
+          return false;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          std::string_view id;
+          uint32_t next = 0;
+          if (!cursor.GetBytes(&id) || !cursor.GetU32(&next)) {
+            return false;
+          }
+          state->closers.next_fragment.emplace_back(std::string(id), next);
+        }
+        if (cursor.remaining() != 0) {
+          return false;
+        }
+        break;
+      }
+      case kTagStore: {
+        Session session;
+        std::string_view id;
+        if (!cursor.GetBytes(&id) || !cursor.GetU32(&session.fragment_index) ||
+            !cursor.GetU64(&session.first_epoch) ||
+            !cursor.GetU64(&session.last_epoch) ||
+            !cursor.GetU64(&session.closed_at) ||
+            !ParseRecords(&cursor, &session.records) ||
+            cursor.remaining() != 0) {
+          return false;
+        }
+        session.id = std::string(id);
+        state->store_sessions.push_back(std::move(session));
+        break;
+      }
+      case kTagFooter: {
+        if (!cursor.GetU64(&footer_frames) || cursor.remaining() != 0) {
+          return false;
+        }
+        footer_seen = true;
+        continue;  // Not counted in `frames`; must be the last frame.
+      }
+      default:
+        return false;  // Unknown tag.
+    }
+    ++frames;
+  }
+  // The parser must have consumed every byte through valid frames, the footer
+  // must exist, and every section the header promised must be present.
+  return parser.AtEnd() && footer_seen && footer_frames == frames &&
+         state->closers.open.size() == n_open &&
+         state->closers.next_fragment.size() == n_counters &&
+         state->store_sessions.size() == n_store;
+}
+
+}  // namespace ts

@@ -1,0 +1,192 @@
+#include "src/ckpt/checkpointer.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/ckpt/snapshot_io.h"
+
+namespace ts {
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".snap";
+
+// Parses "ckpt-<digits>.snap" -> seq; false for anything else (including the
+// ".tmp" a crashed writer may leave behind).
+bool ParseSnapshotName(const char* name, uint64_t* seq) {
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  const size_t len = std::strlen(name);
+  if (len <= prefix_len + suffix_len ||
+      std::strncmp(name, kPrefix, prefix_len) != 0 ||
+      std::strcmp(name + len - suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < len - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(const CheckpointerOptions& options)
+    : options_(options) {
+  options_.retain = std::max<size_t>(1, options_.retain);
+  ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine.
+  for (uint64_t seq : ListSnapshots()) {
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+  last_write_steady_ms_.store(NowSteadyMs(), std::memory_order_relaxed);
+}
+
+int64_t Checkpointer::NowSteadyMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Checkpointer::ShouldCheckpoint() const {
+  if (options_.interval_ms <= 0) {
+    return false;
+  }
+  return NowSteadyMs() -
+             last_write_steady_ms_.load(std::memory_order_relaxed) >=
+         options_.interval_ms;
+}
+
+std::string Checkpointer::SnapshotPath(uint64_t seq) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%020" PRIu64 "%s", kPrefix, seq,
+                kSuffix);
+  return options_.dir + "/" + name;
+}
+
+std::vector<uint64_t> Checkpointer::ListSnapshots() const {
+  std::vector<uint64_t> seqs;
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) {
+    return seqs;
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    uint64_t seq = 0;
+    if (ParseSnapshotName(entry->d_name, &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  ::closedir(dir);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+bool Checkpointer::Write(const CheckpointState& state) {
+  return Write(state, std::string_view(), 0, std::string_view(), 0);
+}
+
+bool Checkpointer::Write(const CheckpointState& state,
+                         std::string_view open_frames, uint64_t open_count,
+                         std::string_view store_frames,
+                         uint64_t store_count) {
+  const int64_t start_ms = NowSteadyMs();
+  const auto start = std::chrono::steady_clock::now();
+  std::string head;
+  std::string tail;
+  EncodeSnapshotParts(state, open_count, store_count, &head, &tail);
+  const size_t total_bytes =
+      head.size() + open_frames.size() + store_frames.size() + tail.size();
+  const std::string path = SnapshotPath(next_seq_);
+  if (!WriteFileAtomic(path, {std::string_view(head), open_frames,
+                              store_frames, std::string_view(tail)})) {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++next_seq_;
+  // Prune beyond the retention window, oldest first. Failures here are
+  // harmless (an extra snapshot on disk), so errors are ignored.
+  std::vector<uint64_t> seqs = ListSnapshots();
+  while (seqs.size() > options_.retain) {
+    ::unlink(SnapshotPath(seqs.front()).c_str());
+    seqs.erase(seqs.begin());
+  }
+  const int64_t duration_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  last_bytes_.store(total_bytes, std::memory_order_relaxed);
+  last_duration_us_.store(duration_us, std::memory_order_relaxed);
+  last_resume_offset_.store(state.resume_offset, std::memory_order_relaxed);
+  last_write_steady_ms_.store(start_ms, std::memory_order_relaxed);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+RestoreResult Checkpointer::RestoreLatest(CheckpointState* state) {
+  RestoreResult result;
+  std::vector<uint64_t> seqs = ListSnapshots();
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    const std::string path = SnapshotPath(*it);
+    std::string bytes;
+    *state = CheckpointState{};
+    if (ReadFile(path, &bytes) && DecodeSnapshot(bytes, state)) {
+      result.restored = true;
+      result.path = path;
+      break;
+    }
+    // Damaged or unreadable: fall back to the previous snapshot.
+    ++result.fallbacks;
+  }
+  if (!result.restored) {
+    *state = CheckpointState{};  // Cold start from offset 0.
+  }
+  fallbacks_.fetch_add(result.fallbacks, std::memory_order_relaxed);
+  if (result.restored) {
+    restores_.fetch_add(1, std::memory_order_relaxed);
+    last_resume_offset_.store(state->resume_offset, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void Checkpointer::RegisterMetrics(MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->Register(prefix + "last_snapshot_bytes", [this] {
+    return static_cast<int64_t>(last_bytes_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "last_snapshot_age_ms", [this] {
+    return NowSteadyMs() -
+           last_write_steady_ms_.load(std::memory_order_relaxed);
+  });
+  registry->Register(prefix + "last_snapshot_duration_us", [this] {
+    return last_duration_us_.load(std::memory_order_relaxed);
+  });
+  registry->Register(prefix + "snapshots", [this] {
+    return static_cast<int64_t>(snapshots_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "snapshot_failures", [this] {
+    return static_cast<int64_t>(
+        snapshot_failures_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "restores", [this] {
+    return static_cast<int64_t>(restores_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "fallbacks", [this] {
+    return static_cast<int64_t>(fallbacks_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "last_resume_offset", [this] {
+    return static_cast<int64_t>(
+        last_resume_offset_.load(std::memory_order_relaxed));
+  });
+}
+
+}  // namespace ts

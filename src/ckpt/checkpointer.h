@@ -1,0 +1,119 @@
+// Checkpointer: durable snapshot rotation and recovery for the live
+// sessionizer (ts_ckpt).
+//
+// Write side: each Write() serializes a CheckpointState to
+// "<dir>/ckpt-<seq>.snap" (monotonically increasing sequence numbers) via
+// temp-file + fsync + atomic rename, then prunes all but the newest `retain`
+// snapshots. A crash at any instant therefore leaves the directory holding
+// only complete, individually verifiable snapshot files plus at most one
+// ignorable ".tmp".
+//
+// Read side: RestoreLatest() walks snapshots newest-first, fully validating
+// each (every frame CRC, section counts, footer) and returns the first valid
+// one. Damaged snapshots — truncated at or inside any frame boundary,
+// bit-flipped anywhere — are counted as fallbacks and skipped, never loaded
+// partially and never fatal: with every snapshot damaged the sessionizer
+// simply starts cold from offset 0, which is correct (just slower) because
+// the log server replays from any offset.
+//
+// Thread model: Write and RestoreLatest must be externally serialized — one
+// caller thread at a time (the ingest thread, or AsyncCheckpointer's writer
+// thread, whose Drain() provides the hand-off back to ingest for the final
+// synchronous snapshot). The metrics accessors are safe from any thread
+// (relaxed atomics), which is what RegisterMetrics relies on.
+#ifndef SRC_CKPT_CHECKPOINTER_H_
+#define SRC_CKPT_CHECKPOINTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/metrics_registry.h"
+
+namespace ts {
+
+struct CheckpointerOptions {
+  std::string dir;      // Created (one level) if missing.
+  size_t retain = 3;    // Newest snapshots kept on disk (>= 1).
+  // Steady-time cadence for ShouldCheckpoint(); 0 disables the timer (the
+  // caller then decides cadence itself, e.g. every N records in benches).
+  int64_t interval_ms = 2000;
+};
+
+struct RestoreResult {
+  bool restored = false;     // A valid snapshot was loaded into *state.
+  uint64_t fallbacks = 0;    // Damaged snapshots skipped on the way.
+  std::string path;          // The snapshot that won (empty if none).
+};
+
+class Checkpointer {
+ public:
+  explicit Checkpointer(const CheckpointerOptions& options);
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  // True once interval_ms has elapsed since the last Write (or construction).
+  bool ShouldCheckpoint() const;
+
+  // Serializes, writes atomically, rotates retention. Returns false on I/O
+  // failure (the previous snapshots are untouched and recovery still works).
+  bool Write(const CheckpointState& state);
+
+  // Same, but the big sections arrive pre-encoded: `open_count` 'O' frames
+  // (OpenFrameEncoder bytes, serialized during the barrier pause) and
+  // `store_count` 'S' frames (StoreFrameEncoder bytes, the incremental
+  // cache), streamed to the file between header and footer —
+  // AsyncCheckpointer's path. `state` must carry no `closers.open` of its
+  // own, and no `store_sessions` unless they precede the cached ones in
+  // insertion order.
+  bool Write(const CheckpointState& state, std::string_view open_frames,
+             uint64_t open_count, std::string_view store_frames,
+             uint64_t store_count);
+
+  // Restores the newest fully valid snapshot, if any.
+  RestoreResult RestoreLatest(CheckpointState* state);
+
+  // ckpt_* gauges: last_snapshot_bytes, last_snapshot_age_ms,
+  // last_snapshot_duration_us, snapshots, snapshot_failures, restores,
+  // fallbacks, last_resume_offset. The registry must not outlive this object.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "ckpt_") const;
+
+  const std::string& dir() const { return options_.dir; }
+  uint64_t snapshots_taken() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+  uint64_t last_snapshot_bytes() const {
+    return last_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  // Lists the sequence numbers of snapshots currently on disk, ascending.
+  std::vector<uint64_t> ListSnapshots() const;
+  // Path for a given sequence number ("<dir>/ckpt-<020llu>.snap").
+  std::string SnapshotPath(uint64_t seq) const;
+
+ private:
+  int64_t NowSteadyMs() const;
+
+  CheckpointerOptions options_;
+  uint64_t next_seq_ = 1;  // Continues above any pre-existing snapshot.
+  std::atomic<int64_t> last_write_steady_ms_{0};
+  std::atomic<uint64_t> last_bytes_{0};
+  std::atomic<int64_t> last_duration_us_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> snapshot_failures_{0};
+  std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> last_resume_offset_{0};
+};
+
+}  // namespace ts
+
+#endif  // SRC_CKPT_CHECKPOINTER_H_

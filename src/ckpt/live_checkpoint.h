@@ -1,0 +1,78 @@
+// Glue between the Checkpointer and the live pipeline objects: one call to
+// capture a barrier-aligned CheckpointState from a running
+// LivePipeline + SessionStore, and one to restore it into freshly
+// constructed ones. Shared by tools/ts_sessionize, the crash-recovery
+// conformance suite, and bench/fig5_live_scaling's checkpoint-overhead mode.
+#ifndef SRC_CKPT_LIVE_CHECKPOINT_H_
+#define SRC_CKPT_LIVE_CHECKPOINT_H_
+
+#include <utility>
+
+#include "src/analytics/session_store.h"
+#include "src/ckpt/checkpoint.h"
+#include "src/core/live_pipeline.h"
+
+namespace ts {
+
+// Captures a consistent snapshot. Must run on the ingest thread (it drives
+// the pipeline barrier), with `resume_offset` equal to the count of records
+// already fed — i.e. after the polled batch has been fully fed and flushed,
+// pass SocketIngestSource::records_received(). The store export happens
+// after the barrier completes, so it contains exactly the sessions closed by
+// the arrival prefix [0, resume_offset).
+// Copies the store's sessions and insert/evict counters into `state`. Must
+// run at a moment when no sink call can fire — on the ingest thread right
+// after a synchronous CaptureCheckpoint (no post-barrier batches exist yet),
+// or inside CollectCheckpoint's while_paused hook (every shard is parked at
+// the barrier) — so the copy holds exactly the sessions closed by the
+// barrier prefix.
+inline void ExportStoreSection(const SessionStore& store,
+                               CheckpointState* state) {
+  const SessionStore::Stats stats = store.stats();
+  state->store_inserted = stats.inserted;
+  state->store_evicted = stats.evicted;
+  state->store_sessions.reserve(stats.sessions);
+  store.ForEachSession(
+      [state](const Session& s) { state->store_sessions.push_back(s); });
+}
+
+// Merges a collected PipelineCheckpoint into `state` (counters, watermark,
+// closer state). Base counters from a restored snapshot are the caller's to
+// add on top.
+inline void FillFromPipelineCheckpoint(PipelineCheckpoint&& pipeline_state,
+                                       CheckpointState* state) {
+  state->ingest_watermark = pipeline_state.ingest_watermark;
+  state->records = pipeline_state.records;
+  state->parse_failures = pipeline_state.parse_failures;
+  state->closers = std::move(pipeline_state.closers);
+}
+
+inline CheckpointState CaptureLiveCheckpoint(LivePipeline* pipeline,
+                                             const SessionStore& store,
+                                             uint64_t resume_offset,
+                                             uint64_t stream = 0) {
+  CheckpointState state;
+  state.resume_offset = resume_offset;
+  state.stream = stream;
+  FillFromPipelineCheckpoint(pipeline->CaptureCheckpoint(), &state);
+  ExportStoreSection(store, &state);
+  return state;
+}
+
+// Restores a snapshot into a fresh store + pipeline. Must run before the
+// pipeline's first Feed*/Flush and before query-server insert observers can
+// fire meaningfully (restored sessions do not re-notify subscribers).
+inline void RestoreLiveCheckpoint(CheckpointState&& state,
+                                  LivePipeline* pipeline,
+                                  SessionStore* store) {
+  store->ImportSnapshot(std::move(state.store_sessions), state.store_inserted,
+                        state.store_evicted);
+  PipelineCheckpoint pipeline_state;
+  pipeline_state.ingest_watermark = state.ingest_watermark;
+  pipeline_state.closers = std::move(state.closers);
+  pipeline->RestoreCheckpoint(std::move(pipeline_state));
+}
+
+}  // namespace ts
+
+#endif  // SRC_CKPT_LIVE_CHECKPOINT_H_

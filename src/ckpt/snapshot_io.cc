@@ -1,0 +1,169 @@
+#include "src/ckpt/snapshot_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32c.h"
+
+namespace ts {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(b, sizeof(b));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(b, sizeof(b));
+}
+
+void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+bool ByteCursor::GetU32(uint32_t* v) {
+  if (remaining() < 4) {
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  pos += 4;
+  *v = out;
+  return true;
+}
+
+bool ByteCursor::GetU64(uint64_t* v) {
+  if (remaining() < 8) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  pos += 8;
+  *v = out;
+  return true;
+}
+
+bool ByteCursor::GetBytes(std::string_view* bytes) {
+  const size_t saved = pos;
+  uint32_t len = 0;
+  if (!GetU32(&len) || remaining() < len) {
+    pos = saved;
+    return false;
+  }
+  *bytes = data.substr(pos, len);
+  pos += len;
+  return true;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+bool FrameParser::Next(std::string_view* payload) {
+  if (!ok_ || pos_ == data_.size()) {
+    return false;
+  }
+  ByteCursor cursor{data_, pos_};
+  uint32_t len = 0, crc = 0;
+  if (!cursor.GetU32(&len) || !cursor.GetU32(&crc)) {
+    ok_ = false;  // Truncated mid frame header.
+    return false;
+  }
+  if (len > kMaxFramePayloadBytes || cursor.remaining() < len) {
+    ok_ = false;  // Hostile length or truncated payload.
+    return false;
+  }
+  const std::string_view body = data_.substr(cursor.pos, len);
+  if (Crc32c(body) != crc) {
+    ok_ = false;  // Bit damage inside the frame.
+    return false;
+  }
+  pos_ = cursor.pos + len;
+  *payload = body;
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  return WriteFileAtomic(path, {bytes});
+}
+
+bool WriteFileAtomic(const std::string& path,
+                     std::initializer_list<std::string_view> parts) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  for (std::string_view bytes : parts) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  // fsync before rename: the rename must never land ahead of the data, or a
+  // power cut could leave a fully named, partially persisted snapshot — the
+  // one failure mode the CRC framing alone cannot rank newest-first around.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  out->clear();
+  char buf[64 << 10];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace ts

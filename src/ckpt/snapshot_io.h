@@ -1,0 +1,92 @@
+// Framed, checksummed snapshot container (ts_ckpt).
+//
+// A snapshot is a flat sequence of frames:
+//
+//   frame := u32 payload_len (LE) | u32 crc32c(payload) (LE) | payload
+//
+// Every payload starts with a one-byte tag (header / open fragment / counter
+// chunk / store session / footer — see checkpoint.cc). The per-frame CRC plus
+// a mandatory footer frame make damage detectable at frame granularity: a
+// torn write truncates the file mid-frame or drops the footer, a bit flip
+// fails exactly one CRC, and either way the reader reports the file invalid
+// instead of loading partial state. Writers never expose a partial file at
+// all: bytes go to "<path>.tmp", are fsync'd, and the temp file is atomically
+// renamed over the final name (rename(2) within one directory is atomic).
+//
+// The encode helpers are little-endian regardless of host order so snapshot
+// files are portable across machines.
+#ifndef SRC_CKPT_SNAPSHOT_IO_H_
+#define SRC_CKPT_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace ts {
+
+// --- Primitive little-endian encoding into a byte buffer ---
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+// u32 length + raw bytes.
+void PutBytes(std::string* out, std::string_view bytes);
+
+// Cursor-based decoding; every Get* returns false on underflow and leaves the
+// cursor untouched, so a corrupt payload can never read out of bounds.
+struct ByteCursor {
+  std::string_view data;
+  size_t pos = 0;
+
+  size_t remaining() const { return data.size() - pos; }
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(std::string_view* bytes);
+};
+
+// --- Frame layer ---
+
+// Frames larger than this are rejected on read (and never written): a
+// corrupted length field must not ask the reader to allocate gigabytes.
+inline constexpr size_t kMaxFramePayloadBytes = 64u << 20;
+
+// Appends one frame (length + CRC32C + payload) to *out.
+void AppendFrame(std::string* out, std::string_view payload);
+
+// Walks frames of a raw snapshot buffer, validating length bounds and CRCs.
+class FrameParser {
+ public:
+  explicit FrameParser(std::string_view data) : data_(data) {}
+
+  // Advances to the next frame. Returns true and sets *payload on success;
+  // false at clean end-of-buffer OR on damage — distinguish with ok():
+  // a parse that stops before consuming everything, or that ever saw a bad
+  // length/CRC, is not ok.
+  bool Next(std::string_view* payload);
+
+  // True while no framing violation has been seen.
+  bool ok() const { return ok_; }
+  // True once every byte has been consumed by valid frames.
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Writes `bytes` to "<path>.tmp", fsyncs, and atomically renames to `path`.
+// Returns false (and removes the temp file) on any I/O error. The
+// initializer-list overload concatenates its parts in order — snapshot
+// writers use it to stream a large pre-encoded section between the header
+// and footer without assembling one contiguous buffer.
+bool WriteFileAtomic(const std::string& path, std::string_view bytes);
+bool WriteFileAtomic(const std::string& path,
+                     std::initializer_list<std::string_view> parts);
+
+// Reads a whole file. Returns false if it cannot be opened/read.
+bool ReadFile(const std::string& path, std::string* out);
+
+}  // namespace ts
+
+#endif  // SRC_CKPT_SNAPSHOT_IO_H_

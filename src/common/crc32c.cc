@@ -1,0 +1,59 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace ts {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected 0x1EDC6F41.
+
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[s][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Slice-by-8 over aligned-length middle; byte-at-a-time head and tail.
+  while (len >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][lo & 0xFF] ^ kTables.t[6][(lo >> 8) & 0xFF] ^
+          kTables.t[5][(lo >> 16) & 0xFF] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ts

@@ -40,6 +40,49 @@ void LiveCloser::FlushAll(std::vector<Session>* closed) {
   open_.clear();
 }
 
+void LiveCloser::ExportState(LiveCloserState* state) const {
+  state->open.reserve(state->open.size() + open_.size());
+  for (const auto& [id, open] : open_) {
+    LiveCloserState::OpenFragment fragment;
+    fragment.id = id;
+    fragment.last_time = open.last_time;
+    fragment.records = open.records;
+    state->open.push_back(std::move(fragment));
+  }
+  ExportCounters(state);
+}
+
+void LiveCloser::VisitOpenFragments(const OpenFragmentVisitor& fn) const {
+  for (const auto& [id, open] : open_) {
+    fn(id, open.last_time, open.records);
+  }
+}
+
+void LiveCloser::ExportCounters(LiveCloserState* state) const {
+  state->next_fragment.reserve(state->next_fragment.size() +
+                               next_fragment_.size());
+  for (const auto& [id, next] : next_fragment_) {
+    state->next_fragment.emplace_back(id, next);
+  }
+}
+
+void LiveCloser::ImportFragment(LiveCloserState::OpenFragment fragment) {
+  Open& open = open_[fragment.id];
+  for (const auto& r : open.records) {
+    const size_t bytes = r.MemoryFootprint();
+    open_bytes_ = bytes >= open_bytes_ ? 0 : open_bytes_ - bytes;
+  }
+  open.last_time = fragment.last_time;
+  open.records = std::move(fragment.records);
+  for (const auto& r : open.records) {
+    open_bytes_ += r.MemoryFootprint();
+  }
+}
+
+void LiveCloser::SetNextFragment(const std::string& id, uint32_t next) {
+  next_fragment_[id] = next;
+}
+
 void LiveCloser::Emit(const std::string& id, Open open,
                       std::vector<Session>* closed) {
   // Stable sort by event time: ties keep arrival order, matching the offline

@@ -17,6 +17,7 @@
 #define SRC_CORE_LIVE_CLOSER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,25 @@
 #include "src/log/record.h"
 
 namespace ts {
+
+// Serializable open-fragment state of one or more LiveClosers, captured at a
+// watermark-aligned barrier (ts_ckpt). Because fragment-split decisions are a
+// pure function of (record subsequence, per-record watermark tag), this state
+// at arrival position N is identical for every shard count — which is what
+// lets a snapshot taken under one --workers value restore under another: the
+// restore path simply re-routes each fragment by SipHash(id) % N_new.
+struct LiveCloserState {
+  struct OpenFragment {
+    std::string id;
+    EventTime last_time = 0;
+    std::vector<LogRecord> records;  // Arrival order, not yet time-sorted.
+  };
+  std::vector<OpenFragment> open;
+  // Every id that has ever emitted a fragment, with the next index to assign.
+  // Needed in full: a session can re-appear long after its last fragment
+  // closed, and its numbering must continue where the pre-crash run left off.
+  std::vector<std::pair<std::string, uint32_t>> next_fragment;
+};
 
 class LiveCloser {
  public:
@@ -48,6 +68,29 @@ class LiveCloser {
 
   // Emits every still-open fragment (end of stream).
   void FlushAll(std::vector<Session>* closed);
+
+  // Appends a copy of this closer's open fragments and fragment counters to
+  // *state (merge-friendly: a barrier collects every shard into one state).
+  void ExportState(LiveCloserState* state) const;
+
+  // Zero-copy capture path (ts_ckpt's async writer): visits every open
+  // fragment by reference instead of deep-copying it, in unspecified order —
+  // the same order guarantee ExportState gives, since both walk a hash map.
+  // The closer must be quiescent for the duration (checkpoint barrier pause).
+  using OpenFragmentVisitor = std::function<void(
+      const std::string& id, EventTime last_time,
+      const std::vector<LogRecord>& records)>;
+  void VisitOpenFragments(const OpenFragmentVisitor& fn) const;
+
+  // The fragment-counter half of ExportState alone (the counters are small;
+  // visitor-path callers still take them by copy).
+  void ExportCounters(LiveCloserState* state) const;
+
+  // Restores one open fragment / one fragment counter (ts_ckpt restore path;
+  // the pipeline routes each entry to the owning shard). Must happen before
+  // any Feed. Import of an id that is already open replaces it.
+  void ImportFragment(LiveCloserState::OpenFragment fragment);
+  void SetNextFragment(const std::string& id, uint32_t next);
 
   size_t open_sessions() const { return open_.size(); }
   EventTime watermark() const { return watermark_; }

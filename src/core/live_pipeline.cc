@@ -140,6 +140,99 @@ void LivePipeline::Flush() {
   }
 }
 
+LivePipeline::CheckpointTicket LivePipeline::BeginCheckpoint() {
+  if (finished_) {
+    return nullptr;
+  }
+  auto ticket = std::make_shared<CkptBarrier>();
+  ticket->expected = shards_.size();
+  ticket->watermark = ingest_watermark_;
+  for (auto& shard_ptr : shards_) {
+    // Seal whatever is pending plus the barrier marker; the barrier batch
+    // carries the current global watermark like any Flush tick, so the state
+    // each shard exports is aligned at (arrival position, ingest watermark).
+    shard_ptr->pending.barrier = ticket;
+    SealAndPush(*shard_ptr);
+  }
+  return ticket;
+}
+
+PipelineCheckpoint LivePipeline::CollectCheckpoint(
+    const CheckpointTicket& ticket, const std::function<void()>& while_paused,
+    const LiveCloser::OpenFragmentVisitor& open_visitor) {
+  PipelineCheckpoint checkpoint;
+  const auto export_closers = [this, &checkpoint, &open_visitor] {
+    for (auto& shard_ptr : shards_) {
+      if (open_visitor) {
+        shard_ptr->closer.ExportCounters(&checkpoint.closers);
+        shard_ptr->closer.VisitOpenFragments(open_visitor);
+      } else {
+        shard_ptr->closer.ExportState(&checkpoint.closers);
+      }
+    }
+  };
+  if (ticket == nullptr) {
+    // BeginCheckpoint after Finish(): workers are joined and every fragment
+    // has been flushed to the sink — the closers are empty but their fragment
+    // counters still matter.
+    checkpoint.records = records();
+    checkpoint.parse_failures = parse_failures();
+    checkpoint.ingest_watermark = ingest_watermark_;
+    export_closers();
+    if (while_paused) {
+      while_paused();
+    }
+    return checkpoint;
+  }
+  {
+    std::unique_lock<std::mutex> lock(ticket->mu);
+    ticket->arrived_cv.wait(
+        lock, [&ticket] { return ticket->arrived == ticket->expected; });
+  }
+  // Every worker is paused inside the barrier with its counters published
+  // (the acquire on ticket->mu above orders those relaxed stores), so the
+  // totals below are barrier-aligned even while ingest keeps queueing batches
+  // behind the marker. The closers are safe to read for the same reason: their
+  // owning workers cannot advance until released below.
+  checkpoint.records = records();
+  checkpoint.parse_failures = parse_failures();
+  checkpoint.ingest_watermark = ticket->watermark;
+  export_closers();
+  if (while_paused) {
+    while_paused();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->released = true;
+  }
+  ticket->release_cv.notify_all();
+  return checkpoint;
+}
+
+PipelineCheckpoint LivePipeline::CaptureCheckpoint() {
+  return CollectCheckpoint(BeginCheckpoint());
+}
+
+void LivePipeline::RestoreCheckpoint(PipelineCheckpoint&& checkpoint) {
+  ingest_watermark_ = std::max(ingest_watermark_, checkpoint.ingest_watermark);
+  for (auto& fragment : checkpoint.closers.open) {
+    Shard& shard = *shards_[SipHash24(fragment.id) % shards_.size()];
+    shard.closer.ImportFragment(std::move(fragment));
+  }
+  for (const auto& [id, next] : checkpoint.closers.next_fragment) {
+    shards_[SipHash24(id) % shards_.size()]->closer.SetNextFragment(id, next);
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.closer.ObserveWatermark(checkpoint.ingest_watermark);
+    shard.open_sessions.store(shard.closer.open_sessions(),
+                              std::memory_order_relaxed);
+    shard.open_bytes.store(shard.closer.open_bytes(),
+                           std::memory_order_relaxed);
+    shard.watermark.store(shard.closer.watermark(), std::memory_order_relaxed);
+  }
+}
+
 void LivePipeline::Finish() {
   if (finished_) {
     return;
@@ -202,6 +295,18 @@ void LivePipeline::WorkerLoop(size_t shard_index) {
     shard.open_bytes.store(closer.open_bytes(), std::memory_order_relaxed);
     shard.watermark.store(closer.watermark(), std::memory_order_relaxed);
     shard.cpu_ns.store(ThreadCpuNanos(), std::memory_order_relaxed);
+    if (batch->barrier != nullptr) {
+      // Two-phase checkpoint rendezvous: pre-barrier closes are in the sink
+      // and the counters above are published, so once every shard is parked
+      // here the collector reads barrier-aligned totals and may export this
+      // shard's closer. Pause (blocked, no CPU) until it releases us.
+      CkptBarrier& barrier = *batch->barrier;
+      std::unique_lock<std::mutex> lock(barrier.mu);
+      if (++barrier.arrived == barrier.expected) {
+        barrier.arrived_cv.notify_all();
+      }
+      barrier.release_cv.wait(lock, [&barrier] { return barrier.released; });
+    }
   }
 }
 

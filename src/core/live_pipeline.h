@@ -37,9 +37,11 @@
 #define SRC_CORE_LIVE_PIPELINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +77,19 @@ struct LiveShardSnapshot {
   int64_t cpu_ns = 0;  // Thread CPU consumed by this shard's worker.
 };
 
+// A watermark-aligned consistent snapshot of the pipeline's mutable state,
+// captured by CaptureCheckpoint() at a barrier: every shard has processed the
+// whole arrival prefix, every session that closes at or below the barrier
+// watermark has been handed to the sink, and the merged open-fragment state is
+// a pure function of the arrival stream (the determinism contract). ts_ckpt
+// serializes this plus the SessionStore and the ingest resume offset.
+struct PipelineCheckpoint {
+  uint64_t records = 0;          // Parsed records fed up to the barrier.
+  uint64_t parse_failures = 0;   // Unparseable lines up to the barrier.
+  EventTime ingest_watermark = 0;
+  LiveCloserState closers;       // Merged across shards.
+};
+
 class LivePipeline {
  public:
   // Called on shard worker threads, possibly concurrently from different
@@ -107,6 +122,65 @@ class LivePipeline {
   // Flushes, signals end of stream (shards FlushAll into the sink), and joins
   // the workers. Idempotent.
   void Finish();
+
+  // Rendezvous for one checkpoint barrier (see BeginCheckpoint). Opaque to
+  // callers; exposed only so CheckpointTicket can be named.
+  struct CkptBarrier {
+    std::mutex mu;
+    std::condition_variable arrived_cv;  // Workers -> collector.
+    std::condition_variable release_cv;  // Collector -> workers.
+    size_t expected = 0;
+    size_t arrived = 0;
+    bool released = false;
+    EventTime watermark = 0;  // Global ingest watermark when sealed.
+  };
+  using CheckpointTicket = std::shared_ptr<CkptBarrier>;
+
+  // Two-phase consistent snapshot, split so the expensive half can run on a
+  // background thread (src/ckpt/async_checkpointer.h):
+  //
+  //   BeginCheckpoint()   — ingest thread. Seals a barrier batch (tagged with
+  //                         the current global watermark, like a Flush tick)
+  //                         into every shard queue and returns immediately;
+  //                         ingest may keep feeding behind the marker. Returns
+  //                         nullptr after Finish().
+  //   CollectCheckpoint() — any thread. Blocks until every shard has drained
+  //                         up to the barrier and paused on it — so all
+  //                         pre-barrier session closes have reached the sink —
+  //                         exports the merged LiveCloser state and the
+  //                         barrier-aligned counters, runs `while_paused`
+  //                         (the moment to copy the SessionStore: no sink call
+  //                         can run, so the store holds exactly the sessions
+  //                         closed by the barrier prefix), then releases the
+  //                         shards.
+  //
+  // When `open_visitor` is non-null the open fragments are handed to it by
+  // reference (still under the pause) instead of being deep-copied into the
+  // returned checkpoint, whose `closers.open` stays empty; fragment counters
+  // are exported either way. This is how the async writer serializes the —
+  // typically dominant — open section straight into its output buffer.
+  //
+  // Exactly one CollectCheckpoint per ticket, and every ticket MUST be
+  // collected before Finish() — paused workers never wake otherwise. At most
+  // one barrier may be in flight at a time.
+  CheckpointTicket BeginCheckpoint();
+  PipelineCheckpoint CollectCheckpoint(
+      const CheckpointTicket& ticket,
+      const std::function<void()>& while_paused = nullptr,
+      const LiveCloser::OpenFragmentVisitor& open_visitor = nullptr);
+
+  // Synchronous convenience: BeginCheckpoint + CollectCheckpoint on the
+  // calling (ingest) thread. Valid after Finish() too — the joined shards'
+  // fragment counters still matter for a final snapshot.
+  PipelineCheckpoint CaptureCheckpoint();
+
+  // Restores a snapshot into a fresh pipeline: re-routes each open fragment
+  // and fragment counter to its owning shard by SipHash(id) % workers (the
+  // shard count may differ from the snapshotting run), and raises the global
+  // and per-shard watermarks to the snapshot watermark. MUST be called before
+  // the first Feed*/Flush — the workers have not touched their closers yet,
+  // and the first queue push publishes the restored state to them.
+  void RestoreCheckpoint(PipelineCheckpoint&& checkpoint);
 
   // --- Observability (any thread) ---
 
@@ -150,6 +224,9 @@ class LivePipeline {
     EventTime watermark_end = 0;  // Global watermark when the batch was sealed.
     int64_t enqueue_steady_ns = 0;
     bool flush_all = false;  // End of stream: FlushAll after processing items.
+    // Non-null on checkpoint barrier batches; the shared_ptr keeps the
+    // rendezvous alive for the whole pause even if the collector moves on.
+    CheckpointTicket barrier;
   };
   struct Shard {
     explicit Shard(size_t queue_capacity, EventTime inactivity_ns)

@@ -32,6 +32,7 @@ void SleepMs(int64_t ms) {
 SocketIngestSource::SocketIngestSource(const SocketIngestOptions& options)
     : options_(options),
       framer_(LineFramer::Options{options.max_line_bytes}),
+      records_received_(options.resume_offset),
       jitter_state_(options.jitter_seed * 0x9E3779B97F4A7C15ull | 1) {}
 
 SocketIngestSource::~SocketIngestSource() = default;

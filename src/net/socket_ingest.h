@@ -46,6 +46,12 @@ struct SocketIngestOptions {
   // stay in the kernel buffer and backpressure the server via TCP flow
   // control.
   size_t max_records_per_poll = 0;
+  // Start consuming at this record offset instead of 0: the first hello asks
+  // the server for "TS1 <stream> <resume_offset>". A restored checkpoint
+  // (ts_ckpt) passes the offset its snapshot was barrier-aligned at, so the
+  // records replayed after a crash are exactly the ones whose effects the
+  // snapshot does not contain.
+  uint64_t resume_offset = 0;
   uint64_t jitter_seed = 1;  // Deterministic jitter for reproducible tests.
   // ts_fault seam: may refuse connects, fail or clamp reads, and corrupt
   // received bytes. Null (the default) costs one untaken branch per syscall.
@@ -94,7 +100,9 @@ class SocketIngestSource {
   size_t hello_off_ = 0;
   std::string hello_;
   bool eos_seen_ = false;
-  uint64_t records_received_ = 0;  // Completed records; the resume offset.
+  // Completed records including any restored resume_offset; the offset the
+  // next (re)connect hello asks the server to resume from.
+  uint64_t records_received_ = 0;
   int attempts_ = 0;               // Consecutive failed connects.
   int64_t next_attempt_ms_ = 0;    // Earliest wall time for the next connect.
   uint64_t jitter_state_ = 0;

@@ -23,6 +23,9 @@
 
 #include "src/analytics/session_digest.h"
 #include "src/analytics/session_store.h"
+#include "src/ckpt/checkpointer.h"
+#include "src/ckpt/live_checkpoint.h"
+#include "src/common/rng.h"
 #include "src/core/live_pipeline.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/scripted_injector.h"
@@ -380,6 +383,272 @@ TEST_F(FaultBoundary, KillMidRecordWithPartiallyFlushedBufferResumes) {
   EXPECT_EQ(received, *archive);  // The half-sent record arrives exactly once.
   EXPECT_EQ(reconnects, 1u);
   EXPECT_EQ(resumes, 1u);
+}
+
+// --- Full-process crash/recovery schedules (ts_ckpt) ---
+//
+// Each schedule simulates kill -9 + restart of the sessionizer process while
+// the log server stays up: an "incarnation" builds a fresh Checkpointer,
+// SessionStore, LivePipeline, and SocketIngestSource, restores the newest
+// valid snapshot, resumes the stream from its offset, then — at a seeded
+// absolute record position, possibly mid-batch — abandons everything without
+// any shutdown checkpoint (in-flight state is simply lost, like SIGKILL).
+// Checkpoints are taken on a seeded record cadence; the worker count is
+// re-drawn per incarnation, so restores also cross shard layouts. The final
+// incarnation's digests must match the fault-free in-memory baseline exactly.
+
+struct CrashRunResult {
+  RunResult run;
+  int incarnations = 0;
+  int crashes = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t replayed_duplicates = 0;  // Closed sessions already in the store.
+};
+
+class CrashRecovery : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    archive_ = new std::shared_ptr<std::vector<std::string>>(
+        MakeArchive(/*records_per_sec=*/2'000, /*seconds=*/2));
+    baseline_ = new RunResult(RunInMemory(**archive_));
+    ASSERT_GT((*archive_)->size(), 2'000u);
+    ASSERT_GT(baseline_->sessions, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete archive_;
+    delete baseline_;
+    archive_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  static const std::vector<std::string>& archive() { return **archive_; }
+  static const RunResult& baseline() { return *baseline_; }
+
+  static CrashRunResult RunCrashSchedule(uint64_t seed) {
+    CrashRunResult out;
+    Rng rng(seed ^ 0xCDB4D88C6A2E9C01ULL);
+    const uint64_t total = archive().size();
+
+    const std::string dir = ::testing::TempDir() + "ts_crash_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(seed);
+    const std::string cleanup = "rm -rf '" + dir + "'";
+    EXPECT_EQ(std::system(cleanup.c_str()), 0);
+
+    LogServerOptions server_options;
+    LogServer server(server_options, *archive_);
+    EXPECT_TRUE(server.Start());
+    std::thread server_thread([&server] { server.Run(); });
+
+    // 1-3 kills per schedule, then the last incarnation runs to EOS. A hard
+    // incarnation cap guards against a restore bug looping forever.
+    int crashes_left = 1 + static_cast<int>(rng.NextBelow(3));
+    bool eos = false;
+    for (int incarnation = 0; incarnation < 16 && !eos; ++incarnation) {
+      ++out.incarnations;
+
+      CheckpointerOptions ckpt_options;
+      ckpt_options.dir = dir;
+      ckpt_options.retain = 2 + static_cast<size_t>(rng.NextBelow(2));
+      ckpt_options.interval_ms = 0;  // Record-count cadence below.
+      Checkpointer ckpt(ckpt_options);
+      CheckpointState state;
+      ckpt.RestoreLatest(&state);
+      const uint64_t resume = state.resume_offset;
+      const uint64_t base_records = state.records;
+      const uint64_t base_parse_failures = state.parse_failures;
+      EXPECT_LE(resume, total);
+
+      SessionStore::Options store_options;
+      store_options.max_bytes = 1ull << 30;
+      SessionStore store(store_options);
+      std::mutex mu;
+      std::set<std::string> ids;
+      uint64_t xor_digest = 0;
+      uint64_t sessions = 0;
+      uint64_t duplicates = 0;
+
+      LivePipelineOptions pipeline_options;
+      pipeline_options.workers = 1 + rng.NextBelow(4);
+      LivePipeline pipeline(pipeline_options, [&](Session&& s) {
+        thread_local std::string scratch;
+        const bool duplicate = store.Contains(s.id, s.fragment_index);
+        const uint64_t d = SessionDigest(s, &scratch);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (duplicate) {
+            // An exact resume offset makes replay re-derive only state the
+            // snapshot does not already hold; count violations, never merge.
+            ++duplicates;
+            return;
+          }
+          xor_digest ^= d;
+          ++sessions;
+          ids.insert(s.id);
+        }
+        store.Insert(std::move(s));
+      });
+      RestoreLiveCheckpoint(std::move(state), &pipeline, &store);
+      {
+        // Sessions carried over in the snapshot count toward the digests.
+        std::string scratch;
+        store.ForEachSession([&](const Session& s) {
+          xor_digest ^= SessionDigest(s, &scratch);
+          ++sessions;
+          ids.insert(s.id);
+        });
+      }
+
+      SocketIngestOptions client_options;
+      client_options.port = server.port();
+      client_options.backoff_base_ms = 1;
+      client_options.backoff_max_ms = 20;
+      client_options.resume_offset = resume;
+      SocketIngestSource client(client_options);
+
+      // Crash position (absolute record index, may fall mid-batch) and
+      // checkpoint cadence for this incarnation.
+      const bool crash_this = crashes_left > 0 && resume < total;
+      const uint64_t crash_at =
+          crash_this ? resume + 1 + rng.NextBelow(total - resume) : 0;
+      const uint64_t ckpt_every = 100 + rng.NextBelow(900);
+
+      uint64_t fed = resume;   // Absolute position of the next record to feed.
+      uint64_t since_ckpt = 0;
+      bool crashed = false;
+      std::vector<std::string> batch;
+      while (!crashed) {
+        batch.clear();
+        const auto poll = client.PollLines(&batch, /*timeout_ms=*/200);
+        for (auto& line : batch) {
+          if (crash_this && fed == crash_at) {
+            crashed = true;  // SIGKILL: the rest of the batch never lands.
+            break;
+          }
+          pipeline.FeedLine(std::move(line));
+          ++fed;
+          ++since_ckpt;
+        }
+        if (crashed) {
+          break;
+        }
+        pipeline.Flush();
+        if (poll == SocketIngestSource::Poll::kEndOfStream) {
+          eos = true;
+          break;
+        }
+        if (poll == SocketIngestSource::Poll::kFailed) {
+          break;  // Leaves out.run.eos false; the caller fails the seed.
+        }
+        if (since_ckpt >= ckpt_every) {
+          CheckpointState snap =
+              CaptureLiveCheckpoint(&pipeline, store, client.records_received());
+          snap.records += base_records;
+          snap.parse_failures += base_parse_failures;
+          EXPECT_TRUE(ckpt.Write(snap));
+          ++out.snapshots_written;
+          since_ckpt = 0;
+        }
+      }
+      pipeline.Finish();  // Joins workers; a crashed incarnation's state is
+                          // discarded wholesale along with store/digests.
+      if (crashed) {
+        ++out.crashes;
+        --crashes_left;
+        continue;
+      }
+      if (!eos) {
+        break;  // Transport failure: surface as a non-conformant run.
+      }
+      out.run.eos = true;
+      out.run.records_in = base_records + pipeline.records();
+      out.run.parse_failures = base_parse_failures + pipeline.parse_failures();
+      out.run.sessions = sessions;
+      out.run.session_digest = xor_digest;
+      out.run.store_digest = ChainedStoreDigest(store, ids);
+      out.replayed_duplicates = duplicates;
+    }
+
+    server.Stop();
+    server_thread.join();
+    EXPECT_EQ(std::system(cleanup.c_str()), 0);
+    return out;
+  }
+
+  // Runs one seeded kill-9/restart schedule and asserts the recovered run is
+  // indistinguishable from the fault-free baseline.
+  void CheckCrashSeed(uint64_t seed) {
+    const CrashRunResult out = RunCrashSchedule(seed);
+    const std::string banner = "crash schedule seed " + std::to_string(seed) +
+                               " (" + std::to_string(out.crashes) +
+                               " crash(es), " +
+                               std::to_string(out.incarnations) +
+                               " incarnation(s), " +
+                               std::to_string(out.snapshots_written) +
+                               " snapshot(s))";
+    ASSERT_TRUE(out.run.eos) << banner;
+    EXPECT_EQ(out.crashes, out.incarnations - 1) << banner;
+    EXPECT_EQ(out.run.records_in, archive().size()) << banner;
+    EXPECT_EQ(out.run.parse_failures, 0u) << banner;
+    EXPECT_EQ(out.replayed_duplicates, 0u) << banner;
+    EXPECT_EQ(out.run.sessions, baseline().sessions) << banner;
+    EXPECT_EQ(out.run.session_digest, baseline().session_digest) << banner;
+    EXPECT_EQ(out.run.store_digest, baseline().store_digest) << banner;
+  }
+
+ private:
+  static std::shared_ptr<std::vector<std::string>>* archive_;
+  static RunResult* baseline_;
+};
+
+std::shared_ptr<std::vector<std::string>>* CrashRecovery::archive_ = nullptr;
+RunResult* CrashRecovery::baseline_ = nullptr;
+
+TEST_F(CrashRecovery, FirstFiftyKillRestartSchedules) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    CheckCrashSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // The banner already names the seed.
+    }
+  }
+}
+
+TEST_F(CrashRecovery, SecondFiftyKillRestartSchedules) {
+  for (uint64_t seed = 50; seed < 100; ++seed) {
+    CheckCrashSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST_F(CrashRecovery, ColdStartWithEmptyCheckpointDirMatchesBaseline) {
+  // Seed chosen so RunCrashSchedule still kills at least once; the very first
+  // incarnation necessarily restores nothing and must start from offset 0.
+  CheckCrashSeed(7919);
+}
+
+TEST_F(CrashRecovery, ExploratorySeedFromEnvironment) {
+  const char* seed_text = std::getenv("TS_FAULT_SEED");
+  if (seed_text == nullptr || *seed_text == '\0') {
+    GTEST_SKIP() << "set TS_FAULT_SEED to run exploratory crash schedules";
+  }
+  const uint64_t base = std::strtoull(seed_text, nullptr, 10);
+  for (uint64_t i = 0; i < 4 && !HasFailure(); ++i) {
+    CheckCrashSeed(base + i * 104'729);
+  }
+  if (HasFailure()) {
+    if (const char* artifact = std::getenv("TS_FAULT_ARTIFACT")) {
+      FILE* f = std::fopen(artifact, "a");
+      if (f != nullptr) {
+        std::fprintf(f,
+                     "# ts_ckpt exploratory crash-schedule failure\n"
+                     "TS_FAULT_SEED=%llu\n",
+                     static_cast<unsigned long long>(base));
+        std::fclose(f);
+      }
+    }
+  }
 }
 
 // --- Exploratory lane (satellite S5) ---

@@ -33,6 +33,13 @@
 //                     worker threads, hash-partitioned by SipHash(session id)
 //                     — the paper's Exchange PACT (default: hardware threads).
 //                     Closed-session output is byte-identical for every N.
+//   --checkpoint-dir=D  (with --connect --serve) durable crash recovery: on
+//                     startup restore the newest valid snapshot in D and
+//                     resume the server-side stream from its offset; while
+//                     running, write barrier-aligned snapshots periodically
+//                     and on graceful shutdown. See docs/RECOVERY.md.
+//   --ckpt_interval_s=N  seconds between periodic snapshots (default 2)
+//   --ckpt_retain=K   snapshots kept on disk (default 3)
 #include <csignal>
 #include <cstdio>
 #include <algorithm>
@@ -48,6 +55,9 @@
 
 #include "src/analytics/dependency_graph.h"
 #include "src/analytics/session_store.h"
+#include "src/ckpt/async_checkpointer.h"
+#include "src/ckpt/checkpointer.h"
+#include "src/ckpt/live_checkpoint.h"
 #include "src/common/metrics_registry.h"
 #include "src/core/live_pipeline.h"
 #include "src/core/trace_tree.h"
@@ -169,6 +179,12 @@ class ReportAccumulator {
 int main(int argc, char** argv) {
   using namespace ts;
 
+  // Graceful shutdown on every path: SIGINT/SIGTERM stop ingest, write a
+  // final checkpoint when one is configured, and still print the report and
+  // transport stats before exiting.
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
   // --serve: stand up the store and the query server before ingesting, so
   // subscribers attached early see every session close.
   const char* serve_spec = FlagStr(argc, argv, "--serve");
@@ -200,8 +216,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "query server listening on %s:%u\n",
                  server_options.host.c_str(), server->port());
     server_thread = std::thread([&server] { server->Run(); });
-    std::signal(SIGINT, OnSignal);
-    std::signal(SIGTERM, OnSignal);
   }
 
   const EventTime inactivity_ns = static_cast<EventTime>(
@@ -228,6 +242,62 @@ int main(int argc, char** argv) {
     // Bound the batch one poll may deliver so a stalled shard queue
     // back-pressures the server via TCP instead of ballooning `lines`.
     options.max_records_per_poll = 16 << 10;
+
+    // --checkpoint-dir: restore the newest valid snapshot before connecting
+    // so the hello's "TS1 <stream> <offset>" resumes exactly where the
+    // snapshot left off.
+    std::unique_ptr<Checkpointer> ckpt;
+    CheckpointState restored;
+    bool did_restore = false;
+    uint64_t base_records = 0;
+    uint64_t base_parse_failures = 0;
+    if (const char* dir = FlagStr(argc, argv, "--checkpoint-dir")) {
+      if (server == nullptr) {
+        std::fprintf(stderr,
+                     "--checkpoint-dir needs --serve (live path); ignoring\n");
+      } else {
+        CheckpointerOptions ckpt_options;
+        ckpt_options.dir = dir;
+        ckpt_options.retain =
+            static_cast<size_t>(Flag(argc, argv, "--ckpt_retain", 3));
+        ckpt_options.interval_ms = static_cast<int64_t>(
+            Flag(argc, argv, "--ckpt_interval_s", 2.0) * 1000);
+        ckpt = std::make_unique<Checkpointer>(ckpt_options);
+        RestoreResult rr = ckpt->RestoreLatest(&restored);
+        if (rr.restored &&
+            restored.stream != static_cast<uint64_t>(options.stream)) {
+          std::fprintf(stderr,
+                       "checkpoint %s is for stream %llu, not %zu; "
+                       "starting cold\n",
+                       rr.path.c_str(),
+                       static_cast<unsigned long long>(restored.stream),
+                       options.stream);
+          restored = CheckpointState{};
+          rr.restored = false;
+        }
+        if (rr.restored) {
+          did_restore = true;
+          base_records = restored.records;
+          base_parse_failures = restored.parse_failures;
+          options.resume_offset = restored.resume_offset;
+          std::fprintf(
+              stderr,
+              "restored %s: resume offset %llu, %zu open fragment(s), "
+              "%zu stored session(s)%s\n",
+              rr.path.c_str(),
+              static_cast<unsigned long long>(restored.resume_offset),
+              restored.closers.open.size(), restored.store_sessions.size(),
+              rr.fallbacks > 0 ? " (damaged snapshot(s) skipped)" : "");
+        } else if (rr.fallbacks > 0) {
+          std::fprintf(stderr,
+                       "no valid checkpoint in %s (%llu damaged); "
+                       "starting cold\n",
+                       dir, static_cast<unsigned long long>(rr.fallbacks));
+        }
+        ckpt->RegisterMetrics(metrics.get());
+      }
+    }
+
     SocketIngestSource source(options);
     if (server != nullptr) {
       // Live path: parse + sessionize sharded across --workers threads,
@@ -241,19 +311,35 @@ int main(int argc, char** argv) {
           Flag(argc, argv, "--workers", hw > 0 ? hw : 1));
       pipe_options.inactivity_ns =
           inactivity_ns > 0 ? inactivity_ns : 5 * kNanosPerSecond;
-      pipeline =
-          std::make_unique<LivePipeline>(pipe_options, [&](Session&& s) {
+      const bool dedupe_replay = ckpt != nullptr;
+      pipeline = std::make_unique<LivePipeline>(
+          pipe_options, [&, dedupe_replay](Session&& s) {
+            if (dedupe_replay && store->Contains(s.id, s.fragment_index)) {
+              // Replay-window dedupe guard: with an exact resume offset this
+              // never fires, but it keeps a stale offset from double-counting.
+              return;
+            }
             report.Add(s);
             store->Insert(std::move(s));
           });
+      if (did_restore) {
+        // Must precede the first FeedLine/Flush: the restore publishes open
+        // fragments and the snapshot watermark into the shard closers.
+        RestoreLiveCheckpoint(std::move(restored), pipeline.get(),
+                              store.get());
+        store->ForEachSession([&report](const Session& s) { report.Add(s); });
+      }
       pipeline->RegisterMetrics(metrics.get());
       // Legacy gauge names, kept stable for operators and the e2e smoke.
+      // With a restored checkpoint they continue from the snapshot's counters
+      // so totals match a crash-free run.
       LivePipeline* pipe = pipeline.get();
-      metrics->Register("ingest_records", [pipe] {
-        return static_cast<int64_t>(pipe->records());
+      metrics->Register("ingest_records", [pipe, base_records] {
+        return static_cast<int64_t>(base_records + pipe->records());
       });
-      metrics->Register("ingest_parse_failures", [pipe] {
-        return static_cast<int64_t>(pipe->parse_failures());
+      metrics->Register("ingest_parse_failures", [pipe, base_parse_failures] {
+        return static_cast<int64_t>(base_parse_failures +
+                                    pipe->parse_failures());
       });
       metrics->Register("sessionize_open_sessions", [pipe] {
         return static_cast<int64_t>(pipe->open_sessions());
@@ -263,6 +349,19 @@ int main(int argc, char** argv) {
       });
       std::fprintf(stderr, "live pipeline: %zu shard worker(s)\n",
                    pipeline->workers());
+      // Periodic snapshots ride the async two-phase barrier: the poll loop
+      // pays one BeginCheckpoint per due tick, and all O(live state)
+      // serialization + fsync runs on the writer thread while ingest keeps
+      // feeding behind the barrier marker.
+      std::unique_ptr<AsyncCheckpointer> async_ckpt;
+      if (ckpt != nullptr) {
+        AsyncCheckpointer::Options ac_options;
+        ac_options.stream = static_cast<uint64_t>(options.stream);
+        ac_options.base_records = base_records;
+        ac_options.base_parse_failures = base_parse_failures;
+        async_ckpt = std::make_unique<AsyncCheckpointer>(
+            ckpt.get(), pipeline.get(), store.get(), ac_options);
+      }
       std::vector<std::string> lines;
       bool done = false;
       while (!done && g_stop == 0) {
@@ -278,11 +377,33 @@ int main(int argc, char** argv) {
           done = true;
         } else {
           pipeline->Flush();
+          if (async_ckpt != nullptr) {
+            async_ckpt->MaybeCheckpoint(source.records_received());
+          }
         }
       }
+      // Drain + join the writer before any synchronous capture or Finish():
+      // at most one barrier may be in flight, and an uncollected ticket would
+      // leave the shard workers paused forever.
+      async_ckpt.reset();
+      if (ckpt != nullptr && !transport_failed) {
+        // Final checkpoint before Finish(): Finish force-closes every open
+        // fragment for the report, and those early closes must not leak into
+        // the snapshot — a restart continues them as open fragments instead.
+        pipeline->Flush();
+        CheckpointState state = CaptureLiveCheckpoint(
+            pipeline.get(), *store, source.records_received(),
+            static_cast<uint64_t>(options.stream));
+        state.records += base_records;
+        state.parse_failures += base_parse_failures;
+        ckpt->Write(state);
+        std::fprintf(stderr, "final checkpoint at offset %llu (%s)\n",
+                     static_cast<unsigned long long>(state.resume_offset),
+                     ckpt->dir().c_str());
+      }
       pipeline->Finish();
-      record_count = pipeline->records();
-      parse_failures = pipeline->parse_failures();
+      record_count = base_records + pipeline->records();
+      parse_failures = base_parse_failures + pipeline->parse_failures();
       sessions_ready = true;
     } else {
       std::vector<std::string> lines;

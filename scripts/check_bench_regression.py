@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Gate CI on live-pipeline bench results.
+"""Gate CI on bench results.
 
-Compares a fresh BENCH_live_scaling.json (written by bench/fig5_live_scaling
---json=...) against the checked-in baseline and fails when:
+Compares a fresh BENCH_*.json (written by bench/fig5_live_scaling or
+bench/template_compression with --json=...) against the checked-in baseline
+and fails when:
 
-  * critical-path throughput for any worker count regressed more than
+  * critical-path throughput for any baseline lane regressed more than
     --tolerance (default 0.30, the ">30% regression" CI contract),
-  * the run was not byte-identical across worker counts, or
-  * the 4-worker speedup fell below the baseline's min_speedup_4w floor.
+  * the run was not byte-identical across worker counts,
+  * the 4-worker speedup fell below the baseline's min_speedup_4w floor,
+  * checkpoint overhead exceeded the baseline's max_ckpt_overhead cap,
+  * the store compression ratio fell below min_compression_ratio, or
+  * the lane sets diverge: a lane present in the baseline but missing from
+    the current run always fails; a lane present in the current run but
+    missing from the baseline fails with a clear "lane missing from
+    baseline" error unless --allow-new-lanes is passed (use it on the CI
+    run that introduces a lane, then check in the refreshed baseline).
 
-Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance=0.30]
+Lanes are keyed by the "workers" field when rows carry one (live_scaling)
+and by the "lane" field otherwise (template_compression).
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json
+           [--tolerance=0.30] [--allow-new-lanes]
 """
 
 import json
@@ -21,15 +33,43 @@ def load(path):
         return json.load(f)
 
 
+def lane_key(row):
+    """Stable lane identity for a result row."""
+    if "workers" in row:
+        return f"workers={row['workers']}"
+    if "lane" in row:
+        return f"lane={row['lane']}"
+    return None
+
+
+def index_rows(doc, path, failures):
+    rows = {}
+    for row in doc.get("rows", []):
+        key = lane_key(row)
+        if key is None:
+            failures.append(
+                f"{path}: row {row!r} has neither 'workers' nor 'lane' — "
+                "cannot identify the lane")
+            continue
+        if key in rows:
+            failures.append(f"{path}: duplicate lane {key}")
+            continue
+        rows[key] = row
+    return rows
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
     tolerance = 0.30
+    allow_new_lanes = False
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
+        elif a == "--allow-new-lanes":
+            allow_new_lanes = True
 
     current = load(args[0])
     baseline = load(args[1])
@@ -39,27 +79,48 @@ def main(argv):
         failures.append(
             "results were NOT byte-identical across worker counts")
 
-    baseline_rows = {row["workers"]: row for row in baseline.get("rows", [])}
-    current_rows = {row["workers"]: row for row in current.get("rows", [])}
+    baseline_rows = index_rows(baseline, args[1], failures)
+    current_rows = index_rows(current, args[0], failures)
 
-    print(f"{'workers':>8} {'baseline rec/s':>15} {'current rec/s':>15} "
+    print(f"{'lane':>14} {'baseline rec/s':>15} {'current rec/s':>15} "
           f"{'floor':>12} {'status':>8}")
-    for workers, base_row in sorted(baseline_rows.items()):
-        cur_row = current_rows.get(workers)
+    for key, base_row in sorted(baseline_rows.items()):
+        cur_row = current_rows.get(key)
         if cur_row is None:
-            failures.append(f"workers={workers}: missing from current run")
+            failures.append(f"{key}: missing from current run")
             continue
-        base_tput = float(base_row["records_per_s"])
-        cur_tput = float(cur_row["records_per_s"])
+        base_tput = base_row.get("records_per_s")
+        cur_tput = cur_row.get("records_per_s")
+        if base_tput is None:
+            print(f"{key:>14} {'(no throughput gate)':>44}")
+            continue
+        if cur_tput is None:
+            failures.append(
+                f"{key}: baseline gates records_per_s but the current run "
+                "emitted none")
+            continue
+        base_tput = float(base_tput)
+        cur_tput = float(cur_tput)
         floor = base_tput * (1.0 - tolerance)
         ok = cur_tput >= floor
-        print(f"{workers:>8} {base_tput:>15.0f} {cur_tput:>15.0f} "
+        print(f"{key:>14} {base_tput:>15.0f} {cur_tput:>15.0f} "
               f"{floor:>12.0f} {'ok' if ok else 'FAIL':>8}")
         if not ok:
             failures.append(
-                f"workers={workers}: {cur_tput:.0f} rec/s is "
+                f"{key}: {cur_tput:.0f} rec/s is "
                 f"{100 * (1 - cur_tput / base_tput):.1f}% below baseline "
                 f"{base_tput:.0f} (tolerance {100 * tolerance:.0f}%)")
+
+    new_lanes = sorted(set(current_rows) - set(baseline_rows))
+    if new_lanes:
+        if allow_new_lanes:
+            print(f"new lanes not in baseline (allowed): {', '.join(new_lanes)}")
+        else:
+            for key in new_lanes:
+                failures.append(
+                    f"{key}: lane missing from baseline {args[1]} — refresh "
+                    "the baseline, or pass --allow-new-lanes to accept it "
+                    "for this run")
 
     min_speedup = baseline.get("min_speedup_4w")
     if min_speedup is not None:
@@ -82,6 +143,19 @@ def main(argv):
                 failures.append(
                     f"checkpoint overhead {100 * overhead:.1f}% exceeds cap "
                     f"{100 * float(max_ckpt_overhead):.0f}%")
+
+    min_ratio = baseline.get("min_compression_ratio")
+    if min_ratio is not None:
+        if "compression_ratio" not in current:
+            failures.append("current run emitted no compression_ratio")
+        else:
+            ratio = float(current["compression_ratio"])
+            print(f"compression_ratio: {ratio:.2f}x "
+                  f"(floor {float(min_ratio):.2f}x)")
+            if ratio < float(min_ratio):
+                failures.append(
+                    f"store compression {ratio:.2f}x below floor "
+                    f"{float(min_ratio):.2f}x")
 
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)

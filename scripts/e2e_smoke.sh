@@ -15,7 +15,11 @@
 # ingest and store counts — the shell-level version of the CrashRecovery
 # conformance suite (see docs/RECOVERY.md).
 #
-# Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash]
+# With --templates, a fourth run streams free-text payloads through
+# ts_sessionize --mine-templates and asserts the TEMPLATES verb serves a
+# non-empty ranked dictionary (see docs/ARCHITECTURE.md, ts_parse).
+#
+# Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash] [--templates]
 #   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
 #                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
@@ -23,17 +27,25 @@ set -euo pipefail
 BUILD_DIR="build"
 CHAOS=0
 CRASH=0
+TEMPLATES=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --crash) CRASH=1 ;;
+    --templates) TEMPLATES=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
 TOOLS="$BUILD_DIR/tools"
 WORK="$(mktemp -d)"
 cleanup() {
-  kill "$(jobs -p)" >/dev/null 2>&1 || true
+  trap - EXIT
+  kill $(jobs -p) >/dev/null 2>&1 || true
+  # Belt and braces: no ts_log_server / ts_sessionize / ts_chaos child may
+  # outlive the smoke run — a stray one (e.g. after a mid-script failure
+  # while a kill -9'd sessionizer's server keeps serving) holds its port and
+  # wedges CI until the job timeout. -P $$ scopes the sweep to our children.
+  pkill -9 -P $$ -f 'ts_log_server|ts_sessionize|ts_chaos' 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -150,6 +162,45 @@ grep -q '^#SESSION ' "$WORK/get.out" || {
 kill -INT "$SESS_PID" 2>/dev/null || true
 wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
+
+[ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] || exit 0
+
+# ---- Template-mining run: free-text payloads, TEMPLATES query ---------------
+
+if [ "$TEMPLATES" -eq 1 ]; then
+  # Free-text payload stream: multi-token log lines the miner can structure.
+  "$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" --free_text --once \
+    >"$WORK/lst.out" 2>"$WORK/lst.err" &
+  TPORT="$(wait_port_file "$WORK/lst.out")"
+  [ -n "$TPORT" ] || {
+    echo "FAIL: template log server reported no port"; exit 1; }
+
+  start_sessionize "$TPORT" tmpl --mine-templates
+
+  # Wait for the stream to drain into the store before reading the dictionary.
+  settle_counts "$QPORT" || {
+    echo "FAIL: template run never settled"; cat "$WORK/tmpl.err"; exit 1; }
+
+  # The dictionary gauge and the TEMPLATES verb must both see mined state.
+  NTEMPL="$(stat_gauge "$QPORT" live_templates || true)"
+  [ -n "$NTEMPL" ] && [ "$NTEMPL" -gt 0 ] || {
+    echo "FAIL: live_templates gauge stayed ${NTEMPL:-empty}"
+    cat "$WORK/tmpl.err"; exit 1; }
+
+  # ts_query exits nonzero on #ERR (set -e catches it); --raw prints the
+  # dictionary as wire-format TMPL lines.
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw TEMPLATES 5 \
+    >"$WORK/tmpl_query.out"
+  TMPL_LINES="$(grep -c '^TMPL ' "$WORK/tmpl_query.out" || true)"
+  [ -n "$TMPL_LINES" ] && [ "$TMPL_LINES" -ge 1 ] || {
+    echo "FAIL: TEMPLATES served no TMPL lines"
+    cat "$WORK/tmpl_query.out"; cat "$WORK/tmpl.err"; exit 1; }
+
+  kill -INT "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  echo "e2e templates OK: $NTEMPL templates mined from $RECORDS records," \
+       "TEMPLATES 5 served $TMPL_LINES entries"
+fi
 
 [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || exit 0
 

@@ -15,6 +15,7 @@ constexpr char kTagHeader = 'H';
 constexpr char kTagOpen = 'O';
 constexpr char kTagCounters = 'C';
 constexpr char kTagStore = 'S';
+constexpr char kTagTemplates = 'T';
 constexpr char kTagFooter = 'E';
 constexpr size_t kCounterChunk = 4096;  // Counter entries per 'C' frame.
 
@@ -95,8 +96,41 @@ void EncodeSnapshotParts(const CheckpointState& state, uint64_t open_count,
   PutU64(&payload, state.closers.open.size() + open_count);
   PutU64(&payload, state.closers.next_fragment.size());
   PutU64(&payload, state.store_sessions.size() + store_count);
+  PutU64(&payload, state.has_miner ? 1 : 0);
   AppendFrame(head, payload);
   ++frames;
+
+  if (state.has_miner) {
+    const TemplateMinerState& miner = state.miner;
+    payload.clear();
+    payload.push_back(kTagTemplates);
+    PutU32(&payload, miner.next_template_id);
+    PutU64(&payload, miner.catch_all_hits);
+    PutU64(&payload, miner.payloads_mined);
+    PutU64(&payload, miner.nodes.size());
+    for (const auto& node : miner.nodes) {
+      PutU32(&payload, node.parent);
+      PutU32(&payload, node.bucket);
+      PutU32(&payload, (node.wild ? 1u : 0u) | (node.leaf ? 2u : 0u));
+      PutBytes(&payload, node.token);
+    }
+    PutU64(&payload, miner.groups.size());
+    for (const auto& group : miner.groups) {
+      PutU32(&payload, group.node);
+      PutU32(&payload, group.template_id);
+      PutU64(&payload, group.hits);
+      PutU32(&payload, static_cast<uint32_t>(group.tokens.size()));
+      for (const auto& token : group.tokens) {
+        PutBytes(&payload, token);
+      }
+      PutBytes(&payload,
+               std::string_view(
+                   reinterpret_cast<const char*>(group.wildcard.data()),
+                   group.wildcard.size()));
+    }
+    AppendFrame(head, payload);
+    ++frames;
+  }
 
   for (const auto& fragment : state.closers.open) {
     payload.clear();
@@ -161,6 +195,7 @@ bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
   header.pos += kMagicLen;
   uint32_t version = 0;
   uint64_t watermark = 0, n_open = 0, n_counters = 0, n_store = 0;
+  uint64_t n_templates = 0;
   if (!header.GetU32(&version) || version != kCheckpointVersion ||
       !header.GetU64(&state->resume_offset) || !header.GetU64(&state->stream) ||
       !header.GetU64(&watermark) || !header.GetU64(&state->records) ||
@@ -168,6 +203,7 @@ bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
       !header.GetU64(&state->store_inserted) ||
       !header.GetU64(&state->store_evicted) || !header.GetU64(&n_open) ||
       !header.GetU64(&n_counters) || !header.GetU64(&n_store) ||
+      !header.GetU64(&n_templates) || n_templates > 1 ||
       header.remaining() != 0) {
     return false;
   }
@@ -229,6 +265,66 @@ bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
         state->store_sessions.push_back(std::move(session));
         break;
       }
+      case kTagTemplates: {
+        if (state->has_miner) {
+          return false;  // At most one 'T' frame.
+        }
+        TemplateMinerState& miner = state->miner;
+        uint64_t n_nodes = 0, n_groups = 0;
+        if (!cursor.GetU32(&miner.next_template_id) ||
+            !cursor.GetU64(&miner.catch_all_hits) ||
+            !cursor.GetU64(&miner.payloads_mined) ||
+            !cursor.GetU64(&n_nodes)) {
+          return false;
+        }
+        miner.nodes.reserve(n_nodes);
+        for (uint64_t i = 0; i < n_nodes; ++i) {
+          TemplateMinerState::NodeRec node;
+          uint32_t flags = 0;
+          std::string_view token;
+          if (!cursor.GetU32(&node.parent) || !cursor.GetU32(&node.bucket) ||
+              !cursor.GetU32(&flags) || flags > 3 ||
+              !cursor.GetBytes(&token)) {
+            return false;
+          }
+          node.wild = (flags & 1u) != 0;
+          node.leaf = (flags & 2u) != 0;
+          node.token = std::string(token);
+          miner.nodes.push_back(std::move(node));
+        }
+        if (!cursor.GetU64(&n_groups)) {
+          return false;
+        }
+        miner.groups.reserve(n_groups);
+        for (uint64_t i = 0; i < n_groups; ++i) {
+          TemplateMinerState::GroupRec group;
+          uint32_t n_tokens = 0;
+          if (!cursor.GetU32(&group.node) ||
+              !cursor.GetU32(&group.template_id) ||
+              !cursor.GetU64(&group.hits) || !cursor.GetU32(&n_tokens)) {
+            return false;
+          }
+          group.tokens.reserve(n_tokens);
+          for (uint32_t j = 0; j < n_tokens; ++j) {
+            std::string_view token;
+            if (!cursor.GetBytes(&token)) {
+              return false;
+            }
+            group.tokens.emplace_back(token);
+          }
+          std::string_view wildcard;
+          if (!cursor.GetBytes(&wildcard) || wildcard.size() != n_tokens) {
+            return false;
+          }
+          group.wildcard.assign(wildcard.begin(), wildcard.end());
+          miner.groups.push_back(std::move(group));
+        }
+        if (cursor.remaining() != 0) {
+          return false;
+        }
+        state->has_miner = true;
+        break;
+      }
       case kTagFooter: {
         if (!cursor.GetU64(&footer_frames) || cursor.remaining() != 0) {
           return false;
@@ -246,7 +342,8 @@ bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
   return parser.AtEnd() && footer_seen && footer_frames == frames &&
          state->closers.open.size() == n_open &&
          state->closers.next_fragment.size() == n_counters &&
-         state->store_sessions.size() == n_store;
+         state->store_sessions.size() == n_store &&
+         (state->has_miner ? 1u : 0u) == n_templates;
 }
 
 }  // namespace ts

@@ -18,6 +18,10 @@
 //   'C' counters a chunk of (session id -> next fragment index) entries
 //   'S' store    one stored session (id, fragment, epochs, records) — one
 //                frame per session, oldest-inserted first
+//   'T' templates the template-miner dictionary (src/parse) at the barrier —
+//                at most one frame, present only when mining is enabled, so
+//                a restore reproduces the exact template ids for the replayed
+//                suffix
 //   'E' footer   total frame count; its presence proves the file is complete
 //
 // Records travel as text wire-format lines (the same canonical bytes the
@@ -37,7 +41,10 @@
 
 namespace ts {
 
-inline constexpr uint32_t kCheckpointVersion = 1;
+// Version 2 added the template-frame count to the header and the 'T' frame.
+// Older snapshots fail validation and are skipped (a cold start), which is
+// correct — the log server replays from offset 0.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 struct CheckpointState {
   // Ingest position: records consumed from the log server at the barrier —
@@ -55,6 +62,9 @@ struct CheckpointState {
 
   LiveCloserState closers;        // Open fragments + fragment numbering.
   std::vector<Session> store_sessions;  // Insertion order, oldest first.
+  // Template-miner dictionary at the barrier ('T' frame; mining runs only).
+  bool has_miner = false;
+  TemplateMinerState miner;
 };
 
 // Encodes single stored sessions as framed 'S' records — byte-identical to

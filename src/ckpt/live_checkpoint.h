@@ -45,6 +45,8 @@ inline void FillFromPipelineCheckpoint(PipelineCheckpoint&& pipeline_state,
   state->records = pipeline_state.records;
   state->parse_failures = pipeline_state.parse_failures;
   state->closers = std::move(pipeline_state.closers);
+  state->has_miner = pipeline_state.has_miner;
+  state->miner = std::move(pipeline_state.miner);
 }
 
 inline CheckpointState CaptureLiveCheckpoint(LivePipeline* pipeline,
@@ -70,6 +72,8 @@ inline void RestoreLiveCheckpoint(CheckpointState&& state,
   PipelineCheckpoint pipeline_state;
   pipeline_state.ingest_watermark = state.ingest_watermark;
   pipeline_state.closers = std::move(state.closers);
+  pipeline_state.has_miner = state.has_miner;
+  pipeline_state.miner = std::move(state.miner);
   pipeline->RestoreCheckpoint(std::move(pipeline_state));
 }
 

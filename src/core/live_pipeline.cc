@@ -23,6 +23,20 @@ int64_t SteadyNowNanos() {
 // the line is malformed enough that neither is trustworthy — the caller then
 // routes by a hash of the whole line and leaves the watermark alone; the
 // owning shard's full parse records the failure.
+// Offset of the payload field — just past the sixth '|' — or npos when the
+// line has fewer separators (malformed; mining skips it deterministically).
+size_t PayloadOffset(std::string_view line) {
+  size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    pos = line.find('|', pos);
+    if (pos == std::string_view::npos) {
+      return std::string_view::npos;
+    }
+    ++pos;
+  }
+  return pos;
+}
+
 bool ExtractRouteKey(std::string_view line, EventTime* time,
                      std::string_view* session_id) {
   const size_t p0 = line.find('|');
@@ -58,6 +72,9 @@ LivePipeline::LivePipeline(const LivePipelineOptions& options, SessionSink sink)
     shards_.push_back(std::make_unique<Shard>(options_.queue_capacity,
                                               options_.inactivity_ns));
   }
+  if (options_.mine_templates) {
+    miner_ = std::make_unique<TemplateMiner>(options_.miner);
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
   }
@@ -75,6 +92,13 @@ void LivePipeline::FeedLine(std::string line) {
     blank_lines_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  if (miner_ != nullptr) {
+    // Mine before routing: the miner sees the full arrival stream in order
+    // on this one thread, which is what keeps template ids independent of
+    // the worker count. The rewritten line is what every downstream stage
+    // (parse, store, digests, snapshots) sees.
+    MineLinePayload(&line);
+  }
   EventTime time = 0;
   std::string_view session_id;
   size_t shard_index;
@@ -90,7 +114,26 @@ void LivePipeline::FeedLine(std::string line) {
   Route(std::move(item), shard_index);
 }
 
+void LivePipeline::MineLinePayload(std::string* line) {
+  const size_t offset = PayloadOffset(*line);
+  if (offset == std::string_view::npos) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(miner_mu_);
+  miner_scratch_.clear();
+  miner_->MineAndRewrite(std::string_view(*line).substr(offset),
+                         &miner_scratch_);
+  line->resize(offset);
+  line->append(miner_scratch_);
+}
+
 void LivePipeline::FeedRecord(LogRecord record) {
+  if (miner_ != nullptr) {
+    std::lock_guard<std::mutex> lock(miner_mu_);
+    miner_scratch_.clear();
+    miner_->MineAndRewrite(record.payload, &miner_scratch_);
+    record.payload = miner_scratch_;
+  }
   ingest_watermark_ = std::max(ingest_watermark_, record.time);
   const size_t shard_index = SipHash24(record.session_id) % shards_.size();
   Item item;
@@ -147,6 +190,14 @@ LivePipeline::CheckpointTicket LivePipeline::BeginCheckpoint() {
   auto ticket = std::make_shared<CkptBarrier>();
   ticket->expected = shards_.size();
   ticket->watermark = ingest_watermark_;
+  if (miner_ != nullptr) {
+    // Exported here — on the ingest thread, at exactly the barrier's arrival
+    // position — because by the time the collector runs, ingest may have
+    // mined lines past the marker.
+    std::lock_guard<std::mutex> lock(miner_mu_);
+    ticket->miner = miner_->Export();
+    ticket->has_miner = true;
+  }
   for (auto& shard_ptr : shards_) {
     // Seal whatever is pending plus the barrier marker; the barrier batch
     // carries the current global watermark like any Flush tick, so the state
@@ -178,6 +229,11 @@ PipelineCheckpoint LivePipeline::CollectCheckpoint(
     checkpoint.records = records();
     checkpoint.parse_failures = parse_failures();
     checkpoint.ingest_watermark = ingest_watermark_;
+    if (miner_ != nullptr) {
+      std::lock_guard<std::mutex> lock(miner_mu_);
+      checkpoint.miner = miner_->Export();
+      checkpoint.has_miner = true;
+    }
     export_closers();
     if (while_paused) {
       while_paused();
@@ -197,6 +253,8 @@ PipelineCheckpoint LivePipeline::CollectCheckpoint(
   checkpoint.records = records();
   checkpoint.parse_failures = parse_failures();
   checkpoint.ingest_watermark = ticket->watermark;
+  checkpoint.has_miner = ticket->has_miner;
+  checkpoint.miner = std::move(ticket->miner);
   export_closers();
   if (while_paused) {
     while_paused();
@@ -214,6 +272,10 @@ PipelineCheckpoint LivePipeline::CaptureCheckpoint() {
 }
 
 void LivePipeline::RestoreCheckpoint(PipelineCheckpoint&& checkpoint) {
+  if (miner_ != nullptr && checkpoint.has_miner) {
+    std::lock_guard<std::mutex> lock(miner_mu_);
+    miner_->Import(checkpoint.miner);
+  }
   ingest_watermark_ = std::max(ingest_watermark_, checkpoint.ingest_watermark);
   for (auto& fragment : checkpoint.closers.open) {
     Shard& shard = *shards_[SipHash24(fragment.id) % shards_.size()];
@@ -353,6 +415,30 @@ EventTime LivePipeline::watermark() const {
   return min_wm;
 }
 
+std::vector<TemplateInfo> LivePipeline::TemplateSnapshot() const {
+  if (miner_ == nullptr) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(miner_mu_);
+  return miner_->Snapshot();
+}
+
+size_t LivePipeline::template_count() const {
+  if (miner_ == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(miner_mu_);
+  return miner_->template_count();
+}
+
+size_t LivePipeline::template_nodes() const {
+  if (miner_ == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(miner_mu_);
+  return miner_->node_count();
+}
+
 LiveShardSnapshot LivePipeline::shard(size_t i) const {
   const Shard& s = *shards_[i];
   LiveShardSnapshot snap;
@@ -390,6 +476,14 @@ void LivePipeline::RegisterMetrics(MetricsRegistry* registry,
   registry->Register(prefix + "backpressure_stalls", [this] {
     return static_cast<int64_t>(backpressure_stalls());
   });
+  if (options_.mine_templates) {
+    registry->Register(prefix + "templates", [this] {
+      return static_cast<int64_t>(template_count());
+    });
+    registry->Register(prefix + "template_nodes", [this] {
+      return static_cast<int64_t>(template_nodes());
+    });
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
     const std::string shard_prefix = prefix + "shard" + std::to_string(i) + "_";
     registry->Register(shard_prefix + "records", [this, i] {

@@ -51,6 +51,7 @@
 #include "src/common/time_util.h"
 #include "src/core/live_closer.h"
 #include "src/core/session.h"
+#include "src/parse/template_miner.h"
 
 namespace ts {
 
@@ -63,6 +64,14 @@ struct LivePipelineOptions {
   // that triggered the close). Costs one steady_clock read per batch plus a
   // vector push per session; benches enable it, the tool does not.
   bool record_close_latency = false;
+  // Online template mining (src/parse): structure each record's payload on
+  // ingest, rewriting it to "#<template_id> <vars...>" before routing. Runs
+  // on the single ingest thread in arrival order, so the rewritten stream —
+  // and everything downstream of it (store contents, digests, snapshots) —
+  // is byte-identical for every worker count. Lines without a payload field
+  // (fewer than six '|' separators) pass through unmodified.
+  bool mine_templates = false;
+  TemplateMinerOptions miner;
 };
 
 // A point-in-time view of one shard, for gauges and benches.
@@ -88,6 +97,11 @@ struct PipelineCheckpoint {
   uint64_t parse_failures = 0;   // Unparseable lines up to the barrier.
   EventTime ingest_watermark = 0;
   LiveCloserState closers;       // Merged across shards.
+  // Template-miner state at the barrier position (mine_templates only).
+  // Exported on the ingest thread at BeginCheckpoint, so it corresponds to
+  // exactly the arrival prefix the resume offset names.
+  bool has_miner = false;
+  TemplateMinerState miner;
 };
 
 class LivePipeline {
@@ -133,6 +147,12 @@ class LivePipeline {
     size_t arrived = 0;
     bool released = false;
     EventTime watermark = 0;  // Global ingest watermark when sealed.
+    // Miner state at the seal position, exported by BeginCheckpoint on the
+    // ingest thread (the collector may run on another thread after ingest
+    // has mined past the barrier). Published to the collector by the ticket
+    // hand-off, not by the barrier's own synchronization.
+    bool has_miner = false;
+    TemplateMinerState miner;
   };
   using CheckpointTicket = std::shared_ptr<CkptBarrier>;
 
@@ -198,6 +218,14 @@ class LivePipeline {
   // Global ingest-side watermark (prefix max of event time).
   EventTime ingest_watermark() const { return ingest_watermark_; }
 
+  // Per-template (id, hits, text) as of now, sorted by id; empty unless
+  // mine_templates is set. Safe from any thread (the query server's TEMPLATES
+  // handler calls it while ingest keeps mining).
+  std::vector<TemplateInfo> TemplateSnapshot() const;
+  // Learned templates / tree nodes (0 unless mine_templates); gauge reads.
+  size_t template_count() const;
+  size_t template_nodes() const;
+
   LiveShardSnapshot shard(size_t i) const;
 
   // Registers merged + per-shard gauges: <prefix>records, <prefix>parse_failures,
@@ -250,11 +278,18 @@ class LivePipeline {
   void Route(Item item, size_t shard_index);
   void SealAndPush(Shard& shard);
   void WorkerLoop(size_t shard_index);
+  // Rewrites *line's payload field (after the sixth '|') to its mined form.
+  void MineLinePayload(std::string* line);
 
   LivePipelineOptions options_;
   SessionSink sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   EventTime ingest_watermark_ = 0;  // Ingest thread only.
+  // Mutated on the ingest thread only; the mutex exists for TemplateSnapshot
+  // readers (query server) and the gauges.
+  mutable std::mutex miner_mu_;
+  std::unique_ptr<TemplateMiner> miner_;  // Non-null iff mine_templates.
+  std::string miner_scratch_;             // Ingest thread only.
   std::atomic<uint64_t> blank_lines_{0};
   std::atomic<uint64_t> backpressure_stalls_{0};
   bool finished_ = false;

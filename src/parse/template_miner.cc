@@ -1,0 +1,366 @@
+#include "src/parse/template_miner.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace ts {
+namespace {
+
+// Variable-looking tokens (anything containing a digit: counters, ids,
+// latencies, addresses) route through the "<*>" edge and are pre-wildcarded
+// in new groups — the USTEP heuristic that keeps high-cardinality values out
+// of the tree's branch tables.
+bool IsVarToken(std::string_view token) {
+  for (const char c : token) {
+    if (c >= '0' && c <= '9') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TokenizeInto(std::string_view payload,
+                  std::vector<std::string_view>* tokens) {
+  tokens->clear();
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    const size_t space = payload.find(' ', pos);
+    const size_t end = space == std::string_view::npos ? payload.size() : space;
+    if (end > pos) {
+      tokens->push_back(payload.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+TemplateMiner::TemplateMiner(const TemplateMinerOptions& options)
+    : options_(options) {
+  options_.max_nodes = std::max<size_t>(1, options_.max_nodes);
+  options_.max_tokens = std::max<size_t>(1, options_.max_tokens);
+}
+
+TemplateMiner::~TemplateMiner() = default;
+
+void TemplateMiner::Clear() {
+  roots_.clear();
+  node_count_ = 0;
+  group_count_ = 0;
+  next_template_id_ = 1;
+  catch_all_hits_ = 0;
+  payloads_mined_ = 0;
+}
+
+TemplateMiner::Node* TemplateMiner::Descend(
+    const std::vector<std::string_view>& tokens) {
+  // Every payload in one bucket has the same token count, so the leaf depth
+  // min(max_depth, count) is a bucket constant and leaf flags stay coherent.
+  const uint32_t bucket = static_cast<uint32_t>(tokens.size());
+  const size_t depth = std::min(options_.max_depth, tokens.size());
+  Node* node;
+  const auto it = roots_.find(bucket);
+  if (it != roots_.end()) {
+    node = it->second.get();
+  } else {
+    if (node_count_ >= options_.max_nodes) {
+      return nullptr;
+    }
+    auto created = std::make_unique<Node>();
+    created->leaf = depth == 0;
+    node = created.get();
+    roots_.emplace(bucket, std::move(created));
+    ++node_count_;
+  }
+  for (size_t d = 0; d < depth; ++d) {
+    const bool child_leaf = d + 1 == depth;
+    const std::string_view token = tokens[d];
+    Node* next = nullptr;
+    if (!IsVarToken(token)) {
+      const auto child = node->children.find(token);
+      if (child != node->children.end()) {
+        next = child->second.get();
+      } else if (node->children.size() < options_.max_children &&
+                 node_count_ < options_.max_nodes) {
+        auto created = std::make_unique<Node>();
+        created->leaf = child_leaf;
+        next = created.get();
+        node->children.emplace(std::string(token), std::move(created));
+        ++node_count_;
+      }
+    }
+    if (next == nullptr) {
+      // Variable-looking token, a full branch table, or no literal budget:
+      // the shared wildcard edge absorbs the fan-out.
+      if (node->wild == nullptr) {
+        if (node_count_ >= options_.max_nodes) {
+          return nullptr;
+        }
+        node->wild = std::make_unique<Node>();
+        node->wild->leaf = child_leaf;
+        ++node_count_;
+      }
+      next = node->wild.get();
+    }
+    node = next;
+  }
+  return node;
+}
+
+uint32_t TemplateMiner::MineInLeaf(Node* leaf,
+                                   const std::vector<std::string_view>& tokens,
+                                   std::vector<std::string_view>* vars) {
+  // Most similar group: matching non-wildcard positions over token count,
+  // first (lowest-id) group winning ties.
+  size_t best = leaf->groups.size();
+  size_t best_matches = 0;
+  for (size_t i = 0; i < leaf->groups.size(); ++i) {
+    const Group& g = leaf->groups[i];
+    if (g.tokens.size() != tokens.size()) {
+      continue;
+    }
+    size_t matches = 0;
+    for (size_t j = 0; j < tokens.size(); ++j) {
+      if (g.wildcard[j] == 0 && g.tokens[j] == tokens[j]) {
+        ++matches;
+      }
+    }
+    if (best == leaf->groups.size() || matches > best_matches) {
+      best = i;
+      best_matches = matches;
+    }
+  }
+  const double needed =
+      options_.similarity_threshold * static_cast<double>(tokens.size());
+  const bool join =
+      best < leaf->groups.size() && static_cast<double>(best_matches) >= needed;
+  if (!join) {
+    if (leaf->groups.size() < options_.max_groups_per_leaf) {
+      // Found a new template; variable-looking tokens start as wildcards.
+      Group g;
+      g.template_id = next_template_id_++;
+      g.tokens.reserve(tokens.size());
+      g.wildcard.reserve(tokens.size());
+      for (const std::string_view token : tokens) {
+        if (IsVarToken(token)) {
+          g.tokens.emplace_back();
+          g.wildcard.push_back(1);
+        } else {
+          g.tokens.emplace_back(token);
+          g.wildcard.push_back(0);
+        }
+      }
+      leaf->groups.push_back(std::move(g));
+      ++group_count_;
+      best = leaf->groups.size() - 1;
+    } else if (best == leaf->groups.size()) {
+      // A full leaf whose groups all have a different token count (possible
+      // only through Import of foreign state) has nowhere to merge.
+      ++catch_all_hits_;
+      if (vars != nullptr) {
+        vars->insert(vars->end(), tokens.begin(), tokens.end());
+      }
+      return 0;
+    }
+    // else: the leaf is at its group budget — merge into the most similar
+    // group, promoting every mismatch below.
+  }
+  Group& g = leaf->groups[best];
+  for (size_t j = 0; j < tokens.size(); ++j) {
+    if (g.wildcard[j] == 0 && g.tokens[j] != tokens[j]) {
+      g.wildcard[j] = 1;
+      g.tokens[j].clear();
+    }
+  }
+  ++g.hits;
+  if (vars != nullptr) {
+    for (size_t j = 0; j < tokens.size(); ++j) {
+      if (g.wildcard[j] != 0) {
+        vars->push_back(tokens[j]);
+      }
+    }
+  }
+  return g.template_id;
+}
+
+uint32_t TemplateMiner::Mine(std::string_view payload,
+                             std::vector<std::string_view>* vars) {
+  ++payloads_mined_;
+  if (vars != nullptr) {
+    vars->clear();
+  }
+  TokenizeInto(payload, &scratch_tokens_);
+  if (scratch_tokens_.empty() || scratch_tokens_.size() > options_.max_tokens ||
+      options_.max_groups_per_leaf == 0) {
+    ++catch_all_hits_;
+    if (vars != nullptr && !payload.empty()) {
+      vars->push_back(payload);
+    }
+    return 0;
+  }
+  Node* leaf = Descend(scratch_tokens_);
+  if (leaf == nullptr) {
+    // Node budget exhausted before a leaf existed for this shape.
+    ++catch_all_hits_;
+    if (vars != nullptr) {
+      vars->push_back(payload);
+    }
+    return 0;
+  }
+  return MineInLeaf(leaf, scratch_tokens_, vars);
+}
+
+uint32_t TemplateMiner::MineAndRewrite(std::string_view payload,
+                                       std::string* out) {
+  scratch_vars_.clear();
+  const uint32_t id = Mine(payload, &scratch_vars_);
+  out->push_back('#');
+  out->append(std::to_string(id));
+  for (const std::string_view v : scratch_vars_) {
+    out->push_back(' ');
+    out->append(v);
+  }
+  return id;
+}
+
+std::vector<TemplateInfo> TemplateMiner::Snapshot() const {
+  std::vector<TemplateInfo> out;
+  out.reserve(group_count_ + 1);
+  if (catch_all_hits_ > 0) {
+    out.push_back({0, catch_all_hits_, "<*>"});
+  }
+  // Recursive walk; depth is bounded by max_depth + 1.
+  const std::function<void(const Node&)> visit = [&](const Node& node) {
+    for (const Group& g : node.groups) {
+      TemplateInfo info;
+      info.id = g.template_id;
+      info.hits = g.hits;
+      for (size_t j = 0; j < g.tokens.size(); ++j) {
+        if (j > 0) {
+          info.text.push_back(' ');
+        }
+        info.text.append(g.wildcard[j] != 0 ? std::string_view("<*>")
+                                            : std::string_view(g.tokens[j]));
+      }
+      out.push_back(std::move(info));
+    }
+    for (const auto& [token, child] : node.children) {
+      visit(*child);
+    }
+    if (node.wild != nullptr) {
+      visit(*node.wild);
+    }
+  };
+  for (const auto& [bucket, root] : roots_) {
+    visit(*root);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TemplateInfo& a, const TemplateInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+TemplateMinerState TemplateMiner::Export() const {
+  TemplateMinerState state;
+  state.next_template_id = next_template_id_;
+  state.catch_all_hits = catch_all_hits_;
+  state.payloads_mined = payloads_mined_;
+  state.nodes.reserve(node_count_);
+  state.groups.reserve(group_count_);
+  // Pre-order (parents before children): buckets ascending, literal children
+  // in map order, the wildcard child last — a deterministic flattening.
+  const std::function<void(const Node&, uint32_t, uint32_t, const std::string&,
+                           bool)>
+      visit = [&](const Node& node, uint32_t parent, uint32_t bucket,
+                  const std::string& token, bool wild) {
+        const uint32_t index = static_cast<uint32_t>(state.nodes.size());
+        TemplateMinerState::NodeRec rec;
+        rec.parent = parent;
+        rec.bucket = bucket;
+        rec.token = token;
+        rec.wild = wild;
+        rec.leaf = node.leaf;
+        state.nodes.push_back(std::move(rec));
+        for (const Group& g : node.groups) {
+          TemplateMinerState::GroupRec grec;
+          grec.node = index;
+          grec.template_id = g.template_id;
+          grec.hits = g.hits;
+          grec.tokens = g.tokens;
+          grec.wildcard = g.wildcard;
+          state.groups.push_back(std::move(grec));
+        }
+        for (const auto& [child_token, child] : node.children) {
+          visit(*child, index, 0, child_token, false);
+        }
+        if (node.wild != nullptr) {
+          visit(*node.wild, index, 0, std::string(), true);
+        }
+      };
+  for (const auto& [bucket, root] : roots_) {
+    visit(*root, TemplateMinerState::kNoParent, bucket, std::string(), false);
+  }
+  return state;
+}
+
+bool TemplateMiner::Import(const TemplateMinerState& state) {
+  Clear();
+  std::vector<Node*> by_index;
+  by_index.reserve(state.nodes.size());
+  for (const auto& rec : state.nodes) {
+    auto created = std::make_unique<Node>();
+    created->leaf = rec.leaf;
+    Node* node = created.get();
+    if (rec.parent == TemplateMinerState::kNoParent) {
+      if (!roots_.emplace(rec.bucket, std::move(created)).second) {
+        Clear();
+        return false;
+      }
+    } else {
+      if (rec.parent >= by_index.size()) {
+        Clear();
+        return false;  // Parents must precede children.
+      }
+      Node* parent = by_index[rec.parent];
+      if (parent->leaf) {
+        Clear();
+        return false;
+      }
+      if (rec.wild) {
+        if (parent->wild != nullptr) {
+          Clear();
+          return false;
+        }
+        parent->wild = std::move(created);
+      } else if (!parent->children.emplace(rec.token, std::move(created))
+                      .second) {
+        Clear();
+        return false;
+      }
+    }
+    by_index.push_back(node);
+  }
+  node_count_ = state.nodes.size();
+  for (const auto& grec : state.groups) {
+    if (grec.node >= by_index.size() || !by_index[grec.node]->leaf ||
+        grec.tokens.size() != grec.wildcard.size()) {
+      Clear();
+      return false;
+    }
+    Group g;
+    g.template_id = grec.template_id;
+    g.hits = grec.hits;
+    g.tokens = grec.tokens;
+    g.wildcard = grec.wildcard;
+    by_index[grec.node]->groups.push_back(std::move(g));
+  }
+  group_count_ = state.groups.size();
+  next_template_id_ = state.next_template_id;
+  catch_all_hits_ = state.catch_all_hits;
+  payloads_mined_ = state.payloads_mined;
+  return true;
+}
+
+}  // namespace ts

@@ -1,0 +1,168 @@
+// TemplateMiner: online log-template mining for unstructured payload text
+// (ts_parse). The paper's pipeline assumes structured records, but real
+// datacenter logs are mostly free text; USTEP and KELP (PAPERS.md) show that
+// an evolving search/grouping tree can learn stable templates incrementally
+// from the stream. This is that layer: each payload is tokenized and routed
+//
+//   token-count bucket  →  leading-token levels  →  leaf template groups
+//
+// through a bounded tree. Internal levels descend by the literal token at
+// positions 0..max_depth-1; tokens that look variable (they contain a digit)
+// or that would exceed a node's branch budget route through a shared "<*>"
+// edge, which is what caps fan-out under high-cardinality keys. Each leaf
+// holds up to max_groups_per_leaf template groups; a payload joins the most
+// similar group at or above similarity_threshold (ties to the lowest
+// template id), promoting every mismatching position to a wildcard, or
+// founds a new group with a fresh id. When the leaf is full the payload is
+// force-merged into the best group (the merge half of the node budget) so
+// the structure never grows past its caps; template id 0 is the reserved
+// catch-all for payloads the budget cannot place (empty, overlong, or the
+// tree is at max_nodes with no path).
+//
+// Determinism contract: the miner's entire state — the tree, every group,
+// every assigned template id — is a pure function of the sequence of
+// payloads fed so far. Same payload prefix ⇒ same ids, same extracted
+// variables, same Export() bytes, on any machine and across crash/restore
+// (Import() of an Export() taken at position N, then feeding payloads
+// [N, ...), is byte-identical to the uninterrupted run). The live pipeline
+// relies on this: it mines on the single ingest thread in arrival order, so
+// the rewritten records are identical for every worker count.
+//
+// Bounded memory: nodes (internal + leaf) never exceed max_nodes and each
+// leaf never exceeds max_groups_per_leaf groups; everything else is O(1)
+// per payload. node_count() is the budget gauge.
+//
+// Thread model: plain single-threaded object; callers that share one across
+// threads wrap it in their own lock (LivePipeline does).
+#ifndef SRC_PARSE_TEMPLATE_MINER_H_
+#define SRC_PARSE_TEMPLATE_MINER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ts {
+
+struct TemplateMinerOptions {
+  size_t max_depth = 2;            // Leading-token levels below the bucket.
+  size_t max_children = 16;        // Literal branches per node before "<*>".
+  size_t max_nodes = 2048;         // Total tree nodes (internal + leaf).
+  size_t max_groups_per_leaf = 8;  // Template groups per leaf.
+  size_t max_tokens = 64;          // Longer payloads go to the catch-all.
+  double similarity_threshold = 0.5;  // Matching fraction required to join.
+};
+
+// One template as seen by TEMPLATES queries and gauges.
+struct TemplateInfo {
+  uint32_t id = 0;
+  uint64_t hits = 0;
+  std::string text;  // Tokens joined by spaces, wildcards as "<*>".
+};
+
+// Serializable miner state: the flattened tree (pre-order, parents before
+// children) plus every leaf's groups. Export() and Import() round-trip it
+// exactly; ts_ckpt carries it as the snapshot's 'T' frame.
+struct TemplateMinerState {
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+  struct NodeRec {
+    uint32_t parent = kNoParent;  // Index into `nodes`; kNoParent for roots.
+    uint32_t bucket = 0;          // Token-count bucket (root nodes only).
+    std::string token;            // Edge token from the parent ("" for roots).
+    bool wild = false;            // Reached via the "<*>" edge.
+    bool leaf = false;
+    bool operator==(const NodeRec&) const = default;
+  };
+  struct GroupRec {
+    uint32_t node = 0;  // Index of the owning leaf in `nodes`.
+    uint32_t template_id = 0;
+    uint64_t hits = 0;
+    std::vector<std::string> tokens;  // Promoted positions hold "".
+    std::vector<uint8_t> wildcard;    // Parallel to tokens; 1 = "<*>".
+    bool operator==(const GroupRec&) const = default;
+  };
+
+  uint32_t next_template_id = 1;  // 0 is the reserved catch-all.
+  uint64_t catch_all_hits = 0;
+  uint64_t payloads_mined = 0;
+  std::vector<NodeRec> nodes;
+  std::vector<GroupRec> groups;
+  bool operator==(const TemplateMinerState&) const = default;
+};
+
+class TemplateMiner {
+ public:
+  explicit TemplateMiner(const TemplateMinerOptions& options = {});
+  ~TemplateMiner();
+  TemplateMiner(const TemplateMiner&) = delete;
+  TemplateMiner& operator=(const TemplateMiner&) = delete;
+
+  // Mines one payload: learns/updates its template and returns the stable
+  // template id. When `vars` is non-null it receives the variable tokens
+  // (the payload's tokens at the template's wildcard positions; the whole
+  // payload for the catch-all). The views point into `payload`.
+  uint32_t Mine(std::string_view payload,
+                std::vector<std::string_view>* vars = nullptr);
+
+  // Mines `payload` and appends its compact structured form to *out:
+  // "#<id>" followed by " <var>" per extracted variable. This is the
+  // template-encoded payload the live path stores in place of the raw text.
+  uint32_t MineAndRewrite(std::string_view payload, std::string* out);
+
+  // Per-template (id, hits, text), catch-all included when hit, sorted by id.
+  std::vector<TemplateInfo> Snapshot() const;
+
+  TemplateMinerState Export() const;
+  // Replaces the miner's state. Returns false (leaving the miner empty) if
+  // the state is structurally invalid — out-of-range parents, children
+  // before parents, groups on non-leaves, or mismatched token/wildcard
+  // lengths.
+  bool Import(const TemplateMinerState& state);
+
+  const TemplateMinerOptions& options() const { return options_; }
+  size_t node_count() const { return node_count_; }
+  // Learned template groups (the catch-all, if hit, counts as one more in
+  // Snapshot() but not here).
+  size_t template_count() const { return group_count_; }
+  uint64_t payloads_mined() const { return payloads_mined_; }
+  uint64_t catch_all_hits() const { return catch_all_hits_; }
+
+ private:
+  struct Group {
+    uint32_t template_id = 0;
+    uint64_t hits = 0;
+    std::vector<std::string> tokens;
+    std::vector<uint8_t> wildcard;
+  };
+  struct Node {
+    // Literal edges, ordered — deterministic Export() traversal.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    std::unique_ptr<Node> wild;  // The shared "<*>" edge.
+    std::vector<Group> groups;   // Leaf only.
+    bool leaf = false;
+  };
+
+  void Clear();
+  // Descends/creates the path for `tokens`; nullptr when the node budget is
+  // exhausted before a leaf exists.
+  Node* Descend(const std::vector<std::string_view>& tokens);
+  uint32_t MineInLeaf(Node* leaf, const std::vector<std::string_view>& tokens,
+                      std::vector<std::string_view>* vars);
+
+  TemplateMinerOptions options_;
+  std::map<uint32_t, std::unique_ptr<Node>> roots_;  // Token-count buckets.
+  size_t node_count_ = 0;
+  size_t group_count_ = 0;
+  uint32_t next_template_id_ = 1;
+  uint64_t catch_all_hits_ = 0;
+  uint64_t payloads_mined_ = 0;
+  std::vector<std::string_view> scratch_tokens_;
+  std::vector<std::string_view> scratch_vars_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_PARSE_TEMPLATE_MINER_H_

@@ -185,6 +185,10 @@ bool QueryClient::Execute(const std::string& request_line,
       response->top.emplace_back(service, static_cast<uint64_t>(value));
       continue;
     }
+    if (auto entry = ParseTemplateLine(*line)) {
+      response->templates.push_back(std::move(*entry));
+      continue;
+    }
     // Unknown control line: tolerate (forward compatibility).
   }
 }
@@ -225,6 +229,12 @@ QueryResponse QueryClient::Stats() {
 QueryResponse QueryClient::TopK(size_t k) {
   QueryResponse r;
   Execute("TOPK " + std::to_string(k), &r);
+  return r;
+}
+
+QueryResponse QueryClient::Templates(size_t k) {
+  QueryResponse r;
+  Execute("TEMPLATES " + std::to_string(k), &r);
   return r;
 }
 

@@ -44,6 +44,7 @@ struct QueryResponse {
   std::vector<Session> sessions;
   std::vector<std::pair<std::string, int64_t>> stats;  // STAT lines.
   std::vector<std::pair<uint32_t, uint64_t>> top;      // TOP lines.
+  std::vector<TemplateCount> templates;                // TMPL lines.
 };
 
 class QueryClient {
@@ -71,6 +72,7 @@ class QueryClient {
   QueryResponse ByRange(EventTime lo, EventTime hi, size_t limit = 100);
   QueryResponse Stats();
   QueryResponse TopK(size_t k = 10);
+  QueryResponse Templates(size_t k = 10);
 
   // Switches the connection to streaming mode. `filter_service`, when set,
   // subscribes to sessions touching that service only. After this, only

@@ -162,6 +162,22 @@ bool ParseQueryRequest(const std::string& line, QueryRequest* request,
     }
     return true;
   }
+  if (verb == "TEMPLATES") {
+    if (tokens.size() > 2) {
+      *error = "usage: TEMPLATES [k]";
+      return false;
+    }
+    request->verb = QueryRequest::Verb::kTemplates;
+    if (tokens.size() == 2) {
+      uint64_t k = 0;
+      if (!ParseU64(tokens[1], &k)) {
+        *error = "bad k";
+        return false;
+      }
+      request->k = static_cast<size_t>(k);
+    }
+    return true;
+  }
   if (verb == "SUBSCRIBE") {
     if (tokens.size() > 2) {
       *error = "usage: SUBSCRIBE [service=<n>]";
@@ -257,6 +273,32 @@ SessionBlockParser::Result SessionBlockParser::Feed(const std::string& line,
   }
   pending_.records.push_back(std::move(*record));
   return Result::kNeedMore;
+}
+
+std::string FormatTemplateLine(const TemplateCount& entry) {
+  std::string line = "TMPL " + std::to_string(entry.id) + " " +
+                     std::to_string(entry.hits) + " " +
+                     std::to_string(entry.ppm) + " ";
+  line += entry.text;
+  return line;
+}
+
+std::optional<TemplateCount> ParseTemplateLine(const std::string& line) {
+  unsigned id = 0;
+  unsigned long long hits = 0;
+  unsigned long long ppm = 0;
+  int text_offset = -1;
+  if (std::sscanf(line.c_str(), "TMPL %u %llu %llu %n", &id, &hits, &ppm,
+                  &text_offset) != 3 ||
+      text_offset < 0 || static_cast<size_t>(text_offset) > line.size()) {
+    return std::nullopt;
+  }
+  TemplateCount entry;
+  entry.id = id;
+  entry.hits = static_cast<uint64_t>(hits);
+  entry.ppm = static_cast<uint64_t>(ppm);
+  entry.text = line.substr(static_cast<size_t>(text_offset));
+  return entry;
 }
 
 std::string FormatOk(uint64_t count) {

@@ -11,6 +11,8 @@
 //   RANGE <lo_ns> <hi_ns> [limit]  sessions intersecting [lo, hi), by start
 //   STATS                        store + server + registered metrics
 //   TOPK [k]                     services by live session count
+//   TEMPLATES [k]                mined payload templates by hit count
+//                                (requires `ts_sessionize --mine-templates`)
 //   SUBSCRIBE [service=<n>]      switch to streaming: live-tail every session
 //                                closed (inserted) after this point
 //
@@ -26,6 +28,10 @@
 // Other control lines:
 //   STAT <name> <value>          one per metric, before STATS' #OK
 //   TOP <service> <sessions>     one per entry, before TOPK's #OK
+//   TMPL <id> <hits> <ppm> <text>  one per entry, before TEMPLATES' #OK.
+//                                ppm = hits per million mined payloads; the
+//                                template text (wildcards as "<*>") is last
+//                                because it contains spaces
 //   #SUBSCRIBED                  acknowledges SUBSCRIBE; session blocks and
 //                                #DROPPED notices follow until disconnect
 //   #DROPPED <n>                 n sessions were discarded for this (slow)
@@ -60,6 +66,7 @@ struct QueryRequest {
     kRange,
     kStats,
     kTopK,
+    kTemplates,
     kSubscribe,
   };
   Verb verb = Verb::kStats;
@@ -69,7 +76,7 @@ struct QueryRequest {
   EventTime lo = 0;          // RANGE.
   EventTime hi = 0;          // RANGE.
   size_t limit = 100;        // SERVICE / RANGE.
-  size_t k = 10;             // TOPK.
+  size_t k = 10;             // TOPK / TEMPLATES.
   bool filter_by_service = false;  // SUBSCRIBE service=<n>.
   uint32_t filter_service = 0;
 };
@@ -78,6 +85,21 @@ struct QueryRequest {
 // short message suitable for an #ERR response.
 bool ParseQueryRequest(const std::string& line, QueryRequest* request,
                        std::string* error);
+
+// One TEMPLATES entry. Defined here (not in src/parse) so the query layer
+// stays independent of the miner: the server is fed these through a
+// callback, the client decodes TMPL lines into them.
+struct TemplateCount {
+  uint32_t id = 0;
+  uint64_t hits = 0;
+  uint64_t ppm = 0;  // Hits per million mined payloads.
+  std::string text;
+};
+
+// Formats / parses one "TMPL <id> <hits> <ppm> <text>" line (no newline).
+std::string FormatTemplateLine(const TemplateCount& entry);
+// Returns nullopt if `line` is not a TMPL line.
+std::optional<TemplateCount> ParseTemplateLine(const std::string& line);
 
 // Serializes `session` as one wire block (header, records, #END), appending
 // to *out, every line '\n'-terminated. This is the canonical serialization:

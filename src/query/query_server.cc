@@ -216,6 +216,27 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
       reply_ok(top.size());
       break;
     }
+    case QueryRequest::Verb::kTemplates: {
+      if (!template_source_) {
+        reply_err("template mining disabled");
+        break;
+      }
+      std::vector<TemplateCount> templates = template_source_();
+      // Hottest first (ties to the lower id — deterministic output), top k.
+      std::sort(templates.begin(), templates.end(),
+                [](const TemplateCount& a, const TemplateCount& b) {
+                  return a.hits != b.hits ? a.hits > b.hits : a.id < b.id;
+                });
+      if (templates.size() > request.k) {
+        templates.resize(request.k);
+      }
+      for (const auto& entry : templates) {
+        conn->send.Append(FormatTemplateLine(entry));
+        conn->send.Append('\n');
+      }
+      reply_ok(templates.size());
+      break;
+    }
     case QueryRequest::Verb::kSubscribe:
       conn->subscribed = true;
       conn->filter_by_service = request.filter_by_service;

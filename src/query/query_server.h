@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,16 @@ class QueryServer {
   // Binds, listens, sets up the event loop, and installs the store insert
   // observer. Returns false on any socket error.
   bool Start();
+
+  // Source for TEMPLATES responses: a point-in-time snapshot of the mined
+  // templates (ts_sessionize wires the live pipeline's TemplateSnapshot in
+  // when --mine-templates is set). Must be thread-safe — it runs on the
+  // serving thread. Call before Start()/Run(); when unset, TEMPLATES
+  // answers "#ERR template mining disabled".
+  using TemplateSource = std::function<std::vector<TemplateCount>()>;
+  void SetTemplateSource(TemplateSource source) {
+    template_source_ = std::move(source);
+  }
 
   uint16_t port() const { return port_; }
 
@@ -137,6 +148,7 @@ class QueryServer {
   QueryServerOptions options_;
   std::shared_ptr<SessionStore> store_;
   std::shared_ptr<MetricsRegistry> metrics_;
+  TemplateSource template_source_;  // Set before Start(); loop thread reads.
   uint16_t port_ = 0;
   FdGuard listen_fd_;
   EventLoop loop_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/common/status.h"
 
@@ -69,6 +70,22 @@ constexpr EventTime kMediumDormancyLoNs = 12'300'000;          // 12.3 ms.
 constexpr EventTime kMediumDormancyHiNs = 60 * kNanosPerSecond;
 constexpr EventTime kLongDormancyHiNs = 900 * kNanosPerSecond;  // 15 min.
 
+// Vocabulary for free-text payload templates. Longer, log-like words so the
+// synthetic lines resemble real datacenter messages and carry enough constant
+// text for template-id compression to matter.
+constexpr const char* kFreeTextWords[] = {
+    "request",     "connection",  "replica",     "coordinator", "timeout",
+    "completed",   "authenticate", "partition",  "rebalance",   "heartbeat",
+    "follower",    "leader",      "snapshot",    "compaction",  "rollback",
+    "committed",   "scheduler",   "allocation",  "throttled",   "retrying",
+    "datanode",    "container",   "registered",  "deadline",    "exceeded",
+    "transaction", "replication", "checkpoint",  "watermark",   "received",
+    "forwarded",   "rejected",    "acquired",    "released",    "expired",
+    "verifying",   "upstream",    "downstream",  "quorum",      "election",
+};
+constexpr size_t kFreeTextVocab =
+    sizeof(kFreeTextWords) / sizeof(kFreeTextWords[0]);
+
 }  // namespace
 
 // A structural tree template: the shape and service assignment are fully
@@ -83,6 +100,14 @@ struct TraceGenerator::Template {
   size_t distinct_services = 0;
 };
 
+// A free-text message template: constant words with per-instance variable
+// slots. Shape derives only from (seed, id) — deterministic across runs.
+struct TraceGenerator::FreeTextTemplate {
+  std::vector<std::string> words;  // Empty at slot positions.
+  std::vector<int> slot_kind;      // -1 constant; 0 hex id, 1 counter,
+                                   // 2 latency, 3 address.
+};
+
 TraceGenerator::~TraceGenerator() = default;
 
 TraceGenerator::TraceGenerator(const GeneratorConfig& config)
@@ -90,8 +115,13 @@ TraceGenerator::TraceGenerator(const GeneratorConfig& config)
       rng_(config.seed),
       template_sampler_(config.num_templates, config.template_zipf_skew),
       root_service_sampler_(std::min<uint32_t>(50, config.num_services), 1.0),
+      free_text_sampler_(std::max<uint32_t>(1, config.free_text_templates),
+                         config.free_text_zipf_skew),
       templates_(config.num_templates),
       template_built_(config.num_templates, false),
+      free_text_templates_(std::max<uint32_t>(1, config.free_text_templates)),
+      free_text_built_(std::max<uint32_t>(1, config.free_text_templates),
+                       false),
       duration_epochs_(static_cast<Epoch>(config.duration_ns / kNanosPerSecond)) {
   TS_CHECK(config.num_services > 0 && config.num_hosts > 0 &&
            config.num_templates > 0);
@@ -192,6 +222,67 @@ const TraceGenerator::Template& TraceGenerator::TemplateFor(size_t id) {
   t.distinct_services = services.size();
   template_built_[id] = true;
   return t;
+}
+
+const TraceGenerator::FreeTextTemplate& TraceGenerator::FreeTextTemplateFor(
+    size_t id) {
+  if (free_text_built_[id]) {
+    return free_text_templates_[id];
+  }
+  // Shape derives only from (seed, template id): deterministic across runs.
+  Rng trng(config_.seed ^ (0xF00DULL + id * 0x9E3779B97F4A7C15ULL));
+  FreeTextTemplate& t = free_text_templates_[id];
+  // Long, mostly-constant lines (~55 tokens, under the miner's 64-token cap):
+  // verbose datacenter messages with enough constant text that template-id
+  // encoding pays off in the store.
+  const size_t n = 45 + trng.NextBelow(20);
+  t.words.resize(n);
+  t.slot_kind.assign(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    // The first two tokens stay constant so the miner's leading-token descent
+    // routes every instance of a template to the same tree node.
+    if (i >= 2 && trng.NextBool(0.08)) {
+      t.slot_kind[i] = static_cast<int>(trng.NextBelow(4));
+      continue;
+    }
+    t.words[i] = kFreeTextWords[trng.NextBelow(kFreeTextVocab)];
+  }
+  free_text_built_[id] = true;
+  return t;
+}
+
+void TraceGenerator::AppendFreeTextPayload(std::string* payload) {
+  const FreeTextTemplate& t =
+      FreeTextTemplateFor(free_text_sampler_.Sample(rng_));
+  char buf[32];
+  for (size_t i = 0; i < t.words.size(); ++i) {
+    if (i > 0) {
+      payload->push_back(' ');
+    }
+    switch (t.slot_kind[i]) {
+      case 0:  // Hex request/object id.
+        std::snprintf(buf, sizeof(buf), "%08x",
+                      static_cast<uint32_t>(rng_.Next()));
+        payload->append(buf);
+        break;
+      case 1:  // Decimal counter.
+        payload->append(std::to_string(rng_.NextBelow(1'000'000)));
+        break;
+      case 2:  // Latency.
+        payload->append(std::to_string(rng_.NextBelow(5'000)));
+        payload->append("ms");
+        break;
+      case 3:  // Address.
+        std::snprintf(buf, sizeof(buf), "10.0.%u.%u",
+                      static_cast<uint32_t>(rng_.NextBelow(256)),
+                      static_cast<uint32_t>(rng_.NextBelow(256)));
+        payload->append(buf);
+        break;
+      default:
+        payload->append(t.words[i]);
+        break;
+    }
+  }
 }
 
 void TraceGenerator::EmitRecord(LogRecord record) {
@@ -342,11 +433,15 @@ EventTime TraceGenerator::GenerateRootSpan(const std::string& session_id,
     r.host = node_host[node];
     r.kind = order[i].kind;
     // Payload: deterministic filler sized around the configured mean.
-    const uint32_t pad =
-        config_.payload_mean_bytes / 2 +
-        static_cast<uint32_t>(rng_.NextBelow(config_.payload_mean_bytes + 1));
-    r.payload.assign("op=TX;st=OK;pad=");
-    r.payload.append(pad, 'x');
+    if (config_.free_text_payloads) {
+      AppendFreeTextPayload(&r.payload);
+    } else {
+      const uint32_t pad =
+          config_.payload_mean_bytes / 2 +
+          static_cast<uint32_t>(rng_.NextBelow(config_.payload_mean_bytes + 1));
+      r.payload.assign("op=TX;st=OK;pad=");
+      r.payload.append(pad, 'x');
+    }
     EmitRecord(std::move(r));
   }
 

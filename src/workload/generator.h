@@ -69,6 +69,15 @@ struct GeneratorConfig {
   // 305 bytes per record).
   uint32_t payload_mean_bytes = 220;
 
+  // Free-text payload mode (opt-in; default keeps the calibrated filler and
+  // its exact RNG draw sequence). Payloads are drawn from a seeded pool of
+  // message templates — constant words interleaved with variable slots
+  // (hex ids, counters, latencies, addresses) — with Zipf-ish popularity,
+  // the unstructured-log workload ts_parse mines.
+  bool free_text_payloads = false;
+  uint32_t free_text_templates = 64;
+  double free_text_zipf_skew = 1.05;
+
   // Fault injection.
   double record_loss_rate = 0.0;       // Drop probability per record (§2.3).
   EventTime clock_skew_sigma_ns = 0;   // Per-host clock offset stddev (§2.3).
@@ -114,6 +123,7 @@ class TraceGenerator {
 
  private:
   struct Template;
+  struct FreeTextTemplate;
 
   // Generates one whole session starting at `start`, bucketing its records.
   void GenerateSession(EventTime start);
@@ -122,13 +132,18 @@ class TraceGenerator {
                              EventTime start);
   void EmitRecord(LogRecord record);
   const Template& TemplateFor(size_t id);
+  const FreeTextTemplate& FreeTextTemplateFor(size_t id);
+  void AppendFreeTextPayload(std::string* payload);
 
   GeneratorConfig config_;
   Rng rng_;
   ZipfSampler template_sampler_;
   ZipfSampler root_service_sampler_;
+  ZipfSampler free_text_sampler_;
   std::vector<Template> templates_;       // Lazily built per template id.
   std::vector<bool> template_built_;
+  std::vector<FreeTextTemplate> free_text_templates_;  // Lazily built.
+  std::vector<bool> free_text_built_;
   // Calibrated span count per template: raw sizes are rescaled so the
   // Zipf-weighted mean hits the configured spans-per-tree target exactly,
   // independent of which templates the seed made popular.

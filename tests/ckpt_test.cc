@@ -28,6 +28,7 @@
 #include "src/common/rng.h"
 #include "src/core/live_pipeline.h"
 #include "src/log/wire_format.h"
+#include "src/parse/template_miner.h"
 #include "src/workload/generator.h"
 
 namespace ts {
@@ -95,6 +96,14 @@ CheckpointState MakeState() {
     s.records.push_back(take_record());
     state.store_sessions.push_back(std::move(s));
   }
+  // Miner state ('T' frame), mined from real text so groups carry wildcards.
+  TemplateMiner miner;
+  miner.Mine("request a12f completed in 20ms");
+  miner.Mine("request 99ee completed in 7ms");
+  miner.Mine("cache shard rebalanced");
+  miner.Mine("");  // Catch-all hit.
+  state.has_miner = true;
+  state.miner = miner.Export();
   return state;
 }
 
@@ -124,6 +133,8 @@ void ExpectStatesEqual(const CheckpointState& a, const CheckpointState& b) {
     EXPECT_EQ(SessionDigest(a.store_sessions[i], &canon_a),
               SessionDigest(b.store_sessions[i], &canon_b));
   }
+  EXPECT_EQ(a.has_miner, b.has_miner);
+  EXPECT_TRUE(a.miner == b.miner);
 }
 
 // --- CRC32C ---
@@ -252,6 +263,44 @@ TEST(CkptSnapshot, PartsEncodingMatchesMonolithic) {
         DecodeSnapshot(head + open_frames + store_frames + tail, &decoded));
     ExpectStatesEqual(state, decoded);
   }
+}
+
+TEST(CkptTemplateFrame, MinerStateRoundTripsThroughSnapshot) {
+  // The 'T' frame must restore the miner exactly: same ids, same vars, same
+  // internal state, so a kill -9 -> restore continues byte-identically.
+  TemplateMiner miner;
+  for (int i = 0; i < 500; ++i) {
+    miner.Mine("user " + std::to_string(i % 17) + " fetched profile in " +
+               std::to_string(i) + "ms");
+  }
+  CheckpointState state;
+  state.has_miner = true;
+  state.miner = miner.Export();
+  const std::string bytes = EncodeSnapshot(state);
+  CheckpointState decoded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &decoded));
+  ASSERT_TRUE(decoded.has_miner);
+  TemplateMiner restored;
+  ASSERT_TRUE(restored.Import(decoded.miner));
+  std::vector<std::string_view> v1, v2;
+  for (int i = 0; i < 100; ++i) {
+    const std::string p =
+        "user 3 fetched profile in " + std::to_string(1000 + i) + "ms";
+    ASSERT_EQ(miner.Mine(p, &v1), restored.Mine(p, &v2));
+    ASSERT_EQ(v1, v2);
+  }
+  EXPECT_TRUE(miner.Export() == restored.Export());
+}
+
+TEST(CkptTemplateFrame, AbsentMinerDecodesAsAbsent) {
+  // Mining-disabled pipelines write no 'T' frame; the header says so and the
+  // decode yields has_miner == false.
+  const CheckpointState state;
+  const std::string bytes = EncodeSnapshot(state);
+  CheckpointState decoded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &decoded));
+  EXPECT_FALSE(decoded.has_miner);
+  EXPECT_TRUE(decoded.miner.nodes.empty());
 }
 
 TEST(CkptSnapshot, TruncationAtEveryByteFailsValidation) {

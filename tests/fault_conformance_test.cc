@@ -38,11 +38,13 @@ namespace ts {
 namespace {
 
 std::shared_ptr<std::vector<std::string>> MakeArchive(double records_per_sec,
-                                                      EventTime seconds) {
+                                                      EventTime seconds,
+                                                      bool free_text = false) {
   GeneratorConfig config;
   config.seed = 99;
   config.duration_ns = seconds * kNanosPerSecond;
   config.target_records_per_sec = records_per_sec;
+  config.free_text_payloads = free_text;
   TraceGenerator gen(config);
   auto lines = std::make_shared<std::vector<std::string>>();
   Epoch epoch = 0;
@@ -71,11 +73,32 @@ struct RunResult {
   uint64_t session_digest = 0;
   uint64_t store_digest = 0;
   uint64_t reconnects = 0;
+  uint64_t templates = 0;        // Learned templates (mining lanes only).
+  uint64_t template_digest = 0;  // FNV over the sorted (id, hits, text) dump.
 };
+
+// FNV-1a over the full template dictionary: any drift in template ids, hit
+// counts, or learned text between two runs changes this value.
+uint64_t TemplateDictionaryDigest(const std::vector<TemplateInfo>& dict) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= '\n';
+    h *= 1099511628211ull;
+  };
+  for (const auto& t : dict) {
+    mix(std::to_string(t.id) + " " + std::to_string(t.hits) + " " + t.text);
+  }
+  return h;
+}
 
 // The determinism contract's reference point: the same lines fed straight
 // into the pipeline, no sockets, no faults.
-RunResult RunInMemory(const std::vector<std::string>& lines) {
+RunResult RunInMemory(const std::vector<std::string>& lines,
+                      bool mine = false) {
   RunResult result;
   SessionStore::Options store_options;
   store_options.max_bytes = 1ull << 30;
@@ -85,6 +108,7 @@ RunResult RunInMemory(const std::vector<std::string>& lines) {
 
   LivePipelineOptions options;
   options.workers = 2;
+  options.mine_templates = mine;
   LivePipeline pipeline(options, [&](Session&& s) {
     thread_local std::string scratch;
     const uint64_t d = SessionDigest(s, &scratch);
@@ -105,6 +129,9 @@ RunResult RunInMemory(const std::vector<std::string>& lines) {
   result.parse_failures = pipeline.parse_failures();
   result.sessions = pipeline.sessions_closed();
   result.store_digest = ChainedStoreDigest(store, ids);
+  const auto dict = pipeline.TemplateSnapshot();
+  result.templates = dict.size();
+  result.template_digest = TemplateDictionaryDigest(dict);
   return result;
 }
 
@@ -112,7 +139,8 @@ RunResult RunInMemory(const std::vector<std::string>& lines) {
 // consume through a fault-injected SocketIngestSource, sessionize, digest.
 RunResult RunOverFaultyTransport(
     std::shared_ptr<const std::vector<std::string>> lines,
-    const FaultPlan& client_plan, const FaultPlan& server_plan) {
+    const FaultPlan& client_plan, const FaultPlan& server_plan,
+    bool mine = false) {
   RunResult result;
   ScriptedInjector client_injector(client_plan);
   ScriptedInjector server_injector(server_plan);
@@ -131,6 +159,7 @@ RunResult RunOverFaultyTransport(
 
   LivePipelineOptions pipeline_options;
   pipeline_options.workers = 2;
+  pipeline_options.mine_templates = mine;
   LivePipeline pipeline(pipeline_options, [&](Session&& s) {
     thread_local std::string scratch;
     const uint64_t d = SessionDigest(s, &scratch);
@@ -175,6 +204,9 @@ RunResult RunOverFaultyTransport(
   result.parse_failures = pipeline.parse_failures();
   result.sessions = pipeline.sessions_closed();
   result.store_digest = ChainedStoreDigest(store, ids);
+  const auto dict = pipeline.TemplateSnapshot();
+  result.templates = dict.size();
+  result.template_digest = TemplateDictionaryDigest(dict);
   return result;
 }
 
@@ -405,6 +437,194 @@ struct CrashRunResult {
   uint64_t replayed_duplicates = 0;  // Closed sessions already in the store.
 };
 
+// One full kill-9/restart schedule against `archive_lines`. With `mine` set
+// every incarnation runs the template miner, each snapshot carries its state
+// ('T' frame), and the restore must resume mining exactly where the snapshot
+// left off — the final dictionary digest is asserted against a fault-free run.
+CrashRunResult RunCrashSchedule(
+    std::shared_ptr<std::vector<std::string>> archive_lines, uint64_t seed,
+    bool mine) {
+  CrashRunResult out;
+  Rng rng(seed ^ 0xCDB4D88C6A2E9C01ULL);
+  const uint64_t total = archive_lines->size();
+
+  const std::string dir = ::testing::TempDir() + "ts_crash_" +
+                          std::to_string(::getpid()) + "_" +
+                          (mine ? "m" : "p") + std::to_string(seed);
+  const std::string cleanup = "rm -rf '" + dir + "'";
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+
+  LogServerOptions server_options;
+  LogServer server(server_options, archive_lines);
+  EXPECT_TRUE(server.Start());
+  std::thread server_thread([&server] { server.Run(); });
+
+  // 1-3 kills per schedule, then the last incarnation runs to EOS. A hard
+  // incarnation cap guards against a restore bug looping forever.
+  int crashes_left = 1 + static_cast<int>(rng.NextBelow(3));
+  bool eos = false;
+  for (int incarnation = 0; incarnation < 16 && !eos; ++incarnation) {
+    ++out.incarnations;
+
+    CheckpointerOptions ckpt_options;
+    ckpt_options.dir = dir;
+    ckpt_options.retain = 2 + static_cast<size_t>(rng.NextBelow(2));
+    ckpt_options.interval_ms = 0;  // Record-count cadence below.
+    Checkpointer ckpt(ckpt_options);
+    CheckpointState state;
+    ckpt.RestoreLatest(&state);
+    const uint64_t resume = state.resume_offset;
+    const uint64_t base_records = state.records;
+    const uint64_t base_parse_failures = state.parse_failures;
+    EXPECT_LE(resume, total);
+
+    SessionStore::Options store_options;
+    store_options.max_bytes = 1ull << 30;
+    SessionStore store(store_options);
+    std::mutex mu;
+    std::set<std::string> ids;
+    uint64_t xor_digest = 0;
+    uint64_t sessions = 0;
+    uint64_t duplicates = 0;
+
+    LivePipelineOptions pipeline_options;
+    pipeline_options.workers = 1 + rng.NextBelow(4);
+    pipeline_options.mine_templates = mine;
+    LivePipeline pipeline(pipeline_options, [&](Session&& s) {
+      thread_local std::string scratch;
+      const bool duplicate = store.Contains(s.id, s.fragment_index);
+      const uint64_t d = SessionDigest(s, &scratch);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (duplicate) {
+          // An exact resume offset makes replay re-derive only state the
+          // snapshot does not already hold; count violations, never merge.
+          ++duplicates;
+          return;
+        }
+        xor_digest ^= d;
+        ++sessions;
+        ids.insert(s.id);
+      }
+      store.Insert(std::move(s));
+    });
+    RestoreLiveCheckpoint(std::move(state), &pipeline, &store);
+    {
+      // Sessions carried over in the snapshot count toward the digests.
+      std::string scratch;
+      store.ForEachSession([&](const Session& s) {
+        xor_digest ^= SessionDigest(s, &scratch);
+        ++sessions;
+        ids.insert(s.id);
+      });
+    }
+
+    SocketIngestOptions client_options;
+    client_options.port = server.port();
+    client_options.backoff_base_ms = 1;
+    client_options.backoff_max_ms = 20;
+    client_options.resume_offset = resume;
+    SocketIngestSource client(client_options);
+
+    // Crash position (absolute record index, may fall mid-batch) and
+    // checkpoint cadence for this incarnation.
+    const bool crash_this = crashes_left > 0 && resume < total;
+    const uint64_t crash_at =
+        crash_this ? resume + 1 + rng.NextBelow(total - resume) : 0;
+    const uint64_t ckpt_every = 100 + rng.NextBelow(900);
+
+    uint64_t fed = resume;   // Absolute position of the next record to feed.
+    uint64_t since_ckpt = 0;
+    bool crashed = false;
+    std::vector<std::string> batch;
+    while (!crashed) {
+      batch.clear();
+      const auto poll = client.PollLines(&batch, /*timeout_ms=*/200);
+      for (auto& line : batch) {
+        if (crash_this && fed == crash_at) {
+          crashed = true;  // SIGKILL: the rest of the batch never lands.
+          break;
+        }
+        pipeline.FeedLine(std::move(line));
+        ++fed;
+        ++since_ckpt;
+      }
+      if (crashed) {
+        break;
+      }
+      pipeline.Flush();
+      if (poll == SocketIngestSource::Poll::kEndOfStream) {
+        eos = true;
+        break;
+      }
+      if (poll == SocketIngestSource::Poll::kFailed) {
+        break;  // Leaves out.run.eos false; the caller fails the seed.
+      }
+      if (since_ckpt >= ckpt_every) {
+        CheckpointState snap =
+            CaptureLiveCheckpoint(&pipeline, store, client.records_received());
+        snap.records += base_records;
+        snap.parse_failures += base_parse_failures;
+        EXPECT_TRUE(ckpt.Write(snap));
+        ++out.snapshots_written;
+        since_ckpt = 0;
+      }
+    }
+    pipeline.Finish();  // Joins workers; a crashed incarnation's state is
+                        // discarded wholesale along with store/digests.
+    if (crashed) {
+      ++out.crashes;
+      --crashes_left;
+      continue;
+    }
+    if (!eos) {
+      break;  // Transport failure: surface as a non-conformant run.
+    }
+    out.run.eos = true;
+    out.run.records_in = base_records + pipeline.records();
+    out.run.parse_failures = base_parse_failures + pipeline.parse_failures();
+    out.run.sessions = sessions;
+    out.run.session_digest = xor_digest;
+    out.run.store_digest = ChainedStoreDigest(store, ids);
+    const auto dict = pipeline.TemplateSnapshot();
+    out.run.templates = dict.size();
+    out.run.template_digest = TemplateDictionaryDigest(dict);
+    out.replayed_duplicates = duplicates;
+  }
+
+  server.Stop();
+  server_thread.join();
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  return out;
+}
+
+// Runs one seeded kill-9/restart schedule and asserts the recovered run is
+// indistinguishable from the fault-free baseline. With `mine` the template
+// dictionary must match too: same ids, same hit counts, same learned text.
+void CheckCrashConformance(std::shared_ptr<std::vector<std::string>> archive,
+                           const RunResult& baseline, uint64_t seed,
+                           bool mine) {
+  const CrashRunResult out = RunCrashSchedule(archive, seed, mine);
+  const std::string banner =
+      std::string(mine ? "mined " : "") + "crash schedule seed " +
+      std::to_string(seed) + " (" + std::to_string(out.crashes) +
+      " crash(es), " + std::to_string(out.incarnations) + " incarnation(s), " +
+      std::to_string(out.snapshots_written) + " snapshot(s))";
+  ASSERT_TRUE(out.run.eos) << banner;
+  EXPECT_EQ(out.crashes, out.incarnations - 1) << banner;
+  EXPECT_EQ(out.run.records_in, archive->size()) << banner;
+  EXPECT_EQ(out.run.parse_failures, 0u) << banner;
+  EXPECT_EQ(out.replayed_duplicates, 0u) << banner;
+  EXPECT_EQ(out.run.sessions, baseline.sessions) << banner;
+  EXPECT_EQ(out.run.session_digest, baseline.session_digest) << banner;
+  EXPECT_EQ(out.run.store_digest, baseline.store_digest) << banner;
+  if (mine) {
+    EXPECT_GT(out.run.templates, 0u) << banner;
+    EXPECT_EQ(out.run.templates, baseline.templates) << banner;
+    EXPECT_EQ(out.run.template_digest, baseline.template_digest) << banner;
+  }
+}
+
 class CrashRecovery : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -421,179 +641,8 @@ class CrashRecovery : public ::testing::Test {
     baseline_ = nullptr;
   }
 
-  static const std::vector<std::string>& archive() { return **archive_; }
-  static const RunResult& baseline() { return *baseline_; }
-
-  static CrashRunResult RunCrashSchedule(uint64_t seed) {
-    CrashRunResult out;
-    Rng rng(seed ^ 0xCDB4D88C6A2E9C01ULL);
-    const uint64_t total = archive().size();
-
-    const std::string dir = ::testing::TempDir() + "ts_crash_" +
-                            std::to_string(::getpid()) + "_" +
-                            std::to_string(seed);
-    const std::string cleanup = "rm -rf '" + dir + "'";
-    EXPECT_EQ(std::system(cleanup.c_str()), 0);
-
-    LogServerOptions server_options;
-    LogServer server(server_options, *archive_);
-    EXPECT_TRUE(server.Start());
-    std::thread server_thread([&server] { server.Run(); });
-
-    // 1-3 kills per schedule, then the last incarnation runs to EOS. A hard
-    // incarnation cap guards against a restore bug looping forever.
-    int crashes_left = 1 + static_cast<int>(rng.NextBelow(3));
-    bool eos = false;
-    for (int incarnation = 0; incarnation < 16 && !eos; ++incarnation) {
-      ++out.incarnations;
-
-      CheckpointerOptions ckpt_options;
-      ckpt_options.dir = dir;
-      ckpt_options.retain = 2 + static_cast<size_t>(rng.NextBelow(2));
-      ckpt_options.interval_ms = 0;  // Record-count cadence below.
-      Checkpointer ckpt(ckpt_options);
-      CheckpointState state;
-      ckpt.RestoreLatest(&state);
-      const uint64_t resume = state.resume_offset;
-      const uint64_t base_records = state.records;
-      const uint64_t base_parse_failures = state.parse_failures;
-      EXPECT_LE(resume, total);
-
-      SessionStore::Options store_options;
-      store_options.max_bytes = 1ull << 30;
-      SessionStore store(store_options);
-      std::mutex mu;
-      std::set<std::string> ids;
-      uint64_t xor_digest = 0;
-      uint64_t sessions = 0;
-      uint64_t duplicates = 0;
-
-      LivePipelineOptions pipeline_options;
-      pipeline_options.workers = 1 + rng.NextBelow(4);
-      LivePipeline pipeline(pipeline_options, [&](Session&& s) {
-        thread_local std::string scratch;
-        const bool duplicate = store.Contains(s.id, s.fragment_index);
-        const uint64_t d = SessionDigest(s, &scratch);
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          if (duplicate) {
-            // An exact resume offset makes replay re-derive only state the
-            // snapshot does not already hold; count violations, never merge.
-            ++duplicates;
-            return;
-          }
-          xor_digest ^= d;
-          ++sessions;
-          ids.insert(s.id);
-        }
-        store.Insert(std::move(s));
-      });
-      RestoreLiveCheckpoint(std::move(state), &pipeline, &store);
-      {
-        // Sessions carried over in the snapshot count toward the digests.
-        std::string scratch;
-        store.ForEachSession([&](const Session& s) {
-          xor_digest ^= SessionDigest(s, &scratch);
-          ++sessions;
-          ids.insert(s.id);
-        });
-      }
-
-      SocketIngestOptions client_options;
-      client_options.port = server.port();
-      client_options.backoff_base_ms = 1;
-      client_options.backoff_max_ms = 20;
-      client_options.resume_offset = resume;
-      SocketIngestSource client(client_options);
-
-      // Crash position (absolute record index, may fall mid-batch) and
-      // checkpoint cadence for this incarnation.
-      const bool crash_this = crashes_left > 0 && resume < total;
-      const uint64_t crash_at =
-          crash_this ? resume + 1 + rng.NextBelow(total - resume) : 0;
-      const uint64_t ckpt_every = 100 + rng.NextBelow(900);
-
-      uint64_t fed = resume;   // Absolute position of the next record to feed.
-      uint64_t since_ckpt = 0;
-      bool crashed = false;
-      std::vector<std::string> batch;
-      while (!crashed) {
-        batch.clear();
-        const auto poll = client.PollLines(&batch, /*timeout_ms=*/200);
-        for (auto& line : batch) {
-          if (crash_this && fed == crash_at) {
-            crashed = true;  // SIGKILL: the rest of the batch never lands.
-            break;
-          }
-          pipeline.FeedLine(std::move(line));
-          ++fed;
-          ++since_ckpt;
-        }
-        if (crashed) {
-          break;
-        }
-        pipeline.Flush();
-        if (poll == SocketIngestSource::Poll::kEndOfStream) {
-          eos = true;
-          break;
-        }
-        if (poll == SocketIngestSource::Poll::kFailed) {
-          break;  // Leaves out.run.eos false; the caller fails the seed.
-        }
-        if (since_ckpt >= ckpt_every) {
-          CheckpointState snap =
-              CaptureLiveCheckpoint(&pipeline, store, client.records_received());
-          snap.records += base_records;
-          snap.parse_failures += base_parse_failures;
-          EXPECT_TRUE(ckpt.Write(snap));
-          ++out.snapshots_written;
-          since_ckpt = 0;
-        }
-      }
-      pipeline.Finish();  // Joins workers; a crashed incarnation's state is
-                          // discarded wholesale along with store/digests.
-      if (crashed) {
-        ++out.crashes;
-        --crashes_left;
-        continue;
-      }
-      if (!eos) {
-        break;  // Transport failure: surface as a non-conformant run.
-      }
-      out.run.eos = true;
-      out.run.records_in = base_records + pipeline.records();
-      out.run.parse_failures = base_parse_failures + pipeline.parse_failures();
-      out.run.sessions = sessions;
-      out.run.session_digest = xor_digest;
-      out.run.store_digest = ChainedStoreDigest(store, ids);
-      out.replayed_duplicates = duplicates;
-    }
-
-    server.Stop();
-    server_thread.join();
-    EXPECT_EQ(std::system(cleanup.c_str()), 0);
-    return out;
-  }
-
-  // Runs one seeded kill-9/restart schedule and asserts the recovered run is
-  // indistinguishable from the fault-free baseline.
   void CheckCrashSeed(uint64_t seed) {
-    const CrashRunResult out = RunCrashSchedule(seed);
-    const std::string banner = "crash schedule seed " + std::to_string(seed) +
-                               " (" + std::to_string(out.crashes) +
-                               " crash(es), " +
-                               std::to_string(out.incarnations) +
-                               " incarnation(s), " +
-                               std::to_string(out.snapshots_written) +
-                               " snapshot(s))";
-    ASSERT_TRUE(out.run.eos) << banner;
-    EXPECT_EQ(out.crashes, out.incarnations - 1) << banner;
-    EXPECT_EQ(out.run.records_in, archive().size()) << banner;
-    EXPECT_EQ(out.run.parse_failures, 0u) << banner;
-    EXPECT_EQ(out.replayed_duplicates, 0u) << banner;
-    EXPECT_EQ(out.run.sessions, baseline().sessions) << banner;
-    EXPECT_EQ(out.run.session_digest, baseline().session_digest) << banner;
-    EXPECT_EQ(out.run.store_digest, baseline().store_digest) << banner;
+    CheckCrashConformance(*archive_, *baseline_, seed, /*mine=*/false);
   }
 
  private:
@@ -649,6 +698,153 @@ TEST_F(CrashRecovery, ExploratorySeedFromEnvironment) {
       }
     }
   }
+}
+
+// --- Template-mining conformance lanes (ts_parse) ---
+//
+// Mining runs on the single ingest thread in arrival order, so the rewritten
+// stream — and with it the store contents and the learned dictionary — must
+// be byte-identical no matter how the transport stutters (same arrival
+// prefix => same miner state), and across kill -9/restart (the snapshot's
+// 'T' frame must restore the miner exactly, or replayed records would split
+// into fresh template ids and every digest below would diverge).
+
+class TemplateFaultConformance : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    archive_ = new std::shared_ptr<std::vector<std::string>>(MakeArchive(
+        /*records_per_sec=*/2'000, /*seconds=*/2, /*free_text=*/true));
+    baseline_ = new RunResult(RunInMemory(**archive_, /*mine=*/true));
+    ASSERT_GT((*archive_)->size(), 2'000u);
+    ASSERT_GT(baseline_->sessions, 0u);
+    ASSERT_GT(baseline_->templates, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete archive_;
+    delete baseline_;
+    archive_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  static const std::vector<std::string>& archive() { return **archive_; }
+  static std::shared_ptr<const std::vector<std::string>> archive_ptr() {
+    return *archive_;
+  }
+  static const RunResult& baseline() { return *baseline_; }
+
+  // One seeded fault schedule with mining on: full conformance plus an
+  // identical template dictionary (ids, hit counts, learned text).
+  void CheckMinedSeed(uint64_t seed, const std::string& profile) {
+    FaultProfile resolved;
+    ASSERT_TRUE(
+        FaultPlan::ResolveProfile(profile, WireBytes(archive()), &resolved));
+    const FaultPlan client_plan =
+        FaultPlan::FromSeed(seed * 2 + 1, profile, resolved);
+    const FaultPlan server_plan =
+        FaultPlan::FromSeed(seed * 2 + 2, profile, resolved);
+    const std::string replay = "mined seed " + std::to_string(seed) +
+                               " — replay with:\n--- client plan ---\n" +
+                               client_plan.ToText() + "--- server plan ---\n" +
+                               server_plan.ToText();
+
+    const RunResult run = RunOverFaultyTransport(*archive_, client_plan,
+                                                 server_plan, /*mine=*/true);
+    ASSERT_TRUE(run.eos) << replay;
+    EXPECT_EQ(run.records_in, archive().size()) << replay;
+    EXPECT_EQ(run.parse_failures, 0u) << replay;
+    EXPECT_EQ(run.sessions, baseline().sessions) << replay;
+    EXPECT_EQ(run.session_digest, baseline().session_digest) << replay;
+    EXPECT_EQ(run.store_digest, baseline().store_digest) << replay;
+    EXPECT_EQ(run.templates, baseline().templates) << replay;
+    EXPECT_EQ(run.template_digest, baseline().template_digest) << replay;
+  }
+
+ private:
+  static std::shared_ptr<std::vector<std::string>>* archive_;
+  static RunResult* baseline_;
+};
+
+std::shared_ptr<std::vector<std::string>>* TemplateFaultConformance::archive_ =
+    nullptr;
+RunResult* TemplateFaultConformance::baseline_ = nullptr;
+
+TEST_F(TemplateFaultConformance, FaultFreeMinedTransportMatchesInMemory) {
+  const RunResult run = RunOverFaultyTransport(archive_ptr(), FaultPlan{},
+                                               FaultPlan{}, /*mine=*/true);
+  ASSERT_TRUE(run.eos);
+  EXPECT_EQ(run.records_in, archive().size());
+  EXPECT_EQ(run.session_digest, baseline().session_digest);
+  EXPECT_EQ(run.store_digest, baseline().store_digest);
+  EXPECT_GT(run.templates, 0u);
+  EXPECT_EQ(run.templates, baseline().templates);
+  EXPECT_EQ(run.template_digest, baseline().template_digest);
+}
+
+TEST_F(TemplateFaultConformance, MinedMildSchedules) {
+  for (uint64_t seed = 300; seed < 310; ++seed) {
+    CheckMinedSeed(seed, "mild");
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // The replay banner already names the seed.
+    }
+  }
+}
+
+TEST_F(TemplateFaultConformance, MinedAggressiveSchedules) {
+  for (uint64_t seed = 310; seed < 320; ++seed) {
+    CheckMinedSeed(seed, "aggressive");
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;
+    }
+  }
+}
+
+class TemplateCrashRecovery : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    archive_ = new std::shared_ptr<std::vector<std::string>>(MakeArchive(
+        /*records_per_sec=*/2'000, /*seconds=*/2, /*free_text=*/true));
+    baseline_ = new RunResult(RunInMemory(**archive_, /*mine=*/true));
+    ASSERT_GT((*archive_)->size(), 2'000u);
+    ASSERT_GT(baseline_->sessions, 0u);
+    ASSERT_GT(baseline_->templates, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete archive_;
+    delete baseline_;
+    archive_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  void CheckMinedCrashSeed(uint64_t seed) {
+    CheckCrashConformance(*archive_, *baseline_, seed, /*mine=*/true);
+  }
+
+ private:
+  static std::shared_ptr<std::vector<std::string>>* archive_;
+  static RunResult* baseline_;
+};
+
+std::shared_ptr<std::vector<std::string>>* TemplateCrashRecovery::archive_ =
+    nullptr;
+RunResult* TemplateCrashRecovery::baseline_ = nullptr;
+
+TEST_F(TemplateCrashRecovery, TwentyKillRestartSchedulesRestoreMinerExactly) {
+  // Every snapshot in these schedules carries the miner's 'T' frame; every
+  // restart re-imports it and keeps mining the resumed stream. Identical
+  // final dictionaries prove restore is exact — a miner that cold-started
+  // would re-learn different ids for the replayed suffix.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    CheckMinedCrashSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // The banner already names the seed.
+    }
+  }
+}
+
+TEST_F(TemplateCrashRecovery, ColdStartMinedScheduleMatchesBaseline) {
+  // First incarnation restores nothing: the miner must build from scratch,
+  // then survive the schedule's later kills via the 'T' frame.
+  CheckMinedCrashSeed(7919);
 }
 
 // --- Exploratory lane (satellite S5) ---

@@ -2,14 +2,38 @@
 // most importantly — calibration against the statistics the paper publishes
 // for the real Amadeus trace (Table 1 and §5).
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/log/wire_format.h"
 #include "src/workload/generator.h"
 
 namespace ts {
 namespace {
+
+// FNV-1a over every wire line of a trace: any byte-level nondeterminism in
+// the generator (including payload content) changes the digest.
+uint64_t TraceDigest(const GeneratorConfig& config) {
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  std::string line;
+  uint64_t h = 1469598103934665603ull;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      line.clear();
+      AppendWireFormat(r, &line);
+      line.push_back('\n');
+      for (const char c : line) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return h;
+}
 
 GeneratorConfig SmallConfig() {
   GeneratorConfig config;
@@ -43,6 +67,57 @@ TEST(Generator, DeterministicAcrossRuns) {
     }
   }
   EXPECT_EQ(g1.stats().annotations, g2.stats().annotations);
+}
+
+TEST(Generator, PayloadsByteIdenticalForSameSeedInBothModes) {
+  // Same seed => byte-identical trace including every payload byte, in the
+  // default filler mode and in --free_text mode.
+  for (const bool free_text : {false, true}) {
+    GeneratorConfig config = SmallConfig();
+    config.duration_ns = 3 * kNanosPerSecond;
+    config.free_text_payloads = free_text;
+    EXPECT_EQ(TraceDigest(config), TraceDigest(config))
+        << "free_text=" << free_text;
+  }
+}
+
+TEST(Generator, GoldenDigestsStableAcrossProcessInvocations) {
+  // Golden digests pin the exact byte stream across *process* invocations:
+  // a run today must reproduce the bytes of the run that recorded these
+  // constants (no pointer-order, locale, or ASLR dependence). Regenerate
+  // deliberately if the wire format or generator draws change.
+  GeneratorConfig config;
+  config.seed = 4242;
+  config.duration_ns = 2 * kNanosPerSecond;
+  config.target_records_per_sec = 10'000;
+  const uint64_t plain = TraceDigest(config);
+  config.free_text_payloads = true;
+  const uint64_t free_text = TraceDigest(config);
+  EXPECT_EQ(plain, 0xEECA5AB7947271B4ull);
+  EXPECT_EQ(free_text, 0xD5E1CFA27F5EDEF9ull);
+  EXPECT_NE(plain, free_text);  // Free-text mode must change the payloads.
+}
+
+TEST(Generator, FreeTextPayloadsLookLikeLogLines) {
+  GeneratorConfig config = SmallConfig();
+  config.duration_ns = 2 * kNanosPerSecond;
+  config.free_text_payloads = true;
+  TraceGenerator gen(config);
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+  uint64_t payloads = 0, with_spaces = 0;
+  while (gen.NextEpoch(&epoch, &records)) {
+    for (const auto& r : records) {
+      ++payloads;
+      if (r.payload.find(' ') != std::string::npos) {
+        ++with_spaces;
+      }
+      EXPECT_EQ(r.payload.find('|'), std::string::npos)
+          << "payload must not break the wire format";
+    }
+  }
+  ASSERT_GT(payloads, 1000u);
+  EXPECT_EQ(payloads, with_spaces);  // Every payload is multi-token text.
 }
 
 TEST(Generator, EpochsOrderedAndRecordsSortedWithinEpoch) {

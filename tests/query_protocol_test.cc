@@ -111,6 +111,14 @@ TEST(ParseQueryRequest, AcceptsEveryVerbWithDefaults) {
   EXPECT_EQ(r.verb, QueryRequest::Verb::kTopK);
   EXPECT_EQ(r.k, 3u);
 
+  ASSERT_TRUE(ParseQueryRequest("TEMPLATES", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kTemplates);
+  EXPECT_EQ(r.k, 10u);
+
+  ASSERT_TRUE(ParseQueryRequest("TEMPLATES 5", &r, &error));
+  EXPECT_EQ(r.verb, QueryRequest::Verb::kTemplates);
+  EXPECT_EQ(r.k, 5u);
+
   ASSERT_TRUE(ParseQueryRequest("SUBSCRIBE", &r, &error));
   EXPECT_EQ(r.verb, QueryRequest::Verb::kSubscribe);
   EXPECT_FALSE(r.filter_by_service);
@@ -140,6 +148,8 @@ TEST(ParseQueryRequest, RejectsMalformedRequests) {
       "STATS now",
       "TOPK 1 2",
       "TOPK k",
+      "TEMPLATES 1 2",
+      "TEMPLATES k",
       "SUBSCRIBE svc=1",
       "SUBSCRIBE service=x",
       "SUBSCRIBE service=1 extra",
@@ -221,6 +231,23 @@ TEST(ControlLines, FormatAndParseRoundTrip) {
   EXPECT_EQ(ParseOk("#ERR x"), std::nullopt);
   EXPECT_EQ(ParseDropped("#DROPPED 7"), std::optional<uint64_t>(7));
   EXPECT_EQ(ParseDropped("#OK 7"), std::nullopt);
+}
+
+TEST(TemplateLines, FormatAndParseRoundTrip) {
+  TemplateCount entry{42, 1234, 56789, "request served from <*> in <*>"};
+  const std::string line = FormatTemplateLine(entry);
+  EXPECT_EQ(line, "TMPL 42 1234 56789 request served from <*> in <*>");
+  auto parsed = ParseTemplateLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, entry.id);
+  EXPECT_EQ(parsed->hits, entry.hits);
+  EXPECT_EQ(parsed->ppm, entry.ppm);
+  EXPECT_EQ(parsed->text, entry.text);  // Text keeps its internal spaces.
+
+  EXPECT_FALSE(ParseTemplateLine("TMPL 42 1234").has_value());
+  EXPECT_FALSE(ParseTemplateLine("TMPL x y z text").has_value());
+  EXPECT_FALSE(ParseTemplateLine("TOP 1 2").has_value());
+  EXPECT_FALSE(ParseTemplateLine("").has_value());
 }
 
 }  // namespace

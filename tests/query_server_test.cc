@@ -236,6 +236,54 @@ TEST(QueryServerClient, QueriesStatsAndTopK) {
   EXPECT_GE(counters.errors, 1u);
 }
 
+TEST(TemplateQuery, TemplatesVerbServesRankedDictionary) {
+  // A server with a template source answers TEMPLATES with TMPL lines ranked
+  // by hits (descending, id ascending on ties), k-limited, text verbatim.
+  auto store = std::make_shared<SessionStore>(SessionStore::Options{});
+  auto metrics = std::make_shared<MetricsRegistry>();
+  auto server =
+      std::make_unique<QueryServer>(QueryServerOptions{}, store, metrics);
+  server->SetTemplateSource([] {
+    return std::vector<TemplateCount>{
+        {1, 10, 100000, "alpha <*>"},
+        {2, 50, 500000, "beta <*> gamma"},
+        {3, 10, 100000, "delta"},
+    };
+  });
+  ASSERT_TRUE(server->Start());
+  std::thread thread([&server] { server->Run(); });
+  {
+    RawConn conn(server->port());
+    EXPECT_EQ(conn.Request("TEMPLATES 2"),
+              "TMPL 2 50 500000 beta <*> gamma\nTMPL 1 10 100000 alpha <*>\n" +
+                  FormatOk(2) + "\n");
+
+    QueryClientOptions options;
+    options.port = server->port();
+    QueryClient client(options);
+    ASSERT_TRUE(client.Connect());
+    auto response = client.Templates(10);
+    EXPECT_TRUE(response.ok);
+    EXPECT_EQ(response.count, 3u);
+    ASSERT_EQ(response.templates.size(), 3u);
+    EXPECT_EQ(response.templates[0].id, 2u);
+    EXPECT_EQ(response.templates[1].id, 1u);  // Tie broken by id.
+    EXPECT_EQ(response.templates[2].id, 3u);
+    EXPECT_EQ(response.templates[0].text, "beta <*> gamma");
+  }
+  server->Stop();
+  thread.join();
+}
+
+TEST(TemplateQuery, TemplatesVerbWithoutSourceIsAnError) {
+  ServerFixture fixture;  // No SetTemplateSource: mining disabled.
+  auto client = fixture.Client();
+  auto response = client.Templates();
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("template mining disabled"),
+            std::string::npos);
+}
+
 TEST(QueryServerSubscribe, DeliversEverySessionClosedAfterAttach) {
   ServerFixture fixture;
   fixture.store->Insert(MakeSession("BEFORE", 0, kNanosPerSecond, {9}));

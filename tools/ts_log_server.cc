@@ -10,7 +10,8 @@
 //
 // Usage:
 //   ts_log_server [--port=0] [--host=127.0.0.1] [--streams=1]
-//                 [--in=path | --rate=50000 --seconds=10 --seed=42]
+//                 [--in=path | --rate=50000 --seconds=10 --seed=42
+//                  [--free_text]]
 //                 [--buffer_kb=256] [--once] [--quiet]
 //
 //   --port=0      bind an ephemeral port; the bound port is printed first,
@@ -95,6 +96,7 @@ void GenerateArchive(int argc, char** argv, std::vector<std::string>* lines) {
   config.duration_ns = static_cast<ts::EventTime>(
       Flag(argc, argv, "--seconds", 10) * ts::kNanosPerSecond);
   config.target_records_per_sec = Flag(argc, argv, "--rate", 50'000);
+  config.free_text_payloads = HasFlag(argc, argv, "--free_text");
   ts::TraceGenerator gen(config);
   ts::Epoch epoch = 0;
   std::vector<ts::LogRecord> records;

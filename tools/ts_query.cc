@@ -10,10 +10,14 @@
 //
 //   REQUEST           one protocol request, e.g. `GET <id>`, `FRAGMENTS <id>`,
 //                     `SERVICE <n> [limit]`, `RANGE <lo> <hi> [limit]`,
-//                     `STATS`, `TOPK [k]`, or `SUBSCRIBE [service=<n>]`.
+//                     `STATS`, `TOPK [k]`, `TEMPLATES [k]`, or
+//                     `SUBSCRIBE [service=<n>]`.
 //                     With no request, reads request lines from stdin.
 //   --raw             print sessions as canonical wire blocks (re-parseable
 //                     by ts_sessionize) instead of one-line summaries
+//   --templates       shorthand for a `TEMPLATES` request: print the mined
+//                     log-template dictionary (needs a server started with
+//                     --mine-templates)
 //   --timeout_ms=N    per-response wait (default 10000)
 //
 // SUBSCRIBE switches to tail mode: sessions stream until the server exits or
@@ -79,6 +83,16 @@ bool PrintResponse(const ts::QueryResponse& response, bool raw) {
   for (const auto& [service, count] : response.top) {
     std::printf("svc-%u %llu\n", service,
                 static_cast<unsigned long long>(count));
+  }
+  for (const auto& t : response.templates) {
+    if (raw) {
+      // Wire form, re-parseable by ParseTemplateLine (like --raw sessions).
+      std::printf("%s\n", ts::FormatTemplateLine(t).c_str());
+      continue;
+    }
+    std::printf("#%u hits=%llu ppm=%llu %s\n", t.id,
+                static_cast<unsigned long long>(t.hits),
+                static_cast<unsigned long long>(t.ppm), t.text.c_str());
   }
   if (response.truncated) {
     std::fprintf(stderr, "(response truncated by server output budget)\n");
@@ -160,6 +174,9 @@ int main(int argc, char** argv) {
       request += ' ';
     }
     request += argv[i];
+  }
+  if (request.empty() && HasFlag(argc, argv, "--templates")) {
+    request = "TEMPLATES";
   }
 
   QueryClient client(options);

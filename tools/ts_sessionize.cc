@@ -33,6 +33,12 @@
 //                     worker threads, hash-partitioned by SipHash(session id)
 //                     — the paper's Exchange PACT (default: hardware threads).
 //                     Closed-session output is byte-identical for every N.
+//   --mine-templates  (with --connect --serve) mine log templates from the
+//                     free-text payload of each record on ingest: payloads are
+//                     rewritten to "#<template_id> <var>..." before
+//                     sessionization (shrinking store bytes/session), and the
+//                     query server answers the TEMPLATES verb with the mined
+//                     dictionary. Checkpoints include the miner state.
 //   --checkpoint-dir=D  (with --connect --serve) durable crash recovery: on
 //                     startup restore the newest valid snapshot in D and
 //                     resume the server-side stream from its offset; while
@@ -188,10 +194,17 @@ int main(int argc, char** argv) {
   // --serve: stand up the store and the query server before ingesting, so
   // subscribers attached early see every session close.
   const char* serve_spec = FlagStr(argc, argv, "--serve");
+  const bool mine_templates = HasFlag(argc, argv, "--mine-templates");
+  // Published once the live pipeline exists; the TEMPLATES source lambda runs
+  // on the query-server thread, so the hand-off must be atomic.
+  std::atomic<LivePipeline*> mining_pipeline{nullptr};
   std::shared_ptr<SessionStore> store;
   std::shared_ptr<MetricsRegistry> metrics;
   std::unique_ptr<QueryServer> server;
   std::thread server_thread;
+  if (mine_templates && serve_spec == nullptr) {
+    std::fprintf(stderr, "--mine-templates needs --connect --serve; ignoring\n");
+  }
   if (serve_spec != nullptr) {
     SessionStore::Options store_options;
     store_options.max_bytes =
@@ -209,6 +222,30 @@ int main(int argc, char** argv) {
       server_options.port = static_cast<uint16_t>(std::atoi(serve_spec));
     }
     server = std::make_unique<QueryServer>(server_options, store, metrics);
+    if (mine_templates) {
+      // Installed before Start(); returns the mined dictionary ranked later
+      // by the server. ppm = hits per million mined payloads (every payload
+      // hits exactly one template, so the snapshot's hits sum to the total).
+      server->SetTemplateSource([&mining_pipeline] {
+        std::vector<TemplateCount> out;
+        LivePipeline* pipe = mining_pipeline.load(std::memory_order_acquire);
+        if (pipe == nullptr) {
+          return out;
+        }
+        const auto snapshot = pipe->TemplateSnapshot();
+        uint64_t total = 0;
+        for (const auto& info : snapshot) {
+          total += info.hits;
+        }
+        out.reserve(snapshot.size());
+        for (const auto& info : snapshot) {
+          out.push_back({info.id, info.hits,
+                         total > 0 ? info.hits * 1'000'000 / total : 0,
+                         info.text});
+        }
+        return out;
+      });
+    }
     if (!server->Start()) {
       std::fprintf(stderr, "cannot serve on %s\n", serve_spec);
       return 1;
@@ -311,6 +348,7 @@ int main(int argc, char** argv) {
           Flag(argc, argv, "--workers", hw > 0 ? hw : 1));
       pipe_options.inactivity_ns =
           inactivity_ns > 0 ? inactivity_ns : 5 * kNanosPerSecond;
+      pipe_options.mine_templates = mine_templates;
       const bool dedupe_replay = ckpt != nullptr;
       pipeline = std::make_unique<LivePipeline>(
           pipe_options, [&, dedupe_replay](Session&& s) {
@@ -329,6 +367,7 @@ int main(int argc, char** argv) {
                               store.get());
         store->ForEachSession([&report](const Session& s) { report.Add(s); });
       }
+      mining_pipeline.store(pipeline.get(), std::memory_order_release);
       pipeline->RegisterMetrics(metrics.get());
       // Legacy gauge names, kept stable for operators and the e2e smoke.
       // With a restored checkpoint they continue from the snapshot's counters

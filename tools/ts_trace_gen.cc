@@ -4,7 +4,11 @@
 //
 // Usage:
 //   ts_trace_gen [--rate=50000] [--seconds=10] [--seed=42] [--loss=0]
-//                [--skew_ms=0] [--out=path]
+//                [--skew_ms=0] [--free_text] [--out=path]
+//
+//   --free_text   emit unstructured free-text payloads drawn from a seeded
+//                 template pool (the ts_parse mining workload) instead of the
+//                 calibrated fixed-size filler
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,6 +39,15 @@ const char* FlagStr(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +60,7 @@ int main(int argc, char** argv) {
   config.record_loss_rate = Flag(argc, argv, "--loss", 0);
   config.clock_skew_sigma_ns =
       static_cast<EventTime>(Flag(argc, argv, "--skew_ms", 0) * kNanosPerMilli);
+  config.free_text_payloads = HasFlag(argc, argv, "--free_text");
 
   FILE* out = stdout;
   if (const char* path = FlagStr(argc, argv, "--out")) {

@@ -7,7 +7,12 @@ and fails when:
 
   * critical-path throughput for any baseline lane regressed more than
     --tolerance (default 0.30, the ">30% regression" CI contract),
-  * the run was not byte-identical across worker counts,
+  * the run's "identical" verdict is false (live_scaling: results were not
+    byte-identical across worker counts; overload_study: accounting did not
+    reconcile or the watermark stalled — the current run's "identity_check"
+    string, when present, names what the verdict means),
+  * any per-lane cap in the baseline is exceeded: a baseline row key
+    "max_<metric>" (e.g. max_p99_close_ms) caps the current row's <metric>,
   * the 4-worker speedup fell below the baseline's min_speedup_4w floor,
   * checkpoint overhead exceeded the baseline's max_ckpt_overhead cap,
   * the store compression ratio fell below min_compression_ratio, or
@@ -18,10 +23,11 @@ and fails when:
     run that introduces a lane, then check in the refreshed baseline).
 
 Lanes are keyed by the "workers" field when rows carry one (live_scaling)
-and by the "lane" field otherwise (template_compression).
+and by the "lane" field otherwise (template_compression, overload_study).
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json
            [--tolerance=0.30] [--allow-new-lanes]
+       check_bench_regression.py --self-test
 """
 
 import json
@@ -58,7 +64,31 @@ def index_rows(doc, path, failures):
     return rows
 
 
+def check_row_caps(key, base_row, cur_row, failures):
+    """Gate current metrics against per-lane "max_<metric>" caps (latency
+    ceilings in the overload_study baseline: max_p99_close_ms and friends)."""
+    for cap_key in sorted(base_row):
+        if not cap_key.startswith("max_"):
+            continue
+        metric = cap_key[len("max_"):]
+        cap = float(base_row[cap_key])
+        if metric not in cur_row:
+            failures.append(
+                f"{key}: baseline caps {metric} but the current run emitted "
+                "none")
+            continue
+        value = float(cur_row[metric])
+        ok = value <= cap
+        print(f"{key:>14} {metric}: {value:.2f} (cap {cap:.2f}) "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{key}: {metric} {value:.2f} exceeds cap {cap:.2f}")
+
+
 def main(argv):
+    if "--self-test" in argv[1:]:
+        return self_test()
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
@@ -76,8 +106,9 @@ def main(argv):
     failures = []
 
     if not current.get("identical", False):
-        failures.append(
-            "results were NOT byte-identical across worker counts")
+        failures.append(current.get(
+            "identity_check",
+            "results were NOT byte-identical across worker counts"))
 
     baseline_rows = index_rows(baseline, args[1], failures)
     current_rows = index_rows(current, args[0], failures)
@@ -89,6 +120,7 @@ def main(argv):
         if cur_row is None:
             failures.append(f"{key}: missing from current run")
             continue
+        check_row_caps(key, base_row, cur_row, failures)
         base_tput = base_row.get("records_per_s")
         cur_tput = cur_row.get("records_per_s")
         if base_tput is None:
@@ -164,6 +196,87 @@ def main(argv):
         return 1
     print("\nbench within tolerance of baseline")
     return 0
+
+
+def self_test():
+    """Exercise the gate against crafted current/baseline pairs and check
+    each exits with the expected status. Run by ctest (bench_gate_selftest)
+    and the CI bench-smoke job."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def run_case(name, current, baseline, expect, extra_flags=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            cur_path = os.path.join(tmp, "current.json")
+            base_path = os.path.join(tmp, "baseline.json")
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(out):
+                got = main(["check", cur_path, base_path, *extra_flags])
+        ok = got == expect
+        print(f"{'ok  ' if ok else 'FAIL'} {name} "
+              f"(expected exit {expect}, got {got})")
+        if not ok:
+            print(out.getvalue())
+        return ok
+
+    ok_run = {
+        "identical": True,
+        "rows": [{"lane": "1.10x", "p99_close_ms": 700.0,
+                  "records_per_s": 100000}],
+    }
+    capped = {
+        "rows": [{"lane": "1.10x", "max_p99_close_ms": 1000.0}],
+    }
+    results = [
+        run_case("cap respected passes", ok_run, capped, 0),
+        run_case("cap exceeded fails",
+                 {"identical": True,
+                  "rows": [{"lane": "1.10x", "p99_close_ms": 1500.0}]},
+                 capped, 1),
+        run_case("capped metric missing from current fails",
+                 {"identical": True, "rows": [{"lane": "1.10x"}]},
+                 capped, 1),
+        run_case("identical=false fails with custom identity_check",
+                 {"identical": False,
+                  "identity_check": "accounting did not reconcile",
+                  "rows": [{"lane": "1.10x", "p99_close_ms": 1.0}]},
+                 capped, 1),
+        run_case("baseline lane missing from current fails",
+                 {"identical": True, "rows": []}, capped, 1),
+        run_case("new lane rejected without --allow-new-lanes",
+                 {"identical": True,
+                  "rows": [{"lane": "1.10x", "p99_close_ms": 1.0},
+                           {"lane": "2.00x"}]},
+                 capped, 1),
+        run_case("new lane accepted with --allow-new-lanes",
+                 {"identical": True,
+                  "rows": [{"lane": "1.10x", "p99_close_ms": 1.0},
+                           {"lane": "2.00x"}]},
+                 capped, 0, ("--allow-new-lanes",)),
+        run_case("throughput regression beyond tolerance fails",
+                 {"identical": True,
+                  "rows": [{"workers": 2, "records_per_s": 50000}]},
+                 {"rows": [{"workers": 2, "records_per_s": 100000}]}, 1),
+        run_case("throughput within tolerance passes",
+                 {"identical": True,
+                  "rows": [{"workers": 2, "records_per_s": 90000}]},
+                 {"rows": [{"workers": 2, "records_per_s": 100000}]}, 0),
+        run_case("speedup floor violation fails",
+                 {"identical": True, "speedup_4w": 1.2, "rows": []},
+                 {"min_speedup_4w": 2.5, "rows": []}, 1),
+    ]
+    if all(results):
+        print("self-test: PASS")
+        return 0
+    print("self-test: FAIL", file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":

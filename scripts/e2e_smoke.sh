@@ -19,7 +19,18 @@
 # ts_sessionize --mine-templates and asserts the TEMPLATES verb serves a
 # non-empty ranked dictionary (see docs/ARCHITECTURE.md, ts_parse).
 #
+# With --loadgen, the open-loop generator replaces the log server:
+#
+#   ts_loadgen  ->  ts_sessionize --connect --serve --shed-policy=oldest-open
+#
+# The generator subscribes to the consumer's query port for close latencies,
+# and after the drain the STATS gauges must reconcile exactly:
+# ingest_records == live_records_emitted + live_open_records +
+# live_shed_records, and the wire total (ingest_records + live_shed_lines)
+# must cover every scheduled record (see docs/LOADGEN.md).
+#
 # Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash] [--templates]
+#                             [--loadgen]
 #   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
 #                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
@@ -28,11 +39,13 @@ BUILD_DIR="build"
 CHAOS=0
 CRASH=0
 TEMPLATES=0
+LOADGEN=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --crash) CRASH=1 ;;
     --templates) TEMPLATES=1 ;;
+    --loadgen) LOADGEN=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -45,7 +58,8 @@ cleanup() {
   # outlive the smoke run — a stray one (e.g. after a mid-script failure
   # while a kill -9'd sessionizer's server keeps serving) holds its port and
   # wedges CI until the job timeout. -P $$ scopes the sweep to our children.
-  pkill -9 -P $$ -f 'ts_log_server|ts_sessionize|ts_chaos' 2>/dev/null || true
+  pkill -9 -P $$ -f 'ts_log_server|ts_sessionize|ts_chaos|ts_loadgen' \
+    2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -162,6 +176,71 @@ grep -q '^#SESSION ' "$WORK/get.out" || {
 kill -INT "$SESS_PID" 2>/dev/null || true
 wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
+
+[ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] \
+  || [ "$LOADGEN" -eq 1 ] || exit 0
+
+# ---- Load-generator run: open-loop schedule, shed policy, exact STATS -------
+
+if [ "$LOADGEN" -eq 1 ]; then
+  # The generator is the TS1 server; it discovers the consumer's query port
+  # through a file we write once the sessionizer has printed it.
+  "$TOOLS/ts_loadgen" --rate=40000 --seconds=3 --seed=5 --inactivity_s=1 \
+    --subscribe-port-file="$WORK/lg_qport" --subscribe-wait=30 \
+    >"$WORK/lg.out" 2>"$WORK/lg.err" &
+  LG_PID=$!
+  LPORT="$(wait_port_file "$WORK/lg.out")"
+  [ -n "$LPORT" ] || {
+    echo "FAIL: loadgen reported no port"; cat "$WORK/lg.err"; exit 1; }
+
+  # Tag must differ from the generator's lg.out/lg.err file pair.
+  start_sessionize "$LPORT" lgsess --shed-policy=oldest-open
+  echo "$QPORT" >"$WORK/lg_qport"
+
+  # The generator paces the schedule, drains, waits for pending closes, and
+  # exits nonzero on any transport failure or missed schedule.
+  wait "$LG_PID" || {
+    echo "FAIL: ts_loadgen exited nonzero"
+    cat "$WORK/lg.out" "$WORK/lg.err"; exit 1; }
+  settle_counts "$QPORT" || {
+    echo "FAIL: loadgen run never settled"; cat "$WORK/lgsess.err"; exit 1; }
+
+  SENT="$(sed -n 's/^loadgen sent=\([0-9]*\).*/\1/p' "$WORK/lg.out" | head -n1)"
+  [ -n "$SENT" ] && [ "$SENT" -gt 0 ] || {
+    echo "FAIL: loadgen reported no sent count"; cat "$WORK/lg.out"; exit 1; }
+  EMITTED="$(stat_gauge "$QPORT" live_records_emitted)"
+  OPEN="$(stat_gauge "$QPORT" live_open_records)"
+  SHED_REC="$(stat_gauge "$QPORT" live_shed_records)"
+  SHED_LINES="$(stat_gauge "$QPORT" live_shed_lines)"
+  PFAIL="$(stat_gauge "$QPORT" ingest_parse_failures)"
+  WM="$(stat_gauge "$QPORT" sessionize_watermark_ms)"
+
+  [ "$PFAIL" = "0" ] || {
+    echo "FAIL: parse failures: ${PFAIL:-empty}"; cat "$WORK/lgsess.err"; exit 1; }
+  [ -n "$WM" ] && [ "$WM" -gt 0 ] || {
+    echo "FAIL: watermark did not advance: ${WM:-empty}"; exit 1; }
+
+  # Exact accounting, including the shed counters: every parsed record is in
+  # the store, still open, or shed — nothing unaccounted.
+  TOTAL=$((EMITTED + OPEN + SHED_REC))
+  [ "$RECORDS" = "$TOTAL" ] || {
+    echo "FAIL: STATS do not reconcile: ingest_records=$RECORDS !=" \
+         "emitted=$EMITTED + open=$OPEN + shed_records=$SHED_REC"
+    cat "$WORK/lgsess.err"; exit 1; }
+
+  # Cross-process: every scheduled record reached the consumer (the drain
+  # tail adds a handful of watermark-advancing records on top).
+  WIRE=$((RECORDS + SHED_LINES))
+  [ "$WIRE" -ge "$SENT" ] && [ "$WIRE" -le $((SENT + 50)) ] || {
+    echo "FAIL: wire total $WIRE outside [$SENT, $((SENT + 50))]"
+    cat "$WORK/lg.out"; exit 1; }
+
+  kill -INT "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  echo "e2e loadgen OK: $SENT scheduled records reconciled exactly" \
+       "(emitted=$EMITTED open=$OPEN shed_records=$SHED_REC" \
+       "shed_lines=$SHED_LINES)"
+fi
 
 [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] || exit 0
 

@@ -6,6 +6,7 @@
 #ifndef SRC_COMMON_FIXED_QUEUE_H_
 #define SRC_COMMON_FIXED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -41,6 +42,37 @@ class FixedQueue {
     }
     items_.push_back(std::move(item));
     not_empty_.notify_one();
+    return true;
+  }
+
+  // Waits up to `timeout` for space. Moves from `item` only on success, so a
+  // false return leaves the caller's value intact for retry or shedding.
+  // Returns false when the wait timed out or the queue was closed.
+  bool PushWithTimeout(T& item, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait_for(lock, timeout,
+                       [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops the front element into `*out` iff `pred(front)` holds. Used by
+  // shedding producers to drop the oldest queued work when a consumer has
+  // fallen behind, while skipping elements the predicate protects (e.g.
+  // checkpoint barriers). Returns false when empty or the predicate declines.
+  template <typename Pred>
+  bool PopFrontIf(Pred pred, T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty() || !pred(items_.front())) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
     return true;
   }
 

@@ -1,0 +1,145 @@
+#include "src/common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace ts {
+namespace {
+
+int FloorLog2(uint64_t v) {
+  int log = 0;
+  while (v >>= 1) {
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(size_t{1} << sub_bucket_bits) {
+  TS_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+  // Shifts run 0..(62 - bits) for values up to 2^63 - 1; one extra row plus
+  // the exact region below 2 * sub_bucket_count_ covers the full int64 range.
+  buckets_.assign((65 - sub_bucket_bits_) * sub_bucket_count_, 0);
+}
+
+size_t LatencyRecorder::BucketIndex(int64_t value) const {
+  uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+  if (v < 2 * sub_bucket_count_) {
+    return static_cast<size_t>(v);  // Exact region.
+  }
+  int shift = FloorLog2(v) - sub_bucket_bits_;
+  uint64_t sub = v >> shift;  // In [sub_bucket_count_, 2 * sub_bucket_count_).
+  return (static_cast<size_t>(shift) + 1) * sub_bucket_count_ +
+         static_cast<size_t>(sub - sub_bucket_count_);
+}
+
+int64_t LatencyRecorder::BucketLowerBound(size_t index) const {
+  if (index < 2 * sub_bucket_count_) {
+    return static_cast<int64_t>(index);
+  }
+  int shift = static_cast<int>(index / sub_bucket_count_) - 1;
+  uint64_t sub = sub_bucket_count_ + index % sub_bucket_count_;
+  return static_cast<int64_t>(sub << shift);
+}
+
+int64_t LatencyRecorder::BucketUpperBound(size_t index) const {
+  if (index < 2 * sub_bucket_count_) {
+    return static_cast<int64_t>(index);
+  }
+  int shift = static_cast<int>(index / sub_bucket_count_) - 1;
+  return BucketLowerBound(index) + ((int64_t{1} << shift) - 1);
+}
+
+void LatencyRecorder::Record(int64_t value) { RecordMany(value, 1); }
+
+void LatencyRecorder::RecordMany(int64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  int64_t v = value < 0 ? 0 : value;
+  buckets_[BucketIndex(v)] += count;
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  if (count_ == 0 || v > max_) {
+    max_ = v;
+  }
+  count_ += count;
+  sum_ += static_cast<double>(v) * static_cast<double>(count);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  TS_CHECK(sub_bucket_bits_ == other.sub_bucket_bits_);
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (count_ == 0 || other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyRecorder::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t LatencyRecorder::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) {
+    target = 1;
+  }
+  if (target > count_) {
+    target = count_;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyRecorder::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string LatencyRecorder::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms n=%llu",
+                ValueAtQuantile(0.50) / 1e6, ValueAtQuantile(0.99) / 1e6,
+                ValueAtQuantile(0.999) / 1e6, max() / 1e6,
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace ts

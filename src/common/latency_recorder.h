@@ -1,0 +1,67 @@
+// Log-bucketed latency histogram for coordinated-omission-safe reporting.
+//
+// HdrHistogram-style layout: values below 2^(sub_bucket_bits + 1) are recorded
+// exactly; above that, each power-of-two range is split into 2^sub_bucket_bits
+// linear sub-buckets, bounding the relative quantile error at
+// 2^-sub_bucket_bits (~3.1% with the default 5 bits). The structure is a flat
+// array of counters, so Record() is two shifts and an increment — cheap enough
+// to sit on the load generator's send path — and Merge() makes per-thread
+// recorders combinable without locks.
+//
+// Values are nanoseconds by convention but the math is unit-agnostic.
+// Negative values clamp to zero (a close observed "before" its intended send
+// time is schedule jitter, not signal).
+#ifndef SRC_COMMON_LATENCY_RECORDER_H_
+#define SRC_COMMON_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ts {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(int sub_bucket_bits = 5);
+
+  void Record(int64_t value);
+  void RecordMany(int64_t value, uint64_t count);
+
+  // Adds `other`'s counts into this recorder. Requires identical bucketing.
+  void Merge(const LatencyRecorder& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const;
+
+  // Smallest recorded-bucket upper bound covering quantile `q` in [0, 1].
+  // Exact for values below 2^(bits+1); within 2^-bits relative error above.
+  // Returns min() for q <= 0 and max() for q >= 1.
+  int64_t ValueAtQuantile(double q) const;
+
+  void Reset();
+
+  // "p50=1.2ms p99=3.4ms p99.9=8.1ms max=12.0ms n=1234" — for CLI reports.
+  std::string Summary() const;
+
+  // Bucket geometry, exposed for the boundary-golden tests.
+  size_t BucketIndex(int64_t value) const;
+  int64_t BucketLowerBound(size_t index) const;
+  int64_t BucketUpperBound(size_t index) const;
+  int sub_bucket_bits() const { return sub_bucket_bits_; }
+
+ private:
+  int sub_bucket_bits_;
+  size_t sub_bucket_count_;  // 1 << sub_bucket_bits_
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_COMMON_LATENCY_RECORDER_H_

@@ -19,6 +19,7 @@ void LiveCloser::Feed(LogRecord record, std::vector<Session>* closed) {
   }
   open.last_time = std::max(open.last_time, record.time);
   open_bytes_ += record.MemoryFootprint();
+  ++open_records_;
   open.records.push_back(std::move(record));
 }
 
@@ -72,11 +73,53 @@ void LiveCloser::ImportFragment(LiveCloserState::OpenFragment fragment) {
     const size_t bytes = r.MemoryFootprint();
     open_bytes_ = bytes >= open_bytes_ ? 0 : open_bytes_ - bytes;
   }
+  open_records_ -= std::min<uint64_t>(open_records_, open.records.size());
   open.last_time = fragment.last_time;
   open.records = std::move(fragment.records);
   for (const auto& r : open.records) {
     open_bytes_ += r.MemoryFootprint();
   }
+  open_records_ += open.records.size();
+}
+
+size_t LiveCloser::ShedOldestUntil(size_t max_open_bytes) {
+  if (open_bytes_ <= max_open_bytes) {
+    return 0;
+  }
+  // Deterministic shed order: oldest last_time first, id as tie-break.
+  std::vector<std::pair<EventTime, const std::string*>> order;
+  order.reserve(open_.size());
+  for (const auto& [id, open] : open_) {
+    order.emplace_back(open.last_time, &id);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : *a.second < *b.second;
+            });
+  size_t shed = 0;
+  for (const auto& [last_time, id] : order) {
+    if (open_bytes_ <= max_open_bytes) {
+      break;
+    }
+    auto it = open_.find(*id);
+    size_t bytes = 0;
+    for (const auto& r : it->second.records) {
+      bytes += r.MemoryFootprint();
+    }
+    open_bytes_ = bytes >= open_bytes_ ? 0 : open_bytes_ - bytes;
+    open_records_ -= std::min<uint64_t>(open_records_,
+                                        it->second.records.size());
+    shed_records_ += it->second.records.size();
+    ++shed_fragments_;
+    // Consume the fragment index: a re-appearing id keeps numbering as if
+    // this fragment had been emitted, so downstream per-id sequences stay
+    // gap-free in shape even when the content was dropped.
+    next_fragment_[*id]++;
+    open_.erase(it);
+    ++shed;
+  }
+  return shed;
 }
 
 void LiveCloser::SetNextFragment(const std::string& id, uint32_t next) {
@@ -105,6 +148,8 @@ void LiveCloser::Emit(const std::string& id, Open open,
     bytes += r.MemoryFootprint();
   }
   open_bytes_ = bytes >= open_bytes_ ? 0 : open_bytes_ - bytes;
+  open_records_ -= std::min<uint64_t>(open_records_, s.records.size());
+  records_emitted_ += s.records.size();
   ++sessions_emitted_;
   closed->push_back(std::move(s));
 }

@@ -92,10 +92,26 @@ class LiveCloser {
   void ImportFragment(LiveCloserState::OpenFragment fragment);
   void SetNextFragment(const std::string& id, uint32_t next);
 
+  // Load shedding (opt-in, --shed-policy=oldest-open): drops whole open
+  // fragments, oldest `last_time` first (id as tie-break, so the order is
+  // deterministic), until open_bytes() <= max_open_bytes. Shed fragments are
+  // never emitted; their records are counted exactly in shed_records() /
+  // shed_fragments(), and the id's fragment counter still advances so a
+  // session that re-appears continues its numbering as if the fragment had
+  // closed. Returns the number of fragments shed.
+  size_t ShedOldestUntil(size_t max_open_bytes);
+
   size_t open_sessions() const { return open_.size(); }
   EventTime watermark() const { return watermark_; }
   uint64_t sessions_emitted() const { return sessions_emitted_; }
   size_t open_bytes() const { return open_bytes_; }
+
+  // Exact-accounting counters: every record Fed is, at any quiescent point,
+  // in exactly one of {records_emitted, open_records, shed_records}.
+  uint64_t records_emitted() const { return records_emitted_; }
+  uint64_t open_records() const { return open_records_; }
+  uint64_t shed_records() const { return shed_records_; }
+  uint64_t shed_fragments() const { return shed_fragments_; }
 
  private:
   struct Open {
@@ -108,6 +124,10 @@ class LiveCloser {
   EventTime inactivity_ns_;
   EventTime watermark_ = 0;
   uint64_t sessions_emitted_ = 0;
+  uint64_t records_emitted_ = 0;
+  uint64_t open_records_ = 0;
+  uint64_t shed_records_ = 0;
+  uint64_t shed_fragments_ = 0;
   size_t open_bytes_ = 0;
   std::unordered_map<std::string, Open> open_;
   std::unordered_map<std::string, uint32_t> next_fragment_;

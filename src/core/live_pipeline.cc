@@ -164,10 +164,40 @@ void LivePipeline::SealAndPush(Shard& shard) {
   // control propagates the stall to the log server. (TryPush would consume
   // the batch on failure, so probe with size(); as the queue's only
   // producer we can at worst under- or over-count a racing pop.)
-  if (shard.queue.size() >= options_.queue_capacity) {
-    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.queue.size() < options_.queue_capacity) {
+    shard.queue.Push(std::move(batch));
+    return;
   }
-  shard.queue.Push(std::move(batch));
+  backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t stall_start = SteadyNowNanos();
+  if (options_.shed_policy == ShedPolicy::kNone) {
+    shard.queue.Push(std::move(batch));
+  } else {
+    // Bounded stall: wait up to the limit for the worker to free a slot, then
+    // shed the *oldest queued* batch (head drop — the records least likely to
+    // still matter) and retry. Barrier and end-of-stream batches are never
+    // dropped: if one heads the queue we simply keep waiting (its worker is
+    // guaranteed to drain it). Dropped items are pre-parse lines; they are
+    // counted exactly in shed_lines and nowhere else.
+    auto wait = std::chrono::milliseconds(
+        std::max<int64_t>(1, options_.shed_stall_limit_ms));
+    while (!shard.queue.PushWithTimeout(batch, wait)) {
+      Batch dropped;
+      if (shard.queue.PopFrontIf(
+              [](const Batch& b) { return b.barrier == nullptr && !b.flush_all; },
+              &dropped)) {
+        if (!dropped.items.empty()) {
+          shard.shed_lines.fetch_add(dropped.items.size(),
+                                     std::memory_order_relaxed);
+        }
+      }
+      // After the first timeout, retry tightly: a slot is either already free
+      // (we just dropped the head) or about to be.
+      wait = std::chrono::milliseconds(1);
+    }
+  }
+  shard.stall_ns.fetch_add(SteadyNowNanos() - stall_start,
+                           std::memory_order_relaxed);
 }
 
 void LivePipeline::Flush() {
@@ -334,6 +364,14 @@ void LivePipeline::WorkerLoop(size_t shard_index) {
     }
     closer.ObserveWatermark(batch->watermark_end);
     closer.CloseExpired(&closed);
+    if (options_.shed_policy == ShedPolicy::kOldestOpen &&
+        closer.open_bytes() > options_.shed_open_bytes) {
+      // Over the open-state budget (under overload, head drops upstream orphan
+      // fragments whose closing records were shed — they would otherwise pin
+      // memory until end of stream): drop oldest-idle fragments, exactly
+      // accounted, until back under budget.
+      closer.ShedOldestUntil(options_.shed_open_bytes);
+    }
     if (batch->flush_all) {
       closer.FlushAll(&closed);
     }
@@ -356,6 +394,12 @@ void LivePipeline::WorkerLoop(size_t shard_index) {
                               std::memory_order_relaxed);
     shard.open_bytes.store(closer.open_bytes(), std::memory_order_relaxed);
     shard.watermark.store(closer.watermark(), std::memory_order_relaxed);
+    shard.records_emitted.store(closer.records_emitted(),
+                                std::memory_order_relaxed);
+    shard.open_records.store(closer.open_records(), std::memory_order_relaxed);
+    shard.shed_records.store(closer.shed_records(), std::memory_order_relaxed);
+    shard.shed_fragments.store(closer.shed_fragments(),
+                               std::memory_order_relaxed);
     shard.cpu_ns.store(ThreadCpuNanos(), std::memory_order_relaxed);
     if (batch->barrier != nullptr) {
       // Two-phase checkpoint rendezvous: pre-barrier closes are in the sink
@@ -400,6 +444,54 @@ size_t LivePipeline::open_sessions() const {
   size_t total = 0;
   for (const auto& s : shards_) {
     total += s->open_sessions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t LivePipeline::backpressure_stall_ns() const {
+  int64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stall_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::records_emitted() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->records_emitted.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::open_records() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->open_records.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::shed_records() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->shed_records.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::shed_fragments() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->shed_fragments.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LivePipeline::shed_lines() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->shed_lines.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -450,6 +542,12 @@ LiveShardSnapshot LivePipeline::shard(size_t i) const {
   snap.queue_depth = s.queue.size();
   snap.watermark = s.watermark.load(std::memory_order_relaxed);
   snap.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
+  snap.records_emitted = s.records_emitted.load(std::memory_order_relaxed);
+  snap.open_records = s.open_records.load(std::memory_order_relaxed);
+  snap.shed_records = s.shed_records.load(std::memory_order_relaxed);
+  snap.shed_fragments = s.shed_fragments.load(std::memory_order_relaxed);
+  snap.shed_lines = s.shed_lines.load(std::memory_order_relaxed);
+  snap.stall_ns = s.stall_ns.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -476,6 +574,27 @@ void LivePipeline::RegisterMetrics(MetricsRegistry* registry,
   registry->Register(prefix + "backpressure_stalls", [this] {
     return static_cast<int64_t>(backpressure_stalls());
   });
+  registry->Register(prefix + "backpressure_stall_us", [this] {
+    return backpressure_stall_ns() / 1000;
+  });
+  // Shed accounting — registered even with shedding off (then all zero), so
+  // STATS consumers can always reconcile
+  // records == records_emitted + open_records + shed_records.
+  registry->Register(prefix + "records_emitted", [this] {
+    return static_cast<int64_t>(records_emitted());
+  });
+  registry->Register(prefix + "open_records", [this] {
+    return static_cast<int64_t>(open_records());
+  });
+  registry->Register(prefix + "shed_records", [this] {
+    return static_cast<int64_t>(shed_records());
+  });
+  registry->Register(prefix + "shed_fragments", [this] {
+    return static_cast<int64_t>(shed_fragments());
+  });
+  registry->Register(prefix + "shed_lines", [this] {
+    return static_cast<int64_t>(shed_lines());
+  });
   if (options_.mine_templates) {
     registry->Register(prefix + "templates", [this] {
       return static_cast<int64_t>(template_count());
@@ -497,6 +616,15 @@ void LivePipeline::RegisterMetrics(MetricsRegistry* registry,
     });
     registry->Register(shard_prefix + "queue_depth", [this, i] {
       return static_cast<int64_t>(shard(i).queue_depth);
+    });
+    registry->Register(shard_prefix + "shed_records", [this, i] {
+      return static_cast<int64_t>(shard(i).shed_records);
+    });
+    registry->Register(shard_prefix + "shed_lines", [this, i] {
+      return static_cast<int64_t>(shard(i).shed_lines);
+    });
+    registry->Register(shard_prefix + "stall_us", [this, i] {
+      return shard(i).stall_ns / 1000;
     });
   }
 }

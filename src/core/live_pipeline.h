@@ -55,6 +55,24 @@
 
 namespace ts {
 
+// Opt-in overload policy (ts_loadgen overload study, docs/LOADGEN.md). With
+// kNone (default) a full shard queue blocks the ingest thread indefinitely —
+// backpressure all the way to TCP. With kOldestOpen the pipeline degrades
+// predictably instead of stalling: (1) a blocked push waits at most
+// shed_stall_limit_ms, then drops the *oldest queued batch* (head drop; never
+// a checkpoint barrier or end-of-stream batch), counting its items in
+// shed_lines; (2) each shard bounds its open-fragment state to
+// shed_open_bytes, shedding oldest-idle fragments first with exact counts
+// (LiveCloser::ShedOldestUntil). Every fed record is then, at quiescence, in
+// exactly one of {records_emitted, open_records, shed_records}, and every
+// admitted-but-dropped line in shed_lines — `records_in == stored + shed`.
+// Shedding intentionally trades the byte-identical determinism contract for
+// bounded producer stall; it must stay off when digests matter.
+enum class ShedPolicy {
+  kNone,
+  kOldestOpen,
+};
+
 struct LivePipelineOptions {
   size_t workers = 1;          // Number of shards (>=1).
   EventTime inactivity_ns = 5 * kNanosPerSecond;
@@ -72,6 +90,10 @@ struct LivePipelineOptions {
   // (fewer than six '|' separators) pass through unmodified.
   bool mine_templates = false;
   TemplateMinerOptions miner;
+  // Overload shedding (see ShedPolicy above). Off by default.
+  ShedPolicy shed_policy = ShedPolicy::kNone;
+  size_t shed_open_bytes = 32ull << 20;  // Per-shard open-fragment budget.
+  int64_t shed_stall_limit_ms = 100;     // Max blocked-push wait before a drop.
 };
 
 // A point-in-time view of one shard, for gauges and benches.
@@ -84,6 +106,13 @@ struct LiveShardSnapshot {
   size_t queue_depth = 0;  // Batches waiting.
   EventTime watermark = 0;
   int64_t cpu_ns = 0;  // Thread CPU consumed by this shard's worker.
+  // Exact-accounting counters (shed policy; zero when shedding is off).
+  uint64_t records_emitted = 0;  // Records inside sessions handed to the sink.
+  uint64_t open_records = 0;     // Records currently in open fragments.
+  uint64_t shed_records = 0;     // Records dropped from shed open fragments.
+  uint64_t shed_fragments = 0;   // Open fragments dropped whole.
+  uint64_t shed_lines = 0;       // Pre-parse lines dropped by queue head-drop.
+  int64_t stall_ns = 0;          // Ingest time spent blocked on this queue.
 };
 
 // A watermark-aligned consistent snapshot of the pipeline's mutable state,
@@ -213,6 +242,16 @@ class LivePipeline {
   uint64_t backpressure_stalls() const {
     return backpressure_stalls_.load(std::memory_order_relaxed);
   }
+  // Total ingest-thread time spent blocked on full shard queues (satellite
+  // observability: locates the stall point in the overload study). Measured
+  // only on the slow path — no clock reads while queues have room.
+  int64_t backpressure_stall_ns() const;
+  // Shed-policy accounting, summed across shards (all zero when off).
+  uint64_t records_emitted() const;  // Records in sink-delivered sessions.
+  uint64_t open_records() const;     // Records in still-open fragments.
+  uint64_t shed_records() const;     // Records shed from open fragments.
+  uint64_t shed_fragments() const;
+  uint64_t shed_lines() const;       // Lines dropped pre-parse (head drop).
   // Min-across-shards processed watermark (0 until every shard has seen one).
   EventTime watermark() const;
   // Global ingest-side watermark (prefix max of event time).
@@ -230,9 +269,14 @@ class LivePipeline {
 
   // Registers merged + per-shard gauges: <prefix>records, <prefix>parse_failures,
   // <prefix>open_sessions, <prefix>watermark_ms, <prefix>backpressure_stalls,
-  // <prefix>blank_lines and per shard k: <prefix>shard<k>_open_sessions,
+  // <prefix>backpressure_stall_us, <prefix>blank_lines, the shed-accounting
+  // set (<prefix>records_emitted, <prefix>open_records, <prefix>shed_records,
+  // <prefix>shed_fragments, <prefix>shed_lines — registered always, zero when
+  // shedding is off) and per shard k: <prefix>shard<k>_open_sessions,
   // <prefix>shard<k>_records, <prefix>shard<k>_parse_failures,
-  // <prefix>shard<k>_queue_depth. The registry must not outlive the pipeline.
+  // <prefix>shard<k>_queue_depth, <prefix>shard<k>_shed_records,
+  // <prefix>shard<k>_shed_lines, <prefix>shard<k>_stall_us.
+  // The registry must not outlive the pipeline.
   void RegisterMetrics(MetricsRegistry* registry,
                        const std::string& prefix = "live_") const;
 
@@ -270,6 +314,12 @@ class LivePipeline {
     std::atomic<size_t> open_bytes{0};
     std::atomic<int64_t> watermark{0};
     std::atomic<int64_t> cpu_ns{0};
+    std::atomic<uint64_t> records_emitted{0};
+    std::atomic<uint64_t> open_records{0};
+    std::atomic<uint64_t> shed_records{0};
+    std::atomic<uint64_t> shed_fragments{0};
+    std::atomic<uint64_t> shed_lines{0};   // Ingest-thread head drops.
+    std::atomic<int64_t> stall_ns{0};      // Ingest-thread blocked-push time.
     std::vector<double> close_latencies_ms;  // Worker-owned until join.
     Batch pending;  // Ingest-thread-owned accumulation buffer.
     EventTime last_tick_watermark = -1;

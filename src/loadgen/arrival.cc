@@ -1,0 +1,27 @@
+#include "src/loadgen/arrival.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ts {
+
+ArrivalSchedule::ArrivalSchedule(ArrivalProcess process, double rate_per_s,
+                                 uint64_t seed)
+    : process_(process), gap_ns_(1e9 / rate_per_s), rng_(seed) {
+  TS_CHECK(rate_per_s > 0);
+}
+
+int64_t ArrivalSchedule::NextNs() {
+  ++count_;
+  if (process_ == ArrivalProcess::kUniform) {
+    // Computed from the record index, not accumulated, so rounding error
+    // cannot drift the achieved rate over long runs.
+    return static_cast<int64_t>(
+        std::llround(static_cast<double>(count_) * gap_ns_));
+  }
+  next_ns_ += rng_.NextExponential(gap_ns_);
+  return static_cast<int64_t>(next_ns_);
+}
+
+}  // namespace ts

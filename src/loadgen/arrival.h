@@ -1,0 +1,45 @@
+// Open-loop arrival schedules (ts_loadgen).
+//
+// An open-loop generator decides *when* each record is sent from the schedule
+// alone — never from the server's responses. The schedule is therefore fixed
+// before the run starts (conceptually; here it is generated lazily but
+// depends only on the seed), and a slow server cannot slow it down. That is
+// the property that makes latency measured from the *intended* send time free
+// of coordinated omission: a stall inflates the latency of every record
+// scheduled during it, exactly as real clients would experience.
+#ifndef SRC_LOADGEN_ARRIVAL_H_
+#define SRC_LOADGEN_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace ts {
+
+enum class ArrivalProcess {
+  kUniform,  // Fixed inter-arrival gap: rate_per_s, no burstiness.
+  kPoisson,  // Exponential gaps: memoryless bursts at the same mean rate.
+};
+
+// Yields the intended send time of each successive record, in nanoseconds
+// from the start of the run. Monotone non-decreasing; deterministic per seed.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(ArrivalProcess process, double rate_per_s, uint64_t seed);
+
+  // Intended offset of the next record. The first record is due at ~one gap.
+  int64_t NextNs();
+
+  uint64_t emitted() const { return count_; }
+
+ private:
+  ArrivalProcess process_;
+  double gap_ns_;  // Mean inter-arrival gap.
+  Rng rng_;
+  uint64_t count_ = 0;
+  double next_ns_ = 0;  // Poisson accumulator.
+};
+
+}  // namespace ts
+
+#endif  // SRC_LOADGEN_ARRIVAL_H_

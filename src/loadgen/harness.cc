@@ -1,0 +1,116 @@
+#include "src/loadgen/harness.h"
+
+#include <utility>
+#include <vector>
+
+namespace ts {
+
+ConsumerHarness::ConsumerHarness(const HarnessOptions& options)
+    : options_(options) {
+  SessionStore::Options store_options;
+  store_options.max_bytes = options_.store_bytes;
+  store_ = std::make_shared<SessionStore>(store_options);
+  metrics_ = std::make_shared<MetricsRegistry>();
+
+  LivePipelineOptions pipe_options;
+  pipe_options.workers = options_.workers;
+  pipe_options.inactivity_ns = options_.inactivity_ns;
+  pipe_options.queue_capacity = options_.queue_capacity;
+  pipe_options.shed_policy = options_.shed_policy;
+  pipe_options.shed_open_bytes = options_.shed_open_bytes;
+  pipe_options.shed_stall_limit_ms = options_.shed_stall_limit_ms;
+  pipeline_ = std::make_unique<LivePipeline>(
+      pipe_options,
+      [this](Session&& s) { store_->Insert(std::move(s)); });
+  pipeline_->RegisterMetrics(metrics_.get());
+  LivePipeline* pipe = pipeline_.get();
+  metrics_->Register("ingest_records", [pipe] {
+    return static_cast<int64_t>(pipe->records());
+  });
+}
+
+ConsumerHarness::~ConsumerHarness() {
+  Join();
+  Stop();
+}
+
+bool ConsumerHarness::Start(uint16_t upstream_port) {
+  QueryServerOptions qopts;
+  query_server_ =
+      std::make_unique<QueryServer>(qopts, store_, metrics_);
+  if (!query_server_->Start()) {
+    return false;
+  }
+  serve_thread_ = std::thread([this] { query_server_->Run(); });
+  consume_thread_ =
+      std::thread([this, upstream_port] { ConsumeLoop(upstream_port); });
+  return true;
+}
+
+uint16_t ConsumerHarness::query_port() const { return query_server_->port(); }
+
+void ConsumerHarness::ConsumeLoop(uint16_t upstream_port) {
+  SocketIngestOptions in_options;
+  in_options.port = upstream_port;
+  in_options.max_records_per_poll = options_.max_records_per_poll;
+  SocketIngestSource source(in_options);
+  std::vector<std::string> lines;
+  bool done = false;
+  while (!done) {
+    lines.clear();
+    const auto poll = source.PollLines(&lines, /*timeout_ms=*/200);
+    for (auto& l : lines) {
+      pipeline_->FeedLine(std::move(l));
+    }
+    lines_received_.store(source.records_received(),
+                          std::memory_order_relaxed);
+    if (poll == SocketIngestSource::Poll::kEndOfStream) {
+      done = true;
+    } else if (poll == SocketIngestSource::Poll::kFailed) {
+      transport_failed_.store(true);
+      done = true;
+    } else {
+      pipeline_->Flush();
+    }
+  }
+  pipeline_->Finish();
+}
+
+void ConsumerHarness::Join() {
+  if (joined_) {
+    return;
+  }
+  joined_ = true;
+  if (consume_thread_.joinable()) {
+    consume_thread_.join();
+  }
+}
+
+void ConsumerHarness::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  if (query_server_ != nullptr) {
+    query_server_->Stop();
+  }
+  if (serve_thread_.joinable()) {
+    serve_thread_.join();
+  }
+}
+
+ConsumerHarness::Accounting ConsumerHarness::GetAccounting() const {
+  Accounting a;
+  a.received = lines_received_.load(std::memory_order_relaxed);
+  a.parsed = pipeline_->records();
+  a.parse_failures = pipeline_->parse_failures();
+  a.blank_lines = pipeline_->blank_lines();
+  a.records_emitted = pipeline_->records_emitted();
+  a.open_records = pipeline_->open_records();
+  a.shed_records = pipeline_->shed_records();
+  a.shed_fragments = pipeline_->shed_fragments();
+  a.shed_lines = pipeline_->shed_lines();
+  return a;
+}
+
+}  // namespace ts

@@ -1,0 +1,102 @@
+// ConsumerHarness: the full live consumer stack in-process, for the loadgen
+// self-check (`ts_loadgen --quick`) and bench/overload_study. Mirrors what
+// `ts_sessionize --connect --serve` runs as a separate process:
+//
+//   SocketIngestSource ─► LivePipeline (N shards) ─► SessionStore ─► QueryServer
+//
+// so a LoadGenerator pointed at `upstream_port` exercises the same TCP ingest
+// path, watermark closes, and SUBSCRIBE fan-out the real deployment has —
+// just without process boundaries, which lets the caller read the pipeline's
+// exact-accounting counters directly.
+#ifndef SRC_LOADGEN_HARNESS_H_
+#define SRC_LOADGEN_HARNESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "src/analytics/session_store.h"
+#include "src/core/live_pipeline.h"
+#include "src/net/socket_ingest.h"
+#include "src/query/query_server.h"
+
+namespace ts {
+
+struct HarnessOptions {
+  size_t workers = 2;
+  int64_t inactivity_ns = kNanosPerSecond;
+  size_t queue_capacity = 64;
+  ShedPolicy shed_policy = ShedPolicy::kNone;
+  size_t shed_open_bytes = 32ull << 20;
+  int64_t shed_stall_limit_ms = 100;
+  size_t store_bytes = 256ull << 20;
+  // Bound per-poll ingest batches so a slow pipeline backpressures the
+  // socket instead of buffering unbounded lines in the poll loop.
+  size_t max_records_per_poll = 4096;
+};
+
+class ConsumerHarness {
+ public:
+  explicit ConsumerHarness(const HarnessOptions& options);
+  ~ConsumerHarness();
+
+  // Connects to the upstream TS1 server and starts the consume + serve
+  // threads. Returns false if the query server failed to bind.
+  bool Start(uint16_t upstream_port);
+
+  uint16_t query_port() const;
+
+  // Waits until the upstream stream ends (EOS) and the pipeline has finished
+  // (all open fragments flushed). The query server keeps serving until Stop().
+  void Join();
+  void Stop();
+
+  LivePipeline* pipeline() { return pipeline_.get(); }
+  SessionStore* store() { return store_.get(); }
+  uint64_t lines_received() const {
+    return lines_received_.load(std::memory_order_relaxed);
+  }
+  bool transport_failed() const { return transport_failed_.load(); }
+
+  // Exact-accounting snapshot. After Join(), Reconciles() must hold:
+  //   received == parsed + parse_failures + blank_lines + shed_lines
+  //   parsed   == records_emitted + open_records + shed_records
+  // (`records_in == stored + shed` from the ISSUE, at record granularity —
+  // after Finish, open_records is 0 and every emitted record is in the sink.)
+  struct Accounting {
+    uint64_t received = 0;
+    uint64_t parsed = 0;
+    uint64_t parse_failures = 0;
+    uint64_t blank_lines = 0;
+    uint64_t records_emitted = 0;
+    uint64_t open_records = 0;
+    uint64_t shed_records = 0;
+    uint64_t shed_fragments = 0;
+    uint64_t shed_lines = 0;
+    bool Reconciles() const {
+      return received == parsed + parse_failures + blank_lines + shed_lines &&
+             parsed == records_emitted + open_records + shed_records;
+    }
+  };
+  Accounting GetAccounting() const;
+
+ private:
+  void ConsumeLoop(uint16_t upstream_port);
+
+  HarnessOptions options_;
+  std::shared_ptr<SessionStore> store_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<LivePipeline> pipeline_;
+  std::unique_ptr<QueryServer> query_server_;
+  std::thread consume_thread_;
+  std::thread serve_thread_;
+  std::atomic<uint64_t> lines_received_{0};
+  std::atomic<bool> transport_failed_{false};
+  bool joined_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace ts
+
+#endif  // SRC_LOADGEN_HARNESS_H_

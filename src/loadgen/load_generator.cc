@@ -1,0 +1,478 @@
+#include "src/loadgen/load_generator.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/query/query_client.h"
+
+namespace ts {
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+void CloseTracker::SetOrigin(int64_t t0_steady_ns, int64_t inactivity_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  t0_ = t0_steady_ns;
+  inactivity_ns_ = inactivity_ns;
+}
+
+void CloseTracker::Arm(const std::string& id, int64_t intended_last_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[id] = intended_last_ns;
+}
+
+bool CloseTracker::Resolve(const std::string& id, int64_t now_steady_ns,
+                           int64_t* latency_ns, int64_t* reaction_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(id);
+  if (it == armed_.end()) {
+    return false;
+  }
+  const int64_t latency = now_steady_ns - (t0_ + it->second);
+  *latency_ns = latency < 0 ? 0 : latency;
+  const int64_t reaction = latency - inactivity_ns_;
+  *reaction_ns = reaction < 0 ? 0 : reaction;
+  armed_.erase(it);
+  return true;
+}
+
+size_t CloseTracker::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_.size();
+}
+
+struct LoadGenerator::Conn {
+  FdGuard fd;
+};
+
+LoadGenerator::LoadGenerator(const LoadGenOptions& options)
+    : options_(options) {}
+
+bool LoadGenerator::Listen() {
+  const int fd = ListenTcp(options_.host, options_.port, &port_);
+  if (fd < 0) {
+    return false;
+  }
+  listen_fd_ = FdGuard(fd);
+  return true;
+}
+
+bool LoadGenerator::AcceptConsumer(Conn* conn, uint64_t* resume_offset) {
+  const int64_t deadline = SteadyNowNanos() +
+                           int64_t{options_.accept_wait_ms} * 1'000'000;
+  pollfd pfd{listen_fd_.get(), POLLIN, 0};
+  for (;;) {
+    const int64_t left_ms = (deadline - SteadyNowNanos()) / 1'000'000;
+    if (left_ms <= 0) {
+      return false;
+    }
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(std::min<int64_t>(left_ms, 200)));
+    if (rc < 0 && errno != EINTR) {
+      return false;
+    }
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (cfd < 0) {
+        continue;
+      }
+      conn->fd = FdGuard(cfd);
+      break;
+    }
+  }
+  SetNoDelay(conn->fd.get());
+  SetNonBlocking(conn->fd.get());
+  if (options_.send_buf_bytes > 0) {
+    SetSendBufferSize(conn->fd.get(), options_.send_buf_bytes);
+  }
+  // Read the "TS1 <stream> <offset>\n" hello.
+  std::string hello;
+  const int64_t hello_deadline = SteadyNowNanos() + 5'000'000'000;
+  pollfd cpfd{conn->fd.get(), POLLIN, 0};
+  while (hello.find('\n') == std::string::npos) {
+    if (SteadyNowNanos() > hello_deadline || hello.size() > 256) {
+      return false;
+    }
+    cpfd.revents = 0;
+    if (::poll(&cpfd, 1, 100) <= 0) {
+      continue;
+    }
+    char buf[64];
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      return false;
+    }
+    if (n > 0) {
+      hello.append(buf, static_cast<size_t>(n));
+    }
+  }
+  unsigned long long stream = 0;
+  unsigned long long offset = 0;
+  if (std::sscanf(hello.c_str(), "TS1 %llu %llu", &stream, &offset) != 2) {
+    return false;
+  }
+  *resume_offset = offset;
+  return true;
+}
+
+LoadGenReport LoadGenerator::Run() {
+  LoadGenReport report;
+  report.goal_rate = options_.rate_per_s;
+
+  Conn conn;
+  uint64_t resume = 0;
+  if (!AcceptConsumer(&conn, &resume)) {
+    report.error = "no consumer connected (accept/hello timed out)";
+    return report;
+  }
+  if (resume != 0) {
+    report.error = "consumer asked to resume mid-stream on first connect";
+    return report;
+  }
+
+  // --- Close-latency subscriber -------------------------------------------
+  CloseTracker tracker;
+  std::atomic<bool> sub_stop{false};
+  std::atomic<bool> sub_attached{false};
+  std::atomic<bool> sub_failed{false};
+  std::atomic<uint64_t> closes_observed{0};
+  std::atomic<uint64_t> closes_unmatched{0};
+  std::atomic<uint64_t> sub_dropped{0};
+  LatencyRecorder sub_latency;
+  LatencyRecorder sub_reaction;
+  std::thread sub_thread;
+  if (options_.sub_port != 0) {
+    sub_thread = std::thread([&] {
+      std::optional<QueryClient> client;
+      const int64_t attach_deadline =
+          SteadyNowNanos() + int64_t{options_.sub_attach_wait_ms} * 1'000'000;
+      while (!sub_stop.load(std::memory_order_relaxed)) {
+        QueryClientOptions qopts;
+        qopts.host = options_.sub_host;
+        qopts.port = options_.sub_port;
+        qopts.connect_timeout_ms = 500;
+        client.emplace(qopts);
+        if (client->Connect() && client->Subscribe()) {
+          break;
+        }
+        client.reset();
+        if (SteadyNowNanos() > attach_deadline) {
+          sub_failed.store(true);
+          return;
+        }
+        SleepMs(100);
+      }
+      sub_attached.store(true);
+      Session s;
+      uint64_t dropped = 0;
+      while (client.has_value()) {
+        const auto ev = client->Next(&s, &dropped, 100);
+        sub_dropped.store(client->total_dropped(), std::memory_order_relaxed);
+        if (ev == QueryClient::Event::kSession) {
+          int64_t latency = 0;
+          int64_t reaction = 0;
+          if (tracker.Resolve(s.id, SteadyNowNanos(), &latency, &reaction)) {
+            sub_latency.Record(latency);
+            sub_reaction.Record(reaction);
+            closes_observed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            closes_unmatched.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (ev == QueryClient::Event::kClosed ||
+                   ev == QueryClient::Event::kError) {
+          break;
+        } else if (sub_stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    });
+    // Attach before the first record: a close pushed before the subscription
+    // exists is invisible, which would bias the percentiles optimistically.
+    while (!sub_attached.load() && !sub_failed.load()) {
+      SleepMs(10);
+    }
+    if (sub_failed.load()) {
+      report.error = "subscriber failed to attach to query port";
+      sub_stop.store(true);
+      sub_thread.join();
+      return report;
+    }
+  }
+
+  // --- Open-loop pacing ----------------------------------------------------
+  SessionSynth synth(options_.synth);
+  ArrivalSchedule schedule(options_.arrival, options_.rate_per_s,
+                           options_.synth.seed * 0x9E3779B97F4A7C15ULL + 1);
+  const int64_t run_ns =
+      static_cast<int64_t>(options_.duration_s * 1e9);
+  // Drain tail: a few low-rate records on a dedicated session after the main
+  // schedule, advancing event time past every retired session's
+  // close-eligibility point (last record + inactivity) so the consumer's
+  // watermark can close them. Without this, sessions retiring near the end of
+  // the run would hang open and never produce a latency sample.
+  std::vector<int64_t> drain_times;
+  {
+    const int64_t gap =
+        std::max<int64_t>(options_.inactivity_ns / 4, 10 * kNanosPerMilli);
+    const int64_t end = run_ns + options_.inactivity_ns + 2 * gap;
+    for (int64_t t = run_ns + gap; t <= end; t += gap) {
+      drain_times.push_back(t);
+    }
+  }
+
+  std::string outbuf;
+  size_t head = 0;             // outbuf[head..) is unsent.
+  uint64_t appended_abs = 0;   // Bytes ever appended.
+  uint64_t flushed_abs = 0;    // Bytes ever written to the socket.
+  uint64_t main_end_abs = 0;   // appended_abs after the last main record.
+  int64_t main_flushed_at = -1;  // Wall offset when main_end_abs hit the wire.
+  std::deque<std::pair<int64_t, uint64_t>> inflight;  // (intended, end abs).
+  std::deque<std::string> ring;  // Recent lines for reconnect replay.
+  uint64_t ring_base = 0;        // Line index of ring.front().
+  uint64_t lines_appended = 0;
+  bool conn_ok = true;
+
+  const int64_t t0 = SteadyNowNanos();
+  tracker.SetOrigin(t0, options_.inactivity_ns);
+
+  auto append_line = [&](const std::string& line, int64_t intended,
+                         bool track) {
+    outbuf += line;
+    outbuf += '\n';
+    appended_abs += line.size() + 1;
+    if (track) {
+      inflight.emplace_back(intended, appended_abs);
+    }
+    ring.push_back(line);
+    ++lines_appended;
+    while (ring.size() > options_.replay_ring) {
+      ring.pop_front();
+      ++ring_base;
+    }
+  };
+
+  auto reconnect = [&]() -> bool {
+    conn.fd = FdGuard();
+    uint64_t offset = 0;
+    Conn fresh;
+    if (!AcceptConsumer(&fresh, &offset)) {
+      return false;
+    }
+    if (offset < ring_base || offset > lines_appended) {
+      return false;  // Resume point fell out of the replay ring.
+    }
+    conn.fd = std::move(fresh.fd);
+    // Rebuild the backlog from the ring; lateness bookkeeping restarts (the
+    // replayed records' original lateness samples were already taken or are
+    // abandoned — reconnects are a robustness path, not a measured one).
+    outbuf.clear();
+    head = 0;
+    inflight.clear();
+    appended_abs = 0;
+    flushed_abs = 0;
+    for (uint64_t i = offset - ring_base; i < ring.size(); ++i) {
+      outbuf += ring[i];
+      outbuf += '\n';
+    }
+    appended_abs = outbuf.size();
+    main_end_abs = 0;  // Achieved-rate bookkeeping is void after a reconnect.
+    main_flushed_at = -2;
+    return true;
+  };
+
+  auto try_flush = [&]() -> bool {
+    while (head < outbuf.size()) {
+      const ssize_t n = ::send(conn.fd.get(), outbuf.data() + head,
+                               outbuf.size() - head, MSG_NOSIGNAL);
+      if (n > 0) {
+        head += static_cast<size_t>(n);
+        flushed_abs += static_cast<uint64_t>(n);
+        report.bytes_sent += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (head > (1u << 20) && head * 2 > outbuf.size()) {
+      outbuf.erase(0, head);
+      head = 0;
+    }
+    const int64_t now_rel = SteadyNowNanos() - t0;
+    while (!inflight.empty() && inflight.front().second <= flushed_abs) {
+      report.send_lateness.Record(
+          std::max<int64_t>(0, now_rel - inflight.front().first));
+      inflight.pop_front();
+    }
+    if (main_flushed_at == -1 && main_end_abs > 0 &&
+        flushed_abs >= main_end_abs) {
+      main_flushed_at = now_rel;
+    }
+    report.peak_backlog_bytes =
+        std::max(report.peak_backlog_bytes, outbuf.size() - head);
+    return true;
+  };
+
+  SynthRecord rec;
+  int64_t next_intended = schedule.NextNs();
+  size_t drain_idx = 0;
+  bool all_emitted = false;
+  while (conn_ok) {
+    const int64_t now = SteadyNowNanos() - t0;
+    // Emit everything due by `now` — on schedule, never gated on the socket.
+    int64_t next_due = -1;
+    for (;;) {
+      if (next_intended < run_ns) {
+        if (next_intended > now) {
+          next_due = next_intended;
+          break;
+        }
+        synth.NextRecord(next_intended, &rec);
+        if (rec.retires_session) {
+          tracker.Arm(rec.session_id, next_intended);
+        }
+        append_line(rec.line, next_intended, true);
+        ++report.records_sent;
+        next_intended = schedule.NextNs();
+        if (next_intended >= run_ns) {
+          main_end_abs = appended_abs;
+        }
+      } else if (drain_idx < drain_times.size()) {
+        if (main_end_abs == 0 && main_flushed_at == -1) {
+          main_end_abs = appended_abs;  // Main schedule emitted zero records.
+        }
+        if (drain_times[drain_idx] > now) {
+          next_due = drain_times[drain_idx];
+          break;
+        }
+        synth.DrainRecord(drain_times[drain_idx], &rec);
+        append_line(rec.line, drain_times[drain_idx], false);
+        ++drain_idx;
+      } else {
+        all_emitted = true;
+        break;
+      }
+    }
+    if (!try_flush()) {
+      conn_ok = reconnect();
+      continue;
+    }
+    if (all_emitted && head >= outbuf.size()) {
+      break;
+    }
+    // Sleep to the next scheduled record (capped at 1ms so flushes keep
+    // draining a backlog); when a backlog exists, wait for writability
+    // instead so a freed socket resumes the flush immediately.
+    int64_t wait_ms = 1;
+    if (all_emitted) {
+      wait_ms = 5;
+    } else if (next_due > 0) {
+      wait_ms = std::max<int64_t>(0, (next_due - (SteadyNowNanos() - t0)) /
+                                         1'000'000);
+      wait_ms = std::min<int64_t>(wait_ms, 1);
+    }
+    if (head < outbuf.size()) {
+      pollfd pfd{conn.fd.get(), POLLOUT, 0};
+      ::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(wait_ms, 1)));
+    } else if (wait_ms > 0) {
+      SleepMs(wait_ms);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  if (!conn_ok) {
+    report.error = "consumer connection lost and reconnect failed";
+  }
+
+  // --- Post-run: wait for pending closes, then end the stream --------------
+  if (conn_ok && options_.sub_port != 0) {
+    const int64_t wait_deadline =
+        SteadyNowNanos() + int64_t{options_.drain_wait_ms} * 1'000'000;
+    size_t last_pending = tracker.pending();
+    int64_t last_change = SteadyNowNanos();
+    const int64_t stable_ns =
+        std::max<int64_t>(2 * options_.inactivity_ns, 2 * kNanosPerSecond);
+    while (tracker.pending() > 0 && SteadyNowNanos() < wait_deadline) {
+      SleepMs(50);
+      const size_t p = tracker.pending();
+      if (p != last_pending) {
+        last_pending = p;
+        last_change = SteadyNowNanos();
+      } else if (SteadyNowNanos() - last_change > stable_ns) {
+        break;  // Stuck (e.g. subscriber drops under overload) — stop waiting.
+      }
+    }
+  }
+  if (conn_ok) {
+    std::string eos = "#EOS\n";
+    const int64_t eos_deadline = SteadyNowNanos() + 5'000'000'000;
+    size_t off = 0;
+    while (off < eos.size() && SteadyNowNanos() < eos_deadline) {
+      const ssize_t n = ::send(conn.fd.get(), eos.data() + off,
+                               eos.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        break;
+      } else {
+        SleepMs(1);
+      }
+    }
+  }
+
+  if (sub_thread.joinable()) {
+    sub_stop.store(true);
+    sub_thread.join();
+    report.close_latency.Merge(sub_latency);
+    report.close_reaction.Merge(sub_reaction);
+  }
+
+  report.sessions_started = synth.sessions_started();
+  report.sessions_retired = synth.sessions_retired();
+  report.hot_sessions = synth.hot_sessions();
+  report.closes_observed = closes_observed.load();
+  report.closes_unmatched = closes_unmatched.load();
+  report.subscriber_dropped = sub_dropped.load();
+  report.closes_missing = tracker.pending();
+  const int64_t pace_wall =
+      main_flushed_at > 0 ? main_flushed_at
+                          : (SteadyNowNanos() - t0);
+  report.wall_s = static_cast<double>(pace_wall) / 1e9;
+  report.achieved_rate =
+      report.wall_s > 0
+          ? static_cast<double>(report.records_sent) / report.wall_s
+          : 0;
+  report.ok = report.error.empty();
+  return report;
+}
+
+}  // namespace ts

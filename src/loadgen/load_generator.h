@@ -1,0 +1,138 @@
+// LoadGenerator: open-loop paced TS1 server + close-latency subscriber.
+//
+// Topology (mirrors ts_log_server's role so the consumer is unchanged):
+//
+//   ts_loadgen ──TS1──► ts_sessionize --connect --serve ──query──► subscriber
+//        ▲  (paced wire lines)                      (SUBSCRIBE)        │
+//        └──────────────── close timestamps ───────────────────────────┘
+//
+// The generator listens, accepts one consumer, answers its "TS1 <stream>
+// <offset>" hello, and then streams synthetic records on a fixed open-loop
+// schedule (src/loadgen/arrival.h). The schedule never waits for the socket:
+// when the consumer (or TCP) falls behind, records accumulate in a local
+// backlog and each record's *send lateness* — wire time minus intended time —
+// is recorded instead of silently shifting the schedule. That, plus measuring
+// close latency from intended send time, is the coordinated-omission
+// discipline (see docs/LOADGEN.md).
+//
+// Close latency: when a session's last record is scheduled, the session is
+// armed in a tracker; a subscriber thread attached to the consumer's query
+// port timestamps the matching SUBSCRIBE push. Reported both as
+//   close latency  = observed − intended(last record)      (what a user sees)
+//   close reaction = close latency − inactivity window     (system overhead)
+// since a watermark close cannot happen before the inactivity window elapses.
+#ifndef SRC_LOADGEN_LOAD_GENERATOR_H_
+#define SRC_LOADGEN_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/latency_recorder.h"
+#include "src/common/time_util.h"
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/synth.h"
+#include "src/net/net_util.h"
+
+namespace ts {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read from port() after Listen().
+  double rate_per_s = 50'000;
+  double duration_s = 5;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  SynthOptions synth;
+  // Must match the consumer's inactivity window: sizes the post-schedule
+  // drain tail (so the watermark passes every retired session) and the
+  // close-reaction offset.
+  int64_t inactivity_ns = kNanosPerSecond;
+  // Pin SO_SNDBUF so overload shows up as measurable local backlog instead of
+  // vanishing into a kernel buffer the size of the experiment.
+  int send_buf_bytes = 256 << 10;
+  size_t replay_ring = 1 << 16;  // Lines kept for reconnect resume.
+  int accept_wait_ms = 15'000;   // Max wait for the consumer to connect.
+  int drain_wait_ms = 30'000;    // Max wait for pending closes after the run.
+  // Close-latency subscriber (0 = generate only, no latency measurement).
+  std::string sub_host = "127.0.0.1";
+  uint16_t sub_port = 0;
+  int sub_attach_wait_ms = 15'000;
+  bool quiet = false;
+};
+
+struct LoadGenReport {
+  bool ok = false;
+  std::string error;
+  uint64_t records_sent = 0;  // Scheduled records put on the wire.
+  uint64_t bytes_sent = 0;
+  uint64_t sessions_started = 0;
+  uint64_t sessions_retired = 0;   // Sessions whose close was armed.
+  uint64_t closes_observed = 0;    // Armed sessions seen closing.
+  uint64_t closes_missing = 0;     // Armed but never observed.
+  uint64_t closes_unmatched = 0;   // Pushes for unarmed ids (pool leftovers,
+                                   // early fragments, drain session).
+  uint64_t subscriber_dropped = 0; // Server-reported #DROPPED total.
+  uint64_t hot_sessions = 0;
+  double goal_rate = 0;
+  double achieved_rate = 0;        // records_sent / pacing wall time.
+  double wall_s = 0;               // Pacing phase only (excludes drain).
+  size_t peak_backlog_bytes = 0;   // Largest local unsent backlog.
+  LatencyRecorder send_lateness;   // Wire time − intended time, per record.
+  LatencyRecorder close_latency;   // Observed close − intended last send.
+  LatencyRecorder close_reaction;  // close_latency − inactivity window.
+};
+
+// Arms retired sessions on the pacing thread; resolves them on the
+// subscriber thread. Latencies are computed against the shared steady-clock
+// origin set once before pacing starts.
+class CloseTracker {
+ public:
+  void SetOrigin(int64_t t0_steady_ns, int64_t inactivity_ns);
+  void Arm(const std::string& id, int64_t intended_last_ns);
+  // True when `id` was armed; fills both latencies and disarms it.
+  bool Resolve(const std::string& id, int64_t now_steady_ns,
+               int64_t* latency_ns, int64_t* reaction_ns);
+  size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t t0_ = 0;
+  int64_t inactivity_ns_ = 0;
+  std::unordered_map<std::string, int64_t> armed_;  // id -> intended_last.
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenOptions& options);
+
+  // Binds the TS1 listen socket. port() is valid afterwards.
+  bool Listen();
+  uint16_t port() const { return port_; }
+
+  // The consumer's query port is usually discovered only after the consumer
+  // has connected to us (it binds its query server after its ingest side);
+  // set it any time before Run().
+  void SetSubscriber(const std::string& host, uint16_t port) {
+    options_.sub_host = host;
+    options_.sub_port = port;
+  }
+
+  // Blocking: accepts the consumer, paces the full schedule plus drain tail,
+  // waits for pending closes, sends #EOS. Runs the subscriber on an internal
+  // thread when sub_port != 0. Call once.
+  LoadGenReport Run();
+
+ private:
+  struct Conn;
+
+  bool AcceptConsumer(Conn* conn, uint64_t* resume_offset);
+
+  LoadGenOptions options_;
+  FdGuard listen_fd_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace ts
+
+#endif  // SRC_LOADGEN_LOAD_GENERATOR_H_

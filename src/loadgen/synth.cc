@@ -1,0 +1,104 @@
+#include "src/loadgen/synth.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/siphash.h"
+#include "src/common/status.h"
+
+namespace ts {
+
+SessionSynth::SessionSynth(const SynthOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      slot_sampler_(std::max<size_t>(1, options.concurrent_sessions),
+                    options.session_skew),
+      service_sampler_(std::max<uint32_t>(1, options.num_services),
+                       options.service_skew) {
+  TS_CHECK(options_.records_per_session >= 1);
+  TS_CHECK(options_.shards >= 1);
+  TS_CHECK(options_.hot_shard < options_.shards);
+  slots_.resize(std::max<size_t>(1, options_.concurrent_sessions));
+  for (auto& slot : slots_) {
+    ResetSlot(&slot);
+  }
+  payload_pad_.assign(
+      options_.payload_bytes > 24 ? options_.payload_bytes - 24 : 0, 'x');
+}
+
+std::string SessionSynth::NewSessionId() {
+  ++sessions_started_;
+  const bool hot = options_.hot_session_fraction > 0 &&
+                   rng_.NextBool(options_.hot_session_fraction);
+  char buf[48];
+  for (uint64_t attempt = 0;; ++attempt) {
+    const uint64_t n = next_session_++;
+    std::snprintf(buf, sizeof(buf), "lg-%08" PRIx64, n);
+    if (!hot) {
+      return buf;
+    }
+    // Rejection-sample until the id lands on the hot SipHash partition —
+    // expected `shards` attempts, same hash the pipeline routes by.
+    if (SipHash24(std::string_view(buf)) % options_.shards ==
+        options_.hot_shard) {
+      ++hot_sessions_;
+      return buf;
+    }
+  }
+}
+
+void SessionSynth::ResetSlot(Slot* slot) {
+  slot->id = NewSessionId();
+  slot->sent = 0;
+}
+
+void SessionSynth::BuildLine(int64_t intended_ns,
+                             const std::string& session_id, size_t seq,
+                             bool first, bool last, std::string* line) {
+  const uint32_t service =
+      static_cast<uint32_t>(service_sampler_.Sample(rng_));
+  const uint32_t host =
+      static_cast<uint32_t>(rng_.NextBelow(std::max<uint32_t>(1, options_.num_hosts)));
+  const char* kind = first ? "START" : (last ? "END" : "ANNOT");
+  char txn[24];
+  if (first || last) {
+    std::snprintf(txn, sizeof(txn), "1");
+  } else {
+    std::snprintf(txn, sizeof(txn), "1-%zu", seq);
+  }
+  char head[160];
+  const int n = std::snprintf(
+      head, sizeof(head), "%lld|%s|%s|svc-%u|h-%u|%s|op=%zu ",
+      static_cast<long long>(kEventOrigin + intended_ns), session_id.c_str(),
+      txn, service, host, kind, seq);
+  line->assign(head, static_cast<size_t>(n));
+  line->append(payload_pad_);
+}
+
+void SessionSynth::NextRecord(int64_t intended_ns, SynthRecord* out) {
+  Slot& slot = slots_[slot_sampler_.Sample(rng_)];
+  const bool first = slot.sent == 0;
+  const bool last = slot.sent + 1 >= options_.records_per_session;
+  BuildLine(intended_ns, slot.id, slot.sent, first, last, &out->line);
+  ++slot.sent;
+  ++records_;
+  out->retires_session = last;
+  if (last) {
+    out->session_id = slot.id;
+    ++sessions_retired_;
+    ResetSlot(&slot);
+  } else {
+    out->session_id.clear();
+  }
+}
+
+void SessionSynth::DrainRecord(int64_t intended_ns, SynthRecord* out) {
+  BuildLine(intended_ns, "lg-drain", drain_seq_ == 0 ? 0 : 1 + drain_seq_,
+            drain_seq_ == 0, false, &out->line);
+  ++drain_seq_;
+  ++records_;
+  out->retires_session = false;
+  out->session_id.clear();
+}
+
+}  // namespace ts

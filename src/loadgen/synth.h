@@ -1,0 +1,101 @@
+// Synthetic TS1 wire-trace synthesis for the load generator.
+//
+// The synthesizer maintains a pool of concurrent session slots. Each scheduled
+// record is assigned to a slot by a Zipf draw over slot ranks (hot sessions
+// get most of the traffic), and a slot retires after `records_per_session`
+// records — its session then goes idle and the consumer's watermark closes it
+// one inactivity window later. A retired slot is immediately replaced by a
+// fresh session id, so the number of concurrently active sessions stays
+// constant while session ids churn.
+//
+// Hot-shard skew: with hot_session_fraction > 0, that fraction of new session
+// ids is rejection-sampled so SipHash24(id) % shards == hot_shard — the exact
+// routing hash LivePipeline uses — concentrating load on one shard worker the
+// way a popular tenant would.
+//
+// Event time in each record is its *intended send time* (plus a fixed
+// origin). The consumer's watermark then tracks the load clock, which is what
+// makes close latency measured from intended send time meaningful.
+#ifndef SRC_LOADGEN_SYNTH_H_
+#define SRC_LOADGEN_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_util.h"
+
+namespace ts {
+
+struct SynthOptions {
+  uint64_t seed = 1;
+  size_t concurrent_sessions = 256;  // Slot-pool size.
+  size_t records_per_session = 20;   // Records before a slot retires.
+  double session_skew = 1.1;         // Zipf skew over slot ranks.
+  uint32_t num_services = 64;
+  double service_skew = 1.1;         // Zipf skew over service ids.
+  uint32_t num_hosts = 16;
+  size_t payload_bytes = 48;         // Approximate payload padding.
+  // Hot-shard targeting (0 disables): fraction of *new sessions* pinned to
+  // `hot_shard` out of `shards` SipHash partitions.
+  double hot_session_fraction = 0.0;
+  size_t shards = 1;
+  size_t hot_shard = 0;
+};
+
+struct SynthRecord {
+  std::string line;         // Full wire line, no trailing newline.
+  bool retires_session = false;  // This was the session's last record.
+  std::string session_id;   // Set when retires_session.
+};
+
+class SessionSynth {
+ public:
+  explicit SessionSynth(const SynthOptions& options);
+
+  // Synthesizes the record intended for `intended_ns` (offset from run start).
+  void NextRecord(int64_t intended_ns, SynthRecord* out);
+
+  // A record for the dedicated drain session: advances event time without
+  // touching the slot pool. Sent after the main schedule so the consumer's
+  // watermark passes every retired session's close-eligibility time.
+  void DrainRecord(int64_t intended_ns, SynthRecord* out);
+
+  uint64_t sessions_started() const { return sessions_started_; }
+  uint64_t sessions_retired() const { return sessions_retired_; }
+  uint64_t records() const { return records_; }
+  uint64_t hot_sessions() const { return hot_sessions_; }
+
+  // Event-time origin added to every intended offset (keeps times positive
+  // and away from the watermark's zero start).
+  static constexpr int64_t kEventOrigin = kNanosPerSecond;
+
+ private:
+  struct Slot {
+    std::string id;
+    size_t sent = 0;
+  };
+
+  void ResetSlot(Slot* slot);
+  std::string NewSessionId();
+  void BuildLine(int64_t intended_ns, const std::string& session_id,
+                 size_t seq, bool first, bool last, std::string* line);
+
+  SynthOptions options_;
+  Rng rng_;
+  ZipfSampler slot_sampler_;
+  ZipfSampler service_sampler_;
+  std::vector<Slot> slots_;
+  uint64_t next_session_ = 0;
+  uint64_t sessions_started_ = 0;
+  uint64_t sessions_retired_ = 0;
+  uint64_t records_ = 0;
+  uint64_t hot_sessions_ = 0;
+  uint64_t drain_seq_ = 0;
+  std::string payload_pad_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_LOADGEN_SYNTH_H_

@@ -301,6 +301,35 @@ TEST(FixedQueue, CloseDrainsThenEnds) {
   EXPECT_FALSE(q.Pop().has_value());
 }
 
+TEST(FixedQueue, PushWithTimeoutExpiresWhenFullAndKeepsItem) {
+  FixedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  int item = 2;
+  // Full queue: the bounded wait expires without consuming the item.
+  EXPECT_FALSE(q.PushWithTimeout(item, std::chrono::milliseconds(5)));
+  EXPECT_EQ(item, 2);
+  EXPECT_EQ(q.Pop().value(), 1);
+  // With room it succeeds immediately.
+  EXPECT_TRUE(q.PushWithTimeout(item, std::chrono::milliseconds(5)));
+  EXPECT_EQ(q.Pop().value(), 2);
+  q.Close();
+  int after_close = 3;
+  EXPECT_FALSE(q.PushWithTimeout(after_close, std::chrono::milliseconds(1)));
+}
+
+TEST(FixedQueue, PopFrontIfHonorsPredicate) {
+  FixedQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.PopFrontIf([](const int&) { return true; }, &out));  // Empty.
+  ASSERT_TRUE(q.TryPush(7));
+  ASSERT_TRUE(q.TryPush(8));
+  // Predicate sees only the head; a false verdict leaves the queue intact.
+  EXPECT_FALSE(q.PopFrontIf([](const int& v) { return v == 8; }, &out));
+  EXPECT_TRUE(q.PopFrontIf([](const int& v) { return v == 7; }, &out));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(q.Pop().value(), 8);
+}
+
 TEST(FixedQueue, BlockingHandoffAcrossThreads) {
   FixedQueue<int> q(1);
   std::vector<int> received;

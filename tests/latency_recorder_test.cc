@@ -1,0 +1,161 @@
+// LatencyRecorder: the log-bucketed histogram behind ts_loadgen's
+// coordinated-omission-safe percentiles. The load-bearing properties are the
+// golden bucket geometry (exact below 2^(bits+1), bounded relative error
+// above), lock-free mergeability of per-thread recorders, and the documented
+// quantile error bound of 2^-sub_bucket_bits.
+#include "src/common/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ts {
+namespace {
+
+TEST(LatencyRecorderTest, GoldenBucketBoundaries) {
+  LatencyRecorder r(/*sub_bucket_bits=*/5);  // 32 sub-buckets.
+  // Exact region: every value below 2 * 32 = 64 is its own bucket.
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{33}, int64_t{63}}) {
+    EXPECT_EQ(r.BucketIndex(v), static_cast<size_t>(v)) << v;
+    EXPECT_EQ(r.BucketLowerBound(r.BucketIndex(v)), v);
+    EXPECT_EQ(r.BucketUpperBound(r.BucketIndex(v)), v);
+  }
+  // First log row: 64..127 in 32 sub-buckets of width 2.
+  EXPECT_EQ(r.BucketIndex(64), 64u);
+  EXPECT_EQ(r.BucketIndex(65), 64u);  // Same width-2 bucket as 64.
+  EXPECT_EQ(r.BucketIndex(66), 65u);
+  EXPECT_EQ(r.BucketIndex(127), 95u);
+  EXPECT_EQ(r.BucketLowerBound(64), 64);
+  EXPECT_EQ(r.BucketUpperBound(64), 65);
+  EXPECT_EQ(r.BucketUpperBound(95), 127);
+  // Second log row: 128..255 in 32 sub-buckets of width 4.
+  EXPECT_EQ(r.BucketIndex(128), 96u);
+  EXPECT_EQ(r.BucketIndex(131), 96u);
+  EXPECT_EQ(r.BucketIndex(132), 97u);
+  EXPECT_EQ(r.BucketLowerBound(96), 128);
+  EXPECT_EQ(r.BucketUpperBound(96), 131);
+  // Negative values clamp into bucket zero.
+  EXPECT_EQ(r.BucketIndex(-5), 0u);
+}
+
+TEST(LatencyRecorderTest, BucketGeometryIsConsistentAcrossMagnitudes) {
+  LatencyRecorder r(5);
+  // Every probed value must land inside its own bucket's [lower, upper], and
+  // the bucket width must respect the 2^-bits relative-error contract.
+  for (int64_t v = 1; v > 0 && v < (int64_t{1} << 62); v = v * 3 + 7) {
+    const size_t index = r.BucketIndex(v);
+    const int64_t lo = r.BucketLowerBound(index);
+    const int64_t hi = r.BucketUpperBound(index);
+    ASSERT_LE(lo, v) << v;
+    ASSERT_GE(hi, v) << v;
+    ASSERT_LE(static_cast<double>(hi - lo), static_cast<double>(v) / 32.0 + 1)
+        << v;
+    // Adjacent buckets tile the axis with no gaps or overlaps.
+    if (index > 0) {
+      ASSERT_EQ(r.BucketUpperBound(index - 1) + 1, lo) << v;
+    }
+  }
+}
+
+TEST(LatencyRecorderTest, ExactStatsInLinearRegion) {
+  LatencyRecorder r;
+  for (int64_t v = 0; v < 64; ++v) {
+    r.Record(v);
+  }
+  EXPECT_EQ(r.count(), 64u);
+  EXPECT_EQ(r.min(), 0);
+  EXPECT_EQ(r.max(), 63);
+  EXPECT_DOUBLE_EQ(r.mean(), 31.5);
+  EXPECT_EQ(r.ValueAtQuantile(0.5), 31);  // ceil(0.5 * 64) = 32nd value: 31.
+  EXPECT_EQ(r.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(r.ValueAtQuantile(1.0), 63);
+}
+
+TEST(LatencyRecorderTest, QuantileWithinDocumentedRelativeError) {
+  LatencyRecorder r(5);
+  std::vector<int64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  // Latency-like distribution spanning ~5 decades (1us .. several seconds).
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = static_cast<int64_t>(next() % 1'000'000) *
+                      static_cast<int64_t>(1 + next() % 4096);
+    values.push_back(v);
+    r.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const size_t rank =
+        std::min(values.size() - 1,
+                 static_cast<size_t>(q * static_cast<double>(values.size())));
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = static_cast<double>(r.ValueAtQuantile(q));
+    // 2^-5 relative error, plus one bucket of slack for the rank-rounding
+    // difference between the sorted array and the histogram walk.
+    EXPECT_NEAR(approx, exact, exact * (2.0 / 32.0) + 1) << "q=" << q;
+  }
+  EXPECT_EQ(r.ValueAtQuantile(1.0), values.back());
+}
+
+TEST(LatencyRecorderTest, MergeMatchesSingleRecorder) {
+  LatencyRecorder a(5), b(5), combined(5);
+  for (int64_t v = 1; v < 100000; v *= 3) {
+    a.Record(v);
+    combined.Record(v);
+    b.Record(v * 2);
+    combined.Record(v * 2);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(LatencyRecorderTest, RecordManyAndNegativeClamp) {
+  LatencyRecorder r;
+  r.RecordMany(100, 10);
+  r.Record(-50);  // Schedule jitter clamps to zero, still counted.
+  EXPECT_EQ(r.count(), 11u);
+  EXPECT_EQ(r.min(), 0);
+  EXPECT_EQ(r.ValueAtQuantile(0.01), 0);
+  EXPECT_GE(r.ValueAtQuantile(0.99), 100 * 31 / 32);
+}
+
+TEST(LatencyRecorderTest, EmptyAndReset) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.min(), 0);
+  EXPECT_EQ(r.max(), 0);
+  EXPECT_EQ(r.ValueAtQuantile(0.5), 0);
+  r.Record(1234);
+  r.Reset();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.max(), 0);
+}
+
+TEST(LatencyRecorderTest, SummaryFormat) {
+  LatencyRecorder r;
+  for (int i = 0; i < 1000; ++i) {
+    r.Record(int64_t{1} * 1000 * 1000 * (1 + i % 10));  // 1..10ms.
+  }
+  const std::string s = r.Summary();
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99.9="), std::string::npos) << s;
+  EXPECT_NE(s.find("n=1000"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace ts

@@ -167,5 +167,77 @@ TEST(LiveCloserTest, OpenBytesTracksState) {
   EXPECT_EQ(closer.open_bytes(), 0u);
 }
 
+TEST(LiveCloserTest, ShedOldestUntilDropsOldestIdleFirstExactly) {
+  LiveCloser closer(100 * kSec);  // Nothing closes on its own.
+  std::vector<Session> closed;
+  closer.Feed(Rec("A", 1 * kSec), &closed);
+  closer.Feed(Rec("A", 2 * kSec), &closed);
+  closer.Feed(Rec("B", 5 * kSec), &closed);
+  closer.Feed(Rec("C", 9 * kSec), &closed);
+  ASSERT_TRUE(closed.empty());
+  EXPECT_EQ(closer.open_records(), 4u);
+
+  // A budget one byte under the current state sheds exactly the oldest-idle
+  // fragment (A, last_time 2s) and counts its records exactly.
+  EXPECT_EQ(closer.ShedOldestUntil(closer.open_bytes() - 1), 1u);
+  EXPECT_EQ(closer.shed_fragments(), 1u);
+  EXPECT_EQ(closer.shed_records(), 2u);
+  EXPECT_EQ(closer.open_records(), 2u);
+  EXPECT_EQ(closer.open_sessions(), 2u);
+
+  // Budget zero clears the rest; shed fragments are never emitted.
+  EXPECT_EQ(closer.ShedOldestUntil(0), 2u);
+  EXPECT_EQ(closer.open_bytes(), 0u);
+  EXPECT_EQ(closer.open_records(), 0u);
+  EXPECT_EQ(closer.shed_records(), 4u);
+  EXPECT_EQ(closer.shed_fragments(), 3u);
+  closer.FlushAll(&closed);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(closer.records_emitted(), 0u);
+}
+
+TEST(LiveCloserTest, ShedAdvancesFragmentNumbering) {
+  LiveCloser closer(1 * kSec);
+  std::vector<Session> closed;
+  closer.Feed(Rec("S", 1 * kSec), &closed);
+  EXPECT_EQ(closer.ShedOldestUntil(0), 1u);
+  // S re-appears later: numbering continues as if the shed fragment had
+  // closed, so downstream consumers see no index reuse.
+  closer.Feed(Rec("S", 10 * kSec), &closed);
+  closer.FlushAll(&closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].id, "S");
+  EXPECT_EQ(closed[0].fragment_index, 1u);
+  // Exact accounting: 2 fed = 1 emitted + 0 open + 1 shed.
+  EXPECT_EQ(closer.records_emitted(), 1u);
+  EXPECT_EQ(closer.open_records(), 0u);
+  EXPECT_EQ(closer.shed_records(), 1u);
+}
+
+TEST(LiveCloserTest, AccountingPartitionHoldsAtEveryQuiescentPoint) {
+  LiveCloser closer(2 * kSec);
+  std::vector<Session> closed;
+  uint64_t fed = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int s = 0; s < 5; ++s) {
+      closer.ObserveWatermark(static_cast<EventTime>(round) * 3 * kSec);
+      closer.Feed(Rec("S" + std::to_string(s),
+                      static_cast<EventTime>(round) * 3 * kSec),
+                  &closed);
+      ++fed;
+    }
+    closer.CloseExpired(&closed);
+    if (round == 3) {
+      closer.ShedOldestUntil(closer.open_bytes() / 2);
+    }
+    EXPECT_EQ(fed, closer.records_emitted() + closer.open_records() +
+                       closer.shed_records())
+        << "round " << round;
+  }
+  closer.FlushAll(&closed);
+  EXPECT_EQ(closer.open_records(), 0u);
+  EXPECT_EQ(fed, closer.records_emitted() + closer.shed_records());
+}
+
 }  // namespace
 }  // namespace ts

@@ -291,5 +291,103 @@ TEST(LivePipelineTest, StressConcurrentIngestAndMetricsReads) {
   EXPECT_EQ(records_in_sessions, lines.size());
 }
 
+TEST(LivePipelineTest, OldestOpenShedBoundsStateAndReconcilesExactly) {
+  // Sessions never close on their own (huge inactivity window), so each
+  // shard's open bytes grow until the worker sheds oldest-open fragments
+  // down to the budget. Every record must still be accounted for.
+  std::atomic<uint64_t> sunk{0};
+  LivePipelineOptions options;
+  options.workers = 2;
+  options.inactivity_ns = 3600 * kSec;
+  options.max_batch_records = 32;
+  options.shed_policy = ShedPolicy::kOldestOpen;
+  options.shed_open_bytes = 16 << 10;  // Tiny per-shard budget.
+  LivePipeline pipeline(options, [&](Session&& s) {
+    sunk.fetch_add(s.records.size(), std::memory_order_relaxed);
+  });
+  const size_t kLines = 5000;
+  for (size_t i = 0; i < kLines; ++i) {
+    pipeline.FeedLine(ToWireFormat(
+        Rec("S" + std::to_string(i % 200),
+            static_cast<EventTime>(1 + i) * kNanosPerMilli)));
+    if (i % 64 == 0) {
+      pipeline.Flush();
+    }
+  }
+  pipeline.Finish();
+  EXPECT_GT(pipeline.shed_records(), 0u);
+  EXPECT_EQ(pipeline.open_records(), 0u);  // Finish flushed or shed them all.
+  // records_in == stored + shed, at both granularities.
+  EXPECT_EQ(kLines, pipeline.records() + pipeline.shed_lines());
+  EXPECT_EQ(pipeline.records(),
+            pipeline.records_emitted() + pipeline.shed_records());
+  EXPECT_EQ(sunk.load(), pipeline.records_emitted());
+}
+
+TEST(LivePipelineTest, HeadDropShedsLinesWithBoundedStall) {
+  // A deliberately slow sink with a one-batch queue: with the shed policy on,
+  // a blocked push waits at most shed_stall_limit_ms and then drops the
+  // oldest queued batch, so ingest stays near wire speed while every dropped
+  // line is counted in shed_lines.
+  std::atomic<uint64_t> sunk{0};
+  LivePipelineOptions options;
+  options.workers = 1;
+  options.inactivity_ns = kNanosPerMilli;  // Fragments close constantly.
+  options.queue_capacity = 1;
+  options.max_batch_records = 8;
+  options.shed_policy = ShedPolicy::kOldestOpen;
+  options.shed_stall_limit_ms = 1;
+  LivePipeline pipeline(options, [&](Session&& s) {
+    sunk.fetch_add(s.records.size(), std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const size_t kLines = 1200;
+  for (size_t i = 0; i < kLines; ++i) {
+    pipeline.FeedLine(ToWireFormat(
+        Rec("S" + std::to_string(i % 8),
+            static_cast<EventTime>(1 + i) * 10 * kNanosPerMilli)));
+  }
+  pipeline.Finish();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GT(pipeline.shed_lines(), 0u);
+  EXPECT_GT(pipeline.backpressure_stall_ns(), 0);
+  // Head-dropped lines never reach a worker: they appear in shed_lines and
+  // nowhere else, and the two-level identity still reconciles exactly.
+  EXPECT_EQ(kLines, pipeline.records() + pipeline.shed_lines());
+  EXPECT_EQ(pipeline.records(),
+            pipeline.records_emitted() + pipeline.shed_records());
+  EXPECT_EQ(sunk.load(), pipeline.records_emitted());
+  // Bounded producer window: without shedding this workload would stall the
+  // feeder behind ~minutes of sink sleeps.
+  EXPECT_LT(elapsed, std::chrono::seconds(60));
+}
+
+TEST(LivePipelineTest, ShedMetricsRegisteredAndZeroWhenOff) {
+  MetricsRegistry registry;
+  LivePipelineOptions options;
+  options.workers = 2;
+  LivePipeline pipeline(options, [](Session&&) {});
+  pipeline.RegisterMetrics(&registry);
+  pipeline.FeedLine(ToWireFormat(Rec("S", kSec)));
+  pipeline.Finish();
+  const auto snapshot = registry.Snapshot();
+  const auto get = [&](const std::string& name) -> int64_t {
+    for (const auto& [k, v] : snapshot) {
+      if (k == name) {
+        return v;
+      }
+    }
+    ADD_FAILURE() << "gauge missing: " << name;
+    return -1;
+  };
+  EXPECT_EQ(get("live_shed_records"), 0);
+  EXPECT_EQ(get("live_shed_lines"), 0);
+  EXPECT_EQ(get("live_shed_fragments"), 0);
+  EXPECT_EQ(get("live_backpressure_stall_us"), 0);
+  EXPECT_EQ(get("live_records_emitted"), 1);
+  EXPECT_EQ(get("live_open_records"), 0);
+}
+
 }  // namespace
 }  // namespace ts

@@ -1,0 +1,194 @@
+// ts_loadgen building blocks: arrival schedules (seeded statistical
+// contracts), the session synthesizer (wire validity, retirement cadence,
+// hot-shard pinning), and the close tracker's latency arithmetic. The full
+// TCP path is covered end-to-end by `ts_loadgen --quick` and
+// bench/overload_study; these tests pin the deterministic pieces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/siphash.h"
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/load_generator.h"
+#include "src/loadgen/synth.h"
+#include "src/log/wire_format.h"
+
+namespace ts {
+namespace {
+
+TEST(ArrivalScheduleTest, UniformIsExactAndDriftFree) {
+  ArrivalSchedule sched(ArrivalProcess::kUniform, /*rate_per_s=*/1e6,
+                        /*seed=*/1);
+  int64_t prev = 0;
+  for (int i = 1; i <= 100000; ++i) {
+    const int64_t t = sched.NextNs();
+    EXPECT_EQ(t, int64_t{1000} * i);  // 1us gap, computed by index: no drift.
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(sched.emitted(), 100000u);
+}
+
+TEST(ArrivalScheduleTest, PoissonMatchesRateWithUnitCV) {
+  const double rate = 250000.0;
+  ArrivalSchedule sched(ArrivalProcess::kPoisson, rate, /*seed=*/42);
+  const int n = 200000;
+  std::vector<double> gaps;
+  int64_t prev = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t t = sched.NextNs();
+    ASSERT_GE(t, prev);
+    gaps.push_back(static_cast<double>(t - prev));
+    prev = t;
+  }
+  double sum = 0;
+  for (double g : gaps) {
+    sum += g;
+  }
+  const double mean = sum / n;
+  double var = 0;
+  for (double g : gaps) {
+    var += (g - mean) * (g - mean);
+  }
+  var /= n;
+  const double cv = std::sqrt(var) / mean;
+  // Exponential inter-arrivals: mean gap = 1e9 / rate, CV = 1. Seeded run,
+  // so the tolerances guard the generator, not the test's luck.
+  EXPECT_NEAR(mean, 1e9 / rate, 0.03 * (1e9 / rate));
+  EXPECT_NEAR(cv, 1.0, 0.05);
+}
+
+TEST(ArrivalScheduleTest, DeterministicPerSeed) {
+  ArrivalSchedule a(ArrivalProcess::kPoisson, 1e5, 7);
+  ArrivalSchedule b(ArrivalProcess::kPoisson, 1e5, 7);
+  ArrivalSchedule c(ArrivalProcess::kPoisson, 1e5, 8);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t ta = a.NextNs();
+    EXPECT_EQ(ta, b.NextNs());
+    differs = differs || ta != c.NextNs();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SessionSynthTest, EveryLineParsesAndCarriesIntendedTime) {
+  SynthOptions options;
+  options.records_per_session = 5;
+  options.concurrent_sessions = 16;
+  SessionSynth synth(options);
+  SynthRecord rec;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t intended = int64_t{1000} * i;
+    synth.NextRecord(intended, &rec);
+    auto parsed = ParseWireFormat(rec.line);
+    ASSERT_TRUE(parsed.has_value()) << rec.line;
+    // Event time = intended send time + fixed origin: the consumer's
+    // watermark tracks the load clock.
+    EXPECT_EQ(parsed->time, intended + SessionSynth::kEventOrigin);
+  }
+  EXPECT_EQ(synth.records(), 2000u);
+  // Every retirement consumes exactly records_per_session records; at most
+  // one partial session per slot remains in flight. The pool replaces each
+  // retired session immediately, so started = initial pool + retired.
+  EXPECT_LE(synth.sessions_retired(), 2000u / 5);
+  EXPECT_GE(synth.sessions_retired() * 5 + 16 * 4, 2000u);
+  EXPECT_EQ(synth.sessions_started(),
+            synth.sessions_retired() + options.concurrent_sessions);
+}
+
+TEST(SessionSynthTest, RetirementMarksLastRecordWithSessionId) {
+  SynthOptions options;
+  options.concurrent_sessions = 1;  // Single slot: deterministic cadence.
+  options.records_per_session = 3;
+  SessionSynth synth(options);
+  SynthRecord rec;
+  for (int i = 1; i <= 9; ++i) {
+    synth.NextRecord(i * 1000, &rec);
+    if (i % 3 == 0) {
+      EXPECT_TRUE(rec.retires_session) << i;
+      EXPECT_FALSE(rec.session_id.empty());
+    } else {
+      EXPECT_FALSE(rec.retires_session) << i;
+    }
+  }
+  EXPECT_EQ(synth.sessions_retired(), 3u);
+}
+
+TEST(SessionSynthTest, HotShardPinningUsesRoutingHash) {
+  SynthOptions options;
+  options.hot_session_fraction = 1.0;  // Every new session is pinned.
+  options.shards = 4;
+  options.hot_shard = 2;
+  options.concurrent_sessions = 32;
+  options.records_per_session = 4;
+  SessionSynth synth(options);
+  SynthRecord rec;
+  size_t retired = 0;
+  for (int i = 0; i < 4000; ++i) {
+    synth.NextRecord(i * 1000, &rec);
+    if (rec.retires_session) {
+      ++retired;
+      // The exact hash LivePipeline routes by.
+      EXPECT_EQ(SipHash24(std::string_view(rec.session_id)) % 4, 2u)
+          << rec.session_id;
+    }
+  }
+  EXPECT_GT(retired, 100u);
+  EXPECT_EQ(synth.hot_sessions(), synth.sessions_started());
+}
+
+TEST(SessionSynthTest, ServiceSkewConcentratesTraffic) {
+  SynthOptions options;
+  options.num_services = 64;
+  options.service_skew = 1.3;
+  SessionSynth synth(options);
+  SynthRecord rec;
+  std::map<std::string, int> by_service;
+  for (int i = 0; i < 20000; ++i) {
+    synth.NextRecord(i * 1000, &rec);
+    auto parsed = ParseWireFormat(rec.line);
+    ASSERT_TRUE(parsed.has_value());
+    by_service[std::to_string(parsed->service)]++;
+  }
+  int top = 0;
+  for (const auto& [svc, n] : by_service) {
+    top = std::max(top, n);
+  }
+  // Zipf(1.3) over 64 services gives the top service far more than the
+  // uniform share (312); require 4x to leave seed slack.
+  EXPECT_GT(top, 4 * 20000 / 64);
+}
+
+TEST(CloseTrackerTest, LatencyFromIntendedTimeAndReactionOffset) {
+  CloseTracker tracker;
+  tracker.SetOrigin(/*t0_steady_ns=*/1'000'000,
+                    /*inactivity_ns=*/500'000);
+  tracker.Arm("s1", /*intended_last_ns=*/2'000'000);
+  EXPECT_EQ(tracker.pending(), 1u);
+
+  int64_t latency = 0, reaction = 0;
+  // Observed 3.7ms on the steady clock = 0.7ms after intended (t0 + 2ms).
+  ASSERT_TRUE(tracker.Resolve("s1", 3'700'000, &latency, &reaction));
+  EXPECT_EQ(latency, 700'000);
+  EXPECT_EQ(reaction, 200'000);  // latency - inactivity window.
+  EXPECT_EQ(tracker.pending(), 0u);
+  // A session resolves exactly once; unknown ids are unmatched.
+  EXPECT_FALSE(tracker.Resolve("s1", 4'000'000, &latency, &reaction));
+  EXPECT_FALSE(tracker.Resolve("nope", 4'000'000, &latency, &reaction));
+}
+
+TEST(CloseTrackerTest, EarlyObservationClampsToZero) {
+  CloseTracker tracker;
+  tracker.SetOrigin(0, 1'000'000);
+  tracker.Arm("s", 5'000'000);
+  int64_t latency = -1, reaction = -1;
+  ASSERT_TRUE(tracker.Resolve("s", 4'000'000, &latency, &reaction));
+  EXPECT_EQ(latency, 0);   // Observed "before" intended: jitter, not signal.
+  EXPECT_EQ(reaction, 0);
+}
+
+}  // namespace
+}  // namespace ts

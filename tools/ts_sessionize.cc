@@ -33,6 +33,15 @@
 //                     worker threads, hash-partitioned by SipHash(session id)
 //                     — the paper's Exchange PACT (default: hardware threads).
 //                     Closed-session output is byte-identical for every N.
+//   --shed-policy=oldest-open
+//                     (with --connect --serve) opt-in overload shedding: a
+//                     shard queue blocked longer than --shed_stall_ms drops
+//                     its oldest queued batch, and per-shard open-fragment
+//                     state above --shed_open_mb sheds oldest-idle fragments
+//                     first. Every drop is counted exactly (live_shed_* in
+//                     STATS; records == emitted + open + shed reconciles);
+//                     the watermark keeps advancing instead of stalling the
+//                     producer. See docs/LOADGEN.md.
 //   --mine-templates  (with --connect --serve) mine log templates from the
 //                     free-text payload of each record on ingest: payloads are
 //                     rewritten to "#<template_id> <var>..." before
@@ -349,6 +358,25 @@ int main(int argc, char** argv) {
       pipe_options.inactivity_ns =
           inactivity_ns > 0 ? inactivity_ns : 5 * kNanosPerSecond;
       pipe_options.mine_templates = mine_templates;
+      if (const char* policy = FlagStr(argc, argv, "--shed-policy")) {
+        if (std::string_view(policy) == "oldest-open") {
+          pipe_options.shed_policy = ShedPolicy::kOldestOpen;
+          pipe_options.shed_open_bytes = static_cast<size_t>(
+              Flag(argc, argv, "--shed_open_mb", 32)) << 20;
+          pipe_options.shed_stall_limit_ms = static_cast<int64_t>(
+              Flag(argc, argv, "--shed_stall_ms", 100));
+          std::fprintf(stderr,
+                       "load shedding: oldest-open (open budget %zu MiB/shard,"
+                       " stall limit %lld ms) — output is no longer"
+                       " byte-identical across runs under overload\n",
+                       pipe_options.shed_open_bytes >> 20,
+                       static_cast<long long>(pipe_options.shed_stall_limit_ms));
+        } else if (std::string_view(policy) != "none") {
+          std::fprintf(stderr, "unknown --shed-policy=%s (none|oldest-open)\n",
+                       policy);
+          return 2;
+        }
+      }
       const bool dedupe_replay = ckpt != nullptr;
       pipeline = std::make_unique<LivePipeline>(
           pipe_options, [&, dedupe_replay](Session&& s) {

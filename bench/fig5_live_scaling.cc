@@ -2,9 +2,17 @@
 // (LivePipeline: tag/route -> shard parse -> LiveCloser -> SessionStore) at
 // 1/2/4/8 shard workers, on the same simulated 42-server/1263-process arrival
 // stream the offline fig5 bench replays. This is the bench the CI bench-smoke
-// lane tracks: it writes a machine-readable JSON row per worker count and
-// fails (exit 1) unless the closed-session output and the store's query
-// answers are byte-identical across every worker count.
+// and perf-gate lanes track: it writes a machine-readable JSON row per worker
+// count and fails (exit 1) unless the closed-session output and the store's
+// query answers are byte-identical across every worker count AND across the
+// two ingest paths:
+//
+//   zero-copy (measured): lines live in an ingest arena, FeedBlock routes
+//     pre-scanned RecordViews, shard workers materialize lazily — the
+//     SWAR/arena path the real tool runs (docs/INGEST.md);
+//   scalar reference (checked): every line through ParseWireFormat — the
+//     reference parser — then FeedRecord. Run at 1/2/4 workers purely for
+//     the digest cross-check; its throughput is not reported.
 //
 // This container has one CPU core, so wall-clock throughput cannot show
 // scaling; threads timeshare the core. As with every scaling bench in this
@@ -13,19 +21,20 @@
 // the throughput the run would achieve with one core per thread, which is
 // what the paper's Fig. 5 measures on real multicore hosts. Both series are
 // printed and emitted in the JSON ("records_per_s" = critical-path,
-// "records_per_s_wall" = wall clock).
+// "records_per_s_wall" = wall clock). Single-run CPU drifts ±20-40% on a
+// timesharing core and the noise is one-sided (interference only slows a
+// run), so every reported row is the BEST of kReps interleaved runs — the
+// standard min-time-of-N estimator — with digests asserted equal across reps.
 //
-// After the worker sweep, one more run repeats the widest practical shape
-// with ts_ckpt checkpointing enabled (AsyncCheckpointer, one snapshot
+// After the worker sweep, one more shape repeats the widest practical worker
+// count with ts_ckpt checkpointing enabled (AsyncCheckpointer, one snapshot
 // requested mid-stream into a scratch directory — relative to the trace
 // length that is still ~60x the tool's default 2-second cadence, so the
 // measured overhead is a conservative upper bound on production). Its output
 // must stay byte-identical — snapshot barriers may not perturb the
 // deterministic closed-session stream — and the JSON row carries
 // "ckpt_overhead" (relative critical-path throughput loss), which the
-// regression gate bounds via the baseline's max_ckpt_overhead: checkpointing
-// steals barrier pauses (wall-clock, reported in records_per_s_wall) and a
-// background writer core, never hot-path CPU.
+// regression gate bounds via the baseline's max_ckpt_overhead.
 //
 // Flags: --rate (records/s), --seconds (trace length), --max_workers,
 //        --quick (small CI preset), --json=PATH (write BENCH JSON).
@@ -47,7 +56,9 @@
 #include "src/ckpt/async_checkpointer.h"
 #include "src/ckpt/checkpointer.h"
 #include "src/ckpt/live_checkpoint.h"
+#include "src/common/arena.h"
 #include "src/core/live_pipeline.h"
+#include "src/log/record_batch.h"
 #include "src/log/wire_format.h"
 #include "src/replay/replayer.h"
 
@@ -55,6 +66,34 @@ namespace {
 
 using namespace ts;
 using namespace ts::bench;
+
+// Lines per LineBlock / Flush tick: the poll-loop cadence of the real tool.
+constexpr size_t kBlockLines = 4096;
+
+// Interleaved repetitions per reported row (min-time-of-N).
+constexpr int kReps = 3;
+
+// The arrival stream, materialized once: owned text for the scalar-reference
+// path, and the same bytes in an ingest arena as views for the zero-copy
+// path (what recv-into-arena would have produced).
+struct ArrivalStream {
+  std::vector<std::string> lines;
+  ArenaRef arena;
+  std::vector<std::string_view> views;
+
+  void BuildViews() {
+    arena = std::make_shared<Arena>(256 << 10);
+    views.reserve(lines.size());
+    for (const auto& l : lines) {
+      views.push_back(arena->Copy(l));
+    }
+  }
+};
+
+enum class FeedMode {
+  kZeroCopyBlocks,   // FeedBlock over arena-backed views (measured path).
+  kScalarReference,  // ParseWireFormat + FeedRecord (digest cross-check).
+};
 
 struct RunStats {
   size_t workers = 0;
@@ -83,7 +122,7 @@ struct RunStats {
   }
 };
 
-RunStats RunOnce(const std::vector<std::string>& lines, size_t workers,
+RunStats RunOnce(const ArrivalStream& stream, size_t workers, FeedMode mode,
                  const char* ckpt_dir = nullptr) {
   RunStats stats;
   stats.workers = workers;
@@ -128,16 +167,36 @@ RunStats RunOnce(const std::vector<std::string>& lines, size_t workers,
   // the writer's memory traffic from swamping the measured threads' caches on
   // a one-core host while still being far more frequent, relative to the
   // trace, than the tool's steady-time cadence.
-  const size_t ckpt_at = (lines.size() / 2) & ~static_cast<size_t>(4095);
+  const size_t ckpt_at =
+      (stream.lines.size() / 2) & ~static_cast<size_t>(kBlockLines - 1);
   const int64_t ingest_cpu_start = ThreadCpuNanos();
   Stopwatch wall;
-  size_t fed = 0;
-  for (const auto& l : lines) {
-    pipeline.FeedLine(l);
-    if (++fed % 4096 == 0) {
+  if (mode == FeedMode::kZeroCopyBlocks) {
+    for (size_t begin = 0; begin < stream.views.size(); begin += kBlockLines) {
+      const size_t end =
+          std::min(begin + kBlockLines, stream.views.size());
+      LineBlock block;
+      block.arena = stream.arena;
+      block.lines.assign(stream.views.begin() + begin,
+                         stream.views.begin() + end);
+      pipeline.FeedBlock(std::move(block));
       pipeline.Flush();  // Poll-loop cadence of the real tool.
-      if (async_ckpt != nullptr && fed == ckpt_at) {
-        async_ckpt->RequestCheckpoint(fed);
+      if (async_ckpt != nullptr && end == ckpt_at) {
+        async_ckpt->RequestCheckpoint(end);
+      }
+    }
+  } else {
+    size_t fed = 0;
+    for (const auto& l : stream.lines) {
+      auto parsed = ParseWireFormat(l);
+      if (parsed.has_value()) {
+        pipeline.FeedRecord(std::move(*parsed));
+      }
+      if (++fed % kBlockLines == 0) {
+        pipeline.Flush();
+        if (async_ckpt != nullptr && fed == ckpt_at) {
+          async_ckpt->RequestCheckpoint(fed);
+        }
       }
     }
   }
@@ -194,6 +253,12 @@ double Speedup(const std::vector<RunStats>& rows, size_t workers) {
   return base > 0 ? at / base : 0;
 }
 
+bool SameOutput(const RunStats& a, const RunStats& b) {
+  return a.session_digest == b.session_digest &&
+         a.store_digest == b.store_digest && a.sessions == b.sessions &&
+         a.records == b.records;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,7 +286,7 @@ int main(int argc, char** argv) {
 
   // Materialize the arrival stream once, in arrival order, exactly as a
   // single log-server connection would deliver it.
-  std::vector<std::string> lines;
+  ArrivalStream stream;
   {
     ReplayerConfig replay_config;
     replay_config.num_workers = 1;
@@ -239,45 +304,77 @@ int main(int argc, char** argv) {
         break;
       }
       for (auto& a : arrivals) {
-        lines.push_back(std::move(a.line));
+        stream.lines.push_back(std::move(a.line));
       }
     }
   }
-  std::printf("arrival stream: %zu records\n\n", lines.size());
+  stream.BuildViews();
+  std::printf("arrival stream: %zu records\n\n", stream.lines.size());
 
+  bool identical = true;
   std::vector<RunStats> rows;
   for (size_t w = 1; w <= static_cast<size_t>(max_workers); w *= 2) {
-    rows.push_back(RunOnce(lines, w));
+    RunStats best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      RunStats run = RunOnce(stream, w, FeedMode::kZeroCopyBlocks);
+      if (rep == 0) {
+        best = run;
+      } else if (!SameOutput(run, best)) {
+        identical = false;
+        std::printf("MISMATCH at workers=%zu: output varies across reps\n", w);
+      } else if (run.RecordsPerSecCp() > best.RecordsPerSecCp()) {
+        best = run;
+      }
+    }
+    rows.push_back(best);
     const RunStats& r = rows.back();
     std::printf(
-        "workers=%zu: %10.0f rec/s critical-path (%8.0f wall), "
+        "workers=%zu: %10.0f rec/s critical-path (%8.0f wall, best of %d), "
         "%llu sessions, close p50=%.1fms p99=%.1fms, stalls=%llu\n",
-        r.workers, r.RecordsPerSecCp(), r.RecordsPerSecWall(),
+        r.workers, r.RecordsPerSecCp(), r.RecordsPerSecWall(), kReps,
         static_cast<unsigned long long>(r.sessions), r.p50_close_ms,
         r.p99_close_ms, static_cast<unsigned long long>(r.backpressure_stalls));
   }
 
+  // Scalar-reference cross-check: the reference parser fed record-by-record
+  // must reconstruct byte-identical sessions at every worker count. This is
+  // the guard that the SWAR scanner + lazy materialization changed nothing.
+  for (size_t w = 1; w <= 4 && w <= static_cast<size_t>(max_workers); w *= 2) {
+    const RunStats scalar = RunOnce(stream, w, FeedMode::kScalarReference);
+    const bool ok = SameOutput(scalar, rows[0]);
+    if (!ok) {
+      identical = false;
+    }
+    std::printf(
+        "scalar-reference workers=%zu: digest=%016llx store=%016llx %s\n", w,
+        static_cast<unsigned long long>(scalar.session_digest),
+        static_cast<unsigned long long>(scalar.store_digest),
+        ok ? "== zero-copy" : "MISMATCH vs zero-copy");
+  }
+
   // Checkpoint-enabled runs at the widest measured worker count: identical
-  // output required, throughput loss bounded by the regression gate.
-  // Single-run critical-path CPU on a timesharing core drifts ±20% across
-  // invocations (frequency scaling, scheduler phase) — far more than the 5%
-  // cap — and the noise is one-sided: interference only makes a run slower,
-  // never faster. So both variants run interleaved several times and the
-  // overhead compares the BEST run of each — the standard min-time-of-N
-  // estimator, which converges on each variant's uncontended speed and so
-  // isolates the cost that checkpointing itself adds.
+  // output required, throughput loss bounded by the regression gate. Both
+  // variants run interleaved several times and the overhead compares the
+  // BEST run of each (min-time-of-N, as above).
   const size_t ckpt_workers = rows.back().workers;
-  const std::string ckpt_dir =
-      "/tmp/ts_fig5_ckpt_" + std::to_string(::getpid());
+  char ckpt_template[] = "/tmp/ts_fig5_ckpt_XXXXXX";
+  const char* ckpt_root = ::mkdtemp(ckpt_template);
+  if (ckpt_root == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string ckpt_dir = std::string(ckpt_root) + "/snap";
   const std::string ckpt_cleanup = "rm -rf '" + ckpt_dir + "'";
   constexpr int kCkptPairs = 7;
   double plain_tput = 0;
   RunStats ckpt_row;
   for (int rep = 0; rep < kCkptPairs; ++rep) {
-    const RunStats plain = RunOnce(lines, ckpt_workers);
+    const RunStats plain =
+        RunOnce(stream, ckpt_workers, FeedMode::kZeroCopyBlocks);
     plain_tput = std::max(plain_tput, plain.RecordsPerSecCp());
     (void)std::system(ckpt_cleanup.c_str());
-    const RunStats with_ckpt = RunOnce(lines, ckpt_workers, ckpt_dir.c_str());
+    const RunStats with_ckpt = RunOnce(
+        stream, ckpt_workers, FeedMode::kZeroCopyBlocks, ckpt_dir.c_str());
     (void)std::system(ckpt_cleanup.c_str());
     if (rep == 0 ||
         with_ckpt.RecordsPerSecCp() > ckpt_row.RecordsPerSecCp()) {
@@ -286,6 +383,7 @@ int main(int argc, char** argv) {
     std::printf("  ckpt pair %d: plain %.0f vs ckpt %.0f rec/s\n", rep + 1,
                 plain.RecordsPerSecCp(), with_ckpt.RecordsPerSecCp());
   }
+  (void)std::system(("rm -rf '" + std::string(ckpt_root) + "'").c_str());
   const double ckpt_overhead =
       plain_tput > 0
           ? std::max(0.0, 1.0 - ckpt_row.RecordsPerSecCp() / plain_tput)
@@ -300,11 +398,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ckpt_row.ckpt_last_bytes),
       ckpt_row.ingest_cpu_s, ckpt_row.max_shard_cpu_s);
 
-  bool identical = true;
-  if (ckpt_row.session_digest != rows[0].session_digest ||
-      ckpt_row.store_digest != rows[0].store_digest ||
-      ckpt_row.sessions != rows[0].sessions ||
-      ckpt_row.records != rows[0].records) {
+  if (!SameOutput(ckpt_row, rows[0])) {
     identical = false;
     std::printf("MISMATCH in checkpoint-enabled run: snapshot barriers "
                 "perturbed the output\n");
@@ -315,9 +409,7 @@ int main(int argc, char** argv) {
                 "overhead measurement is vacuous\n");
   }
   for (const auto& r : rows) {
-    if (r.session_digest != rows[0].session_digest ||
-        r.store_digest != rows[0].store_digest ||
-        r.sessions != rows[0].sessions || r.records != rows[0].records) {
+    if (!SameOutput(r, rows[0])) {
       identical = false;
       std::printf("MISMATCH at workers=%zu: sessions=%llu digest=%016llx "
                   "store=%016llx (baseline %llu/%016llx/%016llx)\n",
@@ -329,7 +421,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(rows[0].store_digest));
     }
   }
-  std::printf("\nresults across worker counts: %s\n",
+  std::printf("\nresults across worker counts + scalar reference: %s\n",
               identical ? "byte-identical" : "MISMATCH");
   std::printf("speedup vs 1 worker (critical-path): 2w=%.2fx 4w=%.2fx\n",
               Speedup(rows, 2), Speedup(rows, 4));

@@ -25,8 +25,14 @@ and fails when:
 Lanes are keyed by the "workers" field when rows carry one (live_scaling)
 and by the "lane" field otherwise (template_compression, overload_study).
 
+With --markdown=PATH the same comparison is also written as a GitHub-flavored
+markdown delta table (one row per lane: baseline vs current rec/s, delta %,
+pass/fail), suitable for $GITHUB_STEP_SUMMARY. The perf-gate CI job uses this
+with the merge-base's fresh measurement as BASELINE.json, turning the gate
+into a head-vs-merge-base comparison on identical hardware.
+
 Usage: check_bench_regression.py CURRENT.json BASELINE.json
-           [--tolerance=0.30] [--allow-new-lanes]
+           [--tolerance=0.30] [--allow-new-lanes] [--markdown=PATH]
        check_bench_regression.py --self-test
 """
 
@@ -95,15 +101,19 @@ def main(argv):
         return 2
     tolerance = 0.30
     allow_new_lanes = False
+    markdown_path = None
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
         elif a == "--allow-new-lanes":
             allow_new_lanes = True
+        elif a.startswith("--markdown="):
+            markdown_path = a.split("=", 1)[1]
 
     current = load(args[0])
     baseline = load(args[1])
     failures = []
+    md_rows = []  # (lane, base rec/s or None, current rec/s or None, status)
 
     if not current.get("identical", False):
         failures.append(current.get(
@@ -130,11 +140,13 @@ def main(argv):
             failures.append(
                 f"{key}: baseline gates records_per_s but the current run "
                 "emitted none")
+            md_rows.append((key, float(base_tput), None, "missing"))
             continue
         base_tput = float(base_tput)
         cur_tput = float(cur_tput)
         floor = base_tput * (1.0 - tolerance)
         ok = cur_tput >= floor
+        md_rows.append((key, base_tput, cur_tput, "ok" if ok else "FAIL"))
         print(f"{key:>14} {base_tput:>15.0f} {cur_tput:>15.0f} "
               f"{floor:>12.0f} {'ok' if ok else 'FAIL':>8}")
         if not ok:
@@ -189,6 +201,10 @@ def main(argv):
                     f"store compression {ratio:.2f}x below floor "
                     f"{float(min_ratio):.2f}x")
 
+    if markdown_path is not None:
+        write_markdown(markdown_path, current, baseline, md_rows, tolerance,
+                       failures)
+
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)
         for f in failures:
@@ -196,6 +212,42 @@ def main(argv):
         return 1
     print("\nbench within tolerance of baseline")
     return 0
+
+
+def write_markdown(path, current, baseline, md_rows, tolerance, failures):
+    """Render the lane comparison as a GFM delta table for job summaries."""
+    lines = [
+        f"### Bench delta: {current.get('bench', 'unknown')} "
+        f"(tolerance {100 * tolerance:.0f}%)",
+        "",
+        "| lane | baseline rec/s | current rec/s | delta | status |",
+        "| --- | ---: | ---: | ---: | :---: |",
+    ]
+    for key, base_tput, cur_tput, status in md_rows:
+        if cur_tput is None:
+            lines.append(f"| {key} | {base_tput:,.0f} | — | — | {status} |")
+            continue
+        delta = (cur_tput - base_tput) / base_tput if base_tput else 0.0
+        icon = "✅" if status == "ok" else "❌"
+        lines.append(
+            f"| {key} | {base_tput:,.0f} | {cur_tput:,.0f} | "
+            f"{100 * delta:+.1f}% | {icon} {status} |")
+    extras = []
+    if "speedup_4w" in current:
+        extras.append(f"4-worker speedup {float(current['speedup_4w']):.2f}x")
+    if "ckpt_overhead" in current:
+        extras.append(
+            f"checkpoint overhead {100 * float(current['ckpt_overhead']):.1f}%")
+    extras.append("outputs byte-identical"
+                  if current.get("identical", False)
+                  else "outputs NOT byte-identical")
+    lines += ["", "; ".join(extras) + ".", ""]
+    if failures:
+        lines.append("**Gate failures:**")
+        lines += [f"- {f}" for f in failures]
+        lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def self_test():
@@ -272,6 +324,31 @@ def self_test():
                  {"identical": True, "speedup_4w": 1.2, "rows": []},
                  {"min_speedup_4w": 2.5, "rows": []}, 1),
     ]
+    # --markdown writes a delta table containing every lane and the verdict.
+    with tempfile.TemporaryDirectory() as tmp:
+        cur_path = os.path.join(tmp, "current.json")
+        base_path = os.path.join(tmp, "baseline.json")
+        md_path = os.path.join(tmp, "delta.md")
+        with open(cur_path, "w") as f:
+            json.dump({"identical": True, "speedup_4w": 3.0,
+                       "rows": [{"workers": 2, "records_per_s": 90000}]}, f)
+        with open(base_path, "w") as f:
+            json.dump({"rows": [{"workers": 2, "records_per_s": 100000}]}, f)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(out):
+            got = main(["check", cur_path, base_path,
+                        f"--markdown={md_path}"])
+        with open(md_path) as f:
+            md = f.read()
+        ok = (got == 0 and "workers=2" in md and "-10.0%" in md and
+              "byte-identical" in md)
+        print(f"{'ok  ' if ok else 'FAIL'} markdown table emitted "
+              f"(exit {got})")
+        if not ok:
+            print(md)
+        results.append(ok)
+
     if all(results):
         print("self-test: PASS")
         return 0

@@ -50,7 +50,12 @@ for arg in "$@"; do
   esac
 done
 TOOLS="$BUILD_DIR/tools"
-WORK="$(mktemp -d)"
+# Every temp artifact this script creates — tool stdout/stderr captures, port
+# files, checkpoint dirs, query dumps — lives under the single $WORK dir, and
+# the EXIT trap is armed BEFORE mktemp runs so no early-exit path (set -e
+# failures included) can leak it. cleanup() must therefore tolerate an empty
+# $WORK: the trap can fire before the directory exists.
+WORK=""
 cleanup() {
   trap - EXIT
   kill $(jobs -p) >/dev/null 2>&1 || true
@@ -60,9 +65,12 @@ cleanup() {
   # wedges CI until the job timeout. -P $$ scopes the sweep to our children.
   pkill -9 -P $$ -f 'ts_log_server|ts_sessionize|ts_chaos|ts_loadgen' \
     2>/dev/null || true
-  rm -rf "$WORK"
+  if [ -n "$WORK" ]; then
+    rm -rf "$WORK"
+  fi
 }
 trap cleanup EXIT
+WORK="$(mktemp -d)"
 
 # Both runs must see the identical archive: same seed, rate, and duration.
 GEN_ARGS=(--rate=20000 --seconds=3 --seed=11 --quiet)

@@ -129,11 +129,15 @@ void LiveCloser::SetNextFragment(const std::string& id, uint32_t next) {
 void LiveCloser::Emit(const std::string& id, Open open,
                       std::vector<Session>* closed) {
   // Stable sort by event time: ties keep arrival order, matching the offline
-  // sessionizer's record ordering on the same input.
-  std::stable_sort(open.records.begin(), open.records.end(),
-                   [](const LogRecord& a, const LogRecord& b) {
-                     return a.time < b.time;
-                   });
+  // sessionizer's record ordering on the same input. Most fragments arrive
+  // already time-ordered, and stable_sort allocates a temporary buffer per
+  // call — skip it when a linear check shows there is nothing to do.
+  const auto time_lt = [](const LogRecord& a, const LogRecord& b) {
+    return a.time < b.time;
+  };
+  if (!std::is_sorted(open.records.begin(), open.records.end(), time_lt)) {
+    std::stable_sort(open.records.begin(), open.records.end(), time_lt);
+  }
   Session s;
   s.id = id;
   s.fragment_index = next_fragment_[id]++;

@@ -7,7 +7,7 @@
 
 #include "src/common/siphash.h"
 #include "src/common/thread_timer.h"
-#include "src/log/wire_format.h"
+#include "src/log/record_view.h"
 
 namespace ts {
 namespace {
@@ -18,46 +18,16 @@ int64_t SteadyNowNanos() {
       .count();
 }
 
-// Extracts the first two '|'-delimited fields of a wire line without a full
-// parse: the event time (all-digits) and the session id. Returns false when
-// the line is malformed enough that neither is trustworthy — the caller then
-// routes by a hash of the whole line and leaves the watermark alone; the
-// owning shard's full parse records the failure.
-// Offset of the payload field — just past the sixth '|' — or npos when the
-// line has fewer separators (malformed; mining skips it deterministically).
-size_t PayloadOffset(std::string_view line) {
-  size_t pos = 0;
-  for (int i = 0; i < 6; ++i) {
-    pos = line.find('|', pos);
-    if (pos == std::string_view::npos) {
-      return std::string_view::npos;
-    }
-    ++pos;
-  }
-  return pos;
-}
+// Rotate the FeedLine/mining arena once it holds this much line text; old
+// arenas die when the batches referencing them drain.
+constexpr size_t kFeedArenaRotateBytes = 1 << 20;
 
-bool ExtractRouteKey(std::string_view line, EventTime* time,
-                     std::string_view* session_id) {
-  const size_t p0 = line.find('|');
-  if (p0 == std::string_view::npos || p0 == 0) {
-    return false;
+// Strips the trailing newline (and any CR/LF run) like FeedLine always has.
+std::string_view TrimLineEnding(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
   }
-  const size_t p1 = line.find('|', p0 + 1);
-  if (p1 == std::string_view::npos || p1 == p0 + 1) {
-    return false;
-  }
-  EventTime t = 0;
-  for (size_t i = 0; i < p0; ++i) {
-    const char c = line[i];
-    if (c < '0' || c > '9') {
-      return false;
-    }
-    t = t * 10 + (c - '0');
-  }
-  *time = t;
-  *session_id = line.substr(p0 + 1, p1 - p0 - 1);
-  return true;
+  return line;
 }
 
 }  // namespace
@@ -82,49 +52,85 @@ LivePipeline::LivePipeline(const LivePipelineOptions& options, SessionSink sink)
 
 LivePipeline::~LivePipeline() { Finish(); }
 
-void LivePipeline::FeedLine(std::string line) {
-  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-    line.pop_back();
+void LivePipeline::RotateFeedArena() {
+  if (feed_arena_ == nullptr ||
+      feed_arena_->bytes_used() > kFeedArenaRotateBytes) {
+    feed_arena_ = std::make_shared<Arena>();
   }
-  if (line.empty()) {
+}
+
+void LivePipeline::FeedLine(std::string line) {
+  const std::string_view trimmed = TrimLineEnding(line);
+  if (trimmed.empty()) {
     // Framing artifact, not a corrupt record: skipped everywhere, counted
     // nowhere near parse_failures (see ISSUE: blank-line unification).
     blank_lines_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // One copy into the ingest arena; from here the bytes flow as views, same
+  // as the FeedBlock path.
+  RotateFeedArena();
+  FeedView(feed_arena_->Copy(trimmed), feed_arena_);
+}
+
+void LivePipeline::FeedBlock(LineBlock&& block) {
+  if (block.connection_reset) {
+    // Mark every shard's next batch: per-connection interning dictionaries
+    // downstream describe a dead producer. Batch granularity is fine — the
+    // dictionaries are pure caches (reset timing is output-neutral).
+    for (auto& shard_ptr : shards_) {
+      shard_ptr->pending.reset_interners = true;
+    }
+  }
+  for (std::string_view raw : block.lines) {
+    const std::string_view line = TrimLineEnding(raw);
+    if (line.empty()) {
+      blank_lines_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    FeedView(line, block.arena);
+  }
+  block.clear();
+}
+
+void LivePipeline::FeedView(std::string_view line, const ArenaRef& arena) {
+  RecordView view = ScanRecord(line);
+  const ArenaRef* owner = &arena;
   if (miner_ != nullptr) {
     // Mine before routing: the miner sees the full arrival stream in order
     // on this one thread, which is what keeps template ids independent of
     // the worker count. The rewritten line is what every downstream stage
-    // (parse, store, digests, snapshots) sees.
-    MineLinePayload(&line);
+    // (parse, store, digests, snapshots) sees. Lines without a payload field
+    // pass through unmodified.
+    const size_t offset = PayloadOffset(view);
+    if (offset != std::string_view::npos) {
+      std::lock_guard<std::mutex> lock(miner_mu_);
+      miner_scratch_.clear();
+      miner_->MineAndRewrite(line.substr(offset), &miner_scratch_);
+      // Rewritten line = unchanged prefix + mined payload, copied into the
+      // pipeline arena. The prefix — and so every separator offset — is
+      // untouched; only the view's line pointer moves.
+      RotateFeedArena();
+      char* dst = feed_arena_->Allocate(offset + miner_scratch_.size());
+      std::memcpy(dst, line.data(), offset);
+      std::memcpy(dst + offset, miner_scratch_.data(), miner_scratch_.size());
+      view.line = std::string_view(dst, offset + miner_scratch_.size());
+      owner = &feed_arena_;
+    }
   }
   EventTime time = 0;
   std::string_view session_id;
   size_t shard_index;
-  if (ExtractRouteKey(line, &time, &session_id)) {
+  if (ExtractRouteKey(view, &time, &session_id)) {
     ingest_watermark_ = std::max(ingest_watermark_, time);
     shard_index = SipHash24(session_id) % shards_.size();
   } else {
-    shard_index = SipHash24(std::string_view(line)) % shards_.size();
+    shard_index = SipHash24(view.line) % shards_.size();
   }
   Item item;
-  item.line = std::move(line);
+  item.view = view;
   item.watermark = ingest_watermark_;
-  Route(std::move(item), shard_index);
-}
-
-void LivePipeline::MineLinePayload(std::string* line) {
-  const size_t offset = PayloadOffset(*line);
-  if (offset == std::string_view::npos) {
-    return;
-  }
-  std::lock_guard<std::mutex> lock(miner_mu_);
-  miner_scratch_.clear();
-  miner_->MineAndRewrite(std::string_view(*line).substr(offset),
-                         &miner_scratch_);
-  line->resize(offset);
-  line->append(miner_scratch_);
+  Route(std::move(item), shard_index, *owner);
 }
 
 void LivePipeline::FeedRecord(LogRecord record) {
@@ -140,12 +146,27 @@ void LivePipeline::FeedRecord(LogRecord record) {
   item.record = std::move(record);
   item.parsed = true;
   item.watermark = ingest_watermark_;
-  Route(std::move(item), shard_index);
+  Route(std::move(item), shard_index, /*arena=*/nullptr);
 }
 
-void LivePipeline::Route(Item item, size_t shard_index) {
+void LivePipeline::Route(Item item, size_t shard_index, const ArenaRef& arena) {
   Shard& shard = *shards_[shard_index];
   shard.pending.items.push_back(std::move(item));
+  if (arena != nullptr) {
+    // Record the view's keep-alive. The same handful of arenas repeats across
+    // a batch (ingest block + maybe the feed arena), so a linear scan dedups.
+    auto& arenas = shard.pending.arenas;
+    bool held = false;
+    for (const ArenaRef& a : arenas) {
+      if (a == arena) {
+        held = true;
+        break;
+      }
+    }
+    if (!held) {
+      arenas.push_back(arena);
+    }
+  }
   if (shard.pending.items.size() >= options_.max_batch_records) {
     SealAndPush(shard);
   }
@@ -347,19 +368,31 @@ void LivePipeline::WorkerLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   LiveCloser& closer = shard.closer;
   std::vector<Session> closed;
+  // Per-connection dictionaries memoizing the svc-/h- field parses; cleared
+  // when a batch carries the reconnect flag. Worker-thread-owned.
+  InternerPair interners;
   uint64_t records = 0;
   uint64_t parse_failures = 0;
   while (auto batch = shard.queue.Pop()) {
+    if (batch->reset_interners) {
+      interners.Clear();
+    }
     for (Item& item : batch->items) {
       closer.ObserveWatermark(item.watermark);
       if (item.parsed) {
         closer.Feed(std::move(item.record), &closed);
         ++records;
-      } else if (auto parsed = ParseWireFormat(item.line)) {
-        closer.Feed(std::move(*parsed), &closed);
-        ++records;
       } else {
-        ++parse_failures;
+        // The materialization point: numerics parse lazily off the
+        // pre-scanned view; this is the first (and only) copy of the
+        // session-id and payload bytes out of the ingest arena.
+        LogRecord record;
+        if (MaterializeRecord(item.view, &interners, &record)) {
+          closer.Feed(std::move(record), &closed);
+          ++records;
+        } else {
+          ++parse_failures;
+        }
       }
     }
     closer.ObserveWatermark(batch->watermark_end);

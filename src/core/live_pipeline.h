@@ -46,11 +46,14 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/fixed_queue.h"
 #include "src/common/metrics_registry.h"
 #include "src/common/time_util.h"
 #include "src/core/live_closer.h"
 #include "src/core/session.h"
+#include "src/log/record_batch.h"
+#include "src/log/record_view.h"
 #include "src/parse/template_miner.h"
 
 namespace ts {
@@ -153,7 +156,19 @@ class LivePipeline {
   // Lines whose time/session-id fields cannot be extracted are still routed
   // (by a hash of the whole line) so the owning shard counts the parse
   // failure. Blocks when the target shard's queue is full.
+  //
+  // The bytes are copied once into a pipeline-owned ingest arena and flow as
+  // views from there; FeedBlock is the zero-copy path for callers that
+  // already hold arena-backed lines.
   void FeedLine(std::string line);
+
+  // Feeds a block of framed lines backed by an ingest arena (the
+  // SocketIngestSource::PollBlock hand-off). Routing, watermarks, blank-line
+  // and parse-failure accounting are identical to feeding each line through
+  // FeedLine — both funnel into the same view path — but the line bytes are
+  // never copied: per-shard batches take references on the block's arena and
+  // release them when they drain. Consumes the block (it is cleared).
+  void FeedBlock(LineBlock&& block);
 
   // Feeds an already-parsed record (in-process producers).
   void FeedRecord(LogRecord record);
@@ -286,13 +301,24 @@ class LivePipeline {
 
  private:
   struct Item {
-    std::string line;       // Wire text; empty when `parsed`.
+    // Wire text as a pre-scanned view into an arena the owning batch holds a
+    // reference on (separator offsets found once, on the ingest thread — the
+    // worker materializes without rescanning). Empty when `parsed`.
+    RecordView view;
     LogRecord record;       // Populated when `parsed`.
     bool parsed = false;
     EventTime watermark = 0;  // Global prefix-max tag at this item's position.
   };
   struct Batch {
     std::vector<Item> items;
+    // Keep-alive for every view in `items`: the ingest arenas these items
+    // slice into. Destroying the batch (normal drain or shed head-drop) is
+    // what releases the bytes.
+    std::vector<ArenaRef> arenas;
+    // Clear the worker's per-connection interning dictionaries before these
+    // items (source reconnected). The dictionaries are content-addressed
+    // caches, so the flag's batch granularity cannot affect output.
+    bool reset_interners = false;
     EventTime watermark_end = 0;  // Global watermark when the batch was sealed.
     int64_t enqueue_steady_ns = 0;
     bool flush_all = false;  // End of stream: FlushAll after processing items.
@@ -325,16 +351,23 @@ class LivePipeline {
     EventTime last_tick_watermark = -1;
   };
 
-  void Route(Item item, size_t shard_index);
+  // Common ingest step for both Feed paths: `line` (already newline/CR
+  // trimmed, nonempty) is a view into `*arena`. Scans, optionally mines (the
+  // rewritten line is copied into the pipeline's own arena), routes.
+  void FeedView(std::string_view line, const ArenaRef& arena);
+  void Route(Item item, size_t shard_index, const ArenaRef& arena);
   void SealAndPush(Shard& shard);
   void WorkerLoop(size_t shard_index);
-  // Rewrites *line's payload field (after the sixth '|') to its mined form.
-  void MineLinePayload(std::string* line);
+  // Ensures feed_arena_ exists and is under the rotation threshold.
+  void RotateFeedArena();
 
   LivePipelineOptions options_;
   SessionSink sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   EventTime ingest_watermark_ = 0;  // Ingest thread only.
+  // Backing storage for FeedLine copies and mined rewrites; rotated so
+  // drained batches can release old bytes. Ingest thread only.
+  ArenaRef feed_arena_;
   // Mutated on the ingest thread only; the mutex exists for TemplateSnapshot
   // readers (query server) and the gauges.
   mutable std::mutex miner_mu_;

@@ -1,0 +1,77 @@
+#include "src/log/swar_scan.h"
+
+namespace ts {
+
+size_t FindByte(const char* data, size_t size, char needle) {
+  const uint64_t pattern = swar::Broadcast(needle);
+  size_t i = 0;
+  // 8-byte strides over the body. memcpy loads keep this legal at any
+  // alignment; the compiler lowers them to single movq/ldr instructions.
+  while (i + 8 <= size) {
+    const uint64_t mask = swar::HasZeroByte(swar::Load64(data + i) ^ pattern);
+    if (mask != 0) {
+      return i + swar::FirstLane(mask);
+    }
+    i += 8;
+  }
+  for (; i < size; ++i) {
+    if (data[i] == needle) {
+      return i;
+    }
+  }
+  return size;
+}
+
+size_t FindByteScalar(const char* data, size_t size, char needle) {
+  for (size_t i = 0; i < size; ++i) {
+    if (data[i] == needle) {
+      return i;
+    }
+  }
+  return size;
+}
+
+size_t ScanSeparators(std::string_view line, char sep, size_t* seps,
+                      size_t max_seps) {
+  const uint64_t pattern = swar::Broadcast(sep);
+  const char* data = line.data();
+  const size_t size = line.size();
+  size_t found = 0;
+  size_t i = 0;
+  while (i + 8 <= size) {
+    // Exact mask: draining several matches per word needs every lane
+    // trustworthy, not just the first (see ZeroByteMask vs HasZeroByte).
+    uint64_t mask = swar::ZeroByteMask(swar::Load64(data + i) ^ pattern);
+    // Drain every match in this word; typically at most one per 8 bytes.
+    while (mask != 0) {
+      seps[found++] = i + swar::FirstLane(mask);
+      if (found == max_seps) {
+        return found;
+      }
+      mask &= mask - 1;  // Clear the lowest set bit (that lane's high bit).
+    }
+    i += 8;
+  }
+  for (; i < size; ++i) {
+    if (data[i] == sep) {
+      seps[found++] = i;
+      if (found == max_seps) {
+        return found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t ScanSeparatorsScalar(std::string_view line, char sep, size_t* seps,
+                            size_t max_seps) {
+  size_t found = 0;
+  for (size_t i = 0; i < line.size() && found < max_seps; ++i) {
+    if (line[i] == sep) {
+      seps[found++] = i;
+    }
+  }
+  return found;
+}
+
+}  // namespace ts

@@ -1,0 +1,77 @@
+// SWAR (SIMD-within-a-register) byte scanning for the ingest hot path.
+//
+// The wire format is '\n'-framed lines of '|'-separated fields, so ingest
+// spends its time finding two byte values in large recv buffers. These
+// helpers scan 8 bytes per step using the classic Mycroft has-zero trick:
+//
+//   haszero(v) = (v - 0x0101..01) & ~v & 0x8080..80
+//
+// applied to v XOR broadcast(needle). Loads go through memcpy so unaligned
+// buffer starts are fine on every target; the scalar variants are the
+// reference the property/fuzz suites compare against byte-for-byte.
+#ifndef SRC_LOG_SWAR_SCAN_H_
+#define SRC_LOG_SWAR_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ts {
+
+// First offset of `needle` in [data, data+size), or `size` if absent.
+// SWAR fast path; equivalent to FindByteScalar on every input.
+size_t FindByte(const char* data, size_t size, char needle);
+
+// Byte-at-a-time reference implementation.
+size_t FindByteScalar(const char* data, size_t size, char needle);
+
+// Offsets (relative to the start of `line`) of the first `max_seps`
+// occurrences of `sep` in `line`, written to `seps`. Returns how many were
+// found (≤ max_seps). The wire format keys off the first 6 '|' bytes only —
+// payload bytes after the 6th separator are never split — so callers cap the
+// scan instead of scanning the whole payload.
+size_t ScanSeparators(std::string_view line, char sep, size_t* seps,
+                      size_t max_seps);
+
+// Scalar reference for ScanSeparators.
+size_t ScanSeparatorsScalar(std::string_view line, char sep, size_t* seps,
+                            size_t max_seps);
+
+namespace swar {
+
+inline uint64_t Broadcast(char b) {
+  return 0x0101010101010101ULL * static_cast<uint8_t>(b);
+}
+
+// Nonzero iff some byte of `v` is zero. The lowest set bit marks the FIRST
+// zero lane exactly, but subtraction borrows can flag spurious lanes above
+// it — only FirstLane() of this mask is trustworthy, never the other lanes.
+inline uint64_t HasZeroByte(uint64_t v) {
+  return (v - 0x0101010101010101ULL) & ~v & 0x8080808080808080ULL;
+}
+
+// Exact variant: the high bit of lane i is set iff byte i of `v` is zero,
+// for every lane. One op more than HasZeroByte; required when draining
+// multiple matches from a single word.
+inline uint64_t ZeroByteMask(uint64_t v) {
+  const uint64_t low7 = 0x7f7f7f7f7f7f7f7fULL;
+  return ~(((v & low7) + low7) | v | low7);
+}
+
+// Unaligned-safe little-endian 8-byte load.
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Index (0..7) of the lowest matching lane in a HasZeroByte mask.
+// Little-endian: the lowest-addressed byte is the least-significant lane.
+inline size_t FirstLane(uint64_t mask) {
+  return static_cast<size_t>(__builtin_ctzll(mask)) >> 3;
+}
+
+}  // namespace swar
+}  // namespace ts
+
+#endif  // SRC_LOG_SWAR_SCAN_H_

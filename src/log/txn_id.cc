@@ -38,13 +38,19 @@ std::optional<TxnId> TxnId::Parse(std::string_view s) {
 
 std::string TxnId::ToString() const {
   std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+void TxnId::AppendTo(std::string* out) const {
+  char buf[12];  // u32 max is 10 digits.
   for (size_t i = 0; i < path_.size(); ++i) {
     if (i > 0) {
-      out.push_back('-');
+      out->push_back('-');
     }
-    out += std::to_string(path_[i]);
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), path_[i]);
+    out->append(buf, static_cast<size_t>(ptr - buf));
   }
-  return out;
 }
 
 TxnId TxnId::Parent() const {

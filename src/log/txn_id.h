@@ -28,6 +28,10 @@ class TxnId {
 
   std::string ToString() const;
 
+  // Appends the "26-3-11-5-1" form to `out` without temporaries (hot on the
+  // wire-encode path).
+  void AppendTo(std::string* out) const;
+
   bool empty() const { return path_.empty(); }
   size_t depth() const { return path_.size(); }
   bool IsRoot() const { return path_.size() == 1; }

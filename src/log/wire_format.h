@@ -27,6 +27,24 @@ std::string ToWireFormat(const LogRecord& record);
 // skips such records, mirroring how a real pipeline tolerates corrupt log lines.
 std::optional<LogRecord> ParseWireFormat(std::string_view line);
 
+// Per-field validators, shared between ParseWireFormat and the zero-copy
+// MaterializeRecord path (src/log/record_view.h) so the two can never drift:
+// both accept exactly these field grammars.
+namespace wire {
+
+// Whole-field int64 (from_chars; leading '-' allowed, no trailing bytes).
+std::optional<int64_t> ParseI64(std::string_view s);
+
+// `prefix` followed by a whole-field uint32; field must be strictly longer
+// than the prefix.
+std::optional<uint32_t> ParsePrefixedU32(std::string_view s,
+                                         std::string_view prefix);
+
+// "START" / "END" / "ANNOT", exact.
+std::optional<EventKind> ParseKind(std::string_view s);
+
+}  // namespace wire
+
 }  // namespace ts
 
 #endif  // SRC_LOG_WIRE_FORMAT_H_

@@ -1,5 +1,7 @@
 #include "src/net/frame_reader.h"
 
+#include "src/log/swar_scan.h"
+
 namespace ts {
 namespace {
 
@@ -50,6 +52,51 @@ size_t LineFramer::Feed(std::string_view data, std::vector<std::string>* lines) 
       std::string_view whole = StripCr(partial_);
       partial_.resize(whole.size());
       lines->push_back(std::move(partial_));
+      partial_.clear();
+    }
+    ++emitted;
+  }
+  return emitted;
+}
+
+size_t LineFramer::FeedViews(std::string_view data, Arena* arena,
+                             std::vector<std::string_view>* lines) {
+  size_t emitted = 0;
+  while (!data.empty()) {
+    const size_t nl = FindByte(data.data(), data.size(), '\n');
+    if (nl == data.size()) {
+      if (discarding_) {
+        return emitted;  // Still inside the oversized line; drop the bytes.
+      }
+      if (partial_.size() + data.size() > options_.max_line_bytes) {
+        ++frame_errors_;
+        discarding_ = true;
+        partial_.clear();
+        return emitted;
+      }
+      partial_.append(data);
+      return emitted;
+    }
+
+    const std::string_view head = data.substr(0, nl);
+    data.remove_prefix(nl + 1);
+    if (discarding_) {
+      discarding_ = false;  // The oversized line ends here; skip it whole.
+      continue;
+    }
+    if (partial_.size() + head.size() > options_.max_line_bytes) {
+      ++frame_errors_;
+      partial_.clear();
+      continue;
+    }
+    if (partial_.empty()) {
+      lines->push_back(StripCr(head));  // Zero-copy: view into `data`.
+    } else {
+      // Boundary-spanning line: join the carried prefix with this head into
+      // the arena so the emitted view is contiguous. At most one join per
+      // Feed call, so the copy stays off the common path.
+      partial_.append(head);
+      lines->push_back(arena->Copy(StripCr(partial_)));
       partial_.clear();
     }
     ++emitted;

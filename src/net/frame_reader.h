@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/arena.h"
+
 namespace ts {
 
 class LineFramer {
@@ -28,6 +30,16 @@ class LineFramer {
   // Consumes `data`, appending every newly completed line to `lines`.
   // Returns the number of lines appended.
   size_t Feed(std::string_view data, std::vector<std::string>* lines);
+
+  // Zero-copy variant: `data` must already live in storage that outlives the
+  // emitted views (in practice: bytes recv()'d straight into `arena`). Lines
+  // wholly inside `data` are emitted as views into it; a line that spans Feed
+  // calls is joined from the carried partial into `arena`. Framing decisions
+  // (splits, CR stripping, oversized-line drops) are byte-identical to Feed —
+  // the LineFramerProperty suite drives both over every split point. The
+  // newline search runs 8 bytes per step (src/log/swar_scan.h).
+  size_t FeedViews(std::string_view data, Arena* arena,
+                   std::vector<std::string_view>* lines);
 
   // Discards any buffered partial line (e.g. after a connection drop: the
   // truncated tail of the last record must not be glued to the first line of

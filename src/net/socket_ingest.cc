@@ -51,6 +51,11 @@ void SocketIngestSource::ScheduleReconnect() {
   // Drop the truncated tail of any record cut off mid-line; the resume offset
   // only counts complete records, so the server re-sends that record whole.
   framer_.Reset();
+  if (ever_connected_) {
+    // The next block delivered must tell the consumer its per-connection
+    // dictionaries describe a dead producer (PollBlock's connection_reset).
+    connection_reset_pending_ = true;
+  }
   if (options_.attempt_limit > 0 && attempts_ >= options_.attempt_limit) {
     state_ = State::kFailed;
     return;
@@ -259,6 +264,129 @@ SocketIngestSource::Poll SocketIngestSource::PollLines(
     }
     if (dropped) {
       ScheduleReconnect();
+      continue;
+    }
+    if (emitted > 0) {
+      return Poll::kRecords;  // Drained to EAGAIN with records in hand.
+    }
+  }
+}
+
+SocketIngestSource::Poll SocketIngestSource::PollBlock(LineBlock* block,
+                                                       int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  block->clear();
+  if (arena_ == nullptr || arena_->bytes_used() > options_.arena_rotate_bytes) {
+    arena_ = std::make_shared<Arena>();
+  }
+  block->arena = arena_;
+  block->connection_reset = connection_reset_pending_;
+  connection_reset_pending_ = false;
+  size_t emitted = 0;
+  std::vector<std::string_view> framed;
+
+  while (true) {
+    if (state_ == State::kDone) {
+      return emitted > 0 ? Poll::kRecords : Poll::kEndOfStream;
+    }
+    if (state_ == State::kFailed) {
+      return emitted > 0 ? Poll::kRecords : Poll::kFailed;
+    }
+    if (!EnsureConnected(deadline)) {
+      if (state_ == State::kFailed && emitted == 0) {
+        return Poll::kFailed;
+      }
+      return emitted > 0 ? Poll::kRecords : Poll::kIdle;
+    }
+
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int64_t wait = deadline - NowMs();
+    const int r = ::poll(&pfd, 1, wait < 0 ? 0 : static_cast<int>(wait));
+    if (r == 0) {
+      return emitted > 0 ? Poll::kRecords : Poll::kIdle;
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ScheduleReconnect();
+      continue;
+    }
+
+    bool dropped = false;
+    while (true) {
+      // recv() straight into the block's arena: the chunk tail is offered
+      // first so short reads never strand chunk remainders, and the framed
+      // views alias these bytes with no copy.
+      size_t got = 0;
+      char* buf = arena_->ReserveUpTo(/*min_bytes=*/4096,
+                                      options_.read_chunk_bytes, &got);
+      size_t want = got;
+      const FaultAction fault = FaultOnRecv(options_.fault_injector, want);
+      if (fault.kind == FaultAction::Kind::kFail) {
+        if (fault.error == EINTR) {
+          continue;
+        }
+        if (fault.error == EAGAIN || fault.error == EWOULDBLOCK) {
+          break;  // Behaves like a drained socket; poll again.
+        }
+        dropped = true;  // Injected kill: reconnect and resume.
+        break;
+      }
+      if (fault.kind == FaultAction::Kind::kClamp) {
+        want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+      }
+      const ssize_t n = ::recv(fd_.get(), buf, want, 0);
+      if (n > 0) {
+        FaultOnIoBytes(options_.fault_injector, static_cast<uint64_t>(n));
+        FaultOnRecvData(options_.fault_injector, buf, static_cast<size_t>(n));
+        stats_.AddBytesIn(static_cast<uint64_t>(n));
+        arena_->Commit(static_cast<size_t>(n));
+        framed.clear();
+        framer_.FeedViews(std::string_view(buf, static_cast<size_t>(n)),
+                          arena_.get(), &framed);
+        for (std::string_view line : framed) {
+          if (!line.empty() && line[0] == '#') {
+            if (line == "#EOS") {
+              eos_seen_ = true;
+            }
+            continue;  // Control lines never reach the parser.
+          }
+          if (line.empty()) {
+            continue;
+          }
+          ++records_received_;
+          stats_.AddRecordsIn(1);
+          block->lines.push_back(line);
+          ++emitted;
+        }
+        if (eos_seen_) {
+          state_ = State::kDone;
+          fd_.Close();
+          return emitted > 0 ? Poll::kRecords : Poll::kEndOfStream;
+        }
+        if (options_.max_records_per_poll > 0 &&
+            emitted >= options_.max_records_per_poll) {
+          return Poll::kRecords;  // Batch cap hit; the rest waits its turn.
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      // read()==0 or a hard error: the server vanished without #EOS.
+      dropped = true;
+      break;
+    }
+    if (dropped) {
+      ScheduleReconnect();
+      // The views already in `block` stay valid (the arena outlives the
+      // reconnect), but this block now spans connections; the reset flag set
+      // by ScheduleReconnect rides on the NEXT block, which is fine — the
+      // dictionaries are a pure cache, so reset timing is output-neutral.
       continue;
     }
     if (emitted > 0) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/log/record_batch.h"
 #include "src/net/frame_reader.h"
 #include "src/net/net_util.h"
 #include "src/net/transport_stats.h"
@@ -52,6 +53,9 @@ struct SocketIngestOptions {
   // records replayed after a crash are exactly the ones whose effects the
   // snapshot does not contain.
   uint64_t resume_offset = 0;
+  // PollBlock: start a fresh ingest arena once the current one has absorbed
+  // this many recv bytes. Bounds how much memory an undrained block can pin.
+  size_t arena_rotate_bytes = 256 << 10;
   uint64_t jitter_seed = 1;  // Deterministic jitter for reproducible tests.
   // ts_fault seam: may refuse connects, fail or clamp reads, and corrupt
   // received bytes. Null (the default) costs one untaken branch per syscall.
@@ -76,6 +80,18 @@ class SocketIngestSource {
   // Appends complete wire lines (control lines filtered out) to *lines.
   Poll PollLines(std::vector<std::string>* lines, int timeout_ms);
 
+  // Zero-copy variant: recv()s straight into a source-owned arena and fills
+  // `block` with line views into it (control and blank lines filtered, so
+  // records_received() advances exactly as under PollLines — the resume
+  // offset must not depend on which poll API the caller uses). The arena is
+  // shared with the block by reference and rotated between calls once it
+  // passes arena_rotate_bytes, so holding a block alive pins at most one
+  // rotation's worth of recv bytes. Sets block->connection_reset when the
+  // source reconnected since the previous block — the consumer's
+  // per-connection dictionaries must reset (docs/INGEST.md). `block` is
+  // cleared first; any previous views in it must already be drained.
+  Poll PollBlock(LineBlock* block, int timeout_ms);
+
   // Convenience: blocks until end of stream, appending everything to *lines.
   // Returns true on a graceful end, false if the source failed permanently.
   bool ReadAll(std::vector<std::string>* lines);
@@ -95,6 +111,10 @@ class SocketIngestSource {
   State state_ = State::kDisconnected;
   FdGuard fd_;
   LineFramer framer_;
+  ArenaRef arena_;  // PollBlock recv target; rotated at arena_rotate_bytes.
+  // Sticky until the next PollBlock returns it: a reconnect happened, so
+  // per-connection consumer state is stale.
+  bool connection_reset_pending_ = false;
   bool ever_connected_ = false;
   bool hello_sent_ = false;
   size_t hello_off_ = 0;

@@ -57,6 +57,19 @@ std::shared_ptr<std::vector<std::string>> MakeArchive(double records_per_sec,
   return lines;
 }
 
+// Exploratory-lane width: the per-PR CI job runs the base schedule count;
+// the nightly soak sets TS_FAULT_SCHEDULE_MULTIPLIER (e.g. 5) to sweep a
+// proportionally larger region of the schedule space per seed. Clamped so a
+// typo'd value cannot wedge the lane past its ctest timeout.
+uint64_t ScheduleMultiplier() {
+  const char* text = std::getenv("TS_FAULT_SCHEDULE_MULTIPLIER");
+  if (text == nullptr || *text == '\0') {
+    return 1;
+  }
+  const uint64_t value = std::strtoull(text, nullptr, 10);
+  return value < 1 ? 1 : (value > 20 ? 20 : value);
+}
+
 uint64_t WireBytes(const std::vector<std::string>& lines) {
   uint64_t total = 0;
   for (const auto& l : lines) {
@@ -683,7 +696,8 @@ TEST_F(CrashRecovery, ExploratorySeedFromEnvironment) {
     GTEST_SKIP() << "set TS_FAULT_SEED to run exploratory crash schedules";
   }
   const uint64_t base = std::strtoull(seed_text, nullptr, 10);
-  for (uint64_t i = 0; i < 4 && !HasFailure(); ++i) {
+  const uint64_t schedules = 4 * ScheduleMultiplier();
+  for (uint64_t i = 0; i < schedules && !HasFailure(); ++i) {
     CheckCrashSeed(base + i * 104'729);
   }
   if (HasFailure()) {
@@ -856,7 +870,9 @@ TEST_F(FaultConformance, ExploratorySeedFromEnvironment) {
   }
   const uint64_t base = std::strtoull(seed_text, nullptr, 10);
   // A handful of schedules derived from the environment seed, both profiles.
-  for (uint64_t i = 0; i < 8 && !HasFailure(); ++i) {
+  // The nightly soak widens the sweep via TS_FAULT_SCHEDULE_MULTIPLIER.
+  const uint64_t schedules = 8 * ScheduleMultiplier();
+  for (uint64_t i = 0; i < schedules && !HasFailure(); ++i) {
     CheckSeed(base + i * 7919, i % 2 == 0 ? "mild" : "aggressive");
   }
   if (HasFailure()) {

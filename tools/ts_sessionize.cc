@@ -429,14 +429,14 @@ int main(int argc, char** argv) {
         async_ckpt = std::make_unique<AsyncCheckpointer>(
             ckpt.get(), pipeline.get(), store.get(), ac_options);
       }
-      std::vector<std::string> lines;
+      // Zero-copy live loop: recv bytes land in the source's arena, PollBlock
+      // hands them over as views, and FeedBlock routes them shard-ward with
+      // no per-line copies (docs/INGEST.md).
+      LineBlock block;
       bool done = false;
       while (!done && g_stop == 0) {
-        lines.clear();
-        const auto poll = source.PollLines(&lines, /*timeout_ms=*/200);
-        for (auto& l : lines) {
-          pipeline->FeedLine(std::move(l));
-        }
+        const auto poll = source.PollBlock(&block, /*timeout_ms=*/200);
+        pipeline->FeedBlock(std::move(block));
         if (poll == SocketIngestSource::Poll::kEndOfStream) {
           done = true;
         } else if (poll == SocketIngestSource::Poll::kFailed) {

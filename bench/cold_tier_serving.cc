@@ -1,0 +1,317 @@
+// Tiered-store serving benchmark: what the cold tier costs and what it buys.
+//
+// Builds one tiered deployment (small hot SessionStore + on-disk ColdTier)
+// and one unbounded reference holding the same sessions, then measures:
+//
+//   spill     sustained eviction->segment throughput (sessions/s) while the
+//             hot window turns over, including the final FlushPending fsync
+//   get_hot   GET round-trip over loopback TCP for ids still hot
+//   get_cold  the same GET when the answer needs a cold index probe + one
+//             pread + CRC check — the latency price of a spilled session
+//
+// Every lane double-checks correctness: a sample of GET/RANGE/TOPK responses
+// from the tiered server must be byte-identical to the unbounded reference
+// (the "identical" verdict scripts/check_bench_regression.py gates on).
+//
+// Usage: cold_tier_serving [--sessions=30000] [--queries=3000]
+//                          [--hot_kb=256] [--json=PATH]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analytics/session_store.h"
+#include "src/query/query_client.h"
+#include "src/query/query_protocol.h"
+#include "src/query/query_server.h"
+#include "src/store/cold_tier.h"
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+ts::Session MakeSession(uint64_t n, size_t records) {
+  ts::Session s;
+  s.id = "BENCH" + std::to_string(n);
+  const ts::EventTime base = static_cast<ts::EventTime>(n) * 1000;
+  for (size_t i = 0; i < records; ++i) {
+    ts::LogRecord r;
+    r.time = base + static_cast<ts::EventTime>(i);
+    r.session_id = s.id;
+    r.txn_id = *ts::TxnId::Parse("1-2");
+    r.service = static_cast<uint32_t>((n + i) % 64);
+    r.host = r.service;
+    r.payload = "k=v&step=" + std::to_string(i);
+    s.records.push_back(std::move(r));
+  }
+  s.first_epoch = base / ts::kNanosPerSecond;
+  s.last_epoch = s.first_epoch;
+  s.closed_at = s.last_epoch;
+  return s;
+}
+
+struct LatencySummary {
+  double p50_us = 0;
+  double p99_us = 0;
+  double qps = 0;
+};
+
+LatencySummary Summarize(std::vector<int64_t>& latencies_ns,
+                         int64_t elapsed_ns) {
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  LatencySummary s;
+  if (latencies_ns.empty()) {
+    return s;
+  }
+  s.p50_us = static_cast<double>(latencies_ns[latencies_ns.size() / 2]) / 1e3;
+  s.p99_us =
+      static_cast<double>(latencies_ns[latencies_ns.size() * 99 / 100]) / 1e3;
+  s.qps = static_cast<double>(latencies_ns.size()) * 1e9 /
+          static_cast<double>(elapsed_ns);
+  return s;
+}
+
+// Canonical bytes of one response, for tiered-vs-reference comparison.
+std::string ResponseBytes(const ts::QueryResponse& response) {
+  std::string bytes;
+  for (const auto& s : response.sessions) {
+    ts::AppendSessionBlock(s, &bytes);
+  }
+  for (const auto& [service, count] : response.top) {
+    bytes += "TOP " + std::to_string(service) + " " + std::to_string(count) +
+             "\n";
+  }
+  if (response.truncated) {
+    bytes += "#TRUNCATED\n";
+  }
+  bytes += ts::FormatOk(response.count) + "\n";
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ts;
+  const size_t num_sessions =
+      static_cast<size_t>(Flag(argc, argv, "--sessions", 30'000));
+  const size_t num_queries =
+      static_cast<size_t>(Flag(argc, argv, "--queries", 3'000));
+  const size_t hot_kb = static_cast<size_t>(Flag(argc, argv, "--hot_kb", 256));
+
+  const std::string cold_dir =
+      "/tmp/ts_cold_bench_" + std::to_string(::getpid());
+  const std::string cleanup = "rm -rf '" + cold_dir + "'";
+  std::system(cleanup.c_str());
+
+  ColdTierOptions cold_options;
+  cold_options.dir = cold_dir;
+  auto cold = std::make_shared<ColdTier>(cold_options);
+  if (!cold->Start()) {
+    std::fprintf(stderr, "cannot start cold tier at %s\n", cold_dir.c_str());
+    return 1;
+  }
+
+  SessionStore::Options hot_options;
+  hot_options.max_bytes = hot_kb << 10;
+  auto store = std::make_shared<SessionStore>(hot_options);
+  store->SetEvictionSink([cold](Session&& s) { cold->Append(std::move(s)); });
+  auto reference = std::make_shared<SessionStore>();  // Unbounded.
+
+  // (a) spill throughput: run the hot window over by ~num_sessions and time
+  // insert -> evict -> segment write, fsyncs included.
+  const int64_t spill_t0 = NowNs();
+  for (size_t n = 0; n < num_sessions; ++n) {
+    store->Insert(MakeSession(n, /*records=*/8));
+  }
+  if (!cold->FlushPending()) {
+    std::fprintf(stderr, "spill failed\n");
+    return 1;
+  }
+  const double spill_elapsed_s =
+      static_cast<double>(NowNs() - spill_t0) / 1e9;
+  for (size_t n = 0; n < num_sessions; ++n) {
+    reference->Insert(MakeSession(n, /*records=*/8));
+  }
+  const ColdTier::Stats cold_stats = cold->stats();
+  const double spill_per_s =
+      static_cast<double>(cold_stats.sessions) / spill_elapsed_s;
+  std::printf(
+      "tiered store: %zu hot + %llu cold sessions, %llu segment(s), "
+      "%.1f MiB on disk\n",
+      store->stats().sessions,
+      static_cast<unsigned long long>(cold_stats.sessions),
+      static_cast<unsigned long long>(cold_stats.segments),
+      static_cast<double>(cold_stats.bytes) / (1 << 20));
+  std::printf("spill          : %9.0f sessions/s (%.2fs incl. flush)\n",
+              spill_per_s, spill_elapsed_s);
+  if (cold_stats.sessions == 0 || store->stats().sessions == 0) {
+    std::fprintf(stderr, "degenerate tiering: need both hot and cold ids\n");
+    return 1;
+  }
+
+  QueryServer tiered_server({}, store);
+  tiered_server.SetColdTier(cold);
+  QueryServer reference_server({}, reference);
+  if (!tiered_server.Start() || !reference_server.Start()) {
+    std::fprintf(stderr, "cannot start servers\n");
+    return 1;
+  }
+  std::thread tiered_thread([&] { tiered_server.Run(); });
+  std::thread reference_thread([&] { reference_server.Run(); });
+
+  QueryClientOptions tiered_client_options;
+  tiered_client_options.port = tiered_server.port();
+  QueryClient client(tiered_client_options);
+  QueryClientOptions reference_client_options;
+  reference_client_options.port = reference_server.port();
+  QueryClient reference_client(reference_client_options);
+  if (!client.Connect() || !reference_client.Connect()) {
+    std::fprintf(stderr, "cannot connect\n");
+    return 1;
+  }
+
+  // Eviction is oldest-first: low ids are cold, the newest tail is hot.
+  const size_t hot_count = store->stats().sessions;
+  const size_t first_hot = num_sessions - hot_count;
+
+  // (b) hot-hit GETs over the wire.
+  LatencySummary hot_summary;
+  {
+    std::vector<int64_t> lat;
+    lat.reserve(num_queries);
+    const int64_t t0 = NowNs();
+    for (size_t q = 0; q < num_queries; ++q) {
+      const std::string id =
+          "BENCH" + std::to_string(first_hot + (q * 13) % hot_count);
+      const int64_t s = NowNs();
+      auto response = client.Get(id);
+      lat.push_back(NowNs() - s);
+      if (!response.ok || response.sessions.size() != 1) {
+        std::fprintf(stderr, "hot miss on %s\n", id.c_str());
+        return 1;
+      }
+    }
+    hot_summary = Summarize(lat, NowNs() - t0);
+    std::printf("GET hot (wire) : %9.0f ops/s  p50 %6.1fus  p99 %6.1fus\n",
+                hot_summary.qps, hot_summary.p50_us, hot_summary.p99_us);
+  }
+
+  // (c) cold-hit GETs: every lookup resolves through the segment index and
+  // pays one pread + CRC.
+  LatencySummary cold_summary;
+  {
+    std::vector<int64_t> lat;
+    lat.reserve(num_queries);
+    const int64_t t0 = NowNs();
+    for (size_t q = 0; q < num_queries; ++q) {
+      const std::string id = "BENCH" + std::to_string((q * 13) % first_hot);
+      const int64_t s = NowNs();
+      auto response = client.Get(id);
+      lat.push_back(NowNs() - s);
+      if (!response.ok || response.sessions.size() != 1) {
+        std::fprintf(stderr, "cold miss on %s\n", id.c_str());
+        return 1;
+      }
+    }
+    cold_summary = Summarize(lat, NowNs() - t0);
+    std::printf("GET cold (wire): %9.0f ops/s  p50 %6.1fus  p99 %6.1fus\n",
+                cold_summary.qps, cold_summary.p50_us, cold_summary.p99_us);
+  }
+
+  // Identity: a sample of responses must match the unbounded reference byte
+  // for byte — hot, cold, a RANGE spanning both tiers, and the TOPK merge.
+  bool identical = true;
+  std::vector<std::string> probes = {
+      "TOPK 16",
+      "RANGE 0 4000000 200",              // Entirely cold.
+      "RANGE 0 999999999999 10000",       // Spans cold into hot; budget-cut.
+  };
+  for (size_t i = 0; i < 64; ++i) {
+    probes.push_back("GET BENCH" + std::to_string((i * 977) % num_sessions));
+  }
+  for (const auto& probe : probes) {
+    QueryResponse tiered_response, reference_response;
+    if (!client.Execute(probe, &tiered_response) ||
+        !reference_client.Execute(probe, &reference_response) ||
+        ResponseBytes(tiered_response) != ResponseBytes(reference_response)) {
+      std::fprintf(stderr, "IDENTITY MISMATCH on '%s'\n", probe.c_str());
+      identical = false;
+    }
+  }
+  std::printf("identity check : %s (%zu probes)\n",
+              identical ? "ok" : "FAIL", probes.size());
+
+  if (const char* json_path = FlagStr(argc, argv, "--json")) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"cold_tier_serving\",\n");
+    std::fprintf(f, "  \"sessions\": %zu,\n", num_sessions);
+    std::fprintf(f, "  \"cold_sessions\": %llu,\n",
+                 static_cast<unsigned long long>(cold_stats.sessions));
+    std::fprintf(f, "  \"cold_segments\": %llu,\n",
+                 static_cast<unsigned long long>(cold_stats.segments));
+    std::fprintf(f, "  \"identical\": %s,\n", identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"identity_check\": \"tiered GET/RANGE/TOPK responses "
+                 "must be byte-identical to an unbounded reference store\",\n");
+    std::fprintf(f, "  \"rows\": [\n");
+    std::fprintf(f,
+                 "    {\"lane\": \"spill\", \"sessions_per_s\": %.0f, "
+                 "\"elapsed_s\": %.3f},\n",
+                 spill_per_s, spill_elapsed_s);
+    std::fprintf(f,
+                 "    {\"lane\": \"get_hot\", \"qps\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f},\n",
+                 hot_summary.qps, hot_summary.p50_us, hot_summary.p99_us);
+    std::fprintf(f,
+                 "    {\"lane\": \"get_cold\", \"qps\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}\n",
+                 cold_summary.qps, cold_summary.p50_us, cold_summary.p99_us);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  client.Close();
+  reference_client.Close();
+  tiered_server.Stop();
+  reference_server.Stop();
+  tiered_thread.join();
+  reference_thread.join();
+  std::system(cleanup.c_str());
+  return identical ? 0 : 1;
+}

@@ -19,6 +19,12 @@
 # ts_sessionize --mine-templates and asserts the TEMPLATES verb serves a
 # non-empty ranked dictionary (see docs/ARCHITECTURE.md, ts_parse).
 #
+# With --cold, the same stream runs again through a deliberately tiny hot
+# window (--store_mb=1 --cold-dir), so most sessions spill to cold segments,
+# and a full-span RANGE plus a GET of the oldest (certainly cold) session
+# must be byte-identical to the unbounded fault-free run — the shell-level
+# version of the tiered-store serving contract (see docs/STORE.md).
+#
 # With --loadgen, the open-loop generator replaces the log server:
 #
 #   ts_loadgen  ->  ts_sessionize --connect --serve --shed-policy=oldest-open
@@ -30,7 +36,7 @@
 # must cover every scheduled record (see docs/LOADGEN.md).
 #
 # Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash] [--templates]
-#                             [--loadgen]
+#                             [--loadgen] [--cold]
 #   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
 #                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
@@ -40,12 +46,14 @@ CHAOS=0
 CRASH=0
 TEMPLATES=0
 LOADGEN=0
+COLD=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --crash) CRASH=1 ;;
     --templates) TEMPLATES=1 ;;
     --loadgen) LOADGEN=1 ;;
+    --cold) COLD=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -162,7 +170,7 @@ done
 # full drain, not just the first session.
 BASE_RECORDS=""
 BASE_SESSIONS=""
-if [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ]; then
+if [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$COLD" -eq 1 ]; then
   settle_counts "$QPORT" || {
     echo "FAIL: fault-free run never settled"; cat "$WORK/sess.err"; exit 1; }
   BASE_RECORDS="$RECORDS"
@@ -181,9 +189,74 @@ ID="$(awk '/^#SESSION /{print $NF; exit}' "$WORK/range.out")"
 grep -q '^#SESSION ' "$WORK/get.out" || {
   echo "FAIL: GET $ID returned no block"; cat "$WORK/get.out"; exit 1; }
 
+# In cold mode this unbounded run is the byte-identity reference: dump the
+# full-span RANGE (oldest-first) while the server is still up. $ID above came
+# from `RANGE ... 1`, so it is the oldest session — guaranteed cold later.
+if [ "$COLD" -eq 1 ]; then
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw \
+    RANGE 0 99999999999999 10000 >"$WORK/range_ref.out"
+  grep -q '^#SESSION ' "$WORK/range_ref.out" || {
+    echo "FAIL: reference RANGE returned no sessions"; exit 1; }
+fi
+
 kill -INT "$SESS_PID" 2>/dev/null || true
 wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
+
+[ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] \
+  || [ "$LOADGEN" -eq 1 ] || [ "$COLD" -eq 1 ] || exit 0
+
+# ---- Cold-tier run: tiny hot window, spill to segments, byte-identity -------
+
+if [ "$COLD" -eq 1 ]; then
+  # Fresh log server, same archive (same seed/rate/duration).
+  "$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" --once \
+    >"$WORK/lsc.out" 2>"$WORK/lsc.err" &
+  CPORT="$(wait_port_file "$WORK/lsc.out")"
+  [ -n "$CPORT" ] || { echo "FAIL: cold log server reported no port"; exit 1; }
+
+  # A 1 MiB hot window forces most of the stream through the eviction ->
+  # cold-segment path; 1 MiB segments keep several files on disk.
+  start_sessionize "$CPORT" cold \
+    --store_mb=1 --cold-dir="$WORK/cold" --cold_segment_mb=1
+
+  settle_counts "$QPORT" || {
+    echo "FAIL: cold run never settled"; cat "$WORK/cold.err"; exit 1; }
+  [ "$RECORDS" = "$BASE_RECORDS" ] || {
+    echo "FAIL: cold run ingested $RECORDS records, reference $BASE_RECORDS"
+    cat "$WORK/cold.err"; exit 1; }
+
+  COLD_SEGMENTS="$(stat_gauge "$QPORT" store_cold_segments || true)"
+  COLD_SESSIONS="$(stat_gauge "$QPORT" store_cold_sessions || true)"
+  [ -n "$COLD_SEGMENTS" ] && [ "$COLD_SEGMENTS" -ge 1 ] || {
+    echo "FAIL: nothing spilled (store_cold_segments=${COLD_SEGMENTS:-empty})"
+    cat "$WORK/cold.err"; exit 1; }
+
+  # The serving contract: a RANGE spanning hot + cold and a GET that must be
+  # answered from a cold segment are byte-identical to the unbounded run.
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw \
+    RANGE 0 99999999999999 10000 >"$WORK/range_cold.out"
+  cmp -s "$WORK/range_ref.out" "$WORK/range_cold.out" || {
+    echo "FAIL: tiered RANGE differs from the unbounded reference"
+    diff <(head -5 "$WORK/range_ref.out") <(head -5 "$WORK/range_cold.out") \
+      || true
+    exit 1; }
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw GET "$ID" \
+    >"$WORK/get_cold.out"
+  cmp -s "$WORK/get.out" "$WORK/get_cold.out" || {
+    echo "FAIL: cold GET $ID differs from the unbounded reference"
+    exit 1; }
+  COLD_HITS="$(stat_gauge "$QPORT" store_cold_hits || true)"
+  [ -n "$COLD_HITS" ] && [ "$COLD_HITS" -ge 1 ] || {
+    echo "FAIL: queries never touched the cold tier (store_cold_hits=0)"
+    exit 1; }
+
+  kill -INT "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  echo "e2e cold OK: $COLD_SESSIONS sessions across $COLD_SEGMENTS cold" \
+       "segment(s); RANGE and cold GET byte-identical to the unbounded run" \
+       "($COLD_HITS cold hits)"
+fi
 
 [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] \
   || [ "$LOADGEN" -eq 1 ] || exit 0

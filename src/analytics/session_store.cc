@@ -35,12 +35,19 @@ SessionStore::EntryList::iterator SessionStore::InsertLocked(Session session) {
 }
 
 void SessionStore::Insert(Session session) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = InsertLocked(std::move(session));
-  EvictIfNeeded();
-  // `it` survives eviction: EvictIfNeeded never removes the newest entry.
-  for (const auto& [token, observer] : observers_) {
-    observer(it->session);
+  std::vector<Session> spilled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = InsertLocked(std::move(session));
+    EvictIfNeeded(eviction_sink_ ? &spilled : nullptr);
+    // `it` survives eviction: EvictIfNeeded never removes the newest entry.
+    for (const auto& [token, observer] : observers_) {
+      observer(it->session);
+    }
+  }
+  // Outside mu_: the sink may block on backpressure or query the store.
+  for (auto& victim : spilled) {
+    eviction_sink_(std::move(victim));
   }
 }
 
@@ -72,13 +79,16 @@ void SessionStore::Unindex(EntryList::iterator it) {
   }
 }
 
-void SessionStore::EvictIfNeeded() {
+void SessionStore::EvictIfNeeded(std::vector<Session>* spilled) {
   while (stats_.bytes > options_.max_bytes && entries_.size() > 1) {
     auto oldest = entries_.begin();
     stats_.bytes -= oldest->bytes;
     --stats_.sessions;
     ++stats_.evicted;
     Unindex(oldest);
+    if (spilled != nullptr) {
+      spilled->push_back(std::move(oldest->session));
+    }
     entries_.erase(oldest);
   }
 }
@@ -192,20 +202,33 @@ SessionStore::SeqWindow SessionStore::ForEachSessionSince(
 
 void SessionStore::ImportSnapshot(std::vector<Session> sessions,
                                   uint64_t inserted, uint64_t evicted) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& session : sessions) {
-    InsertLocked(std::move(session));
+  std::vector<Session> spilled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& session : sessions) {
+      InsertLocked(std::move(session));
+    }
+    EvictIfNeeded(eviction_sink_ ? &spilled : nullptr);
+    // Lifetime counters continue from the snapshot, not from the rebuild: the
+    // rebuild itself is not an insert the pre-crash run didn't already count.
+    stats_.inserted = inserted;
+    stats_.evicted = evicted;
   }
-  EvictIfNeeded();
-  // Lifetime counters continue from the snapshot, not from the rebuild: the
-  // rebuild itself is not an insert the pre-crash run didn't already count.
-  stats_.inserted = inserted;
-  stats_.evicted = evicted;
+  // A restore into a smaller budget re-spills; the cold tier dedupes anything
+  // that was already durable, and prefix order is preserved (oldest first).
+  for (auto& victim : spilled) {
+    eviction_sink_(std::move(victim));
+  }
 }
 
 SessionStore::Stats SessionStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void SessionStore::SetEvictionSink(EvictionSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  eviction_sink_ = std::move(sink);
 }
 
 uint64_t SessionStore::AddInsertObserver(InsertObserver fn) {

@@ -109,6 +109,15 @@ class SessionStore {
   uint64_t AddInsertObserver(InsertObserver fn);
   void RemoveInsertObserver(uint64_t token);
 
+  // Eviction sink: receives every evicted session (strictly oldest-first, the
+  // store's insertion order) instead of letting it vanish — the hook the cold
+  // tier hangs off. Invoked AFTER the store lock is released, so the sink may
+  // block (backpressure) and may call back into the store. Set once during
+  // setup, before inserts can run concurrently; unset means evictions are
+  // discarded as before.
+  using EvictionSink = std::function<void(Session&&)>;
+  void SetEvictionSink(EvictionSink sink);
+
  private:
   struct Entry {
     Session session;
@@ -120,7 +129,9 @@ class SessionStore {
   };
   using EntryList = std::list<Entry>;
 
-  void EvictIfNeeded();  // Caller holds mu_.
+  // Caller holds mu_. Victims are moved into *spilled (oldest first) when it
+  // is non-null, for the caller to hand to the eviction sink outside mu_.
+  void EvictIfNeeded(std::vector<Session>* spilled);
   void Unindex(EntryList::iterator it);
   EntryList::iterator InsertLocked(Session session);  // Caller holds mu_.
 
@@ -139,6 +150,7 @@ class SessionStore {
   uint64_t next_seq_ = 0;
   std::vector<std::pair<uint64_t, InsertObserver>> observers_;
   uint64_t next_observer_token_ = 0;
+  EvictionSink eviction_sink_;
 };
 
 // Attaches a sink that feeds every session of `stream` into `store`.

@@ -135,6 +135,9 @@ void AsyncCheckpointer::WriterLoop() {
       cached_frames_.erase(0, cached_front_);
       cached_front_ = 0;
     }
+    if (options_.before_write) {
+      options_.before_write();
+    }
     // Shards are running again; framing CRCs were paid incrementally at cache
     // append time, and the cached section streams straight to the file —
     // fsync + rotation happen here, concurrently with normal processing.

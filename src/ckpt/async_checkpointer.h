@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -53,6 +54,13 @@ class AsyncCheckpointer {
     uint64_t stream = 0;
     uint64_t base_records = 0;         // Counters carried over from the
     uint64_t base_parse_failures = 0;  // snapshot this process restored.
+    // Runs on the writer thread after the shards resume, immediately before
+    // the snapshot file is written. The tiered store hooks its cold tier's
+    // FlushPending() in here: every eviction that happened before this
+    // snapshot's barrier is durable in a cold segment by the time the
+    // snapshot exists, so a restore can never lose an evicted session. May
+    // block; it delays only the (off-critical-path) file write.
+    std::function<void()> before_write;
   };
 
   // All pointees must outlive this object. The Checkpointer must not be

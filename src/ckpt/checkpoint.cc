@@ -179,6 +179,22 @@ std::string EncodeSnapshot(const CheckpointState& state) {
   return head;
 }
 
+bool DecodeStoreFramePayload(std::string_view payload, Session* out) {
+  if (payload.empty() || payload[0] != kTagStore) {
+    return false;
+  }
+  ByteCursor cursor{payload, 1};
+  std::string_view id;
+  if (!cursor.GetBytes(&id) || !cursor.GetU32(&out->fragment_index) ||
+      !cursor.GetU64(&out->first_epoch) || !cursor.GetU64(&out->last_epoch) ||
+      !cursor.GetU64(&out->closed_at) ||
+      !ParseRecords(&cursor, &out->records) || cursor.remaining() != 0) {
+    return false;
+  }
+  out->id = std::string(id);
+  return true;
+}
+
 bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
   FrameParser parser(bytes);
   std::string_view payload;
@@ -252,16 +268,9 @@ bool DecodeSnapshot(std::string_view bytes, CheckpointState* state) {
       }
       case kTagStore: {
         Session session;
-        std::string_view id;
-        if (!cursor.GetBytes(&id) || !cursor.GetU32(&session.fragment_index) ||
-            !cursor.GetU64(&session.first_epoch) ||
-            !cursor.GetU64(&session.last_epoch) ||
-            !cursor.GetU64(&session.closed_at) ||
-            !ParseRecords(&cursor, &session.records) ||
-            cursor.remaining() != 0) {
+        if (!DecodeStoreFramePayload(payload, &session)) {
           return false;
         }
-        session.id = std::string(id);
         state->store_sessions.push_back(std::move(session));
         break;
       }

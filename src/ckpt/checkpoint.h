@@ -119,6 +119,13 @@ void EncodeSnapshotParts(const CheckpointState& state, uint64_t open_count,
 // missing footer, or trailing bytes after it.
 bool DecodeSnapshot(std::string_view bytes, CheckpointState* state);
 
+// Decodes one 'S' frame payload (tag byte included) back into a Session —
+// the exact inverse of StoreFrameEncoder::Append's payload. Returns false on
+// any damage without reading out of bounds; *out is unspecified on failure.
+// Exported for the cold tier (src/store), the snapshot container's second
+// consumer: cold segments are sequences of these same frames.
+bool DecodeStoreFramePayload(std::string_view payload, Session* out);
+
 }  // namespace ts
 
 #endif  // SRC_CKPT_CHECKPOINT_H_

@@ -239,12 +239,18 @@ QueryResponse QueryClient::Templates(size_t k) {
 }
 
 bool QueryClient::Subscribe(std::optional<uint32_t> filter_service) {
+  return SubscribeFiltered(
+      filter_service.has_value() ? "service=" + std::to_string(*filter_service)
+                                 : std::string());
+}
+
+bool QueryClient::SubscribeFiltered(const std::string& filter_token) {
   if (!fd_.valid()) {
     return false;
   }
   std::string request = "SUBSCRIBE";
-  if (filter_service.has_value()) {
-    request += " service=" + std::to_string(*filter_service);
+  if (!filter_token.empty()) {
+    request += " " + filter_token;
   }
   if (!SendAll(request + "\n")) {
     return false;

@@ -79,6 +79,10 @@ class QueryClient {
   // Next() is valid on the connection.
   bool Subscribe(std::optional<uint32_t> filter_service = std::nullopt);
 
+  // Like Subscribe(), with the raw filter token: "" (unfiltered),
+  // "service=<n>", or "prefix=<id-prefix>".
+  bool SubscribeFiltered(const std::string& filter_token);
+
   enum class Event {
     kSession,  // *session holds the next pushed session.
     kDropped,  // The server discarded *dropped sessions for this subscriber.

@@ -180,23 +180,33 @@ bool ParseQueryRequest(const std::string& line, QueryRequest* request,
   }
   if (verb == "SUBSCRIBE") {
     if (tokens.size() > 2) {
-      *error = "usage: SUBSCRIBE [service=<n>]";
+      *error = "usage: SUBSCRIBE [service=<n>|prefix=<id-prefix>]";
       return false;
     }
     request->verb = QueryRequest::Verb::kSubscribe;
     if (tokens.size() == 2) {
       constexpr char kServicePrefix[] = "service=";
-      if (tokens[1].rfind(kServicePrefix, 0) != 0) {
-        *error = "bad filter (want service=<n>)";
+      constexpr char kIdPrefix[] = "prefix=";
+      if (tokens[1].rfind(kServicePrefix, 0) == 0) {
+        uint64_t service = 0;
+        if (!ParseU64(tokens[1].substr(sizeof(kServicePrefix) - 1),
+                      &service)) {
+          *error = "bad filter service";
+          return false;
+        }
+        request->filter_by_service = true;
+        request->filter_service = static_cast<uint32_t>(service);
+      } else if (tokens[1].rfind(kIdPrefix, 0) == 0) {
+        request->filter_prefix = tokens[1].substr(sizeof(kIdPrefix) - 1);
+        if (request->filter_prefix.empty()) {
+          *error = "bad filter prefix (empty)";
+          return false;
+        }
+        request->filter_by_prefix = true;
+      } else {
+        *error = "bad filter (want service=<n> or prefix=<id-prefix>)";
         return false;
       }
-      uint64_t service = 0;
-      if (!ParseU64(tokens[1].substr(sizeof(kServicePrefix) - 1), &service)) {
-        *error = "bad filter service";
-        return false;
-      }
-      request->filter_by_service = true;
-      request->filter_service = static_cast<uint32_t>(service);
     }
     return true;
   }

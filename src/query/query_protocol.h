@@ -13,8 +13,15 @@
 //   TOPK [k]                     services by live session count
 //   TEMPLATES [k]                mined payload templates by hit count
 //                                (requires `ts_sessionize --mine-templates`)
-//   SUBSCRIBE [service=<n>]      switch to streaming: live-tail every session
-//                                closed (inserted) after this point
+//   SUBSCRIBE [service=<n>|prefix=<id-prefix>]
+//                                switch to streaming: live-tail every session
+//                                closed (inserted) after this point. With a
+//                                filter, only sessions that touched service
+//                                <n> (resp. whose id starts with the prefix)
+//                                are delivered; #DROPPED still counts only
+//                                *matching* sessions this connection missed,
+//                                so delivered + dropped == matching closes
+//                                holds per connection regardless of filter
 //
 // Responses (server -> client). Session results arrive as blocks:
 //   #SESSION <fragment> <first_epoch> <last_epoch> <closed_at> <nrec> <id>
@@ -79,6 +86,8 @@ struct QueryRequest {
   size_t k = 10;             // TOPK / TEMPLATES.
   bool filter_by_service = false;  // SUBSCRIBE service=<n>.
   uint32_t filter_service = 0;
+  bool filter_by_prefix = false;   // SUBSCRIBE prefix=<id-prefix>.
+  std::string filter_prefix;
 };
 
 // Parses one request line. On failure returns false and fills *error with a

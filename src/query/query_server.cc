@@ -5,6 +5,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/store/tiered_digest.h"
 
 namespace ts {
 
@@ -177,6 +182,9 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
   switch (request.verb) {
     case QueryRequest::Verb::kGet: {
       auto session = store_->GetById(request.id, request.fragment);
+      if (!session.has_value() && cold_ != nullptr) {
+        session = cold_->Get(request.id, request.fragment);  // Cold fallback.
+      }
       uint64_t count = 0;
       if (session.has_value()) {
         std::string block;
@@ -187,19 +195,145 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
       reply_ok(count);
       break;
     }
-    case QueryRequest::Verb::kFragments:
-      reply_ok(append_sessions(store_->GetAllFragments(request.id)));
+    case QueryRequest::Verb::kFragments: {
+      std::vector<Session> sessions = store_->GetAllFragments(request.id);
+      if (cold_ != nullptr) {
+        sessions = MergeTieredFragments(std::move(sessions),
+                                        cold_->GetAllFragments(request.id));
+      }
+      reply_ok(append_sessions(sessions));
       break;
-    case QueryRequest::Verb::kService:
-      reply_ok(append_sessions(store_->QueryByService(
-          request.service,
-          std::min(request.limit, options_.max_query_limit))));
+    }
+    case QueryRequest::Verb::kService: {
+      const size_t limit = std::min(request.limit, options_.max_query_limit);
+      const std::vector<Session> hot =
+          store_->QueryByService(request.service, limit);
+      if (cold_ == nullptr || hot.size() >= limit) {
+        reply_ok(append_sessions(hot));
+        break;
+      }
+      // Hot answered fewer than `limit`, so it holds *every* matching hot
+      // session — continue into the cold tier, newest first, deduping the
+      // (rare, post-restore) sessions present in both tiers. Cold frames are
+      // read lazily, one candidate at a time, inside the response budget.
+      std::set<std::pair<std::string, uint32_t>> hot_keys;
+      for (const auto& s : hot) {
+        hot_keys.emplace(s.id, s.fragment_index);
+      }
+      uint64_t appended = 0;
+      bool truncated = false;
+      std::string block;
+      auto emit = [&](const Session& s) {  // False once the budget is spent.
+        block.clear();
+        AppendSessionBlock(s, &block);
+        if (appended > 0 && !conn->send.Fits(block.size())) {
+          truncated = true;
+          return false;
+        }
+        conn->send.Append(block);
+        ++appended;
+        return true;
+      };
+      bool budget_ok = true;
+      for (const auto& s : hot) {
+        if (!(budget_ok = emit(s))) {
+          break;
+        }
+      }
+      if (budget_ok) {
+        Session cold_session;
+        for (const auto& cand :
+             cold_->CollectByService(request.service, limit)) {
+          if (appended >= limit) {
+            break;
+          }
+          if (hot_keys.count({cand.id, cand.fragment}) != 0) {
+            continue;
+          }
+          if (!cold_->Read(cand, &cold_session)) {
+            continue;  // Damage degrades to a cold miss.
+          }
+          if (!(budget_ok = emit(cold_session))) {
+            break;
+          }
+        }
+      }
+      if (truncated) {
+        conn->send.Append(kTruncatedLine);
+        conn->send.Append('\n');
+      }
+      reply_ok(appended);
       break;
-    case QueryRequest::Verb::kRange:
-      reply_ok(append_sessions(store_->QueryByTimeRange(
-          request.lo, request.hi,
-          std::min(request.limit, options_.max_query_limit))));
+    }
+    case QueryRequest::Verb::kRange: {
+      const size_t limit = std::min(request.limit, options_.max_query_limit);
+      const std::vector<Session> hot =
+          store_->QueryByTimeRange(request.lo, request.hi, limit);
+      std::vector<ColdTier::Candidate> cold_candidates;
+      if (cold_ != nullptr) {
+        cold_candidates = cold_->CollectRange(request.lo, request.hi, limit);
+      }
+      if (cold_candidates.empty()) {
+        reply_ok(append_sessions(hot));
+        break;
+      }
+      // Merge cold candidates (start-ordered, eviction order on ties) with
+      // the start-ordered hot results. Every cold session was inserted
+      // before every hot one, so taking cold first on equal start times
+      // reproduces exactly the bytes an unbounded store would have served.
+      // Cold frames are read only when their block is actually emitted: the
+      // response streams within its budget and never materializes a segment.
+      std::set<std::pair<std::string, uint32_t>> hot_keys;
+      std::vector<EventTime> hot_min_times;
+      hot_min_times.reserve(hot.size());
+      for (const auto& s : hot) {
+        hot_keys.emplace(s.id, s.fragment_index);
+        hot_min_times.push_back(s.MinTime());
+      }
+      uint64_t appended = 0;
+      bool truncated = false;
+      std::string block;
+      auto emit = [&](const Session& s) {  // False once the budget is spent.
+        block.clear();
+        AppendSessionBlock(s, &block);
+        if (appended > 0 && !conn->send.Fits(block.size())) {
+          truncated = true;
+          return false;
+        }
+        conn->send.Append(block);
+        ++appended;
+        return true;
+      };
+      size_t h = 0;
+      size_t c = 0;
+      Session cold_session;
+      bool budget_ok = true;
+      while (budget_ok && appended < limit &&
+             (h < hot.size() || c < cold_candidates.size())) {
+        const bool take_cold =
+            c < cold_candidates.size() &&
+            (h >= hot.size() ||
+             cold_candidates[c].min_time <= hot_min_times[h]);
+        if (take_cold) {
+          const auto& cand = cold_candidates[c++];
+          if (hot_keys.count({cand.id, cand.fragment}) != 0) {
+            continue;  // Post-restore overlap: the hot copy already went out.
+          }
+          if (!cold_->Read(cand, &cold_session)) {
+            continue;  // Damage degrades to a cold miss.
+          }
+          budget_ok = emit(cold_session);
+        } else {
+          budget_ok = emit(hot[h++]);
+        }
+      }
+      if (truncated) {
+        conn->send.Append(kTruncatedLine);
+        conn->send.Append('\n');
+      }
+      reply_ok(appended);
       break;
+    }
     case QueryRequest::Verb::kStats: {
       uint64_t lines_out = 0;
       AppendStats(conn, &lines_out);
@@ -207,7 +341,31 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
       break;
     }
     case QueryRequest::Verb::kTopK: {
-      const auto top = store_->TopServices(request.k);
+      std::vector<std::pair<uint32_t, uint64_t>> top;
+      if (cold_ == nullptr) {
+        for (const auto& [service, count] : store_->TopServices(request.k)) {
+          top.emplace_back(service, count);
+        }
+      } else {
+        // Merge the live counts with the cold tier's per-segment summaries
+        // (no frame reads), then re-rank — TOPK covers all history.
+        std::map<uint32_t, uint64_t> counts;
+        for (const auto& [service, count] :
+             store_->TopServices(std::numeric_limits<size_t>::max())) {
+          counts[service] += count;
+        }
+        for (const auto& [service, count] : cold_->ServiceCounts()) {
+          counts[service] += count;
+        }
+        top.assign(counts.begin(), counts.end());
+        const size_t keep = std::min(request.k, top.size());
+        std::partial_sort(top.begin(), top.begin() + static_cast<ptrdiff_t>(keep),
+                          top.end(), [](const auto& a, const auto& b) {
+                            return a.second > b.second ||
+                                   (a.second == b.second && a.first < b.first);
+                          });
+        top.resize(keep);
+      }
       for (const auto& [service, count] : top) {
         conn->send.Append("TOP " + std::to_string(service) + " " +
                           std::to_string(count));
@@ -241,6 +399,8 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
       conn->subscribed = true;
       conn->filter_by_service = request.filter_by_service;
       conn->filter_service = request.filter_service;
+      conn->filter_by_prefix = request.filter_by_prefix;
+      conn->filter_prefix = request.filter_prefix;
       subscriber_count_.fetch_add(1);
       subscribers_attached_.fetch_add(1, std::memory_order_relaxed);
       queries_.fetch_add(1, std::memory_order_relaxed);
@@ -274,6 +434,18 @@ void QueryServer::AppendStats(Connection* conn, uint64_t* lines) {
        sessions_streamed_.load(std::memory_order_relaxed));
   stat("server_sessions_dropped",
        sessions_dropped_.load(std::memory_order_relaxed));
+  stat("sub_filter_evals", filter_evals_.load(std::memory_order_relaxed));
+  if (cold_ != nullptr) {
+    const auto cold = cold_->stats();
+    stat("store_cold_segments", cold.segments);
+    stat("store_cold_sessions", cold.sessions);
+    stat("store_cold_bytes", cold.bytes);
+    stat("store_cold_pending", cold.pending);
+    stat("store_cold_spilled", cold.spilled);
+    stat("store_cold_hits", cold.hits);
+    stat("store_cold_misses", cold.misses);
+    stat("store_cold_corrupt", cold.corrupt);
+  }
   if (metrics_ != nullptr) {
     for (const auto& [name, value] : metrics_->Snapshot()) {
       conn->send.Append("STAT " + name + " " + std::to_string(value));
@@ -289,6 +461,7 @@ void QueryServer::OnSessionInserted(const Session& session) {
   }
   PendingPush push;
   AppendSessionBlock(session, &push.block);
+  push.id = session.id;
   push.services.reserve(session.records.size());
   for (const auto& r : session.records) {
     push.services.push_back(r.service);
@@ -313,6 +486,14 @@ void QueryServer::DeliverPending() {
   if (batch.empty() && subscriber_count_.load() == 0) {
     return;
   }
+  // Filter results are memoized per (push, distinct filter value): with 500
+  // subscribers sharing a handful of filters, each predicate runs once per
+  // closed session, not once per connection.
+  struct PushMemo {
+    std::map<uint32_t, bool> by_service;
+    std::map<std::string, bool> by_prefix;
+  };
+  std::vector<PushMemo> memos(batch.size());
   // Iterate over fds, not connection pointers: a flush may close and remove
   // a connection, invalidating raw pointers into connections_.
   std::vector<int> fds;
@@ -333,11 +514,31 @@ void QueryServer::DeliverPending() {
     if (conn == nullptr) {
       continue;
     }
-    for (const auto& push : batch) {
-      if (conn->filter_by_service &&
-          !std::binary_search(push.services.begin(), push.services.end(),
-                              conn->filter_service)) {
-        continue;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto& push = batch[i];
+      if (conn->filter_by_service) {
+        auto [it, fresh] =
+            memos[i].by_service.try_emplace(conn->filter_service, false);
+        if (fresh) {
+          it->second =
+              std::binary_search(push.services.begin(), push.services.end(),
+                                 conn->filter_service);
+          filter_evals_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!it->second) {
+          continue;
+        }
+      } else if (conn->filter_by_prefix) {
+        auto [it, fresh] =
+            memos[i].by_prefix.try_emplace(conn->filter_prefix, false);
+        if (fresh) {
+          it->second = push.id.compare(0, conn->filter_prefix.size(),
+                                       conn->filter_prefix) == 0;
+          filter_evals_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!it->second) {
+          continue;
+        }
       }
       MaybeEmitDropNotice(conn);
       if (conn->dropped_pending == 0 && conn->send.Fits(push.block.size())) {
@@ -417,6 +618,7 @@ QueryServerCounters QueryServer::counters() const {
   c.subscribers_attached = subscribers_attached_.load(std::memory_order_relaxed);
   c.sessions_streamed = sessions_streamed_.load(std::memory_order_relaxed);
   c.sessions_dropped = sessions_dropped_.load(std::memory_order_relaxed);
+  c.filter_evals = filter_evals_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/analytics/session_store.h"
+#include "src/store/cold_tier.h"
 #include "src/net/event_loop.h"
 #include "src/net/frame_reader.h"
 #include "src/net/net_util.h"
@@ -67,6 +68,7 @@ struct QueryServerCounters {
   uint64_t subscribers_attached = 0;
   uint64_t sessions_streamed = 0;  // Blocks pushed to subscribers.
   uint64_t sessions_dropped = 0;   // Blocks dropped on slow subscribers.
+  uint64_t filter_evals = 0;       // Subscription filter predicate runs.
 };
 
 class QueryServer {
@@ -92,6 +94,13 @@ class QueryServer {
   void SetTemplateSource(TemplateSource source) {
     template_source_ = std::move(source);
   }
+
+  // Attaches the cold tier (may be null). Call before Start(): the loop
+  // thread reads it without further synchronization. With a tier attached,
+  // GET/FRAGMENTS/SERVICE/RANGE/TOPK transparently fall back to cold
+  // segments when the hot window has evicted the answer, and STATS grows
+  // store_cold_* gauges — history is bounded only by disk.
+  void SetColdTier(std::shared_ptr<ColdTier> cold) { cold_ = std::move(cold); }
 
   uint16_t port() const { return port_; }
 
@@ -119,6 +128,8 @@ class QueryServer {
     bool subscribed = false;
     bool filter_by_service = false;
     uint32_t filter_service = 0;
+    bool filter_by_prefix = false;
+    std::string filter_prefix;
     uint64_t dropped_pending = 0;  // Drops since the last #DROPPED notice.
   };
 
@@ -126,6 +137,7 @@ class QueryServer {
   // on the inserting thread, fanned out to matching subscribers on the loop.
   struct PendingPush {
     std::string block;
+    std::string id;                  // For prefix filter matching.
     std::vector<uint32_t> services;  // Sorted unique, for filter matching.
   };
 
@@ -147,6 +159,7 @@ class QueryServer {
 
   QueryServerOptions options_;
   std::shared_ptr<SessionStore> store_;
+  std::shared_ptr<ColdTier> cold_;  // May be null; set before Start().
   std::shared_ptr<MetricsRegistry> metrics_;
   TemplateSource template_source_;  // Set before Start(); loop thread reads.
   uint16_t port_ = 0;
@@ -166,6 +179,7 @@ class QueryServer {
   std::atomic<uint64_t> subscribers_attached_{0};
   std::atomic<uint64_t> sessions_streamed_{0};
   std::atomic<uint64_t> sessions_dropped_{0};
+  std::atomic<uint64_t> filter_evals_{0};
 };
 
 }  // namespace ts

@@ -1,0 +1,201 @@
+// ColdTier: the on-disk half of the tiered session store.
+//
+// The in-memory SessionStore stays a bounded hot window; when it evicts, the
+// victims land here (SessionStore::SetEvictionSink) instead of vanishing.
+// Appends go into a bounded in-memory pending queue that a background spill
+// thread drains into cold segment files (src/store/cold_segment.h — the
+// ts_ckpt snapshot container with a footer index), so the evicting shard
+// thread never pays for serialization, CRC or fsync. Pending sessions remain
+// fully queryable until their segment is durable: a session is never
+// invisible between leaving the hot window and reaching disk.
+//
+// Ordering. Every accepted Append gets a global, monotonically increasing
+// spill order. Eviction is strictly oldest-first, so the cold orders form an
+// exact prefix of the store's insertion sequence: every cold session precedes
+// every hot one. Query merges rely on this — RANGE interleaves cold index
+// candidates with hot results by (min_time, order) and reproduces the exact
+// bytes an unbounded store would serve; SERVICE serves hot newest-first then
+// cold newest-first. On restart, segments are re-discovered by directory
+// scan (file order == spill order), so the sequence survives crashes.
+//
+// Crash consistency. Segment writes are atomic (tmp+fsync+rename); pending
+// sessions lost to a crash are re-derived by the ts_ckpt replay and re-spill
+// on the same eviction path, deduplicated by (id, fragment) against
+// everything already cold. FlushPending() — called by the checkpoint writer
+// right before each snapshot file is published — guarantees the invariant a
+// restore depends on: any eviction that happened before a snapshot's barrier
+// is durable in cold by the time that snapshot exists. Hence every closed
+// session is always in the snapshot's hot window, in a durable segment, or
+// replayable from the log — never lost.
+//
+// Damage tolerance. A segment that fails index validation at Start is
+// skipped (and counted in `corrupt`); a frame that fails its CRC at read
+// time degrades to a cold miss. Neither can crash the server or surface a
+// wrong answer — the corruption property test flips every byte to prove it.
+//
+// Thread-safe throughout. The destructor stops the spill thread and
+// *discards* pending sessions (crash-equivalent by design — the conformance
+// suite's kill-mid-spill schedules are exactly this); call FlushPending()
+// first on a graceful shutdown.
+#ifndef SRC_STORE_COLD_TIER_H_
+#define SRC_STORE_COLD_TIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/store/cold_segment.h"
+
+namespace ts {
+
+struct ColdTierOptions {
+  std::string dir;
+  // A segment is cut once the pending batch reaches this many (in-memory)
+  // bytes; FlushPending cuts one regardless.
+  size_t segment_target_bytes = 4u << 20;
+  // Append blocks (backpressure on the evicting thread) once this much is
+  // pending — bounds tier memory when the disk cannot keep up.
+  size_t max_pending_bytes = 64u << 20;
+};
+
+class ColdTier {
+ public:
+  struct Stats {
+    uint64_t segments = 0;       // Live (valid) segment files.
+    uint64_t sessions = 0;       // Cold sessions, durable + pending.
+    uint64_t bytes = 0;          // On-disk bytes across live segments.
+    uint64_t pending = 0;        // Sessions queued, not yet durable.
+    uint64_t spilled = 0;        // Appends accepted (lifetime).
+    uint64_t dedup_dropped = 0;  // Appends skipped: already cold.
+    uint64_t hits = 0;           // Sessions served from this tier.
+    uint64_t misses = 0;         // Lookups that found nothing here.
+    uint64_t corrupt = 0;        // Damaged segments skipped + frame CRC fails.
+    uint64_t write_failures = 0;
+  };
+
+  // A cold index candidate: enough to merge-order and dedupe against hot
+  // results without touching the session frame. Resolve with Read() — only
+  // candidates that actually stream to the client are ever read, which is
+  // what keeps RANGE over a 100k-session tier within its response budget.
+  struct Candidate {
+    std::string id;
+    uint32_t fragment = 0;
+    EventTime min_time = 0;
+    uint64_t order = 0;  // Global spill order (eviction order).
+  };
+
+  explicit ColdTier(const ColdTierOptions& options);
+  ~ColdTier();  // Stops the spill thread; pending is DISCARDED (see above).
+  ColdTier(const ColdTier&) = delete;
+  ColdTier& operator=(const ColdTier&) = delete;
+
+  // Creates the directory if needed, re-discovers existing segments (sorted
+  // file order; damaged ones skipped and counted), and starts the spill
+  // thread. Returns false only if the directory is unusable.
+  bool Start();
+
+  // Eviction sink. Dedupes by (id, fragment) against everything already
+  // cold; blocks while max_pending_bytes of backlog is outstanding.
+  void Append(Session&& session);
+
+  // Blocks until every session appended before this call is durable in a
+  // segment (writing a partial segment if needed). Returns false if a write
+  // failed. The checkpoint writer calls this before publishing a snapshot.
+  bool FlushPending();
+
+  // Test support: simulates SIGKILL at this instant. Pending sessions are
+  // discarded, and no further append or spill takes effect — exactly the
+  // state a crashed process leaves on disk. Durable segments stay readable.
+  void Abandon();
+
+  bool Contains(const std::string& id, uint32_t fragment) const;
+
+  // Point read; counts a hit, a miss, or (on CRC damage) corrupt.
+  std::optional<Session> Get(const std::string& id, uint32_t fragment);
+
+  // Every cold fragment of `id`, fragment-ascending. Damaged frames are
+  // skipped (counted), never returned wrong.
+  std::vector<Session> GetAllFragments(const std::string& id);
+
+  // Index-only candidate scans — no session frame is read.
+  // Sessions intersecting [lo, hi), ordered by (min_time, order), ≤ limit.
+  std::vector<Candidate> CollectRange(EventTime lo, EventTime hi,
+                                      size_t limit) const;
+  // Sessions that touched `service`, newest (highest order) first, ≤ limit.
+  std::vector<Candidate> CollectByService(uint32_t service,
+                                          size_t limit) const;
+
+  // Resolves a candidate: copies it from pending or preads + CRC-checks its
+  // frame. False on miss (no longer indexed) or damage (counted).
+  bool Read(const Candidate& candidate, Session* out);
+
+  // service -> cold session count, service-ascending (TOPK merge input).
+  std::vector<std::pair<uint32_t, uint64_t>> ServiceCounts() const;
+
+  // Every distinct cold session id, ascending (digest/test support).
+  void ForEachId(const std::function<void(const std::string&)>& fn) const;
+
+  Stats stats() const;
+
+ private:
+  struct Segment {
+    std::string path;
+    uint64_t base_order = 0;  // Order of entry 0; entry i is base + i.
+    ColdSegmentIndex index;
+  };
+  struct PendingEntry {
+    Session session;
+    size_t bytes = 0;
+    EventTime min_time = 0;
+    EventTime max_time = 0;
+    std::vector<uint32_t> services;  // Sorted, unique.
+  };
+
+  void SpillLoop();
+  bool WantSpillLocked() const;
+  // Locates `order` (mu_ held). Returns segment index, or -1 for pending.
+  int LocateLocked(uint64_t order, uint32_t* entry_index) const;
+
+  const ColdTierOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_spill_;  // Wakes the spill thread.
+  std::condition_variable cv_state_;  // Wakes Append backpressure + flushers.
+  bool stop_ = false;
+  bool started_ = false;
+
+  std::vector<Segment> segments_;       // base_order ascending.
+  std::deque<PendingEntry> pending_;    // Orders [front_order_, next_order_).
+  uint64_t pending_front_order_ = 0;    // Everything below is durable.
+  uint64_t next_order_ = 0;
+  size_t pending_bytes_ = 0;
+  uint64_t flush_until_ = 0;            // Spill everything below this order.
+  uint64_t next_segment_seq_ = 0;       // Next segment file name.
+  // (id, fragment) -> spill order, across segments and pending.
+  std::map<std::pair<std::string, uint32_t>, uint64_t> by_id_;
+  std::map<uint32_t, uint64_t> service_counts_;
+
+  // Counters (mu_-guarded; mirrors Stats).
+  uint64_t disk_bytes_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t dedup_dropped_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t corrupt_ = 0;
+  uint64_t write_failures_ = 0;
+
+  std::thread spill_thread_;
+};
+
+}  // namespace ts
+
+#endif  // SRC_STORE_COLD_TIER_H_

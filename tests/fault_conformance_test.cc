@@ -10,6 +10,7 @@
 // docs/FAULT_TESTING.md). The exploratory lane reads TS_FAULT_SEED from the
 // environment (CI passes $GITHUB_RUN_ID) and writes the failing plan to
 // TS_FAULT_ARTIFACT so the run can be attached to a bug.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -32,6 +33,8 @@
 #include "src/log/wire_format.h"
 #include "src/net/log_server.h"
 #include "src/net/socket_ingest.h"
+#include "src/store/cold_tier.h"
+#include "src/store/tiered_digest.h"
 #include "src/workload/generator.h"
 
 namespace ts {
@@ -859,6 +862,302 @@ TEST_F(TemplateCrashRecovery, ColdStartMinedScheduleMatchesBaseline) {
   // First incarnation restores nothing: the miner must build from scratch,
   // then survive the schedule's later kills via the 'T' frame.
   CheckMinedCrashSeed(7919);
+}
+
+// --- Cold-tier (tiered store) crash conformance ---
+//
+// Same kill -9/restart discipline as CrashRecovery, but the hot window is
+// tiny: most closed sessions are evicted into an on-disk ColdTier that
+// persists across incarnations exactly like the checkpoint directory, and
+// every snapshot write is preceded by the FlushPending durability barrier.
+// Kills land mid-spill by construction (Abandon() models the SIGKILL
+// instant: whatever the spill thread had not yet made durable is lost, and
+// the next incarnation re-discovers only the segments that really hit disk).
+// The conformance bar: after the final incarnation reaches EOS, the tiered
+// digest over hot ∪ cold is byte-identical to an unbounded fault-free
+// baseline — evictions, spills, restarts and kills lose nothing and invent
+// nothing. Unlike the hot-only suite, replayed duplicates are EXPECTED: a
+// session evicted and made durable before a crash re-derives on replay and
+// is deduplicated against the cold index instead of being re-inserted.
+
+struct ColdCrashRunResult {
+  bool eos = false;
+  int incarnations = 0;
+  int crashes = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t records_in = 0;
+  uint64_t parse_failures = 0;
+  uint64_t replayed_duplicates = 0;
+  uint64_t sessions = 0;       // |hot ∪ cold| (id, fragment) pairs.
+  uint64_t cold_sessions = 0;  // Final incarnation's cold-tier population.
+  uint64_t cold_segments = 0;
+  uint64_t tiered_digest = 0;  // Chained digest over hot ∪ cold.
+};
+
+ColdCrashRunResult RunColdCrashSchedule(
+    std::shared_ptr<std::vector<std::string>> archive_lines, uint64_t seed) {
+  ColdCrashRunResult out;
+  Rng rng(seed ^ 0xCDB4D88C6A2E9C01ULL);
+  const uint64_t total = archive_lines->size();
+
+  const std::string base_dir = ::testing::TempDir() + "ts_coldcrash_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(seed);
+  const std::string cleanup = "rm -rf '" + base_dir + "'";
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  const std::string ckpt_dir = base_dir + "/ckpt";
+  const std::string cold_dir = base_dir + "/cold";
+  EXPECT_EQ(std::system(("mkdir -p '" + base_dir + "'").c_str()), 0);
+
+  LogServerOptions server_options;
+  LogServer server(server_options, archive_lines);
+  EXPECT_TRUE(server.Start());
+  std::thread server_thread([&server] { server.Run(); });
+
+  int crashes_left = 1 + static_cast<int>(rng.NextBelow(3));
+  bool eos = false;
+  for (int incarnation = 0; incarnation < 16 && !eos; ++incarnation) {
+    ++out.incarnations;
+
+    CheckpointerOptions ckpt_options;
+    ckpt_options.dir = ckpt_dir;
+    ckpt_options.retain = 2 + static_cast<size_t>(rng.NextBelow(2));
+    ckpt_options.interval_ms = 0;
+    Checkpointer ckpt(ckpt_options);
+    CheckpointState state;
+    ckpt.RestoreLatest(&state);
+    const uint64_t resume = state.resume_offset;
+    const uint64_t base_records = state.records;
+    const uint64_t base_parse_failures = state.parse_failures;
+    EXPECT_LE(resume, total);
+
+    // Fresh ColdTier per incarnation, same directory: a restart re-discovers
+    // exactly the segments the previous incarnation made durable. Declared
+    // before the store so eviction-sink appends can never outlive it.
+    ColdTierOptions cold_options;
+    cold_options.dir = cold_dir;
+    cold_options.segment_target_bytes = 16u << 10;  // Many small segments.
+    ColdTier cold(cold_options);
+    EXPECT_TRUE(cold.Start());
+
+    // A hot window far smaller than the archive's session volume, so the
+    // schedule spends its whole life evicting through the spill path.
+    SessionStore::Options store_options;
+    store_options.max_bytes = 64u << 10;
+    SessionStore store(store_options);
+    store.SetEvictionSink([&cold](Session&& s) { cold.Append(std::move(s)); });
+    std::atomic<uint64_t> duplicates{0};
+
+    LivePipelineOptions pipeline_options;
+    pipeline_options.workers = 1 + rng.NextBelow(4);
+    LivePipeline pipeline(pipeline_options, [&](Session&& s) {
+      if (store.Contains(s.id, s.fragment_index) ||
+          cold.Contains(s.id, s.fragment_index)) {
+        // Already hot (restored in the snapshot) or already durable cold:
+        // replay re-derived state the tiers still hold. Never merge.
+        duplicates.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      store.Insert(std::move(s));
+    });
+    RestoreLiveCheckpoint(std::move(state), &pipeline, &store);
+
+    SocketIngestOptions client_options;
+    client_options.port = server.port();
+    client_options.backoff_base_ms = 1;
+    client_options.backoff_max_ms = 20;
+    client_options.resume_offset = resume;
+    SocketIngestSource client(client_options);
+
+    const bool crash_this = crashes_left > 0 && resume < total;
+    const uint64_t crash_at =
+        crash_this ? resume + 1 + rng.NextBelow(total - resume) : 0;
+    const uint64_t ckpt_every = 100 + rng.NextBelow(900);
+
+    uint64_t fed = resume;
+    uint64_t since_ckpt = 0;
+    bool crashed = false;
+    std::vector<std::string> batch;
+    while (!crashed) {
+      batch.clear();
+      const auto poll = client.PollLines(&batch, /*timeout_ms=*/200);
+      for (auto& line : batch) {
+        if (crash_this && fed == crash_at) {
+          crashed = true;  // SIGKILL: the rest of the batch never lands.
+          break;
+        }
+        pipeline.FeedLine(std::move(line));
+        ++fed;
+        ++since_ckpt;
+      }
+      if (crashed) {
+        break;
+      }
+      pipeline.Flush();
+      if (poll == SocketIngestSource::Poll::kEndOfStream) {
+        eos = true;
+        break;
+      }
+      if (poll == SocketIngestSource::Poll::kFailed) {
+        break;
+      }
+      if (since_ckpt >= ckpt_every) {
+        CheckpointState snap =
+            CaptureLiveCheckpoint(&pipeline, store, client.records_received());
+        snap.records += base_records;
+        snap.parse_failures += base_parse_failures;
+        // The durability barrier: every eviction that preceded this capture
+        // must be durable in cold before the snapshot may exist — a restore
+        // from this snapshot will not replay those sessions.
+        EXPECT_TRUE(cold.FlushPending());
+        EXPECT_TRUE(ckpt.Write(snap));
+        ++out.snapshots_written;
+        since_ckpt = 0;
+      }
+    }
+    if (crashed) {
+      // The kill instant. Everything after this — including the force-closed
+      // partial sessions pipeline.Finish() flushes below — belongs to a dead
+      // process and must never reach disk, or the truncated versions would
+      // shadow the correct ones on replay.
+      cold.Abandon();
+    }
+    pipeline.Finish();
+    if (crashed) {
+      ++out.crashes;
+      --crashes_left;
+      continue;
+    }
+    if (!eos) {
+      break;  // Transport failure: surface as a non-conformant run.
+    }
+    EXPECT_TRUE(cold.FlushPending());
+    out.eos = true;
+    out.records_in = base_records + pipeline.records();
+    out.parse_failures = base_parse_failures + pipeline.parse_failures();
+    out.replayed_duplicates = duplicates.load(std::memory_order_relaxed);
+    const ColdTier::Stats cold_stats = cold.stats();
+    out.cold_sessions = cold_stats.sessions;
+    out.cold_segments = cold_stats.segments;
+    EXPECT_EQ(cold_stats.pending, 0u);
+    EXPECT_EQ(cold_stats.write_failures, 0u);
+    EXPECT_EQ(cold_stats.corrupt, 0u);
+
+    // TieredDigest over hot ∪ cold, counting merged (id, fragment) pairs in
+    // the same pass so `sessions` is comparable to the baseline's closes.
+    std::set<std::string> all_ids;
+    store.ForEachSession([&](const Session& s) { all_ids.insert(s.id); });
+    cold.ForEachId([&](const std::string& id) { all_ids.insert(id); });
+    std::string canon;
+    for (const auto& id : all_ids) {
+      const std::vector<Session> merged = MergeTieredFragments(
+          store.GetAllFragments(id), cold.GetAllFragments(id));
+      for (const auto& s : merged) {
+        out.tiered_digest ^= SessionDigest(s, &canon);
+        out.tiered_digest = SipHash24(out.tiered_digest);
+      }
+      out.sessions += merged.size();
+    }
+  }
+
+  server.Stop();
+  server_thread.join();
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  return out;
+}
+
+void CheckColdCrashConformance(
+    std::shared_ptr<std::vector<std::string>> archive,
+    const RunResult& baseline, uint64_t seed) {
+  const ColdCrashRunResult out = RunColdCrashSchedule(archive, seed);
+  const std::string banner =
+      "cold crash schedule seed " + std::to_string(seed) + " (" +
+      std::to_string(out.crashes) + " crash(es), " +
+      std::to_string(out.incarnations) + " incarnation(s), " +
+      std::to_string(out.snapshots_written) + " snapshot(s), " +
+      std::to_string(out.cold_segments) + " cold segment(s), " +
+      std::to_string(out.replayed_duplicates) + " replayed duplicate(s))";
+  ASSERT_TRUE(out.eos) << banner;
+  EXPECT_EQ(out.crashes, out.incarnations - 1) << banner;
+  EXPECT_EQ(out.records_in, archive->size()) << banner;
+  EXPECT_EQ(out.parse_failures, 0u) << banner;
+  // The hot window is tiny by construction; a schedule that never spilled
+  // would be testing nothing.
+  EXPECT_GT(out.cold_sessions, 0u) << banner;
+  EXPECT_GE(out.cold_segments, 1u) << banner;
+  EXPECT_EQ(out.sessions, baseline.sessions) << banner;
+  EXPECT_EQ(out.tiered_digest, baseline.store_digest) << banner;
+}
+
+class ColdTierFaultConformance : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    archive_ = new std::shared_ptr<std::vector<std::string>>(
+        MakeArchive(/*records_per_sec=*/2'000, /*seconds=*/2));
+    baseline_ = new RunResult(RunInMemory(**archive_));
+    ASSERT_GT((*archive_)->size(), 2'000u);
+    ASSERT_GT(baseline_->sessions, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete archive_;
+    delete baseline_;
+    archive_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  void CheckColdSeed(uint64_t seed) {
+    CheckColdCrashConformance(*archive_, *baseline_, seed);
+  }
+
+ private:
+  static std::shared_ptr<std::vector<std::string>>* archive_;
+  static RunResult* baseline_;
+};
+
+std::shared_ptr<std::vector<std::string>>* ColdTierFaultConformance::archive_ =
+    nullptr;
+RunResult* ColdTierFaultConformance::baseline_ = nullptr;
+
+TEST_F(ColdTierFaultConformance, FirstTenKillRestartSchedules) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    CheckColdSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // The banner already names the seed.
+    }
+  }
+}
+
+TEST_F(ColdTierFaultConformance, SecondTenKillRestartSchedules) {
+  for (uint64_t seed = 10; seed < 20; ++seed) {
+    CheckColdSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST_F(ColdTierFaultConformance, ExploratorySeedFromEnvironment) {
+  const char* seed_text = std::getenv("TS_FAULT_SEED");
+  if (seed_text == nullptr || *seed_text == '\0') {
+    GTEST_SKIP() << "set TS_FAULT_SEED to run exploratory cold schedules";
+  }
+  const uint64_t base = std::strtoull(seed_text, nullptr, 10);
+  const uint64_t schedules = 4 * ScheduleMultiplier();
+  for (uint64_t i = 0; i < schedules && !HasFailure(); ++i) {
+    CheckColdSeed(base + i * 104'729);
+  }
+  if (HasFailure()) {
+    if (const char* artifact = std::getenv("TS_FAULT_ARTIFACT")) {
+      FILE* f = std::fopen(artifact, "a");
+      if (f != nullptr) {
+        std::fprintf(f,
+                     "# ts_store exploratory cold-crash-schedule failure\n"
+                     "TS_FAULT_SEED=%llu\n",
+                     static_cast<unsigned long long>(base));
+        std::fclose(f);
+      }
+    }
+  }
 }
 
 // --- Exploratory lane (satellite S5) ---

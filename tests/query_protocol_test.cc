@@ -126,6 +126,12 @@ TEST(ParseQueryRequest, AcceptsEveryVerbWithDefaults) {
   ASSERT_TRUE(ParseQueryRequest("SUBSCRIBE service=42", &r, &error));
   EXPECT_TRUE(r.filter_by_service);
   EXPECT_EQ(r.filter_service, 42u);
+  EXPECT_FALSE(r.filter_by_prefix);
+
+  ASSERT_TRUE(ParseQueryRequest("SUBSCRIBE prefix=user-", &r, &error));
+  EXPECT_TRUE(r.filter_by_prefix);
+  EXPECT_EQ(r.filter_prefix, "user-");
+  EXPECT_FALSE(r.filter_by_service);
 }
 
 TEST(ParseQueryRequest, RejectsMalformedRequests) {
@@ -153,6 +159,8 @@ TEST(ParseQueryRequest, RejectsMalformedRequests) {
       "SUBSCRIBE svc=1",
       "SUBSCRIBE service=x",
       "SUBSCRIBE service=1 extra",
+      "SUBSCRIBE prefix=",
+      "SUBSCRIBE prefix=a extra",
   };
   for (const char* request : bad) {
     EXPECT_FALSE(ParseQueryRequest(request, &r, &error)) << request;

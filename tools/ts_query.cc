@@ -11,7 +11,7 @@
 //   REQUEST           one protocol request, e.g. `GET <id>`, `FRAGMENTS <id>`,
 //                     `SERVICE <n> [limit]`, `RANGE <lo> <hi> [limit]`,
 //                     `STATS`, `TOPK [k]`, `TEMPLATES [k]`, or
-//                     `SUBSCRIBE [service=<n>]`.
+//                     `SUBSCRIBE [service=<n>|prefix=<id-prefix>]`.
 //                     With no request, reads request lines from stdin.
 //   --raw             print sessions as canonical wire blocks (re-parseable
 //                     by ts_sessionize) instead of one-line summaries
@@ -101,7 +101,7 @@ bool PrintResponse(const ts::QueryResponse& response, bool raw) {
 }
 
 int RunSubscribe(ts::QueryClient& client, const std::string& request, bool raw) {
-  // Re-parse the request to recover the optional service filter.
+  // Re-parse the request to recover the optional filter token.
   ts::QueryRequest parsed;
   std::string error;
   if (!ts::ParseQueryRequest(request, &parsed, &error) ||
@@ -109,11 +109,13 @@ int RunSubscribe(ts::QueryClient& client, const std::string& request, bool raw) 
     std::fprintf(stderr, "bad subscribe request: %s\n", error.c_str());
     return 1;
   }
-  std::optional<uint32_t> filter;
+  std::string filter;
   if (parsed.filter_by_service) {
-    filter = parsed.filter_service;
+    filter = "service=" + std::to_string(parsed.filter_service);
+  } else if (parsed.filter_by_prefix) {
+    filter = "prefix=" + parsed.filter_prefix;
   }
-  if (!client.Subscribe(filter)) {
+  if (!client.SubscribeFiltered(filter)) {
     std::fprintf(stderr, "subscribe failed\n");
     return 1;
   }

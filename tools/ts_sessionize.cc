@@ -29,6 +29,14 @@
 //                     process keeps serving after end of stream until
 //                     SIGINT/SIGTERM
 //   --store_mb=N      SessionStore eviction budget (default 256 MiB)
+//   --cold-dir=D      (with --serve) tiered store: sessions evicted from the
+//                     hot window spill to cold segment files under D (the
+//                     ts_ckpt snapshot frame format + a footer index) and
+//                     GET/FRAGMENTS/SERVICE/RANGE/TOPK transparently fall
+//                     back to them — history is bounded by disk, not
+//                     --store_mb. Existing segments are re-discovered on
+//                     startup. See docs/STORE.md.
+//   --cold_segment_mb=N  cold segment target size (default 4 MiB)
 //   --workers=N       shard the live (--connect --serve) hot path across N
 //                     worker threads, hash-partitioned by SipHash(session id)
 //                     — the paper's Exchange PACT (default: hardware threads).
@@ -81,6 +89,7 @@
 #include "src/net/socket_ingest.h"
 #include "src/offline/offline_sessionizer.h"
 #include "src/query/query_server.h"
+#include "src/store/cold_tier.h"
 
 namespace {
 
@@ -208,9 +217,15 @@ int main(int argc, char** argv) {
   // on the query-server thread, so the hand-off must be atomic.
   std::atomic<LivePipeline*> mining_pipeline{nullptr};
   std::shared_ptr<SessionStore> store;
+  std::shared_ptr<ColdTier> cold;
   std::shared_ptr<MetricsRegistry> metrics;
   std::unique_ptr<QueryServer> server;
   std::thread server_thread;
+  const char* cold_dir = FlagStr(argc, argv, "--cold-dir");
+  if (cold_dir != nullptr && serve_spec == nullptr) {
+    std::fprintf(stderr, "--cold-dir needs --serve; ignoring\n");
+    cold_dir = nullptr;
+  }
   if (mine_templates && serve_spec == nullptr) {
     std::fprintf(stderr, "--mine-templates needs --connect --serve; ignoring\n");
   }
@@ -231,6 +246,27 @@ int main(int argc, char** argv) {
       server_options.port = static_cast<uint16_t>(std::atoi(serve_spec));
     }
     server = std::make_unique<QueryServer>(server_options, store, metrics);
+    if (cold_dir != nullptr) {
+      ColdTierOptions cold_options;
+      cold_options.dir = cold_dir;
+      cold_options.segment_target_bytes =
+          static_cast<size_t>(Flag(argc, argv, "--cold_segment_mb", 4)) << 20;
+      cold = std::make_shared<ColdTier>(cold_options);
+      if (!cold->Start()) {
+        std::fprintf(stderr, "cannot use cold dir %s\n", cold_dir);
+        return 1;
+      }
+      store->SetEvictionSink(
+          [cold](Session&& s) { cold->Append(std::move(s)); });
+      server->SetColdTier(cold);
+      const auto cold_stats = cold->stats();
+      std::fprintf(stderr,
+                   "cold tier: %s (%llu segment(s), %llu session(s) "
+                   "re-discovered)\n",
+                   cold_dir,
+                   static_cast<unsigned long long>(cold_stats.segments),
+                   static_cast<unsigned long long>(cold_stats.sessions));
+    }
     if (mine_templates) {
       // Installed before Start(); returns the mined dictionary ranked later
       // by the server. ppm = hits per million mined payloads (every payload
@@ -380,9 +416,13 @@ int main(int argc, char** argv) {
       const bool dedupe_replay = ckpt != nullptr;
       pipeline = std::make_unique<LivePipeline>(
           pipe_options, [&, dedupe_replay](Session&& s) {
-            if (dedupe_replay && store->Contains(s.id, s.fragment_index)) {
+            if (dedupe_replay &&
+                (store->Contains(s.id, s.fragment_index) ||
+                 (cold != nullptr && cold->Contains(s.id, s.fragment_index)))) {
               // Replay-window dedupe guard: with an exact resume offset this
               // never fires, but it keeps a stale offset from double-counting.
+              // The cold check covers sessions the pre-crash run had already
+              // evicted and spilled.
               return;
             }
             report.Add(s);
@@ -426,6 +466,14 @@ int main(int argc, char** argv) {
         ac_options.stream = static_cast<uint64_t>(options.stream);
         ac_options.base_records = base_records;
         ac_options.base_parse_failures = base_parse_failures;
+        if (cold != nullptr) {
+          // Durability barrier: every eviction that precedes this snapshot's
+          // barrier must be in a cold segment before the snapshot exists, or
+          // a restore could lose it (the replay window starts at the
+          // snapshot's offset).
+          ColdTier* cold_ptr = cold.get();
+          ac_options.before_write = [cold_ptr] { cold_ptr->FlushPending(); };
+        }
         async_ckpt = std::make_unique<AsyncCheckpointer>(
             ckpt.get(), pipeline.get(), store.get(), ac_options);
       }
@@ -463,6 +511,9 @@ int main(int argc, char** argv) {
             static_cast<uint64_t>(options.stream));
         state.records += base_records;
         state.parse_failures += base_parse_failures;
+        if (cold != nullptr) {
+          cold->FlushPending();  // Same barrier as the periodic snapshots.
+        }
         ckpt->Write(state);
         std::fprintf(stderr, "final checkpoint at offset %llu (%s)\n",
                      static_cast<unsigned long long>(state.resume_offset),

@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
   SessionStore::Options hot_options;
   hot_options.max_bytes = hot_kb << 10;
   auto store = std::make_shared<SessionStore>(hot_options);
-  store->SetEvictionSink([cold](Session&& s) { cold->Append(std::move(s)); });
+  store->SetEvictionSink([cold](Session&& s) { cold->Append(std::move(s)); },
+                         [cold] { cold->WaitForSpace(); });
   auto reference = std::make_shared<SessionStore>();  // Unbounded.
 
   // (a) spill throughput: run the hot window over by ~num_sessions and time

@@ -35,19 +35,24 @@ SessionStore::EntryList::iterator SessionStore::InsertLocked(Session session) {
 }
 
 void SessionStore::Insert(Session session) {
-  std::vector<Session> spilled;
+  bool evicted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = InsertLocked(std::move(session));
-    EvictIfNeeded(eviction_sink_ ? &spilled : nullptr);
+    // Victims are handed to the sink under mu_, so removal from the hot
+    // window and arrival in the next tier are one atomic step — a concurrent
+    // query always finds the session in exactly one tier, and sink calls
+    // across the N inserting shard workers are serialized in eviction order.
+    evicted = EvictIfNeeded();
     // `it` survives eviction: EvictIfNeeded never removes the newest entry.
     for (const auto& [token, observer] : observers_) {
       observer(it->session);
     }
   }
-  // Outside mu_: the sink may block on backpressure or query the store.
-  for (auto& victim : spilled) {
-    eviction_sink_(std::move(victim));
+  // Outside mu_: blocking backpressure (and anything that needs to query the
+  // store) lives in the barrier, not the sink.
+  if (evicted && eviction_barrier_) {
+    eviction_barrier_();
   }
 }
 
@@ -79,18 +84,21 @@ void SessionStore::Unindex(EntryList::iterator it) {
   }
 }
 
-void SessionStore::EvictIfNeeded(std::vector<Session>* spilled) {
+bool SessionStore::EvictIfNeeded() {
+  bool evicted = false;
   while (stats_.bytes > options_.max_bytes && entries_.size() > 1) {
     auto oldest = entries_.begin();
     stats_.bytes -= oldest->bytes;
     --stats_.sessions;
     ++stats_.evicted;
+    evicted = true;
     Unindex(oldest);
-    if (spilled != nullptr) {
-      spilled->push_back(std::move(oldest->session));
+    if (eviction_sink_) {
+      eviction_sink_(std::move(oldest->session));
     }
     entries_.erase(oldest);
   }
+  return evicted;
 }
 
 std::optional<Session> SessionStore::GetById(const std::string& id,
@@ -202,22 +210,23 @@ SessionStore::SeqWindow SessionStore::ForEachSessionSince(
 
 void SessionStore::ImportSnapshot(std::vector<Session> sessions,
                                   uint64_t inserted, uint64_t evicted) {
-  std::vector<Session> spilled;
+  bool spilled = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& session : sessions) {
       InsertLocked(std::move(session));
     }
-    EvictIfNeeded(eviction_sink_ ? &spilled : nullptr);
+    // A restore into a smaller budget re-spills (sink under mu_, like
+    // Insert); the cold tier dedupes anything that was already durable, and
+    // prefix order is preserved (oldest first).
+    spilled = EvictIfNeeded();
     // Lifetime counters continue from the snapshot, not from the rebuild: the
     // rebuild itself is not an insert the pre-crash run didn't already count.
     stats_.inserted = inserted;
     stats_.evicted = evicted;
   }
-  // A restore into a smaller budget re-spills; the cold tier dedupes anything
-  // that was already durable, and prefix order is preserved (oldest first).
-  for (auto& victim : spilled) {
-    eviction_sink_(std::move(victim));
+  if (spilled && eviction_barrier_) {
+    eviction_barrier_();
   }
 }
 
@@ -226,9 +235,10 @@ SessionStore::Stats SessionStore::stats() const {
   return stats_;
 }
 
-void SessionStore::SetEvictionSink(EvictionSink sink) {
+void SessionStore::SetEvictionSink(EvictionSink sink, EvictionBarrier barrier) {
   std::lock_guard<std::mutex> lock(mu_);
   eviction_sink_ = std::move(sink);
+  eviction_barrier_ = std::move(barrier);
 }
 
 uint64_t SessionStore::AddInsertObserver(InsertObserver fn) {

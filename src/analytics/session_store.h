@@ -111,12 +111,21 @@ class SessionStore {
 
   // Eviction sink: receives every evicted session (strictly oldest-first, the
   // store's insertion order) instead of letting it vanish — the hook the cold
-  // tier hangs off. Invoked AFTER the store lock is released, so the sink may
-  // block (backpressure) and may call back into the store. Set once during
-  // setup, before inserts can run concurrently; unset means evictions are
-  // discarded as before.
+  // tier hangs off. Invoked UNDER the store lock, immediately after the
+  // victim is unindexed, so (a) the victim is atomically handed to the next
+  // tier — no window where a concurrent query finds it in neither tier, and
+  // no checkpoint barrier can complete around a victim in transit — and
+  // (b) with concurrent Inserts on N shard workers, sink calls are serialized
+  // in exact eviction order (the cold tier's prefix-order invariant). The
+  // sink must therefore not block and must not call back into the store
+  // (ColdTier::Append is built for exactly this). Blocking backpressure
+  // belongs in `barrier`, which runs after the lock is released whenever the
+  // triggering Insert/ImportSnapshot evicted anything (ColdTier::
+  // WaitForSpace). Set once during setup, before inserts can run
+  // concurrently; unset means evictions are discarded as before.
   using EvictionSink = std::function<void(Session&&)>;
-  void SetEvictionSink(EvictionSink sink);
+  using EvictionBarrier = std::function<void()>;
+  void SetEvictionSink(EvictionSink sink, EvictionBarrier barrier = nullptr);
 
  private:
   struct Entry {
@@ -129,9 +138,10 @@ class SessionStore {
   };
   using EntryList = std::list<Entry>;
 
-  // Caller holds mu_. Victims are moved into *spilled (oldest first) when it
-  // is non-null, for the caller to hand to the eviction sink outside mu_.
-  void EvictIfNeeded(std::vector<Session>* spilled);
+  // Caller holds mu_. Each victim is handed to the eviction sink (when set)
+  // as it is unindexed, still under mu_. Returns true if anything was
+  // evicted, so the caller can run the eviction barrier after unlocking.
+  bool EvictIfNeeded();
   void Unindex(EntryList::iterator it);
   EntryList::iterator InsertLocked(Session session);  // Caller holds mu_.
 
@@ -151,6 +161,7 @@ class SessionStore {
   std::vector<std::pair<uint64_t, InsertObserver>> observers_;
   uint64_t next_observer_token_ = 0;
   EvictionSink eviction_sink_;
+  EvictionBarrier eviction_barrier_;
 };
 
 // Attaches a sink that feeds every session of `stream` into `store`.

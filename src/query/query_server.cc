@@ -242,8 +242,11 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
       }
       if (budget_ok) {
         Session cold_session;
+        // Over-collect by the hot result count: post-restore a session can
+        // sit in both tiers, and every deduped candidate must not cost the
+        // reply a slot it could have filled from deeper in the cold index.
         for (const auto& cand :
-             cold_->CollectByService(request.service, limit)) {
+             cold_->CollectByService(request.service, limit + hot.size())) {
           if (appended >= limit) {
             break;
           }
@@ -271,7 +274,10 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
           store_->QueryByTimeRange(request.lo, request.hi, limit);
       std::vector<ColdTier::Candidate> cold_candidates;
       if (cold_ != nullptr) {
-        cold_candidates = cold_->CollectRange(request.lo, request.hi, limit);
+        // Over-collect by the hot result count so candidates deduped against
+        // a hot twin (post-restore overlap) cannot leave the merge short.
+        cold_candidates =
+            cold_->CollectRange(request.lo, request.hi, limit + hot.size());
       }
       if (cold_candidates.empty()) {
         reply_ok(append_sessions(hot));
@@ -356,6 +362,31 @@ void QueryServer::HandleRequest(Connection* conn, const std::string& line) {
         }
         for (const auto& [service, count] : cold_->ServiceCounts()) {
           counts[service] += count;
+        }
+        if (cold_->stats().sessions > 0) {
+          // Post-restore a session can sit in both tiers (the snapshot
+          // restored it hot, a pre-crash flush already made it durable cold);
+          // both sums above counted it, so subtract the overlap once — the
+          // unbounded reference holds each session exactly once.
+          std::vector<uint32_t> services;
+          store_->ForEachSession([&](const Session& s) {
+            if (!cold_->Contains(s.id, s.fragment_index)) {
+              return;
+            }
+            services.clear();
+            for (const auto& r : s.records) {
+              services.push_back(r.service);
+            }
+            std::sort(services.begin(), services.end());
+            services.erase(std::unique(services.begin(), services.end()),
+                           services.end());
+            for (uint32_t service : services) {
+              const auto it = counts.find(service);
+              if (it != counts.end() && --it->second == 0) {
+                counts.erase(it);
+              }
+            }
+          });
         }
         top.assign(counts.begin(), counts.end());
         const size_t keep = std::min(request.k, top.size());

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -55,9 +56,20 @@ std::vector<uint32_t> SortedUniqueServices(const Session& session) {
   return services;
 }
 
+// A segment target the pending queue can never reach (target > the pending
+// bound) would leave WantSpillLocked false forever while WaitForSpace blocks
+// on a backlog only the spill thread can drain — clamp it.
+ColdTierOptions ClampOptions(ColdTierOptions options) {
+  options.segment_target_bytes =
+      std::max<size_t>(1, std::min(options.segment_target_bytes,
+                                   options.max_pending_bytes));
+  return options;
+}
+
 }  // namespace
 
-ColdTier::ColdTier(const ColdTierOptions& options) : options_(options) {}
+ColdTier::ColdTier(const ColdTierOptions& options)
+    : options_(ClampOptions(options)) {}
 
 ColdTier::~ColdTier() {
   {
@@ -124,21 +136,12 @@ bool ColdTier::Start() {
 
 void ColdTier::Append(Session&& session) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    return;  // Abandoned/destroyed: the victim is lost, crash-equivalent.
+  }
   const auto key = std::make_pair(session.id, session.fragment_index);
   if (by_id_.count(key) != 0) {
     ++dedup_dropped_;  // Already cold (replay after restore re-evicts).
-    return;
-  }
-  // Backpressure: bound tier memory when spilling cannot keep up. The spill
-  // thread never takes this path, so waiting here cannot deadlock.
-  cv_state_.wait(lock, [this] {
-    return stop_ || pending_bytes_ < options_.max_pending_bytes;
-  });
-  if (stop_) {
-    return;
-  }
-  if (by_id_.count(key) != 0) {
-    ++dedup_dropped_;  // Raced with an identical append while waiting.
     return;
   }
   PendingEntry entry;
@@ -157,6 +160,13 @@ void ColdTier::Append(Session&& session) {
   if (pending_bytes_ >= options_.segment_target_bytes) {
     cv_spill_.notify_one();
   }
+}
+
+void ColdTier::WaitForSpace() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_state_.wait(lock, [this] {
+    return stop_ || pending_bytes_ < options_.max_pending_bytes;
+  });
 }
 
 bool ColdTier::WantSpillLocked() const {
@@ -200,6 +210,16 @@ void ColdTier::SpillLoop() {
     const bool ok =
         WriteColdSegment(path, batch, base_order, &index, &file_bytes);
     lock.lock();
+    if (stop_) {
+      // Abandon() (or the destructor) raced with the write: pending_ was
+      // cleared and the orders retracted, so the batch must not be popped and
+      // the segment must not be published — the simulated kill instant
+      // precedes the rename. Unlink so a restart re-discovers exactly what
+      // the tier promised was durable.
+      lock.unlock();
+      ::unlink(path.c_str());
+      return;
+    }
     if (!ok) {
       ++write_failures_;
       cv_state_.notify_all();  // Unblock FlushPending with the bad news.

@@ -2,21 +2,27 @@
 //
 // The in-memory SessionStore stays a bounded hot window; when it evicts, the
 // victims land here (SessionStore::SetEvictionSink) instead of vanishing.
-// Appends go into a bounded in-memory pending queue that a background spill
-// thread drains into cold segment files (src/store/cold_segment.h — the
-// ts_ckpt snapshot container with a footer index), so the evicting shard
-// thread never pays for serialization, CRC or fsync. Pending sessions remain
-// fully queryable until their segment is durable: a session is never
-// invisible between leaving the hot window and reaching disk.
+// The handoff is two-phase: Append — the sink — indexes the victim into a
+// bounded in-memory pending queue and never blocks, so the store can run it
+// *under its own lock*, making "removed from hot" and "visible in cold" one
+// atomic step; WaitForSpace — the store's eviction barrier, called after the
+// store lock is released — is where backpressure blocks the evicting thread.
+// A background spill thread drains pending into cold segment files
+// (src/store/cold_segment.h — the ts_ckpt snapshot container with a footer
+// index), so the evicting shard thread never pays for serialization, CRC or
+// fsync. Pending sessions remain fully queryable until their segment is
+// durable: a session is never invisible between leaving the hot window and
+// reaching disk, and no query can ever observe it in neither tier.
 //
 // Ordering. Every accepted Append gets a global, monotonically increasing
-// spill order. Eviction is strictly oldest-first, so the cold orders form an
-// exact prefix of the store's insertion sequence: every cold session precedes
-// every hot one. Query merges rely on this — RANGE interleaves cold index
-// candidates with hot results by (min_time, order) and reproduces the exact
-// bytes an unbounded store would serve; SERVICE serves hot newest-first then
-// cold newest-first. On restart, segments are re-discovered by directory
-// scan (file order == spill order), so the sequence survives crashes.
+// spill order. Eviction is strictly oldest-first and Append runs inside the
+// store's eviction critical section, so the cold orders form an exact prefix
+// of the store's insertion sequence: every cold session precedes every hot
+// one. Query merges rely on this — RANGE interleaves cold index candidates
+// with hot results by (min_time, order) and reproduces the exact bytes an
+// unbounded store would serve; SERVICE serves hot newest-first then cold
+// newest-first. On restart, segments are re-discovered by directory scan
+// (file order == spill order), so the sequence survives crashes.
 //
 // Crash consistency. Segment writes are atomic (tmp+fsync+rename); pending
 // sessions lost to a crash are re-derived by the ts_ckpt replay and re-spill
@@ -60,10 +66,12 @@ namespace ts {
 struct ColdTierOptions {
   std::string dir;
   // A segment is cut once the pending batch reaches this many (in-memory)
-  // bytes; FlushPending cuts one regardless.
+  // bytes; FlushPending cuts one regardless. Clamped to max_pending_bytes at
+  // construction: a target the pending queue can never reach would leave the
+  // spill thread asleep while WaitForSpace blocks forever.
   size_t segment_target_bytes = 4u << 20;
-  // Append blocks (backpressure on the evicting thread) once this much is
-  // pending — bounds tier memory when the disk cannot keep up.
+  // WaitForSpace blocks (backpressure on the evicting thread) while this much
+  // is pending — bounds tier memory when the disk cannot keep up.
   size_t max_pending_bytes = 64u << 20;
 };
 
@@ -103,9 +111,19 @@ class ColdTier {
   // thread. Returns false only if the directory is unusable.
   bool Start();
 
-  // Eviction sink. Dedupes by (id, fragment) against everything already
-  // cold; blocks while max_pending_bytes of backlog is outstanding.
+  // Eviction sink, stage 1: indexes the session and enqueues it for spill.
+  // Dedupes by (id, fragment) against everything already cold. Never blocks —
+  // safe to call under the evicting store's lock, which is what keeps the
+  // victim continuously visible (hot or cold, never neither) and makes spill
+  // order exactly eviction order.
   void Append(Session&& session);
+
+  // Eviction sink, stage 2: blocks while max_pending_bytes of backlog is
+  // outstanding. The store calls this as its eviction barrier, after its own
+  // lock is released; the spill thread never takes this path, so waiting
+  // here cannot deadlock. The pending queue can transiently overshoot the
+  // bound by the victims handed over between a barrier and the next Append.
+  void WaitForSpace();
 
   // Blocks until every session appended before this call is durable in a
   // segment (writing a partial segment if needed). Returns false if a write
@@ -141,7 +159,8 @@ class ColdTier {
   // service -> cold session count, service-ascending (TOPK merge input).
   std::vector<std::pair<uint32_t, uint64_t>> ServiceCounts() const;
 
-  // Every distinct cold session id, ascending (digest/test support).
+  // Every distinct cold session id, ascending (digest/test support). Runs
+  // `fn` under the tier lock: collect, don't call back into the tier.
   void ForEachId(const std::function<void(const std::string&)>& fn) const;
 
   Stats stats() const;
@@ -169,7 +188,7 @@ class ColdTier {
 
   mutable std::mutex mu_;
   std::condition_variable cv_spill_;  // Wakes the spill thread.
-  std::condition_variable cv_state_;  // Wakes Append backpressure + flushers.
+  std::condition_variable cv_state_;  // Wakes WaitForSpace + flushers.
   bool stop_ = false;
   bool started_ = false;
 

@@ -945,7 +945,8 @@ ColdCrashRunResult RunColdCrashSchedule(
     SessionStore::Options store_options;
     store_options.max_bytes = 64u << 10;
     SessionStore store(store_options);
-    store.SetEvictionSink([&cold](Session&& s) { cold.Append(std::move(s)); });
+    store.SetEvictionSink([&cold](Session&& s) { cold.Append(std::move(s)); },
+                          [&cold] { cold.WaitForSpace(); });
     std::atomic<uint64_t> duplicates{0};
 
     LivePipelineOptions pipeline_options;

@@ -257,7 +257,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       store->SetEvictionSink(
-          [cold](Session&& s) { cold->Append(std::move(s)); });
+          [cold](Session&& s) { cold->Append(std::move(s)); },
+          [cold] { cold->WaitForSpace(); });
       server->SetColdTier(cold);
       const auto cold_stats = cold->stats();
       std::fprintf(stderr,

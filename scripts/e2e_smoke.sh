@@ -25,6 +25,14 @@
 # must be byte-identical to the unbounded fault-free run — the shell-level
 # version of the tiered-store serving contract (see docs/STORE.md).
 #
+# With --diskfault, the tiered + checkpointed pipeline runs once more with a
+# deterministic disk-fault plan installed (--disk-fault-plan: ENOSPC windows
+# and failed fsyncs against every snapshot and cold-segment write). The
+# checkpointer must enter degraded mode and recover, nothing may shed, the
+# served bytes must stay identical to the fault-free run, and a restart from
+# the surviving snapshots + segments must restore the same state — the
+# shell-level version of the DiskFaultConformance suite (docs/FAULT_TESTING.md).
+#
 # With --loadgen, the open-loop generator replaces the log server:
 #
 #   ts_loadgen  ->  ts_sessionize --connect --serve --shed-policy=oldest-open
@@ -36,7 +44,7 @@
 # must cover every scheduled record (see docs/LOADGEN.md).
 #
 # Usage: scripts/e2e_smoke.sh [build-dir] [--chaos] [--crash] [--templates]
-#                             [--loadgen] [--cold]
+#                             [--loadgen] [--cold] [--diskfault]
 #   CHAOS_SEED=n   picks the fault plan for the chaos run (default 7; the
 #                  effective plan is echoed to the chaos proxy's stderr).
 set -euo pipefail
@@ -47,6 +55,7 @@ CRASH=0
 TEMPLATES=0
 LOADGEN=0
 COLD=0
+DISKFAULT=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
@@ -54,6 +63,7 @@ for arg in "$@"; do
     --templates) TEMPLATES=1 ;;
     --loadgen) LOADGEN=1 ;;
     --cold) COLD=1 ;;
+    --diskfault) DISKFAULT=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -170,7 +180,8 @@ done
 # full drain, not just the first session.
 BASE_RECORDS=""
 BASE_SESSIONS=""
-if [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$COLD" -eq 1 ]; then
+if [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$COLD" -eq 1 ] \
+  || [ "$DISKFAULT" -eq 1 ]; then
   settle_counts "$QPORT" || {
     echo "FAIL: fault-free run never settled"; cat "$WORK/sess.err"; exit 1; }
   BASE_RECORDS="$RECORDS"
@@ -189,10 +200,11 @@ ID="$(awk '/^#SESSION /{print $NF; exit}' "$WORK/range.out")"
 grep -q '^#SESSION ' "$WORK/get.out" || {
   echo "FAIL: GET $ID returned no block"; cat "$WORK/get.out"; exit 1; }
 
-# In cold mode this unbounded run is the byte-identity reference: dump the
-# full-span RANGE (oldest-first) while the server is still up. $ID above came
-# from `RANGE ... 1`, so it is the oldest session — guaranteed cold later.
-if [ "$COLD" -eq 1 ]; then
+# In cold/diskfault mode this unbounded run is the byte-identity reference:
+# dump the full-span RANGE (oldest-first) while the server is still up. $ID
+# above came from `RANGE ... 1`, so it is the oldest session — guaranteed
+# cold later.
+if [ "$COLD" -eq 1 ] || [ "$DISKFAULT" -eq 1 ]; then
   "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw \
     RANGE 0 99999999999999 10000 >"$WORK/range_ref.out"
   grep -q '^#SESSION ' "$WORK/range_ref.out" || {
@@ -204,7 +216,8 @@ wait "$SESS_PID" 2>/dev/null || true
 echo "e2e smoke OK: $COUNT sessions served on loopback; GET $ID round-tripped"
 
 [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] \
-  || [ "$LOADGEN" -eq 1 ] || [ "$COLD" -eq 1 ] || exit 0
+  || [ "$LOADGEN" -eq 1 ] || [ "$COLD" -eq 1 ] || [ "$DISKFAULT" -eq 1 ] \
+  || exit 0
 
 # ---- Cold-tier run: tiny hot window, spill to segments, byte-identity -------
 
@@ -256,6 +269,146 @@ if [ "$COLD" -eq 1 ]; then
   echo "e2e cold OK: $COLD_SESSIONS sessions across $COLD_SEGMENTS cold" \
        "segment(s); RANGE and cold GET byte-identical to the unbounded run" \
        "($COLD_HITS cold hits)"
+fi
+
+# ---- Disk-fault run: ENOSPC/fsync storms on the durability layers, heal,
+# ---- restart from the surviving snapshots + segments ------------------------
+
+if [ "$DISKFAULT" -eq 1 ]; then
+  # A deterministic plan (grammar: docs/FAULT_TESTING.md). The spill thread
+  # coalesces the eviction queue into one large batch while it is in backoff,
+  # so a single WriteColdSegment retry sequence can sweep through EVERY window
+  # below — the window args must sum to < 8 (the default spill_retry_limit) or
+  # the batch would be shed and the served bytes would no longer be comparable.
+  # Here the worst case is 6 consecutive spill failures: degrade, retry, heal.
+  DF_PLAN="$WORK/disk_plan.txt"
+  cat >"$DF_PLAN" <<'EOF'
+# ts_fault plan v1
+seed 0
+profile manual
+enospc at=0 arg=2
+fsyncfail at=0 arg=1
+enospc at=2000000 arg=2
+eio at=4000000 arg=1
+EOF
+
+  # No --once: the restart leg below reconnects to resume from its snapshot.
+  "$TOOLS/ts_log_server" --port=0 "${GEN_ARGS[@]}" \
+    >"$WORK/lsd.out" 2>"$WORK/lsd.err" &
+  DPORT="$(wait_port_file "$WORK/lsd.out")"
+  [ -n "$DPORT" ] || {
+    echo "FAIL: diskfault log server reported no port"; exit 1; }
+
+  DF_CKPT="$WORK/df_ckpt"
+  DF_COLD="$WORK/df_cold"
+  start_sessionize "$DPORT" dfault \
+    --store_mb=1 --cold-dir="$DF_COLD" --cold_segment_mb=1 \
+    --checkpoint-dir="$DF_CKPT" --ckpt_interval_s=0.05 \
+    --disk-fault-plan="$DF_PLAN"
+
+  settle_counts "$QPORT" || {
+    echo "FAIL: diskfault run never settled"; cat "$WORK/dfault.err"; exit 1; }
+  [ "$RECORDS" = "$BASE_RECORDS" ] || {
+    echo "FAIL: diskfault run ingested $RECORDS records, reference" \
+         "$BASE_RECORDS"
+    cat "$WORK/dfault.err"; exit 1; }
+
+  # The ingest settles while the spill thread may still be deep in its retry
+  # backoff (each failed write costs up to 2 s of backoff), so wait for the
+  # degraded window to fully heal: the plan fired, the spill queue drained,
+  # and segments landed. (Timer snapshots stop with the ingest, so the
+  # checkpoint side is proven by the final checkpoint + restart below.)
+  DF_HEALED=0
+  for _ in $(seq 300); do
+    DF_ENOSPC="$(stat_gauge "$QPORT" fault_disk_enospc_failures || true)"
+    DF_PENDING="$(stat_gauge "$QPORT" store_cold_pending || true)"
+    DF_SEGMENTS="$(stat_gauge "$QPORT" store_cold_segments || true)"
+    if [ -n "$DF_ENOSPC" ] && [ "$DF_ENOSPC" -ge 1 ] \
+      && [ "$DF_PENDING" = "0" ] \
+      && [ -n "$DF_SEGMENTS" ] && [ "$DF_SEGMENTS" -ge 1 ]; then
+      DF_HEALED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$DF_HEALED" -eq 1 ] || {
+    echo "FAIL: degraded window never healed:" \
+         "enospc=${DF_ENOSPC:-empty} pending=${DF_PENDING:-empty}" \
+         "segments=${DF_SEGMENTS:-empty}"
+    cat "$WORK/dfault.err"; exit 1; }
+  # Finite fault windows must never reach the shed threshold.
+  DF_SHED="$(stat_gauge "$QPORT" store_cold_shed_sessions || true)"
+  [ "$DF_SHED" = "0" ] || {
+    echo "FAIL: finite fault windows shed sessions" \
+         "(store_cold_shed_sessions=${DF_SHED:-empty})"
+    cat "$WORK/dfault.err"; exit 1; }
+
+  # Storage degradation must never change the served bytes: RANGE over
+  # hot + cold and a certainly-cold GET stay identical to the unbounded
+  # fault-free reference.
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw \
+    RANGE 0 99999999999999 10000 >"$WORK/range_df.out"
+  cmp -s "$WORK/range_ref.out" "$WORK/range_df.out" || {
+    echo "FAIL: disk-faulted RANGE differs from the unbounded reference"
+    diff <(head -5 "$WORK/range_ref.out") <(head -5 "$WORK/range_df.out") \
+      || true
+    exit 1; }
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw GET "$ID" \
+    >"$WORK/get_df.out"
+  cmp -s "$WORK/get.out" "$WORK/get_df.out" || {
+    echo "FAIL: disk-faulted GET $ID differs from the unbounded reference"
+    exit 1; }
+
+  # Graceful shutdown writes the final checkpoint (the disk has healed).
+  kill -TERM "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  grep -q "final checkpoint" "$WORK/dfault.err" || {
+    echo "FAIL: diskfault sessionizer wrote no final checkpoint"
+    tail -20 "$WORK/dfault.err"; exit 1; }
+
+  # Restart with a healthy disk against the same directories: every file the
+  # faulted run published must be fully valid — restore, rediscover the
+  # segments, and serve the identical bytes again.
+  start_sessionize "$DPORT" dfault2 \
+    --store_mb=1 --cold-dir="$DF_COLD" --cold_segment_mb=1 \
+    --checkpoint-dir="$DF_CKPT" --ckpt_interval_s=0.05
+  DF_RESTORED=0
+  for _ in $(seq 100); do
+    if grep -q "restored $DF_CKPT/" "$WORK/dfault2.err"; then
+      DF_RESTORED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$DF_RESTORED" -eq 1 ] || {
+    echo "FAIL: restart restored no snapshot"; cat "$WORK/dfault2.err"; exit 1; }
+  # In tiered mode store_sessions is the hot window only — converge on the
+  # ingest total, then prove the content below with the RANGE byte-identity.
+  DF_CONVERGED=0
+  for _ in $(seq 300); do
+    REC="$(stat_gauge "$QPORT" ingest_records || true)"
+    if [ "$REC" = "$BASE_RECORDS" ]; then
+      DF_CONVERGED=1
+      break
+    fi
+    sleep 0.2
+  done
+  [ "$DF_CONVERGED" -eq 1 ] || {
+    echo "FAIL: restart did not converge: records ${REC:-?}/$BASE_RECORDS"
+    cat "$WORK/dfault2.err"; exit 1; }
+  "$TOOLS/ts_query" --connect=127.0.0.1:"$QPORT" --raw \
+    RANGE 0 99999999999999 10000 >"$WORK/range_df2.out"
+  cmp -s "$WORK/range_ref.out" "$WORK/range_df2.out" || {
+    echo "FAIL: restored RANGE differs from the unbounded reference"
+    diff <(head -5 "$WORK/range_ref.out") <(head -5 "$WORK/range_df2.out") \
+      || true
+    exit 1; }
+
+  kill -INT "$SESS_PID" 2>/dev/null || true
+  wait "$SESS_PID" 2>/dev/null || true
+  echo "e2e diskfault OK: $DF_ENOSPC ENOSPC hit(s) absorbed," \
+       "$DF_SEGMENTS cold segment(s), nothing shed;" \
+       "served bytes identical before and after restart"
 fi
 
 [ "$CHAOS" -eq 1 ] || [ "$CRASH" -eq 1 ] || [ "$TEMPLATES" -eq 1 ] \

@@ -1,5 +1,7 @@
 #include "src/ckpt/async_checkpointer.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/ckpt/live_checkpoint.h"
@@ -135,22 +137,79 @@ void AsyncCheckpointer::WriterLoop() {
       cached_frames_.erase(0, cached_front_);
       cached_front_ = 0;
     }
-    if (options_.before_write) {
-      options_.before_write();
-    }
     // Shards are running again; framing CRCs were paid incrementally at cache
     // append time, and the cached section streams straight to the file —
     // fsync + rotation happen here, concurrently with normal processing.
-    checkpointer_->Write(
-        state, open_frames_, open_count,
-        std::string_view(cached_frames_).substr(cached_front_),
-        cached_frame_sizes_.size());
+    //
+    // Disk trouble never reaches the ingest thread: each failed attempt (a
+    // false durability barrier or a failed Write) is counted, retried after
+    // jittered exponential backoff, and — past the retry limit — the snapshot
+    // is dropped; the next cadence tick starts a fresh one. Every retry goes
+    // back through Checkpointer::Write, which re-encodes the retained state
+    // into a brand-new tmp fd: after a failed fsync the old fd and its tmp
+    // file are already discarded (fsyncgate), never re-fsynced.
+    const int retry_limit = options_.write_retry_limit < 1
+                                ? 1
+                                : options_.write_retry_limit;
+    bool wrote = false;
+    for (int attempt = 0; attempt < retry_limit; ++attempt) {
+      const bool barrier_ok =
+          !options_.before_write || options_.before_write();
+      if (barrier_ok &&
+          checkpointer_->Write(
+              state, open_frames_, open_count,
+              std::string_view(cached_frames_).substr(cached_front_),
+              cached_frame_sizes_.size())) {
+        wrote = true;
+        break;
+      }
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+        degraded_entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (attempt + 1 >= retry_limit) {
+        break;
+      }
+      const int64_t base = std::min<int64_t>(
+          options_.write_retry_backoff_ms << std::min(attempt, 5), 2000);
+      const int64_t sleep_ms =
+          base + static_cast<int64_t>(
+                     backoff_rng_.NextBelow(static_cast<uint64_t>(base) + 1));
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms),
+                   [this] { return stop_; });
+    }
+    if (wrote) {
+      degraded_.store(false, std::memory_order_relaxed);  // Disk healed.
+    } else {
+      snapshots_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       in_flight_ = false;
     }
     cv_.notify_all();
   }
+}
+
+void AsyncCheckpointer::RegisterMetrics(MetricsRegistry* registry,
+                                        const std::string& prefix) const {
+  registry->Register(prefix + "write_failures", [this] {
+    return static_cast<int64_t>(
+        write_failures_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "degraded", [this] {
+    return degraded_.load(std::memory_order_relaxed) ? int64_t{1}
+                                                     : int64_t{0};
+  });
+  registry->Register(prefix + "degraded_entries", [this] {
+    return static_cast<int64_t>(
+        degraded_entries_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "snapshots_dropped", [this] {
+    return static_cast<int64_t>(
+        snapshots_dropped_.load(std::memory_order_relaxed));
+  });
 }
 
 }  // namespace ts

@@ -31,9 +31,21 @@
 // Drain() blocks until in-flight work is durable and MUST be called before
 // LivePipeline::Finish(): an uncollected ticket would leave the shard
 // workers paused forever. The destructor drains and joins.
+//
+// Degraded mode: when the disk misbehaves (ENOSPC, EIO, failed fsync) the
+// writer retries the barrier + file write with bounded jittered exponential
+// backoff, then — still failing — drops that snapshot and waits for the next
+// cadence tick. The ingest thread never stalls: MaybeCheckpoint keeps
+// skipping while the retry loop holds in_flight_. The episode is fully
+// counted (ckpt_write_failures / ckpt_degraded / ckpt_degraded_entries /
+// ckpt_snapshots_dropped) and clears itself on the first successful write —
+// recovery needs no operator action, only a healed disk. Each retry rebuilds
+// the snapshot file from the retained source state via Checkpointer::Write
+// (a brand-new tmp fd), never by re-fsyncing an old fd — the fsyncgate rule.
 #ifndef SRC_CKPT_ASYNC_CHECKPOINTER_H_
 #define SRC_CKPT_ASYNC_CHECKPOINTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +56,7 @@
 
 #include "src/analytics/session_store.h"
 #include "src/ckpt/checkpointer.h"
+#include "src/common/rng.h"
 #include "src/core/live_pipeline.h"
 
 namespace ts {
@@ -59,8 +72,15 @@ class AsyncCheckpointer {
     // FlushPending() in here: every eviction that happened before this
     // snapshot's barrier is durable in a cold segment by the time the
     // snapshot exists, so a restore can never lose an evicted session. May
-    // block; it delays only the (off-critical-path) file write.
-    std::function<void()> before_write;
+    // block; it delays only the (off-critical-path) file write. Returning
+    // false means the durability barrier failed (e.g. the cold tier cannot
+    // spill): the snapshot MUST NOT be published, so the attempt aborts and
+    // is retried/dropped like a failed file write.
+    std::function<bool()> before_write;
+    // Degraded-mode knobs: per-snapshot write attempts (>= 1) and the base
+    // backoff between them (doubled per retry, jittered, capped at ~2s).
+    int write_retry_limit = 3;
+    int64_t write_retry_backoff_ms = 50;
   };
 
   // All pointees must outlive this object. The Checkpointer must not be
@@ -88,6 +108,24 @@ class AsyncCheckpointer {
   // Ingest-thread accessors (same thread that calls MaybeCheckpoint).
   uint64_t snapshots_started() const { return started_; }
   uint64_t snapshots_skipped_busy() const { return skipped_busy_; }
+
+  // Degraded-mode accessors — safe from any thread (relaxed atomics).
+  uint64_t write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  uint64_t degraded_entries() const {
+    return degraded_entries_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshots_dropped() const {
+    return snapshots_dropped_.load(std::memory_order_relaxed);
+  }
+
+  // ckpt_* degraded-mode gauges: write_failures, degraded (0/1),
+  // degraded_entries, snapshots_dropped. Complements the base gauges
+  // Checkpointer::RegisterMetrics already exposes under the same prefix.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "ckpt_") const;
 
  private:
   void WriterLoop();
@@ -123,6 +161,14 @@ class AsyncCheckpointer {
   size_t cached_front_ = 0;
   uint64_t cached_oldest_seq_ = 0;
   uint64_t cached_next_seq_ = 0;
+
+  // Degraded-mode state. The rng is writer-thread-only (backoff jitter);
+  // its seed is fixed so retry timing is as reproducible as everything else.
+  std::atomic<uint64_t> write_failures_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> degraded_entries_{0};
+  std::atomic<uint64_t> snapshots_dropped_{0};
+  Rng backoff_rng_{0x636b707462616b6full};  // "ckptbako"
 
   std::thread writer_;
 };

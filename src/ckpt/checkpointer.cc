@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "src/ckpt/snapshot_io.h"
+#include "src/fault/fs_fault.h"
 
 namespace ts {
 namespace {
@@ -114,10 +115,15 @@ bool Checkpointer::Write(const CheckpointState& state,
   }
   ++next_seq_;
   // Prune beyond the retention window, oldest first. Failures here are
-  // harmless (an extra snapshot on disk), so errors are ignored.
+  // harmless (an extra snapshot on disk) but counted, and retried naturally:
+  // the leftover shows up in the next rotation's ListSnapshots().
   std::vector<uint64_t> seqs = ListSnapshots();
   while (seqs.size() > options_.retain) {
-    ::unlink(SnapshotPath(seqs.front()).c_str());
+    const std::string victim = SnapshotPath(seqs.front());
+    if (FsFaultOnUnlink(victim.c_str()).kind == FsFaultAction::Kind::kFail ||
+        ::unlink(victim.c_str()) != 0) {
+      prune_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
     seqs.erase(seqs.begin());
   }
   const int64_t duration_us =
@@ -186,6 +192,10 @@ void Checkpointer::RegisterMetrics(MetricsRegistry* registry,
   registry->Register(prefix + "last_resume_offset", [this] {
     return static_cast<int64_t>(
         last_resume_offset_.load(std::memory_order_relaxed));
+  });
+  registry->Register(prefix + "prune_failures", [this] {
+    return static_cast<int64_t>(
+        prune_failures_.load(std::memory_order_relaxed));
   });
 }
 

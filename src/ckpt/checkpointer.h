@@ -79,7 +79,8 @@ class Checkpointer {
 
   // ckpt_* gauges: last_snapshot_bytes, last_snapshot_age_ms,
   // last_snapshot_duration_us, snapshots, snapshot_failures, restores,
-  // fallbacks, last_resume_offset. The registry must not outlive this object.
+  // fallbacks, last_resume_offset, prune_failures. The registry must not
+  // outlive this object.
   void RegisterMetrics(MetricsRegistry* registry,
                        const std::string& prefix = "ckpt_") const;
 
@@ -92,6 +93,9 @@ class Checkpointer {
   }
   uint64_t fallbacks() const {
     return fallbacks_.load(std::memory_order_relaxed);
+  }
+  uint64_t prune_failures() const {
+    return prune_failures_.load(std::memory_order_relaxed);
   }
 
   // Lists the sequence numbers of snapshots currently on disk, ascending.
@@ -112,6 +116,7 @@ class Checkpointer {
   std::atomic<uint64_t> restores_{0};
   std::atomic<uint64_t> fallbacks_{0};
   std::atomic<uint64_t> last_resume_offset_{0};
+  std::atomic<uint64_t> prune_failures_{0};
 };
 
 }  // namespace ts

@@ -4,11 +4,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "src/common/crc32c.h"
+#include "src/fault/fs_fault.h"
 
 namespace ts {
 
@@ -108,6 +110,10 @@ bool WriteFileAtomic(const std::string& path, std::string_view bytes) {
 bool WriteFileAtomic(const std::string& path,
                      std::initializer_list<std::string_view> parts) {
   const std::string tmp = path + ".tmp";
+  if (FsFaultOnOpen(tmp.c_str(), /*for_write=*/true).kind ==
+      FsFaultAction::Kind::kFail) {
+    return false;
+  }
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return false;
@@ -115,7 +121,17 @@ bool WriteFileAtomic(const std::string& path,
   for (std::string_view bytes : parts) {
     size_t off = 0;
     while (off < bytes.size()) {
-      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      size_t want = bytes.size() - off;
+      const FsFaultAction fault = FsFaultOnWrite(tmp.c_str(), want);
+      if (fault.kind == FsFaultAction::Kind::kFail) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+      }
+      if (fault.kind == FsFaultAction::Kind::kClamp) {
+        want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+      }
+      const ssize_t n = ::write(fd, bytes.data() + off, want);
       if (n < 0) {
         if (errno == EINTR) {
           continue;
@@ -124,13 +140,27 @@ bool WriteFileAtomic(const std::string& path,
         ::unlink(tmp.c_str());
         return false;
       }
+      FsFaultOnIoBytes(static_cast<uint64_t>(n));
       off += static_cast<size_t>(n);
     }
   }
   // fsync before rename: the rename must never land ahead of the data, or a
   // power cut could leave a fully named, partially persisted snapshot — the
   // one failure mode the CRC framing alone cannot rank newest-first around.
+  // On any fsync failure — injected or real — the fd is poison (fsyncgate):
+  // the page cache may have dropped the dirty pages, so discard fd and tmp
+  // and let the caller rebuild from source state. Never retry fsync here.
+  if (FsFaultOnFsync(tmp.c_str()).kind == FsFaultAction::Kind::kFail) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (FsFaultOnRename(tmp.c_str(), path.c_str()).kind ==
+      FsFaultAction::Kind::kFail) {
     ::unlink(tmp.c_str());
     return false;
   }
@@ -142,6 +172,10 @@ bool WriteFileAtomic(const std::string& path,
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
+  if (FsFaultOnOpen(path.c_str(), /*for_write=*/false).kind ==
+      FsFaultAction::Kind::kFail) {
+    return false;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return false;
@@ -149,7 +183,17 @@ bool ReadFile(const std::string& path, std::string* out) {
   out->clear();
   char buf[64 << 10];
   while (true) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    size_t want = sizeof(buf);
+    const FsFaultAction fault =
+        FsFaultOnPread(path.c_str(), want, static_cast<uint64_t>(out->size()));
+    if (fault.kind == FsFaultAction::Kind::kFail) {
+      ::close(fd);
+      return false;
+    }
+    if (fault.kind == FsFaultAction::Kind::kClamp) {
+      want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+    }
+    const ssize_t n = ::read(fd, buf, want);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -160,6 +204,7 @@ bool ReadFile(const std::string& path, std::string* out) {
     if (n == 0) {
       break;
     }
+    FsFaultOnIoBytes(static_cast<uint64_t>(n));
     out->append(buf, static_cast<size_t>(n));
   }
   ::close(fd);

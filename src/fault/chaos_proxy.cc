@@ -198,6 +198,13 @@ uint64_t ChaosProxy::ArmedBudget(size_t len, bool* kill_now,
       case FaultType::kCorrupt:
         corrupt_left_ += event.arg;
         break;
+      case FaultType::kEnospc:
+      case FaultType::kEio:
+      case FaultType::kShortWrite:
+      case FaultType::kFsyncFail:
+      case FaultType::kRenameFail:
+      case FaultType::kTornWrite:
+        break;  // Disk events; meaningless on proxied traffic.
     }
   }
   return len;

@@ -16,10 +16,20 @@ struct TypeName {
 };
 
 constexpr TypeName kTypeNames[] = {
-    {FaultType::kKill, "kill"},       {FaultType::kPartial, "partial"},
-    {FaultType::kStall, "stall"},     {FaultType::kEagain, "eagain"},
-    {FaultType::kEintr, "eintr"},     {FaultType::kRefuse, "refuse"},
-    {FaultType::kCorrupt, "corrupt"}, {FaultType::kTruncate, "truncate"},
+    {FaultType::kKill, "kill"},
+    {FaultType::kPartial, "partial"},
+    {FaultType::kStall, "stall"},
+    {FaultType::kEagain, "eagain"},
+    {FaultType::kEintr, "eintr"},
+    {FaultType::kRefuse, "refuse"},
+    {FaultType::kCorrupt, "corrupt"},
+    {FaultType::kTruncate, "truncate"},
+    {FaultType::kEnospc, "enospc"},
+    {FaultType::kEio, "eio"},
+    {FaultType::kShortWrite, "shortwrite"},
+    {FaultType::kFsyncFail, "fsyncfail"},
+    {FaultType::kRenameFail, "renamefail"},
+    {FaultType::kTornWrite, "tornwrite"},
 };
 
 bool TypeFromName(const std::string& name, FaultType* type) {
@@ -80,6 +90,32 @@ FaultProfile FaultProfile::Corrupting(uint64_t stream_bytes) {
   return p;
 }
 
+FaultProfile FaultProfile::DiskMild(uint64_t stream_bytes) {
+  FaultProfile p;
+  p.stream_bytes = stream_bytes;
+  p.kills = 0;
+  p.partials = 0;
+  p.stalls = 0;
+  p.eagain_storms = 0;
+  p.eintr_storms = 0;
+  p.refusals = 0;
+  p.enospc_windows = 1;
+  p.eios = 1;
+  p.fsync_fails = 1;
+  return p;
+}
+
+FaultProfile FaultProfile::DiskAggressive(uint64_t stream_bytes) {
+  FaultProfile p = DiskMild(stream_bytes);
+  p.enospc_windows = 2;
+  p.eios = 2;
+  p.short_writes = 2;
+  p.fsync_fails = 2;
+  p.rename_fails = 2;
+  p.torn_writes = 1;
+  return p;
+}
+
 bool FaultPlan::ResolveProfile(const std::string& name, uint64_t stream_bytes,
                                FaultProfile* out) {
   if (name == "mild") {
@@ -88,6 +124,10 @@ bool FaultPlan::ResolveProfile(const std::string& name, uint64_t stream_bytes,
     *out = FaultProfile::Aggressive(stream_bytes);
   } else if (name == "corrupting") {
     *out = FaultProfile::Corrupting(stream_bytes);
+  } else if (name == "disk-mild") {
+    *out = FaultProfile::DiskMild(stream_bytes);
+  } else if (name == "disk-aggressive") {
+    *out = FaultProfile::DiskAggressive(stream_bytes);
   } else {
     return false;
   }
@@ -117,6 +157,15 @@ FaultPlan FaultPlan::FromSeed(uint64_t seed, const std::string& profile_name,
   add(FaultType::kRefuse, profile.refusals, 2);
   add(FaultType::kCorrupt, profile.corrupts, profile.max_corrupt_bytes);
   add(FaultType::kTruncate, profile.truncates, profile.max_partial_bytes);
+  // Disk events draw after all network events, so adding them leaves every
+  // network-profile plan byte-identical (add() touches the rng only when
+  // count > 0, and the network presets keep all disk counts at zero).
+  add(FaultType::kEnospc, profile.enospc_windows, profile.max_enospc_len);
+  add(FaultType::kEio, profile.eios, 2);
+  add(FaultType::kShortWrite, profile.short_writes, profile.max_partial_bytes);
+  add(FaultType::kFsyncFail, profile.fsync_fails, 1);
+  add(FaultType::kRenameFail, profile.rename_fails, 1);
+  add(FaultType::kTornWrite, profile.torn_writes, 0);
   SortEvents(&plan.events);
   return plan;
 }

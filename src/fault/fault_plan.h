@@ -33,6 +33,24 @@ enum class FaultType {
   kTruncate,  // Proxy only: silently drop `arg` bytes, then sever. Dropping
               // bytes without severing is unrepresentable over TCP, and the
               // sever is what lets the resume protocol recover.
+
+  // Disk events, executed by ScriptedDiskInjector through the FsFaultInjector
+  // hooks (src/fault/fs_fault.h). Network injectors consume them as no-ops,
+  // so one grammar and one seed→schedule function cover both surfaces. `at`
+  // is a cumulative disk-byte offset (bytes moved by hooked writes + preads).
+  kEnospc,      // The next `arg` write attempts fail with ENOSPC (a window:
+                // the volume is full until the window is spent, then heals).
+  kEio,         // The next `arg` write/pread attempts fail with EIO.
+  kShortWrite,  // Clamp the next write to `arg` bytes.
+  kFsyncFail,   // The next `arg` fsync attempts fail with EIO. Per the
+                // fsyncgate rule the victim fd is poison: writers must
+                // discard it and rebuild from source state.
+  kRenameFail,  // The next `arg` rename attempts fail with EIO — an atomic
+                // write dies at its publish step, after the data is durable.
+  kTornWrite,   // Byte-exact tear: the write crossing offset `at` is clamped
+                // to end exactly there, and the next write attempt fails
+                // with EIO — a file torn at a chosen byte, like kKill for
+                // the transport.
 };
 
 struct FaultEvent {
@@ -58,10 +76,24 @@ struct FaultProfile {
   uint64_t max_partial_bytes = 7;
   uint64_t max_corrupt_bytes = 4;
 
+  // Disk-event counts (zero in the network presets, so their seeded plans
+  // are unchanged byte for byte by the disk surface existing at all).
+  int enospc_windows = 0;
+  int eios = 0;
+  int short_writes = 0;
+  int fsync_fails = 0;
+  int rename_fails = 0;
+  int torn_writes = 0;
+  uint64_t max_enospc_len = 4;
+
   // Canned presets used by the conformance suite and ts_chaos.
   static FaultProfile Mild(uint64_t stream_bytes);        // Kills + stalls.
   static FaultProfile Aggressive(uint64_t stream_bytes);  // Everything safe.
   static FaultProfile Corrupting(uint64_t stream_bytes);  // Adds corruption.
+  // Disk presets (network counts zero): ENOSPC + EIO + fsync failures, and
+  // the full surface including short/torn writes and rename failures.
+  static FaultProfile DiskMild(uint64_t stream_bytes);
+  static FaultProfile DiskAggressive(uint64_t stream_bytes);
 };
 
 struct FaultPlan {
@@ -74,8 +106,8 @@ struct FaultPlan {
   static FaultPlan FromSeed(uint64_t seed, const std::string& profile_name,
                             const FaultProfile& profile);
 
-  // Resolves "mild" / "aggressive" / "corrupting" to a preset. Returns false
-  // on an unknown name.
+  // Resolves "mild" / "aggressive" / "corrupting" / "disk-mild" /
+  // "disk-aggressive" to a preset. Returns false on an unknown name.
   static bool ResolveProfile(const std::string& name, uint64_t stream_bytes,
                              FaultProfile* out);
 

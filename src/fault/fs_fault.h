@@ -1,0 +1,161 @@
+// FsFaultInjector: the seam through which ts_fault attacks the filesystem.
+//
+// The durability layers (ts_ckpt's snapshot writer/reader, ts_store's cold
+// segments) consult an optional process-global FsFaultInjector immediately
+// before each file syscall — open, write, fsync, rename, pread, unlink. The
+// injector may let the call proceed, clamp a write to fewer bytes (a short
+// write), or fail it with a chosen errno (ENOSPC windows, EIO, a failed
+// fsync). Production installs no injector: every hook is one relaxed atomic
+// load and a branch on null, so the disabled path costs nothing measurable
+// (held to the fig5 perf gate like the transport hooks).
+//
+// Like fault_injector.h, this header is interface-only on purpose: ts_ckpt
+// and ts_store include it without linking ts_fault, and ts_fault (plans, the
+// scripted disk injector) stays free to link whatever it wants — no
+// dependency cycle.
+//
+// Unlike the transport hooks — one injector per socket, one thread each —
+// file I/O happens on several threads at once (the async checkpoint writer,
+// the cold-tier spill thread, query-serving preads), and the hooked call
+// sites are free functions with no object to carry a pointer through. The
+// injector is therefore installed process-wide (InstallFsFaultInjector) and
+// MUST be internally thread-safe. Installation is a plain pointer store: it
+// is safe to install/uninstall at any time, but the injector object may only
+// be destroyed after every thread that might consult it has quiesced.
+#ifndef SRC_FAULT_FS_FAULT_H_
+#define SRC_FAULT_FS_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ts {
+
+// What the injector wants done to one file-I/O attempt.
+struct FsFaultAction {
+  enum class Kind {
+    kProceed,  // Run the syscall unmodified.
+    kClamp,    // Writes only: move at most max_bytes (a short write).
+    kFail,     // Skip the syscall; behave as if it failed with `error`.
+  };
+  Kind kind = Kind::kProceed;
+  size_t max_bytes = 0;  // kClamp only.
+  int error = 0;         // kFail only: ENOSPC, EIO, EDQUOT, ...
+};
+
+class FsFaultInjector {
+ public:
+  virtual ~FsFaultInjector() = default;
+
+  // Before open(2). `for_write` distinguishes the tmp-file create of an
+  // atomic write from a read-side open.
+  virtual FsFaultAction OnOpen(const char* path, bool for_write) {
+    (void)path;
+    (void)for_write;
+    return {};
+  }
+
+  // Before each write(2) of `len` pending bytes.
+  virtual FsFaultAction OnWrite(const char* path, size_t len) {
+    (void)path;
+    (void)len;
+    return {};
+  }
+
+  // Before fsync(2). A kFail here models the fsyncgate failure mode: the
+  // page cache may have dropped the dirty pages, so the caller must discard
+  // the fd and rebuild from source state — never retry fsync on the same fd.
+  virtual FsFaultAction OnFsync(const char* path) {
+    (void)path;
+    return {};
+  }
+
+  // Before rename(2) — the publish step of every atomic write.
+  virtual FsFaultAction OnRename(const char* from, const char* to) {
+    (void)from;
+    (void)to;
+    return {};
+  }
+
+  // Before pread(2)/read(2)-shaped calls of `len` bytes at `offset`.
+  virtual FsFaultAction OnPread(const char* path, size_t len,
+                                uint64_t offset) {
+    (void)path;
+    (void)len;
+    (void)offset;
+    return {};
+  }
+
+  // Before unlink(2) (snapshot prune, stale-tmp cleanup).
+  virtual FsFaultAction OnUnlink(const char* path) {
+    (void)path;
+    return {};
+  }
+
+  // Bytes a hooked syscall actually moved; drives byte-offset triggers.
+  virtual void OnIoBytes(uint64_t n) { (void)n; }
+};
+
+namespace fs_fault_internal {
+// C++20 inline variable: one process-wide slot across all TUs.
+inline std::atomic<FsFaultInjector*> g_injector{nullptr};
+}  // namespace fs_fault_internal
+
+inline void InstallFsFaultInjector(FsFaultInjector* injector) {
+  fs_fault_internal::g_injector.store(injector, std::memory_order_release);
+}
+
+inline FsFaultInjector* InstalledFsFaultInjector() {
+  return fs_fault_internal::g_injector.load(std::memory_order_acquire);
+}
+
+// Scoped install for tests: installs on construction, uninstalls on
+// destruction. Declare it after the injector and before (or around) the
+// objects doing I/O, so uninstall precedes injector destruction.
+class ScopedFsFaultInjector {
+ public:
+  explicit ScopedFsFaultInjector(FsFaultInjector* injector) {
+    InstallFsFaultInjector(injector);
+  }
+  ~ScopedFsFaultInjector() { InstallFsFaultInjector(nullptr); }
+  ScopedFsFaultInjector(const ScopedFsFaultInjector&) = delete;
+  ScopedFsFaultInjector& operator=(const ScopedFsFaultInjector&) = delete;
+};
+
+// Hook helpers: branch-on-null wrappers so call sites stay one line and the
+// disabled path never takes a virtual call.
+inline FsFaultAction FsFaultOnOpen(const char* path, bool for_write) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnOpen(path, for_write);
+}
+inline FsFaultAction FsFaultOnWrite(const char* path, size_t len) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnWrite(path, len);
+}
+inline FsFaultAction FsFaultOnFsync(const char* path) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnFsync(path);
+}
+inline FsFaultAction FsFaultOnRename(const char* from, const char* to) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnRename(from, to);
+}
+inline FsFaultAction FsFaultOnPread(const char* path, size_t len,
+                                    uint64_t offset) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnPread(path, len, offset);
+}
+inline FsFaultAction FsFaultOnUnlink(const char* path) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  return f == nullptr ? FsFaultAction{} : f->OnUnlink(path);
+}
+inline void FsFaultOnIoBytes(uint64_t n) {
+  FsFaultInjector* f = InstalledFsFaultInjector();
+  if (f != nullptr) {
+    f->OnIoBytes(n);
+  }
+}
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_FS_FAULT_H_

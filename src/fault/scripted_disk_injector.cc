@@ -1,0 +1,202 @@
+#include "src/fault/scripted_disk_injector.h"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace ts {
+namespace {
+
+FsFaultAction Fail(int error) {
+  FsFaultAction action;
+  action.kind = FsFaultAction::Kind::kFail;
+  action.error = error;
+  return action;
+}
+
+FsFaultAction Clamp(size_t max_bytes) {
+  FsFaultAction action;
+  action.kind = FsFaultAction::Kind::kClamp;
+  action.max_bytes = max_bytes;
+  return action;
+}
+
+bool IsDiskEvent(FaultType type) {
+  switch (type) {
+    case FaultType::kEnospc:
+    case FaultType::kEio:
+    case FaultType::kShortWrite:
+    case FaultType::kFsyncFail:
+    case FaultType::kRenameFail:
+    case FaultType::kTornWrite:
+      return true;
+    case FaultType::kKill:
+    case FaultType::kPartial:
+    case FaultType::kStall:
+    case FaultType::kEagain:
+    case FaultType::kEintr:
+    case FaultType::kRefuse:
+    case FaultType::kCorrupt:
+    case FaultType::kTruncate:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScriptedDiskInjector::ScriptedDiskInjector(FaultPlan plan)
+    : plan_(std::move(plan)) {}
+
+void ScriptedDiskInjector::DrainArmedLocked() {
+  while (next_ < plan_.events.size()) {
+    const FaultEvent& event = plan_.events[next_];
+    if (!IsDiskEvent(event.type)) {
+      // Network events are no-ops on this surface. Skip them eagerly so
+      // events[next_] is always a disk event and the torn-write boundary
+      // check never stares at a transport kill.
+      ++next_;
+      continue;
+    }
+    if (bytes_ < event.at) {
+      return;
+    }
+    const uint64_t arg = std::max<uint64_t>(event.arg, 1);
+    switch (event.type) {
+      case FaultType::kEnospc:
+        enospc_left_ += arg;
+        break;
+      case FaultType::kEio:
+        eio_left_ += arg;
+        break;
+      case FaultType::kShortWrite:
+        short_write_pending_ = arg;
+        break;
+      case FaultType::kFsyncFail:
+        fsync_fail_left_ += arg;
+        break;
+      case FaultType::kRenameFail:
+        rename_fail_left_ += arg;
+        break;
+      case FaultType::kTornWrite:
+        torn_fail_pending_ = true;
+        break;
+      default:
+        break;
+    }
+    ++next_;
+  }
+}
+
+FsFaultAction ScriptedDiskInjector::OnWrite(const char* path, size_t len) {
+  (void)path;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainArmedLocked();
+  if (torn_fail_pending_) {
+    // The tear already landed (the previous write was clamped to end exactly
+    // at the event offset); this attempt is the EIO that follows it.
+    torn_fail_pending_ = false;
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(EIO);
+  }
+  if (enospc_left_ > 0) {
+    --enospc_left_;
+    enospc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(ENOSPC);
+  }
+  if (eio_left_ > 0) {
+    --eio_left_;
+    eio_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(EIO);
+  }
+  if (short_write_pending_ > 0) {
+    const size_t max_bytes = static_cast<size_t>(std::max<uint64_t>(
+        std::min<uint64_t>(short_write_pending_, len), 1));
+    short_write_pending_ = 0;
+    short_writes_.fetch_add(1, std::memory_order_relaxed);
+    return Clamp(max_bytes);
+  }
+  // Byte-exact tears: never let a write cross the tear offset; clamp it to
+  // end exactly there so the next attempt dies on the boundary.
+  if (next_ < plan_.events.size()) {
+    const FaultEvent& event = plan_.events[next_];
+    if (event.type == FaultType::kTornWrite && bytes_ + len > event.at) {
+      return Clamp(static_cast<size_t>(event.at - bytes_));
+    }
+  }
+  return {};
+}
+
+FsFaultAction ScriptedDiskInjector::OnFsync(const char* path) {
+  (void)path;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainArmedLocked();
+  if (fsync_fail_left_ > 0) {
+    --fsync_fail_left_;
+    fsync_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(EIO);
+  }
+  return {};
+}
+
+FsFaultAction ScriptedDiskInjector::OnRename(const char* from,
+                                             const char* to) {
+  (void)from;
+  (void)to;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainArmedLocked();
+  if (rename_fail_left_ > 0) {
+    --rename_fail_left_;
+    rename_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(EIO);
+  }
+  return {};
+}
+
+FsFaultAction ScriptedDiskInjector::OnPread(const char* path, size_t len,
+                                            uint64_t offset) {
+  (void)path;
+  (void)len;
+  (void)offset;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainArmedLocked();
+  if (eio_left_ > 0) {
+    --eio_left_;
+    eio_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(EIO);
+  }
+  return {};
+}
+
+void ScriptedDiskInjector::OnIoBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_ += n;
+}
+
+DiskFaultCountersSnapshot ScriptedDiskInjector::counters() const {
+  DiskFaultCountersSnapshot s;
+  s.enospc_failures = enospc_failures_.load(std::memory_order_relaxed);
+  s.eio_failures = eio_failures_.load(std::memory_order_relaxed);
+  s.short_writes = short_writes_.load(std::memory_order_relaxed);
+  s.fsync_failures = fsync_failures_.load(std::memory_order_relaxed);
+  s.rename_failures = rename_failures_.load(std::memory_order_relaxed);
+  s.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ScriptedDiskInjector::RegisterMetrics(MetricsRegistry* registry,
+                                           const std::string& prefix) const {
+  auto gauge = [registry, &prefix](const std::string& name,
+                                   const std::atomic<uint64_t>* counter) {
+    registry->Register(prefix + name, [counter] {
+      return static_cast<int64_t>(counter->load(std::memory_order_relaxed));
+    });
+  };
+  gauge("enospc_failures", &enospc_failures_);
+  gauge("eio_failures", &eio_failures_);
+  gauge("short_writes", &short_writes_);
+  gauge("fsync_failures", &fsync_failures_);
+  gauge("rename_failures", &rename_failures_);
+  gauge("torn_writes", &torn_writes_);
+}
+
+}  // namespace ts

@@ -1,0 +1,94 @@
+// ScriptedDiskInjector: executes the disk events of a FaultPlan through the
+// FsFaultInjector hooks (src/fault/fs_fault.h).
+//
+// The same seeded plan that drives the transport injectors drives this one:
+// events arm when the cumulative hooked disk-byte cursor (bytes moved by
+// writes + preads, fed through OnIoBytes) crosses their `at` offset. Network
+// events in the plan are consumed as no-ops, mirroring how ScriptedInjector
+// skips disk events — one grammar, one seed→schedule function, two surfaces.
+//
+// Event semantics on this surface:
+//   kEnospc      the next `arg` write attempts fail ENOSPC (writes only —
+//                a full volume still reads fine), then the window heals.
+//   kEio         the next `arg` write/pread attempts fail EIO.
+//   kShortWrite  the next write is clamped to `arg` bytes.
+//   kFsyncFail   the next `arg` fsync attempts fail EIO.
+//   kRenameFail  the next `arg` rename attempts fail EIO.
+//   kTornWrite   byte-exact: the write crossing offset `at` is clamped to
+//                end exactly there, and the next write attempt fails EIO.
+// A finite plan means the disk naturally "heals" once every event is spent.
+//
+// Unlike the per-socket transport injectors this object is consulted from
+// several threads at once (the async checkpoint writer, the cold-tier spill
+// thread, query-serving preads), so the schedule state is mutex-guarded.
+// Counters are relaxed atomics readable without the lock.
+#ifndef SRC_FAULT_SCRIPTED_DISK_INJECTOR_H_
+#define SRC_FAULT_SCRIPTED_DISK_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/common/metrics_registry.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/fs_fault.h"
+
+namespace ts {
+
+// Counter snapshot for assertions and failure reports.
+struct DiskFaultCountersSnapshot {
+  uint64_t enospc_failures = 0;
+  uint64_t eio_failures = 0;
+  uint64_t short_writes = 0;
+  uint64_t fsync_failures = 0;
+  uint64_t rename_failures = 0;
+  uint64_t torn_writes = 0;
+};
+
+class ScriptedDiskInjector : public FsFaultInjector {
+ public:
+  explicit ScriptedDiskInjector(FaultPlan plan);
+
+  FsFaultAction OnWrite(const char* path, size_t len) override;
+  FsFaultAction OnFsync(const char* path) override;
+  FsFaultAction OnRename(const char* from, const char* to) override;
+  FsFaultAction OnPread(const char* path, size_t len,
+                        uint64_t offset) override;
+  void OnIoBytes(uint64_t n) override;
+
+  DiskFaultCountersSnapshot counters() const;
+
+  // Exposes the counters as gauges: <prefix>enospc_failures, ... Defaults
+  // to the fault_disk_ family next to the transport fault_* gauges.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "fault_disk_") const;
+
+ private:
+  // Pops every event armed at the current cursor into the pending windows.
+  // Caller holds mu_.
+  void DrainArmedLocked();
+
+  const FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  size_t next_ = 0;      // Next unexecuted plan event.
+  uint64_t bytes_ = 0;   // Cumulative hooked disk bytes (writes + preads).
+  uint64_t enospc_left_ = 0;
+  uint64_t eio_left_ = 0;
+  uint64_t fsync_fail_left_ = 0;
+  uint64_t rename_fail_left_ = 0;
+  uint64_t short_write_pending_ = 0;  // Clamp width; 0 = none pending.
+  bool torn_fail_pending_ = false;    // Post-tear EIO still owed.
+
+  std::atomic<uint64_t> enospc_failures_{0};
+  std::atomic<uint64_t> eio_failures_{0};
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> fsync_failures_{0};
+  std::atomic<uint64_t> rename_failures_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+};
+
+}  // namespace ts
+
+#endif  // SRC_FAULT_SCRIPTED_DISK_INJECTOR_H_

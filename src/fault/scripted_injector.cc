@@ -85,6 +85,14 @@ FaultAction ScriptedInjector::OnIo(size_t len) {
         continue;
       case FaultType::kTruncate:
         continue;  // Proxy-only; a scripted injector cannot un-receive bytes.
+      case FaultType::kEnospc:
+      case FaultType::kEio:
+      case FaultType::kShortWrite:
+      case FaultType::kFsyncFail:
+      case FaultType::kRenameFail:
+      case FaultType::kTornWrite:
+        continue;  // Disk events; the transport injector consumes them as
+                   // no-ops so one plan can drive both surfaces.
     }
   }
 }
@@ -125,6 +133,13 @@ void ScriptedInjector::DrainNonIoEvents() {
         break;
       case FaultType::kTruncate:
         break;
+      case FaultType::kEnospc:
+      case FaultType::kEio:
+      case FaultType::kShortWrite:
+      case FaultType::kFsyncFail:
+      case FaultType::kRenameFail:
+      case FaultType::kTornWrite:
+        break;  // Disk events are no-ops on the transport surface.
       default:
         return;  // I/O-shaped events wait for the next OnSend/OnRecv.
     }

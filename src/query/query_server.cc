@@ -476,6 +476,13 @@ void QueryServer::AppendStats(Connection* conn, uint64_t* lines) {
     stat("store_cold_hits", cold.hits);
     stat("store_cold_misses", cold.misses);
     stat("store_cold_corrupt", cold.corrupt);
+    stat("store_cold_write_failures", cold.write_failures);
+    stat("store_cold_read_retries", cold.read_retries);
+    stat("store_cold_tmp_cleaned", cold.tmp_cleaned);
+    stat("store_cold_shed_batches", cold.shed_batches);
+    stat("store_cold_shed_sessions", cold.shed_sessions);
+    stat("store_cold_shed_bytes", cold.shed_bytes);
+    stat("store_cold_shedding", cold.shedding ? 1 : 0);
   }
   if (metrics_ != nullptr) {
     for (const auto& [name, value] : metrics_->Snapshot()) {

@@ -11,6 +11,7 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/ckpt/snapshot_io.h"
+#include "src/fault/fs_fault.h"
 
 namespace ts {
 namespace {
@@ -40,13 +41,24 @@ std::vector<uint32_t> SortedUniqueServices(const Session& session) {
 
 // pread the exact byte range [offset, offset+len) into buf. False on any
 // error or short read (a truncated file must read as damage, not garbage).
-bool PreadExact(int fd, void* buf, size_t len, uint64_t offset) {
+// `path` is for the fault hooks only.
+bool PreadExact(int fd, const char* path, void* buf, size_t len,
+                uint64_t offset) {
   char* out = static_cast<char*>(buf);
   size_t done = 0;
   while (done < len) {
+    size_t want = len - done;
+    const FsFaultAction fault = FsFaultOnPread(path, want, offset + done);
+    if (fault.kind == FsFaultAction::Kind::kFail) {
+      return false;
+    }
+    if (fault.kind == FsFaultAction::Kind::kClamp) {
+      want = std::max<size_t>(std::min(want, fault.max_bytes), 1);
+    }
     const ssize_t n =
-        ::pread(fd, out + done, len - done, static_cast<off_t>(offset + done));
+        ::pread(fd, out + done, want, static_cast<off_t>(offset + done));
     if (n > 0) {
+      FsFaultOnIoBytes(static_cast<uint64_t>(n));
       done += static_cast<size_t>(n);
       continue;
     }
@@ -154,6 +166,10 @@ bool WriteColdSegment(const std::string& path,
 
 bool LoadColdSegmentIndex(const std::string& path, ColdSegmentIndex* index,
                           size_t* file_bytes) {
+  if (FsFaultOnOpen(path.c_str(), /*for_write=*/false).kind ==
+      FsFaultAction::Kind::kFail) {
+    return false;
+  }
   const int raw_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (raw_fd < 0) {
     return false;
@@ -169,7 +185,7 @@ bool LoadColdSegmentIndex(const std::string& path, ColdSegmentIndex* index,
     return false;
   }
   unsigned char trailer[kColdSegmentTrailerBytes];
-  if (!PreadExact(fd.get(), trailer, sizeof(trailer),
+  if (!PreadExact(fd.get(), path.c_str(), trailer, sizeof(trailer),
                   size - kColdSegmentTrailerBytes)) {
     return false;
   }
@@ -187,7 +203,8 @@ bool LoadColdSegmentIndex(const std::string& path, ColdSegmentIndex* index,
     return false;
   }
   std::string buf(static_cast<size_t>(index_frame_len), '\0');
-  if (!PreadExact(fd.get(), buf.data(), buf.size(), index_offset)) {
+  if (!PreadExact(fd.get(), path.c_str(), buf.data(), buf.size(),
+                  index_offset)) {
     return false;
   }
   FrameParser parser(buf);
@@ -272,13 +289,17 @@ bool ReadColdSession(const std::string& path, uint64_t offset, uint32_t length,
   if (length < kMinFrameBytes || length > kMaxFramePayloadBytes + 8) {
     return false;
   }
+  if (FsFaultOnOpen(path.c_str(), /*for_write=*/false).kind ==
+      FsFaultAction::Kind::kFail) {
+    return false;
+  }
   const int raw_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (raw_fd < 0) {
     return false;
   }
   FdCloser fd(raw_fd);
   std::string buf(length, '\0');
-  if (!PreadExact(fd.get(), buf.data(), buf.size(), offset)) {
+  if (!PreadExact(fd.get(), path.c_str(), buf.data(), buf.size(), offset)) {
     return false;
   }
   FrameParser parser(buf);

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/fault/fs_fault.h"
+
 namespace ts {
 namespace {
 
@@ -92,17 +94,33 @@ bool ColdTier::Start() {
     return false;
   }
   std::vector<std::string> names;
+  std::vector<std::string> stale_tmp;
   while (const dirent* entry = ::readdir(dir)) {
     uint64_t seq = 0;
-    if (ParseSegmentName(entry->d_name, &seq)) {
-      names.emplace_back(entry->d_name);
+    const std::string name = entry->d_name;
+    if (ParseSegmentName(name, &seq)) {
+      names.push_back(name);
+    } else if (name.starts_with(kSegmentPrefix) && name.ends_with(".tmp")) {
+      stale_tmp.push_back(name);
     }
   }
   ::closedir(dir);
+  // A crashed spill's partial write: ParseSegmentName already keeps it out
+  // of the segment list, but left alone it would leak disk forever. Unlink
+  // failures are left for the next Start to retry.
+  uint64_t cleaned = 0;
+  for (const auto& name : stale_tmp) {
+    const std::string path = options_.dir + "/" + name;
+    if (FsFaultOnUnlink(path.c_str()).kind != FsFaultAction::Kind::kFail &&
+        ::unlink(path.c_str()) == 0) {
+      ++cleaned;
+    }
+  }
   // Name order == numeric order (zero-padded) == original spill order.
   std::sort(names.begin(), names.end());
 
   std::lock_guard<std::mutex> lock(mu_);
+  tmp_cleaned_ += cleaned;
   for (const auto& name : names) {
     uint64_t seq = 0;
     ParseSegmentName(name, &seq);
@@ -177,6 +195,7 @@ bool ColdTier::WantSpillLocked() const {
 
 void ColdTier::SpillLoop() {
   std::unique_lock<std::mutex> lock(mu_);
+  int consecutive_failures = 0;
   for (;;) {
     cv_spill_.wait(lock, [this] { return stop_ || WantSpillLocked(); });
     if (stop_) {
@@ -222,12 +241,50 @@ void ColdTier::SpillLoop() {
     }
     if (!ok) {
       ++write_failures_;
+      ++consecutive_failures;
+      if (options_.spill_retry_limit > 0 &&
+          consecutive_failures >= options_.spill_retry_limit) {
+        // The disk is persistently refusing this batch: shed it. Un-index
+        // every entry (a shed session is a plain cold miss from here on,
+        // never a wrong answer) and advance the durable frontier so the
+        // queue keeps draining — bounded, exactly-accounted loss instead of
+        // an ever-growing backlog wedging eviction.
+        for (size_t i = 0; i < k; ++i) {
+          PendingEntry& e = pending_.front();
+          by_id_.erase(
+              std::make_pair(e.session.id, e.session.fragment_index));
+          for (uint32_t s : e.services) {
+            const auto it = service_counts_.find(s);
+            if (it != service_counts_.end() && --it->second == 0) {
+              service_counts_.erase(it);
+            }
+          }
+          pending_bytes_ -= e.bytes;
+          shed_bytes_ += e.bytes;
+          pending_.pop_front();
+        }
+        pending_front_order_ += k;
+        ++shed_batches_;
+        shed_sessions_ += k;
+        shedding_ = true;
+        consecutive_failures = 0;
+        cv_state_.notify_all();
+        continue;
+      }
       cv_state_.notify_all();  // Unblock FlushPending with the bad news.
-      // Back off so a broken disk retries at a human pace, not a spin.
-      cv_spill_.wait_for(lock, std::chrono::milliseconds(100),
+      // Back off so a broken disk retries at a human pace, not a spin:
+      // exponential from spill_backoff_ms, capped at ~2s.
+      const int64_t wait_ms = std::min<int64_t>(
+          options_.spill_backoff_ms
+              << std::min(consecutive_failures - 1, 5),
+          2000);
+      cv_spill_.wait_for(lock, std::chrono::milliseconds(std::max<int64_t>(
+                                   wait_ms, 1)),
                          [this] { return stop_; });
       continue;
     }
+    consecutive_failures = 0;
+    shedding_ = false;  // Disk healed; back to normal spilling.
     Segment segment;
     segment.path = path;
     segment.base_order = base_order;
@@ -339,8 +396,17 @@ bool ColdTier::Read(const Candidate& candidate, Session* out) {
     length = entry.length;
   }
   Session session;
-  if (!ReadColdSession(path, offset, length, &session) ||
-      session.id != candidate.id ||
+  bool read_ok = ReadColdSession(path, offset, length, &session);
+  if (!read_ok) {
+    // One retry absorbs a transient EIO on the serving path; persistent
+    // damage still degrades to a miss below.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++read_retries_;
+    }
+    read_ok = ReadColdSession(path, offset, length, &session);
+  }
+  if (!read_ok || session.id != candidate.id ||
       session.fragment_index != candidate.fragment) {
     std::lock_guard<std::mutex> lock(mu_);
     ++corrupt_;  // Damage degrades to a cold miss, never a wrong answer.
@@ -530,6 +596,12 @@ ColdTier::Stats ColdTier::stats() const {
   stats.misses = misses_;
   stats.corrupt = corrupt_;
   stats.write_failures = write_failures_;
+  stats.read_retries = read_retries_;
+  stats.tmp_cleaned = tmp_cleaned_;
+  stats.shed_batches = shed_batches_;
+  stats.shed_sessions = shed_sessions_;
+  stats.shed_bytes = shed_bytes_;
+  stats.shedding = shedding_;
   return stats;
 }
 

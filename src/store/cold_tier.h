@@ -38,6 +38,21 @@
 // skipped (and counted in `corrupt`); a frame that fails its CRC at read
 // time degrades to a cold miss. Neither can crash the server or surface a
 // wrong answer — the corruption property test flips every byte to prove it.
+// Start also unlinks (and counts) leftover `*.tmp` files from a crashed
+// spill, so a dead incarnation's partial write can never be confused for a
+// segment or leak disk forever.
+//
+// Storage degradation. A failed segment write retries with bounded
+// exponential backoff (spill_backoff_ms, doubling, capped ~2s). After
+// spill_retry_limit consecutive failures the tier sheds the stuck batch —
+// un-indexes it and advances the durable frontier — with exact accounting
+// (shed_batches / shed_sessions / shed_bytes) and raises `shedding` until a
+// write succeeds again. Shedding converts an unbounded pending backlog on a
+// dead disk into a counted, bounded loss: ingest keeps its WaitForSpace
+// semantics (the queue drains, so eviction never wedges), queries keep
+// serving hot + already-durable cold, and a shed session becomes a plain
+// cold miss — never a wrong answer. Serving preads retry a transient
+// failure once (read_retries) before counting the miss as corrupt.
 //
 // Thread-safe throughout. The destructor stops the spill thread and
 // *discards* pending sessions (crash-equivalent by design — the conformance
@@ -73,6 +88,13 @@ struct ColdTierOptions {
   // WaitForSpace blocks (backpressure on the evicting thread) while this much
   // is pending — bounds tier memory when the disk cannot keep up.
   size_t max_pending_bytes = 64u << 20;
+  // Consecutive segment-write failures before the stuck batch is shed
+  // (accounted loss, see "Storage degradation" above). 0 retries forever —
+  // pending then stays bounded only by max_pending_bytes backpressure.
+  int spill_retry_limit = 8;
+  // Base backoff between failed write attempts; doubles per consecutive
+  // failure, capped at ~2s.
+  int64_t spill_backoff_ms = 100;
 };
 
 class ColdTier {
@@ -88,6 +110,12 @@ class ColdTier {
     uint64_t misses = 0;         // Lookups that found nothing here.
     uint64_t corrupt = 0;        // Damaged segments skipped + frame CRC fails.
     uint64_t write_failures = 0;
+    uint64_t read_retries = 0;   // Serving preads retried after a failure.
+    uint64_t tmp_cleaned = 0;    // Stale *.tmp files unlinked by Start().
+    uint64_t shed_batches = 0;   // Batches dropped after persistent failure.
+    uint64_t shed_sessions = 0;  // Sessions inside those batches...
+    uint64_t shed_bytes = 0;     // ...and their in-memory bytes.
+    bool shedding = false;       // In shed fallback; clears on next success.
   };
 
   // A cold index candidate: enough to merge-order and dedupe against hot
@@ -126,8 +154,11 @@ class ColdTier {
   void WaitForSpace();
 
   // Blocks until every session appended before this call is durable in a
-  // segment (writing a partial segment if needed). Returns false if a write
-  // failed. The checkpoint writer calls this before publishing a snapshot.
+  // segment (writing a partial segment if needed) — or, under persistent
+  // write failure, has been shed with exact accounting. Returns false if a
+  // write failed and the backlog is still outstanding. The checkpoint writer
+  // calls this before publishing a snapshot (and aborts the snapshot on
+  // false, retrying later — see AsyncCheckpointer's degraded mode).
   bool FlushPending();
 
   // Test support: simulates SIGKILL at this instant. Pending sessions are
@@ -211,6 +242,12 @@ class ColdTier {
   uint64_t misses_ = 0;
   uint64_t corrupt_ = 0;
   uint64_t write_failures_ = 0;
+  uint64_t read_retries_ = 0;
+  uint64_t tmp_cleaned_ = 0;
+  uint64_t shed_batches_ = 0;
+  uint64_t shed_sessions_ = 0;
+  uint64_t shed_bytes_ = 0;
+  bool shedding_ = false;
 
   std::thread spill_thread_;
 };

@@ -98,6 +98,71 @@ TEST(FaultPlan, ResolveProfilePresets) {
   EXPECT_FALSE(FaultPlan::ResolveProfile("apocalyptic", 1 << 20, &p));
 }
 
+// --- Disk-event surface (ENOSPC / EIO / short, torn writes / fsync,
+// rename failures) riding the same grammar and seed→schedule function ---
+
+TEST(FaultPlan, DiskEventTextGrammarRoundTrips) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "seed 5\nprofile disk-mild\n"
+      "enospc at=0 arg=3\neio at=100 arg=2\nshortwrite at=200 arg=7\n"
+      "fsyncfail at=300 arg=1\nrenamefail at=400 arg=1\ntornwrite at=500\n",
+      &plan, &error))
+      << error;
+  ASSERT_EQ(plan.events.size(), 6u);
+  EXPECT_EQ(plan.events[0].type, FaultType::kEnospc);
+  EXPECT_EQ(plan.events[1].type, FaultType::kEio);
+  EXPECT_EQ(plan.events[2].type, FaultType::kShortWrite);
+  EXPECT_EQ(plan.events[3].type, FaultType::kFsyncFail);
+  EXPECT_EQ(plan.events[4].type, FaultType::kRenameFail);
+  EXPECT_EQ(plan.events[5].type, FaultType::kTornWrite);
+  EXPECT_EQ(plan.events[5].at, 500u);
+  // ToText emits exactly what Parse accepted.
+  FaultPlan reparsed;
+  ASSERT_TRUE(FaultPlan::Parse(plan.ToText(), &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.ToText(), plan.ToText());
+}
+
+TEST(FaultPlan, DiskPresetsResolveAndDrawDeterministically) {
+  FaultProfile p;
+  ASSERT_TRUE(FaultPlan::ResolveProfile("disk-mild", 1 << 20, &p));
+  EXPECT_EQ(p.kills, 0);  // Disk presets leave the transport alone.
+  EXPECT_GT(p.enospc_windows, 0);
+  EXPECT_EQ(p.torn_writes, 0);
+  ASSERT_TRUE(FaultPlan::ResolveProfile("disk-aggressive", 1 << 20, &p));
+  EXPECT_EQ(p.kills, 0);
+  EXPECT_GT(p.torn_writes, 0);
+  EXPECT_GT(p.rename_fails, 0);
+
+  const FaultPlan a = FaultPlan::FromSeed(21, "disk-aggressive", p);
+  const FaultPlan b = FaultPlan::FromSeed(21, "disk-aggressive", p);
+  EXPECT_EQ(a.ToText(), b.ToText());
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_NE(a.ToText(), FaultPlan::FromSeed(22, "disk-aggressive", p).ToText());
+}
+
+TEST(FaultPlan, NetworkPlansAreByteStableAgainstTheDiskSurface) {
+  // The disk draws happen after all network draws and touch the rng only
+  // when a disk count is nonzero — so every pre-existing network preset's
+  // seeded plan is unchanged byte for byte by the disk surface existing.
+  // This pins the exact plan text of a known (seed, profile) pair: if this
+  // test breaks, archived failure reports stop replaying.
+  const FaultProfile p = FaultProfile::Aggressive(1 << 16);
+  EXPECT_EQ(p.enospc_windows + p.eios + p.short_writes + p.fsync_fails +
+                p.rename_fails + p.torn_writes,
+            0);
+  const FaultPlan plan = FaultPlan::FromSeed(7, "aggressive", p);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.type, FaultType::kEnospc);
+    EXPECT_NE(e.type, FaultType::kEio);
+    EXPECT_NE(e.type, FaultType::kShortWrite);
+    EXPECT_NE(e.type, FaultType::kFsyncFail);
+    EXPECT_NE(e.type, FaultType::kRenameFail);
+    EXPECT_NE(e.type, FaultType::kTornWrite);
+  }
+}
+
 // --- ScriptedInjector semantics ---
 
 FaultPlan ManualPlan(std::vector<FaultEvent> events) {

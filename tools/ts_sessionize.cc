@@ -63,8 +63,17 @@
 //                     and on graceful shutdown. See docs/RECOVERY.md.
 //   --ckpt_interval_s=N  seconds between periodic snapshots (default 2)
 //   --ckpt_retain=K   snapshots kept on disk (default 3)
+//   --disk-fault-plan=FILE  fault testing: install a ScriptedDiskInjector
+//                     driving the file-I/O hooks of ts_ckpt and the cold
+//                     tier from a ts_fault plan file (ENOSPC windows, EIO,
+//                     short/torn writes, fsync/rename failures). Also read
+//                     from $TS_DISK_FAULT_PLAN when the flag is absent —
+//                     that's how e2e_smoke.sh --diskfault attacks an
+//                     unmodified pipeline. fault_disk_* gauges appear in
+//                     STATS. See docs/FAULT_TESTING.md.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -81,7 +90,11 @@
 #include "src/ckpt/async_checkpointer.h"
 #include "src/ckpt/checkpointer.h"
 #include "src/ckpt/live_checkpoint.h"
+#include "src/ckpt/snapshot_io.h"
 #include "src/common/metrics_registry.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/fs_fault.h"
+#include "src/fault/scripted_disk_injector.h"
 #include "src/core/live_pipeline.h"
 #include "src/core/trace_tree.h"
 #include "src/log/wire_format.h"
@@ -209,6 +222,36 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
+  // Declared before every durability object so it is destroyed last: the
+  // process-global hook may be consulted until the cold tier's spill thread
+  // and the checkpoint writer have joined.
+  std::unique_ptr<ScriptedDiskInjector> disk_faults;
+  {
+    const char* plan_path = FlagStr(argc, argv, "--disk-fault-plan");
+    if (plan_path == nullptr) {
+      plan_path = std::getenv("TS_DISK_FAULT_PLAN");
+    }
+    if (plan_path != nullptr && plan_path[0] != '\0') {
+      std::string text;
+      FaultPlan plan;
+      std::string error;
+      if (!ReadFile(plan_path, &text)) {
+        std::fprintf(stderr, "cannot read disk fault plan %s\n", plan_path);
+        return 2;
+      }
+      if (!FaultPlan::Parse(text, &plan, &error)) {
+        std::fprintf(stderr, "bad disk fault plan %s: %s\n", plan_path,
+                     error.c_str());
+        return 2;
+      }
+      const size_t n_events = plan.events.size();
+      disk_faults = std::make_unique<ScriptedDiskInjector>(std::move(plan));
+      InstallFsFaultInjector(disk_faults.get());
+      std::fprintf(stderr, "disk fault injection: %s (%zu event(s))\n",
+                   plan_path, n_events);
+    }
+  }
+
   // --serve: stand up the store and the query server before ingesting, so
   // subscribers attached early see every session close.
   const char* serve_spec = FlagStr(argc, argv, "--serve");
@@ -235,6 +278,9 @@ int main(int argc, char** argv) {
         static_cast<size_t>(Flag(argc, argv, "--store_mb", 256)) << 20;
     store = std::make_shared<SessionStore>(store_options);
     metrics = std::make_shared<MetricsRegistry>();
+    if (disk_faults != nullptr) {
+      disk_faults->RegisterMetrics(metrics.get());
+    }
     QueryServerOptions server_options;
     if (std::strchr(serve_spec, ':') != nullptr) {
       if (!ParseHostPort(serve_spec, &server_options.host,
@@ -311,8 +357,12 @@ int main(int argc, char** argv) {
   uint64_t parse_failures = 0;
   bool transport_failed = false;
   bool sessions_ready = false;  // Live path feeds `report` itself.
-  // Outlives the ingest loop: the query server samples its gauges until exit.
+  // Outlive the ingest loop: the query server samples their gauges until
+  // exit. Declaration order is destruction order in reverse — async_ckpt
+  // (whose writer thread uses both) must die before ckpt and pipeline.
   std::unique_ptr<LivePipeline> pipeline;
+  std::unique_ptr<Checkpointer> ckpt;
+  std::unique_ptr<AsyncCheckpointer> async_ckpt;
 
   if (const char* spec = FlagStr(argc, argv, "--connect")) {
     SocketIngestOptions options;
@@ -329,7 +379,6 @@ int main(int argc, char** argv) {
     // --checkpoint-dir: restore the newest valid snapshot before connecting
     // so the hello's "TS1 <stream> <offset>" resumes exactly where the
     // snapshot left off.
-    std::unique_ptr<Checkpointer> ckpt;
     CheckpointState restored;
     bool did_restore = false;
     uint64_t base_records = 0;
@@ -461,7 +510,6 @@ int main(int argc, char** argv) {
       // pays one BeginCheckpoint per due tick, and all O(live state)
       // serialization + fsync runs on the writer thread while ingest keeps
       // feeding behind the barrier marker.
-      std::unique_ptr<AsyncCheckpointer> async_ckpt;
       if (ckpt != nullptr) {
         AsyncCheckpointer::Options ac_options;
         ac_options.stream = static_cast<uint64_t>(options.stream);
@@ -473,10 +521,13 @@ int main(int argc, char** argv) {
           // a restore could lose it (the replay window starts at the
           // snapshot's offset).
           ColdTier* cold_ptr = cold.get();
-          ac_options.before_write = [cold_ptr] { cold_ptr->FlushPending(); };
+          ac_options.before_write = [cold_ptr] {
+            return cold_ptr->FlushPending();
+          };
         }
         async_ckpt = std::make_unique<AsyncCheckpointer>(
             ckpt.get(), pipeline.get(), store.get(), ac_options);
+        async_ckpt->RegisterMetrics(metrics.get());
       }
       // Zero-copy live loop: recv bytes land in the source's arena, PollBlock
       // hands them over as views, and FeedBlock routes them shard-ward with
@@ -498,10 +549,13 @@ int main(int argc, char** argv) {
           }
         }
       }
-      // Drain + join the writer before any synchronous capture or Finish():
-      // at most one barrier may be in flight, and an uncollected ticket would
-      // leave the shard workers paused forever.
-      async_ckpt.reset();
+      // Drain the writer before any synchronous capture or Finish(): at most
+      // one barrier may be in flight, and an uncollected ticket would leave
+      // the shard workers paused forever. The object stays alive (idle) so
+      // the degraded-mode gauges it registered keep sampling until exit.
+      if (async_ckpt != nullptr) {
+        async_ckpt->Drain();
+      }
       if (ckpt != nullptr && !transport_failed) {
         // Final checkpoint before Finish(): Finish force-closes every open
         // fragment for the report, and those early closes must not leak into
@@ -513,12 +567,34 @@ int main(int argc, char** argv) {
         state.records += base_records;
         state.parse_failures += base_parse_failures;
         if (cold != nullptr) {
-          cold->FlushPending();  // Same barrier as the periodic snapshots.
+          // Same barrier as the periodic snapshots — but the final one wants
+          // eventual durability, not the prompt-abort contract: FlushPending
+          // returns false on the FIRST spill write failure so a periodic
+          // snapshot can be dropped, while the spill thread keeps retrying
+          // behind it. Ride those retries out (bounded: each false return is
+          // at least one consumed fault / shed batch, so a finite fault
+          // window always drains).
+          for (int i = 0; i < 100 && !cold->FlushPending(); ++i) {
+          }
         }
-        ckpt->Write(state);
-        std::fprintf(stderr, "final checkpoint at offset %llu (%s)\n",
-                     static_cast<unsigned long long>(state.resume_offset),
-                     ckpt->dir().c_str());
+        // The disk may still be inside a fault window at end of stream (the
+        // periodic writer only ticks while records flow, so nothing after the
+        // last record has proven it healthy). Retry with backoff rather than
+        // silently leaving the directory empty.
+        bool final_ok = ckpt->Write(state);
+        for (int attempt = 0; !final_ok && attempt < 5; ++attempt) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(int64_t{100} << attempt));
+          final_ok = ckpt->Write(state);
+        }
+        if (final_ok) {
+          std::fprintf(stderr, "final checkpoint at offset %llu (%s)\n",
+                       static_cast<unsigned long long>(state.resume_offset),
+                       ckpt->dir().c_str());
+        } else {
+          std::fprintf(stderr, "final checkpoint FAILED (%s unwritable)\n",
+                       ckpt->dir().c_str());
+        }
       }
       pipeline->Finish();
       record_count = base_records + pipeline->records();
